@@ -1,0 +1,484 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (Section 4):
+//
+//	BenchmarkFig8  — precision on the LLVM-test-suite stand-in
+//	BenchmarkFig9  — the SPEC 2006 precision table
+//	BenchmarkFig10 — BA+LT versus the Andersen-style BA+CF
+//	BenchmarkFig11 — constraints-vs-instructions scalability (R²)
+//	BenchmarkFig12 — PDG memory nodes on Csmith-style programs
+//
+// plus ablation benchmarks for the design choices DESIGN.md calls
+// out. Each benchmark measures the end-to-end cost of regenerating
+// its figure and, on the first iteration, reports the headline
+// numbers through b.Log so `go test -bench . -v` doubles as the
+// experiment harness. The cmd/ tools print the full row-by-row
+// tables.
+package repro
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/abcd"
+	"repro/internal/alias"
+	"repro/internal/andersen"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/csmith"
+	"repro/internal/minic"
+	"repro/internal/pdg"
+	"repro/internal/pentagon"
+	"repro/internal/stats"
+)
+
+// evalSuite runs the aa-eval protocol over a suite and returns the
+// merged report. Each iteration recompiles, because Prepare mutates
+// the module into e-SSA form.
+func evalSuite(b *testing.B, progs []corpus.Program, withCF bool) *alias.Report {
+	b.Helper()
+	var reports []*alias.Report
+	for _, p := range progs {
+		m, err := minic.Compile(p.Name, p.Source)
+		if err != nil {
+			b.Fatalf("%s: %v", p.Name, err)
+		}
+		prep := core.Prepare(m, core.PipelineOptions{})
+		ba := alias.NewBasic(m)
+		lt := alias.NewSRAA(prep.LT)
+		analyses := []alias.Analysis{ba, lt, alias.NewChain(ba, lt)}
+		if withCF {
+			analyses = append(analyses, alias.NewChain(ba, andersen.Analyze(m)))
+		}
+		reports = append(reports, alias.Evaluate(m, analyses...))
+	}
+	return alias.MergeReports("suite", reports...)
+}
+
+// BenchmarkFig8 regenerates Figure 8: total queries and no-alias
+// answers for LT, BA and BA+LT over the test-suite stand-in. The
+// paper reports LT lifting BA by 9.49% over the whole suite.
+func BenchmarkFig8(b *testing.B) {
+	progs := corpus.TestSuite(30)
+	var rep *alias.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep = evalSuite(b, progs, false)
+	}
+	b.StopTimer()
+	ba := rep.PerAnalysis["BA"]
+	both := rep.PerAnalysis["BA+LT"]
+	gain := 100 * float64(both.No-ba.No) / float64(ba.No)
+	b.Logf("Fig8: %d queries; BA %.2f%%, LT %.2f%%, BA+LT %.2f%%; LT lifts BA by %.2f%% (paper: 9.49%%)",
+		ba.Queries, ba.NoAliasPercent(),
+		rep.PerAnalysis["LT"].NoAliasPercent(), both.NoAliasPercent(), gain)
+	if both.No < ba.No {
+		b.Fatal("combination weaker than BA")
+	}
+}
+
+// BenchmarkFig9 regenerates the SPEC 2006 table (Figure 9).
+func BenchmarkFig9(b *testing.B) {
+	progs := corpus.Spec()
+	var rows []string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, p := range progs {
+			m, err := minic.Compile(p.Name, p.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prep := core.Prepare(m, core.PipelineOptions{})
+			ba := alias.NewBasic(m)
+			lt := alias.NewSRAA(prep.LT)
+			rep := alias.Evaluate(m, ba, lt, alias.NewChain(ba, lt))
+			rows = append(rows, fmt.Sprintf(
+				"%-8s %8d queries  BA %6.2f%%  LT %6.2f%%  BA+LT %6.2f%%",
+				p.Name, rep.PerAnalysis["BA"].Queries,
+				rep.PerAnalysis["BA"].NoAliasPercent(),
+				rep.PerAnalysis["LT"].NoAliasPercent(),
+				rep.PerAnalysis["BA+LT"].NoAliasPercent()))
+		}
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		b.Log("Fig9: " + r)
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10: BA versus BA+LT versus BA+CF.
+func BenchmarkFig10(b *testing.B) {
+	progs := corpus.Spec()
+	var rep *alias.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep = evalSuite(b, progs, true)
+	}
+	b.StopTimer()
+	b.Logf("Fig10 (whole suite): BA %.2f%%  BA+LT %.2f%%  BA+CF %.2f%% — complementary, no clear winner",
+		rep.PerAnalysis["BA"].NoAliasPercent(),
+		rep.PerAnalysis["BA+LT"].NoAliasPercent(),
+		rep.PerAnalysis["BA+CF"].NoAliasPercent())
+}
+
+// BenchmarkFig11 regenerates Figure 11: the linear relation between
+// instruction count and constraint count (paper: R² = 0.992), plus
+// the worklist pops-per-constraint statistic of Section 4.2.
+func BenchmarkFig11(b *testing.B) {
+	progs := append(corpus.TestSuite(100), corpus.Spec()...)
+	var fit stats.Fit
+	var popsPerCons float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		type sample struct{ instrs, cons, pops int }
+		var samples []sample
+		for _, p := range progs {
+			m, err := minic.Compile(p.Name, p.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prep := core.Prepare(m, core.PipelineOptions{})
+			st := prep.LT.Stats
+			samples = append(samples, sample{st.Instrs, st.Constraints, st.Pops})
+		}
+		// The paper measures its 50 largest benchmarks.
+		sort.Slice(samples, func(i, j int) bool { return samples[i].instrs > samples[j].instrs })
+		samples = samples[:50]
+		var xs, ys []float64
+		pops, cons := 0, 0
+		for _, s := range samples {
+			xs = append(xs, float64(s.instrs))
+			ys = append(ys, float64(s.cons))
+			pops += s.pops
+			cons += s.cons
+		}
+		var err error
+		fit, err = stats.LinearFit(xs, ys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		popsPerCons = float64(pops) / float64(cons)
+	}
+	b.StopTimer()
+	b.Logf("Fig11: R² = %.3f (paper: 0.992); slope %.3f constraints/instr; pops/constraint = %.2f (paper: ~2.12)",
+		fit.R2, fit.Slope, popsPerCons)
+	if fit.R2 < 0.9 {
+		b.Fatalf("constraints not linear in instructions: R² = %.3f", fit.R2)
+	}
+}
+
+// BenchmarkFig12 regenerates Figure 12: PDG memory nodes with BA
+// versus BA+LT on Csmith-style programs (paper: 6.23x more nodes).
+func BenchmarkFig12(b *testing.B) {
+	type prog struct{ name, src string }
+	var progs []prog
+	for depth := 2; depth <= 7; depth++ {
+		for i := 0; i < 3; i++ {
+			progs = append(progs, prog{
+				name: fmt.Sprintf("d%d-%d", depth, i),
+				src: csmith.Generate(csmith.Config{
+					Seed: int64(depth*100 + i), MaxPtrDepth: depth, Stmts: 120,
+				}),
+			})
+		}
+	}
+	var totBA, totBoth int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		totBA, totBoth = 0, 0
+		for _, p := range progs {
+			m, err := minic.Compile(p.name, p.src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prep := core.Prepare(m, core.PipelineOptions{})
+			ba := alias.NewBasic(m)
+			ba.UnknownSizes = true
+			ba.Intraprocedural = true
+			both := alias.NewChain(ba, alias.NewSRAAWithRanges(prep.LT, prep.Ranges))
+			totBA += pdg.Build(m, ba).MemNodes
+			totBoth += pdg.Build(m, both).MemNodes
+		}
+	}
+	b.StopTimer()
+	b.Logf("Fig12: memory nodes BA %d, BA+LT %d (%.2fx; paper: 6.23x on 120 programs)",
+		totBA, totBoth, float64(totBoth)/float64(totBA))
+	if totBoth <= totBA {
+		b.Fatal("BA+LT PDG not more precise than BA")
+	}
+}
+
+// ablationPct runs the LT analysis with and without an ablated
+// pipeline feature over a program suite and returns the no-alias
+// percentages (the query sets differ slightly because e-SSA splitting
+// adds pointer names, so percentages are the comparable metric).
+func ablationPct(b *testing.B, progs []corpus.Program, opt core.PipelineOptions) (full, ablated float64) {
+	b.Helper()
+	var fullRep, ablRep []*alias.Report
+	for _, p := range progs {
+		mF, err := minic.Compile(p.Name, p.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prepF := core.Prepare(mF, core.PipelineOptions{})
+		fullRep = append(fullRep, alias.Evaluate(mF, alias.NewSRAA(prepF.LT)))
+
+		mA, err := minic.Compile(p.Name, p.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prepA := core.Prepare(mA, opt)
+		ablRep = append(ablRep, alias.Evaluate(mA, alias.NewSRAA(prepA.LT)))
+	}
+	f := alias.MergeReports("full", fullRep...)
+	a := alias.MergeReports("ablated", ablRep...)
+	return f.PerAnalysis["LT"].NoAliasPercent(), a.PerAnalysis["LT"].NoAliasPercent()
+}
+
+// BenchmarkAblationNoESSA measures the value of the e-SSA program
+// representation on comparison-heavy code: without live-range
+// splitting, the branch-derived ordering facts (rule 5 of Figure 7)
+// disappear.
+func BenchmarkAblationNoESSA(b *testing.B) {
+	progs := corpus.BranchFactSuite()
+	var full, ablated float64
+	for i := 0; i < b.N; i++ {
+		full, ablated = ablationPct(b, progs, core.PipelineOptions{NoESSA: true})
+	}
+	b.Logf("ablation e-SSA (branch-fact suite): LT no-alias %.2f%% with, %.2f%% without",
+		full, ablated)
+	if ablated >= full {
+		b.Fatal("removing e-SSA did not reduce precision on branch-heavy code")
+	}
+}
+
+// BenchmarkAblationNoRanges measures the value of range support for
+// classifying additions with variable operands (the delta the paper
+// claims over ABCD).
+func BenchmarkAblationNoRanges(b *testing.B) {
+	progs := corpus.Spec()
+	var full, ablated float64
+	for i := 0; i < b.N; i++ {
+		full, ablated = ablationPct(b, progs, core.PipelineOptions{
+			Analysis: core.Options{NoRanges: true},
+		})
+	}
+	b.Logf("ablation ranges: LT no-alias %.2f%% with, %.2f%% without", full, ablated)
+}
+
+// nonStrictKernel is a workload where the extension beyond Figure 7
+// pays off: offsets advance by amounts that are only provably
+// non-negative (n >= 0), so the paper's strict rules generate nothing
+// while the non-strict extension still propagates the base ordering.
+const nonStrictKernel = `
+int f(int *v, int base, int n) {
+  int s = 0;
+  if (n >= 0) {
+    int lo = base + 1;
+    int hi = lo + n;
+    int top = hi + n;
+    s += v[base] + v[lo] + v[hi] + v[top];
+  }
+  return s;
+}
+`
+
+// BenchmarkAblationNonStrict measures the non-strict (>=) extension
+// beyond the paper's Figure 7 rules, on the SPEC suite plus a kernel
+// built around non-negative advances.
+func BenchmarkAblationNonStrict(b *testing.B) {
+	progs := append(corpus.Spec(),
+		corpus.Program{Name: "nonstrict-kernel", Source: nonStrictKernel})
+	var base, ext int
+	for i := 0; i < b.N; i++ {
+		base, ext = 0, 0
+		for _, p := range progs {
+			mB, err := minic.Compile(p.Name, p.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prepB := core.Prepare(mB, core.PipelineOptions{})
+			base += alias.Evaluate(mB, alias.NewSRAA(prepB.LT)).PerAnalysis["LT"].No
+
+			mE, err := minic.Compile(p.Name, p.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prepE := core.Prepare(mE, core.PipelineOptions{
+				Analysis: core.Options{NonStrict: true},
+			})
+			ext += alias.Evaluate(mE, alias.NewSRAA(prepE.LT)).PerAnalysis["LT"].No
+		}
+	}
+	b.Logf("extension non-strict: LT no-alias %d paper rules, %d with extension (+%d pairs)",
+		base, ext, ext-base)
+	if ext < base {
+		b.Fatal("non-strict extension lost precision")
+	}
+}
+
+// BenchmarkABCDComparison measures the paper's closest related work
+// (Section 5) head to head: the less-than analysis against a
+// demand-driven ABCD engine, both feeding the same Definition 3.11
+// criteria, over the SPEC suite. The expected shape: LT resolves at
+// least as much (ranges classify variable-amount additions and the
+// split copies carry subtraction facts), at different runtime
+// profiles (closure vs on-demand).
+func BenchmarkABCDComparison(b *testing.B) {
+	progs := corpus.Spec()
+	var ltNo, abcdNo int
+	var queries int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ltNo, abcdNo, queries = 0, 0, 0
+		for _, p := range progs {
+			m, err := minic.Compile(p.Name, p.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prep := core.Prepare(m, core.PipelineOptions{})
+			lt := alias.NewSRAA(prep.LT)
+			ab := abcd.NewAnalysis(m)
+			rep := alias.Evaluate(m, lt, ab)
+			ltNo += rep.PerAnalysis["LT"].No
+			abcdNo += rep.PerAnalysis["ABCD"].No
+			queries += rep.PerAnalysis["LT"].Queries
+		}
+	}
+	b.StopTimer()
+	b.Logf("ABCD vs LT on %d queries: ABCD %d no-alias, LT %d no-alias (LT/ABCD = %.2fx)",
+		queries, abcdNo, ltNo, float64(ltNo)/float64(abcdNo))
+	if ltNo < abcdNo {
+		b.Fatalf("ABCD (%d) outperformed LT (%d): ranges and splits should dominate", abcdNo, ltNo)
+	}
+}
+
+// BenchmarkInterprocedural measures the parameter pseudo-phi
+// extension of Section 4: on the call-fact suite, ordering facts
+// exist only in the callers, so intra-procedural LT resolves nothing
+// in the kernels while the inter-procedural mode does.
+func BenchmarkInterprocedural(b *testing.B) {
+	progs := corpus.CallFactSuite()
+	var intra, inter int
+	for i := 0; i < b.N; i++ {
+		intra, inter = 0, 0
+		for _, p := range progs {
+			mI, err := minic.Compile(p.Name, p.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prepI := core.Prepare(mI, core.PipelineOptions{})
+			intra += alias.Evaluate(mI, alias.NewSRAA(prepI.LT)).PerAnalysis["LT"].No
+
+			mX, err := minic.Compile(p.Name, p.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prepX := core.Prepare(mX, core.PipelineOptions{Interprocedural: true})
+			inter += alias.Evaluate(mX, alias.NewSRAA(prepX.LT)).PerAnalysis["LT"].No
+		}
+	}
+	b.Logf("interprocedural extension: LT no-alias %d intra, %d inter (call-fact suite)",
+		intra, inter)
+	if inter <= intra {
+		b.Fatal("interprocedural mode did not add facts on the call-fact suite")
+	}
+}
+
+// BenchmarkDenseVsSparse quantifies the design choice the paper
+// credits to Tavares et al.: a sparse analysis stores one fact set
+// per variable, a dense one (Pentagons as originally formulated) one
+// state per block boundary. The benchmark reports the state-count
+// ratio and the runtime of each over the SPEC suite.
+func BenchmarkDenseVsSparse(b *testing.B) {
+	progs := corpus.Spec()
+	var denseStates, sparseVars int
+	var denseNs, sparseNs int64
+	for i := 0; i < b.N; i++ {
+		denseStates, sparseVars = 0, 0
+		denseNs, sparseNs = 0, 0
+		for _, p := range progs {
+			m, err := minic.Compile(p.Name, p.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			t0 := time.Now()
+			for _, f := range m.Funcs {
+				denseStates += pentagon.AnalyzeFunc(f).States
+			}
+			denseNs += time.Since(t0).Nanoseconds()
+
+			m2, err := minic.Compile(p.Name, p.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			t1 := time.Now()
+			prep := core.Prepare(m2, core.PipelineOptions{})
+			sparseNs += time.Since(t1).Nanoseconds()
+			sparseVars += prep.LT.Stats.Vars
+		}
+	}
+	b.Logf("dense vs sparse: %d dense state entries vs %d sparse sets (%.1fx); dense %.1fms, sparse(full pipeline) %.1fms",
+		denseStates, sparseVars, float64(denseStates)/float64(sparseVars),
+		float64(denseNs)/1e6, float64(sparseNs)/1e6)
+	if denseStates <= sparseVars {
+		b.Fatal("dense analysis unexpectedly cheaper in space")
+	}
+}
+
+// BenchmarkPipeline measures the raw analysis pipeline cost on the
+// largest workload, the throughput number behind Section 4.2's
+// runtime discussion.
+func BenchmarkPipeline(b *testing.B) {
+	var gcc corpus.Program
+	for _, p := range corpus.Spec() {
+		if p.Name == "gcc" {
+			gcc = p
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := minic.Compile(gcc.Name, gcc.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prep := core.Prepare(m, core.PipelineOptions{})
+		if prep.LT.Stats.Constraints == 0 {
+			b.Fatal("no constraints")
+		}
+	}
+}
+
+// BenchmarkSolverRepresentation compares the dense-bitset solver with
+// the adaptive small-set solver (core.Options.SmallSets) over the
+// SPEC suite — the speed avenue the paper's conclusion leaves open,
+// motivated by its observation that over 95% of LT sets hold two or
+// fewer elements. Run with -bench SolverRepresentation to see the
+// per-variant ns/op.
+func BenchmarkSolverRepresentation(b *testing.B) {
+	progs := corpus.Spec()
+	for _, variant := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"bitset", core.Options{}},
+		{"smallset", core.Options{SmallSets: true}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, p := range progs {
+					m, err := minic.Compile(p.Name, p.Source)
+					if err != nil {
+						b.Fatal(err)
+					}
+					prep := core.Prepare(m, core.PipelineOptions{Analysis: variant.opt})
+					if prep.LT.Stats.Vars == 0 {
+						b.Fatal("no variables")
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+// Command aaeval reproduces the precision experiments of the paper:
+// Figure 8 (LLVM test suite stand-in, 100 programs), Figure 9 (SPEC
+// 2006 stand-in, 16 workloads), and Figure 10 (adding the Andersen-
+// style CF analysis). For every benchmark it runs the aa-eval
+// protocol — all pairs of pointers per function — against BA, LT,
+// BA+LT, and optionally BA+CF, and prints one row per benchmark.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/alias"
+	"repro/internal/andersen"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/minic"
+)
+
+func main() {
+	suite := flag.String("suite", "spec", "benchmark suite: spec | testsuite")
+	n := flag.Int("n", 100, "number of programs for -suite testsuite")
+	withCF := flag.Bool("cf", false, "also evaluate the Andersen-style CF analysis (Figure 10)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	var progs []corpus.Program
+	switch *suite {
+	case "spec":
+		progs = corpus.Spec()
+	case "testsuite":
+		progs = corpus.TestSuite(*n)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suite)
+		os.Exit(2)
+	}
+
+	type row struct {
+		name    string
+		queries int
+		pct     map[string]float64
+		no      map[string]int
+	}
+	var rows []row
+	var order []string
+	for _, p := range progs {
+		m, err := minic.Compile(p.Name, p.Source)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
+			os.Exit(1)
+		}
+		prep := core.Prepare(m, core.PipelineOptions{})
+		ba := alias.NewBasic(m)
+		lt := alias.NewSRAA(prep.LT)
+		analyses := []alias.Analysis{ba, lt, alias.NewChain(ba, lt)}
+		if *withCF {
+			cf := andersen.Analyze(m)
+			analyses = append(analyses, alias.NewChain(ba, cf))
+		}
+		rep := alias.Evaluate(m, analyses...)
+		r := row{name: p.Name, pct: map[string]float64{}, no: map[string]int{}}
+		order = rep.Order
+		for _, an := range rep.Order {
+			c := rep.PerAnalysis[an]
+			r.queries = c.Queries
+			r.pct[an] = c.NoAliasPercent()
+			r.no[an] = c.No
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].queries < rows[j].queries })
+
+	if *csv {
+		fmt.Print("benchmark,queries")
+		for _, an := range order {
+			fmt.Printf(",%s_no,%s_pct", an, an)
+		}
+		fmt.Println()
+		for _, r := range rows {
+			fmt.Printf("%s,%d", r.name, r.queries)
+			for _, an := range order {
+				fmt.Printf(",%d,%.2f", r.no[an], r.pct[an])
+			}
+			fmt.Println()
+		}
+		return
+	}
+	fmt.Printf("%-28s %10s", "benchmark", "queries")
+	for _, an := range order {
+		fmt.Printf(" %9s", an)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-28s %10d", r.name, r.queries)
+		for _, an := range order {
+			fmt.Printf(" %8.2f%%", r.pct[an])
+		}
+		fmt.Println()
+	}
+}

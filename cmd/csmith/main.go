@@ -1,0 +1,24 @@
+// Command csmith generates a random mini-C program, mirroring the
+// paper artifact's random.sh script. The output compiles with the
+// minic frontend and is suitable input for cmd/sraa and cmd/pdgeval.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/csmith"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed (output is deterministic per seed)")
+	depth := flag.Int("depth", 3, "maximum pointer nesting depth (the paper uses 2..7)")
+	stmts := flag.Int("stmts", 60, "approximate number of statements")
+	flag.Parse()
+
+	fmt.Print(csmith.Generate(csmith.Config{
+		Seed:        *seed,
+		MaxPtrDepth: *depth,
+		Stmts:       *stmts,
+	}))
+}

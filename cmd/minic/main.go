@@ -1,0 +1,90 @@
+// Command minic is a standalone driver for the mini-C toolchain:
+// compile a source file to the textual IR, or compile and execute it
+// in the reference interpreter (in the spirit of `tcc -run`).
+//
+// Usage:
+//
+//	minic build file.c           # print the SSA IR
+//	minic run file.c [args...]   # execute main(), or f(args...) with -entry
+//	minic opt file.c             # optimize (fold + RLE + DSE) and print IR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/alias"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/minic"
+	"repro/internal/opt"
+)
+
+func main() {
+	entry := flag.String("entry", "main", "function to execute with `run`")
+	flag.Parse()
+	if flag.NArg() < 2 {
+		usage()
+	}
+	verb, path := flag.Arg(0), flag.Arg(1)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	m, err := minic.Compile(name, string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	switch verb {
+	case "build":
+		fmt.Print(m)
+	case "opt":
+		folded, loads, stores := 0, 0, 0
+		for _, f := range m.Funcs {
+			folded += opt.FoldConstants(f)
+		}
+		prep := core.Prepare(m, core.PipelineOptions{})
+		aa := alias.NewChain(alias.NewBasic(m), alias.NewSRAA(prep.LT))
+		for _, f := range m.Funcs {
+			loads += opt.EliminateRedundantLoads(f, aa)
+			stores += opt.EliminateDeadStores(f, aa)
+		}
+		fmt.Fprintf(os.Stderr, "; folded %d, removed %d loads, %d stores\n",
+			folded, loads, stores)
+		fmt.Print(m)
+	case "run":
+		var args []interp.Val
+		for _, a := range flag.Args()[2:] {
+			v, err := strconv.ParseInt(a, 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("argument %q is not an integer", a))
+			}
+			args = append(args, interp.IntVal(v))
+		}
+		mach := interp.NewMachine(m, interp.Options{})
+		v, err := mach.Run(*entry, args...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s returned %s (%d instructions executed)\n",
+			*entry, v, mach.Steps())
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: minic (build | run | opt) file.c [args...]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Command scalability reproduces the paper's Figure 11 and the
+// solver statistics of Section 4.2: for the largest corpus programs it
+// reports the number of instructions and the number of constraints
+// the less-than analysis generates, fits a least-squares line, and
+// prints the coefficient of determination R² (the paper reports
+// 0.992), the worklist pops per constraint (the paper reports ~2.12),
+// the analysis runtime, and the LT set size distribution (the paper
+// observes over 95% of sets hold two or fewer elements).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/minic"
+	"repro/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 50, "number of largest programs to measure")
+	showSets := flag.Bool("sets", false, "print the LT set size distribution")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	progs := append(corpus.TestSuite(100), corpus.Spec()...)
+
+	type row struct {
+		name                string
+		instrs, constraints int
+		pops, vars          int
+		elapsed             time.Duration
+	}
+	var rows []row
+	sizeDist := map[int]int{}
+	for _, p := range progs {
+		m, err := minic.Compile(p.Name, p.Source)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		prep := core.Prepare(m, core.PipelineOptions{})
+		elapsed := time.Since(start)
+		st := prep.LT.Stats
+		rows = append(rows, row{
+			name: p.Name, instrs: st.Instrs, constraints: st.Constraints,
+			pops: st.Pops, vars: st.Vars, elapsed: elapsed,
+		})
+		for k, v := range st.SetSizes {
+			sizeDist[k] += v
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].instrs > rows[j].instrs })
+	if len(rows) > *n {
+		rows = rows[:*n]
+	}
+	// Re-sort ascending for display, as in the paper's figure.
+	sort.Slice(rows, func(i, j int) bool { return rows[i].instrs < rows[j].instrs })
+
+	var xs, ys []float64
+	totalPops, totalCons := 0, 0
+	if *csv {
+		fmt.Println("benchmark,instructions,constraints,pops,vars,elapsed_us")
+	} else {
+		fmt.Printf("%-28s %12s %12s %10s %8s %10s\n",
+			"benchmark", "instructions", "constraints", "pops", "vars", "elapsed")
+	}
+	for _, r := range rows {
+		xs = append(xs, float64(r.instrs))
+		ys = append(ys, float64(r.constraints))
+		totalPops += r.pops
+		totalCons += r.constraints
+		if *csv {
+			fmt.Printf("%s,%d,%d,%d,%d,%d\n",
+				r.name, r.instrs, r.constraints, r.pops, r.vars,
+				r.elapsed.Microseconds())
+		} else {
+			fmt.Printf("%-28s %12d %12d %10d %8d %10s\n",
+				r.name, r.instrs, r.constraints, r.pops, r.vars, r.elapsed)
+		}
+	}
+	fit, err := stats.LinearFit(xs, ys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nconstraints ≈ %.3f * instructions %+.1f\n", fit.Slope, fit.Intercept)
+	fmt.Printf("R² (constraints vs instructions) = %.3f   (paper: 0.992)\n", fit.R2)
+	if totalCons > 0 {
+		fmt.Printf("worklist pops per variable       = %.2f   (paper: ~2.12 per constraint)\n",
+			float64(totalPops)/float64(totalCons))
+	}
+
+	if *showSets {
+		fmt.Println("\nLT set size distribution (all programs):")
+		var sizes []int
+		total := 0
+		for k, v := range sizeDist {
+			sizes = append(sizes, k)
+			total += v
+		}
+		sort.Ints(sizes)
+		small := 0
+		for _, k := range sizes {
+			fmt.Printf("  |LT| = %-3d  %7d sets\n", k, sizeDist[k])
+			if k <= 2 {
+				small += sizeDist[k]
+			}
+		}
+		fmt.Printf("sets with <= 2 elements: %.1f%%   (paper: >95%%)\n",
+			100*float64(small)/float64(total))
+	}
+}

@@ -1,0 +1,80 @@
+// Interproc: the parameter pseudo-phis of Section 4.
+//
+// The paper's analysis is inter-procedural and context-insensitive:
+// "we achieve inter-procedurality by creating pseudo-instructions
+// xf = φ(x1, ..., xn) for each formal parameter xf and each actual
+// parameter xi." This example shows why that matters. The kernel
+// below reads v[hi] and writes v[lo]; nothing inside the kernel
+// orders lo and hi. Every caller, however, passes arguments with
+// lo < hi. Intra-procedurally the kernel's accesses stay MayAlias;
+// with the parameter facts enabled they become NoAlias — which is
+// what a vectorizer or scheduler would need to reorder the kernel's
+// memory operations.
+//
+// Run with: go run ./examples/interproc
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/alias"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+const src = `
+void saxpy_window(int *v, int lo, int hi) {
+  v[lo] = v[lo] + 2 * v[hi];
+}
+
+void sweep(int *v, int n) {
+  for (int i = 0; i + 3 < n; i++) {
+    saxpy_window(v, i, i + 3);
+  }
+  saxpy_window(v, 0, 5);
+}
+`
+
+func report(label string, interproc bool) {
+	m, err := minic.Compile("interproc", src)
+	if err != nil {
+		panic(err)
+	}
+	prep := core.Prepare(m, core.PipelineOptions{Interprocedural: interproc})
+	kernel := m.FuncByName("saxpy_window")
+	lo, hi := ir.Value(kernel.Params[1]), ir.Value(kernel.Params[2])
+	lt := alias.NewSRAA(prep.LT)
+
+	fmt.Printf("%s:\n", label)
+	fmt.Printf("  lo < hi known inside the kernel: %v\n", prep.LT.LessThan(lo, hi))
+	var geps []*ir.Instr
+	kernel.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpGEP {
+			geps = append(geps, in)
+		}
+		return true
+	})
+	for i := 0; i < len(geps); i++ {
+		for j := i + 1; j < len(geps); j++ {
+			gi, gj := geps[i], geps[j]
+			if gi.Args[1] == gj.Args[1] {
+				continue
+			}
+			fmt.Printf("  v[%s] vs v[%s]: %s\n",
+				gi.Args[1].Name(), gj.Args[1].Name(),
+				lt.Alias(alias.Loc(gi), alias.Loc(gj)))
+		}
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("=== inter-procedural parameter facts (Section 4) ===")
+	fmt.Print(src)
+	fmt.Println()
+	report("intra-procedural (kernel analyzed alone)", false)
+	report("inter-procedural (facts flow from the call sites)", true)
+	fmt.Println("every call site passes lo < hi, so the pseudo-phi intersection")
+	fmt.Println("preserves the fact and the kernel's accesses disambiguate.")
+}

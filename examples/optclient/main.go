@@ -1,0 +1,105 @@
+// Optclient: an optimization enabled by the strict-inequality alias
+// analysis.
+//
+// Section 2 of the paper argues that better disambiguation feeds
+// classic scalar optimizations. This example demonstrates it with a
+// redundant-load-elimination pass (internal/opt): in the kernel below
+// the load of v[i] is repeated after a store to v[j], and the store
+// can only be proven harmless if the compiler knows i < j. The pass
+// runs three times — with no alias information, with the BasicAA
+// analogue alone, and with BA+LT — and reports how many loads each
+// setting removes. Every optimized module is executed in the
+// reference interpreter and checked against the unoptimized result.
+//
+// Run with: go run ./examples/optclient
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/alias"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/opt"
+)
+
+const src = `
+int accumulate(int *v, int i, int n) {
+  int s = 0;
+  for (int j = i + 1; j < n; j++) {
+    int *pi = v + i;
+    int *pj = v + j;
+    s += *pi;
+    *pj = s;
+    s += *pi;
+  }
+  return s;
+}
+`
+
+// mayAll is the "no alias information" baseline.
+type mayAll struct{}
+
+func (mayAll) Name() string                           { return "none" }
+func (mayAll) Alias(a, b alias.Location) alias.Result { return alias.MayAlias }
+
+// build compiles the kernel and returns the module plus the alias
+// oracle selected by name.
+func build(setting string) (*ir.Module, alias.Analysis) {
+	m, err := minic.Compile("optclient", src)
+	if err != nil {
+		panic(err)
+	}
+	prep := core.Prepare(m, core.PipelineOptions{})
+	switch setting {
+	case "none":
+		return m, mayAll{}
+	case "BA":
+		return m, alias.NewBasic(m)
+	case "BA+LT":
+		return m, alias.NewChain(alias.NewBasic(m), alias.NewSRAA(prep.LT))
+	}
+	panic("unknown setting " + setting)
+}
+
+// execute interprets accumulate on a fixed input.
+func execute(m *ir.Module) int64 {
+	mach := interp.NewMachine(m, interp.Options{})
+	arr := interp.NewArray("v", 16)
+	for i := 0; i < 16; i++ {
+		arr.Cells[i] = interp.IntVal(int64(2*i + 1))
+	}
+	v, err := mach.Run("accumulate", interp.PtrTo(arr, 0), interp.IntVal(2), interp.IntVal(14))
+	if err != nil {
+		panic(err)
+	}
+	return v.I
+}
+
+func main() {
+	fmt.Println("=== redundant load elimination with three alias oracles ===")
+	fmt.Print(src)
+
+	refMod, _ := build("none")
+	reference := execute(refMod)
+	fmt.Printf("\nreference result: %d\n\n", reference)
+
+	for _, setting := range []string{"none", "BA", "BA+LT"} {
+		m, aa := build(setting)
+		f := m.FuncByName("accumulate")
+		before := opt.CountLoads(f)
+		removed := opt.EliminateRedundantLoads(f, aa)
+		result := execute(m)
+		ok := "OK"
+		if result != reference {
+			ok = "MISCOMPILED"
+		}
+		fmt.Printf("  %-6s -> removed %d of %d loads, result %d  [%s]\n",
+			setting, removed, before, result, ok)
+	}
+	fmt.Println("\nonly the chain that includes the strict less-than analysis")
+	fmt.Println("can prove the store *pj cannot clobber *pi (because i < j),")
+	fmt.Println("unlocking the second load's elimination.")
+}

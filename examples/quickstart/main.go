@@ -1,0 +1,102 @@
+// Quickstart: the paper's Figure 1(a) end to end.
+//
+// This example compiles the insertion-sort kernel that motivates the
+// paper, runs the full analysis pipeline (e-SSA construction, range
+// analysis, the strict less-than analysis), and shows that the
+// accesses v[i] and v[j] — which no interval-based analysis can
+// separate, because the ranges of i and j overlap — are disambiguated
+// by the strict inequality i < j. It then executes the compiled
+// program in the reference interpreter to show the toolchain is a
+// real compiler, not a scaffold.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alias"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+const src = `
+void ins_sort(int* v, int N) {
+  int i, j;
+  for (i = 0; i < N - 1; i++) {
+    for (j = i + 1; j < N; j++) {
+      if (v[i] > v[j]) {
+        int tmp = v[i];
+        v[i] = v[j];
+        v[j] = tmp;
+      }
+    }
+  }
+}
+`
+
+func main() {
+	// 1. Compile to SSA IR.
+	m, err := minic.Compile("quickstart", src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("=== Figure 1(a): ins_sort ===")
+	fmt.Print(src)
+
+	// 2. Run the analysis pipeline: e-SSA, ranges, less-than sets.
+	prep := core.Prepare(m, core.PipelineOptions{})
+	f := m.FuncByName("ins_sort")
+
+	// 3. Collect the v[i]/v[j] accesses: GEPs off parameter v.
+	var geps []*ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpGEP && in.Args[0] == ir.Value(f.Params[0]) {
+			geps = append(geps, in)
+		}
+		return true
+	})
+	fmt.Printf("\nfound %d array accesses through %%v\n", len(geps))
+
+	// 4. Ask the two analyses about every mixed-index pair.
+	ba := alias.NewBasic(m)
+	lt := alias.NewSRAA(prep.LT)
+	fmt.Println("\nalias verdicts for accesses with different subscripts:")
+	for i := 0; i < len(geps); i++ {
+		for j := i + 1; j < len(geps); j++ {
+			gi, gj := geps[i], geps[j]
+			if gi.Args[1] == gj.Args[1] {
+				continue // same subscript: genuinely the same location
+			}
+			fmt.Printf("  v[%-12s] vs v[%-12s]:  BA=%-8s  LT=%s\n",
+				gi.Args[1].Ref(), gj.Args[1].Ref(),
+				ba.Alias(alias.Loc(gi), alias.Loc(gj)),
+				lt.Alias(alias.Loc(gi), alias.Loc(gj)))
+		}
+	}
+	fmt.Println("\nLT proves i < j at every access, so the pairs cannot alias")
+	fmt.Println("within an iteration — the fact interval analyses miss.")
+
+	// 5. Execute the compiled kernel to show it is real code.
+	mach := interp.NewMachine(m, interp.Options{})
+	data := []int64{9, 4, 7, 1, 8, 2, 6, 3, 5, 0}
+	arr := interp.NewArray("v", len(data))
+	for i, x := range data {
+		arr.Cells[i] = interp.IntVal(x)
+	}
+	if _, err := mach.Run("ins_sort", interp.PtrTo(arr, 0), interp.IntVal(int64(len(data)))); err != nil {
+		panic(err)
+	}
+	got := make([]int64, len(data))
+	for i := range got {
+		got[i] = arr.Cells[i].I
+	}
+	fmt.Printf("\ninterpreted ins_sort(%v)\n             -> %v\n", data, got)
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		panic("not sorted!")
+	}
+	fmt.Printf("(executed %d IR instructions)\n", mach.Steps())
+}

@@ -1,0 +1,313 @@
+package abcd
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/core"
+	"repro/internal/essa"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// build compiles src, converts to e-SSA without range support (as
+// ABCD would), and returns the module.
+func build(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m := minic.MustCompile("t", src)
+	essa.TransformModule(m, nil)
+	return m
+}
+
+func valueByName(f *ir.Func, name string) ir.Value {
+	for _, p := range f.Params {
+		if p.PName == name {
+			return p
+		}
+	}
+	var out ir.Value
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.HasResult() && in.Name() == name {
+			out = in
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+func TestStraightLineChain(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %a) i64 {
+entry:
+  %b = add %a, 1
+  %c = add %b, 2
+  %d = sub %c, 1
+  ret %d
+}
+`)
+	f := m.FuncByName("f")
+	g := BuildGraph(f)
+	a := valueByName(f, "a")
+	b := valueByName(f, "b")
+	c := valueByName(f, "c")
+	d := valueByName(f, "d")
+	if !g.LessThan(a, b) {
+		t.Error("a < a+1 not proven")
+	}
+	if !g.LessThan(a, c) || !g.LessThan(b, c) {
+		t.Error("transitive chain not proven")
+	}
+	if !g.LessThan(a, d) {
+		t.Error("a < a+2 (via c-1) not proven")
+	}
+	if !g.ProveLE(d, c, -1) {
+		t.Error("d <= c - 1 not proven")
+	}
+	if g.LessThan(b, a) || g.LessThan(c, c) {
+		t.Error("false facts proven")
+	}
+	// d = c - 1 and b = a + 1, c = b + 2 -> d = a + 2, so d > b.
+	if !g.LessThan(b, d) {
+		t.Error("b < d not proven")
+	}
+	if g.LessThan(d, b) {
+		t.Error("claims d < b")
+	}
+}
+
+func TestBranchSigma(t *testing.T) {
+	m := build(t, `
+int f(int a, int b, int *v) {
+  if (a < b) {
+    return v[a] + v[b];
+  }
+  return 0;
+}
+`)
+	f := m.FuncByName("f")
+	g := BuildGraph(f)
+	var aSig, bSig *ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpSigma && in.OnTrue {
+			if in.CmpSide == 0 {
+				aSig = in
+			} else {
+				bSig = in
+			}
+		}
+		return true
+	})
+	if aSig == nil || bSig == nil {
+		t.Fatalf("sigmas missing:\n%s", f)
+	}
+	if !g.LessThan(aSig, bSig) {
+		t.Errorf("a < b not proven on true edge:\n%s", f)
+	}
+	if g.LessThan(bSig, aSig) {
+		t.Error("claims b < a on true edge")
+	}
+}
+
+func TestPhiConjunction(t *testing.T) {
+	// x = phi(a+1, a+2): both arms exceed a, so a < x. But only one
+	// arm exceeds a+1, so the analysis must NOT claim a+1 < x.
+	m := build(t, `
+int f(int a, int c) {
+  int x;
+  if (c) {
+    x = a + 1;
+  } else {
+    x = a + 2;
+  }
+  return x;
+}
+`)
+	f := m.FuncByName("f")
+	g := BuildGraph(f)
+	a := ir.Value(f.Params[0])
+	var phi *ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpPhi && ir.IsInt(in.Typ) && len(in.Args) == 2 {
+			phi = in
+		}
+		return true
+	})
+	if phi == nil {
+		t.Fatalf("no phi:\n%s", f)
+	}
+	if !g.LessThan(a, phi) {
+		t.Error("a < phi(a+1, a+2) not proven")
+	}
+	var aPlus1 ir.Value
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpAdd {
+			if c, ok := in.Args[1].(*ir.Const); ok && c.Val == 1 {
+				aPlus1 = in
+			}
+		}
+		return true
+	})
+	if g.LessThan(aPlus1, phi) {
+		t.Error("claims a+1 < phi(a+1, a+2): conjunction broken")
+	}
+}
+
+func TestLoopCycleHarmless(t *testing.T) {
+	// The classic ABCD case: i = phi(0, i+1) inside i < n gives a
+	// harmless (non-amplifying) cycle; i < j with j = i + 1 chains
+	// must still be provable inside the loop.
+	m := build(t, `
+int f(int n, int *v) {
+  int s = 0;
+  for (int i = 0; i < n; i++) {
+    int j = i + 1;
+    s += v[i] + v[j];
+  }
+  return s;
+}
+`)
+	f := m.FuncByName("f")
+	g := BuildGraph(f)
+	var geps []*ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpGEP {
+			geps = append(geps, in)
+		}
+		return true
+	})
+	if len(geps) != 2 {
+		t.Fatalf("geps = %d:\n%s", len(geps), f)
+	}
+	i, j := geps[0].Args[1], geps[1].Args[1]
+	if !g.LessThan(i, j) && !g.LessThan(j, i) {
+		t.Errorf("loop indices i, i+1 not ordered:\n%s", f)
+	}
+}
+
+func TestNoVariableAmountEdges(t *testing.T) {
+	// The difference the paper highlights (no range analysis): ABCD
+	// generates nothing for x = a + n even when n is provably
+	// positive, while core.Analyze with ranges does.
+	src := `
+int f(int a, int n, int *v) {
+  if (n > 0) {
+    int x = a + n;
+    return v[x] - v[a];
+  }
+  return 0;
+}
+`
+	m := build(t, src)
+	f := m.FuncByName("f")
+	g := BuildGraph(f)
+	a := ir.Value(f.Params[0])
+	var x ir.Value
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpAdd {
+			if _, isConst := in.Args[1].(*ir.Const); !isConst {
+				x = in
+			}
+		}
+		return true
+	})
+	if x == nil {
+		t.Fatalf("x = a + n not found:\n%s", f)
+	}
+	if g.LessThan(a, x) {
+		t.Error("ABCD proved a < a+n without range analysis — too strong")
+	}
+
+	// The paper's analysis, given ranges, does prove it.
+	m2 := minic.MustCompile("t", src)
+	prep := core.Prepare(m2, core.PipelineOptions{})
+	f2 := m2.FuncByName("f")
+	var x2 ir.Value
+	f2.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpAdd {
+			if c, isConst := in.Args[1].(*ir.Const); !isConst || c.Val != 1 {
+				if !ir.IsPtr(in.Typ) {
+					x2 = in
+				}
+			}
+		}
+		return true
+	})
+	if x2 == nil {
+		t.Fatalf("x not found in LT module:\n%s", f2)
+	}
+	if !prep.LT.LessThan(ir.Value(f2.Params[0]), x2) {
+		t.Errorf("LT with ranges failed on a + n (n > 0):\n%s", f2)
+	}
+}
+
+func TestAliasAdapter(t *testing.T) {
+	m := build(t, `
+void swap_sorted(int *v, int n) {
+  for (int i = 0; i < n; i++) {
+    int j = i + 1;
+    int tmp = v[i];
+    v[i] = v[j];
+    v[j] = tmp;
+  }
+}
+`)
+	a := NewAnalysis(m)
+	if a.Name() != "ABCD" {
+		t.Error("bad name")
+	}
+	f := m.FuncByName("swap_sorted")
+	var geps []*ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpGEP {
+			geps = append(geps, in)
+		}
+		return true
+	})
+	resolved := 0
+	for i := 0; i < len(geps); i++ {
+		for j := i + 1; j < len(geps); j++ {
+			if geps[i].Args[1] == geps[j].Args[1] {
+				continue
+			}
+			if a.Alias(alias.Loc(geps[i]), alias.Loc(geps[j])) == alias.NoAlias {
+				resolved++
+			}
+		}
+	}
+	if resolved == 0 {
+		t.Errorf("ABCD adapter resolved nothing:\n%s", f)
+	}
+}
+
+func TestProofStepLimit(t *testing.T) {
+	// A long chain must still be provable within the step limit.
+	src := "func @f(i64 %a) i64 {\nentry:\n"
+	prev := "%a"
+	for i := 0; i < 200; i++ {
+		cur := "%x" + string(rune('0'+i%10)) + itoa(i)
+		src += "  " + cur + " = add " + prev + ", 1\n"
+		prev = cur
+	}
+	src += "  ret " + prev + "\n}\n"
+	m := ir.MustParse(src)
+	f := m.FuncByName("f")
+	g := BuildGraph(f)
+	a := valueByName(f, "a")
+	last := f.Blocks[0].Term().Args[0]
+	if !g.LessThan(a, last) {
+		t.Error("200-step chain not proven")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,199 @@
+// Package alias defines the alias-analysis framework: the query
+// interface shared by all analyses, pointer decomposition utilities,
+// LLVM-basic-aa-style heuristics (BA in the paper's evaluation), the
+// strict-relations analysis built on the less-than sets of
+// internal/core (LT / sraa), analysis chaining, and the aa-eval
+// all-pairs evaluation driver that produces the paper's precision
+// metrics.
+package alias
+
+import (
+	"repro/internal/ir"
+)
+
+// Result is the answer to an alias query.
+type Result int
+
+const (
+	// MayAlias is the conservative default: the analysis cannot
+	// exclude overlap.
+	MayAlias Result = iota
+	// NoAlias means the two locations never overlap while both are
+	// live.
+	NoAlias
+	// MustAlias means the two locations are provably identical.
+	MustAlias
+)
+
+func (r Result) String() string {
+	switch r {
+	case NoAlias:
+		return "NoAlias"
+	case MustAlias:
+		return "MustAlias"
+	}
+	return "MayAlias"
+}
+
+// Location is a memory access: a pointer and the byte size accessed
+// through it.
+type Location struct {
+	Ptr  ir.Value
+	Size int64
+}
+
+// Loc builds the Location of an access through p, sized by p's
+// pointee type.
+func Loc(p ir.Value) Location {
+	size := int64(1)
+	if e := ir.Elem(p.Type()); e != nil {
+		size = e.SizeBytes()
+	}
+	return Location{Ptr: p, Size: size}
+}
+
+// Analysis is a pointer disambiguation method.
+type Analysis interface {
+	// Name identifies the analysis in reports ("BA", "LT", "CF"...).
+	Name() string
+	// Alias answers an alias query between two locations in the same
+	// function.
+	Alias(a, b Location) Result
+}
+
+// Chain combines analyses: the first definitive answer (NoAlias or
+// MustAlias) wins, mirroring LLVM's aggregation of alias analyses.
+type Chain struct {
+	// ChainName labels the combination, e.g. "BA+LT".
+	ChainName string
+	// Analyses are consulted in order.
+	Analyses []Analysis
+}
+
+// NewChain builds a chain with a "+"-joined name.
+func NewChain(as ...Analysis) *Chain {
+	name := ""
+	for i, a := range as {
+		if i > 0 {
+			name += "+"
+		}
+		name += a.Name()
+	}
+	return &Chain{ChainName: name, Analyses: as}
+}
+
+// Name returns the chain's label.
+func (c *Chain) Name() string { return c.ChainName }
+
+// Alias consults each analysis in order.
+func (c *Chain) Alias(a, b Location) Result {
+	for _, an := range c.Analyses {
+		if r := an.Alias(a, b); r != MayAlias {
+			return r
+		}
+	}
+	return MayAlias
+}
+
+// stripCopies looks through sigma and plain copy instructions, which
+// denote the same run-time value as their source.
+func stripCopies(v ir.Value) ir.Value {
+	for {
+		in, ok := v.(*ir.Instr)
+		if !ok {
+			return v
+		}
+		switch in.Op {
+		case ir.OpSigma, ir.OpCopy:
+			v = in.Args[0]
+		default:
+			return v
+		}
+	}
+}
+
+// decomposed is a pointer expressed as a base plus offsets collected
+// from a GEP chain.
+type decomposed struct {
+	// base is the pointer at the root of the GEP chain, with copies
+	// stripped.
+	base ir.Value
+	// constOff is the accumulated constant offset in bytes.
+	constOff int64
+	// varIdx lists non-constant index values along the chain (in
+	// element units, with their scales).
+	varIdx []scaledIdx
+}
+
+type scaledIdx struct {
+	idx   ir.Value
+	scale int64
+}
+
+// decompose walks v's GEP chain to a non-GEP base, accumulating
+// constant byte offsets and recording variable indices.
+func decompose(v ir.Value) decomposed {
+	d := decomposed{}
+	v = stripCopies(v)
+	for {
+		in, ok := v.(*ir.Instr)
+		if !ok || in.Op != ir.OpGEP {
+			break
+		}
+		scale := int64(1)
+		if e := ir.Elem(in.Typ); e != nil {
+			scale = e.SizeBytes()
+		}
+		if c, isC := in.Args[1].(*ir.Const); isC {
+			d.constOff += c.Val * scale
+		} else {
+			d.varIdx = append(d.varIdx, scaledIdx{idx: in.Args[1], scale: scale})
+		}
+		v = stripCopies(in.Args[0])
+	}
+	d.base = v
+	return d
+}
+
+// funcOf returns the function a value belongs to, or nil for globals
+// and constants.
+func funcOf(v ir.Value) *ir.Func {
+	switch v := v.(type) {
+	case *ir.Param:
+		return v.Fn
+	case *ir.Instr:
+		if v.Blk != nil {
+			return v.Blk.Fn
+		}
+	}
+	return nil
+}
+
+// underlyingObject classifies what a pointer base refers to.
+type objKind int
+
+const (
+	objUnknown objKind = iota
+	objAlloca
+	objMalloc
+	objGlobal
+	objParam
+)
+
+// underlying returns the base's allocation-site classification.
+func underlying(base ir.Value) (objKind, ir.Value) {
+	switch b := base.(type) {
+	case *ir.Global:
+		return objGlobal, b
+	case *ir.Param:
+		return objParam, b
+	case *ir.Instr:
+		switch b.Op {
+		case ir.OpAlloca:
+			return objAlloca, b
+		case ir.OpMalloc:
+			return objMalloc, b
+		}
+	}
+	return objUnknown, base
+}

@@ -1,0 +1,137 @@
+package alias
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Counts aggregates query outcomes for one analysis, mirroring the
+// output of LLVM's aa-eval pass.
+type Counts struct {
+	Queries int
+	No      int
+	May     int
+	Must    int
+}
+
+// NoAliasPercent is the precision metric used throughout the paper's
+// evaluation: the share of queries answered NoAlias.
+func (c Counts) NoAliasPercent() float64 {
+	if c.Queries == 0 {
+		return 0
+	}
+	return 100 * float64(c.No) / float64(c.Queries)
+}
+
+// Report is the outcome of evaluating a set of analyses over one
+// module.
+type Report struct {
+	Module string
+	// PerAnalysis holds counts keyed by analysis name, plus one entry
+	// per analysis, all over the same query set.
+	PerAnalysis map[string]*Counts
+	// Order preserves the evaluation order for printing.
+	Order []string
+}
+
+// Evaluate runs the aa-eval protocol: within every function of m, it
+// enumerates all unordered pairs of distinct pointer values (function
+// arguments, pointer-yielding instructions, and globals used in the
+// function) and queries every analysis with element-sized locations.
+func Evaluate(m *ir.Module, analyses ...Analysis) *Report {
+	rep := &Report{
+		Module:      m.Name,
+		PerAnalysis: map[string]*Counts{},
+	}
+	for _, a := range analyses {
+		rep.PerAnalysis[a.Name()] = &Counts{}
+		rep.Order = append(rep.Order, a.Name())
+	}
+	for _, f := range m.Funcs {
+		ptrs := PointerValues(f)
+		for i := 0; i < len(ptrs); i++ {
+			for j := i + 1; j < len(ptrs); j++ {
+				la, lb := Loc(ptrs[i]), Loc(ptrs[j])
+				for _, an := range analyses {
+					c := rep.PerAnalysis[an.Name()]
+					c.Queries++
+					switch an.Alias(la, lb) {
+					case NoAlias:
+						c.No++
+					case MustAlias:
+						c.Must++
+					default:
+						c.May++
+					}
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// PointerValues collects the pointer-typed values visible in f, in a
+// deterministic order: parameters, then globals referenced by f, then
+// instruction results in block order.
+func PointerValues(f *ir.Func) []ir.Value {
+	var out []ir.Value
+	seen := map[ir.Value]bool{}
+	add := func(v ir.Value) {
+		if !seen[v] && ir.IsPtr(v.Type()) {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, p := range f.Params {
+		add(p)
+	}
+	f.Instrs(func(in *ir.Instr) bool {
+		for _, a := range in.Args {
+			if g, ok := a.(*ir.Global); ok {
+				add(g)
+			}
+		}
+		if in.HasResult() {
+			add(in)
+		}
+		return true
+	})
+	return out
+}
+
+// String renders the report as an aligned table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", r.Module)
+	fmt.Fprintf(&sb, "%-10s %10s %10s %10s %10s %8s\n",
+		"analysis", "queries", "no", "may", "must", "%no")
+	for _, name := range r.Order {
+		c := r.PerAnalysis[name]
+		fmt.Fprintf(&sb, "%-10s %10d %10d %10d %10d %8.2f\n",
+			name, c.Queries, c.No, c.May, c.Must, c.NoAliasPercent())
+	}
+	return sb.String()
+}
+
+// MergeReports sums reports from several modules (same analysis set).
+func MergeReports(name string, reps ...*Report) *Report {
+	out := &Report{Module: name, PerAnalysis: map[string]*Counts{}}
+	for _, r := range reps {
+		for _, an := range r.Order {
+			c, ok := out.PerAnalysis[an]
+			if !ok {
+				c = &Counts{}
+				out.PerAnalysis[an] = c
+				out.Order = append(out.Order, an)
+			}
+			src := r.PerAnalysis[an]
+			c.Queries += src.Queries
+			c.No += src.No
+			c.May += src.May
+			c.Must += src.Must
+		}
+	}
+	return out
+}

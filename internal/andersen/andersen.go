@@ -1,0 +1,387 @@
+// Package andersen implements an inclusion-based, flow- and
+// context-insensitive, field-insensitive points-to analysis in the
+// style of Andersen's thesis. It plays the role of CF in the paper's
+// Figure 10: the CFL/inclusion-based comparator whose strengths
+// (distinguishing allocation sites through loads and stores) are
+// complementary to the strict-inequality analysis.
+//
+// Abstract objects are allocation sites (allocas, mallocs, globals)
+// plus a distinguished universal object standing for memory unknown
+// to the module (externally supplied pointers). Constraints:
+//
+//	p = &obj    pts(p) ⊇ {obj}
+//	p = q       pts(p) ⊇ pts(q)          (copy, phi, sigma, gep)
+//	p = *q      pts(p) ⊇ pts(o) ∀o∈pts(q)  (load)
+//	*q = p      pts(o) ⊇ pts(p) ∀o∈pts(q)  (store)
+//
+// plus parameter/argument and return-value copies for calls, solved
+// with a worklist to the least fixed point.
+package andersen
+
+import (
+	"repro/internal/alias"
+	"repro/internal/ir"
+)
+
+// object identifiers are dense indices; object 0 is the universal
+// unknown object.
+const unknownObj = 0
+
+// Analysis holds the solved points-to sets.
+type Analysis struct {
+	// pts maps each pointer value to the set of object ids it may
+	// point to.
+	pts map[ir.Value]map[int]bool
+	// objOf maps allocation sites to their object id.
+	objOf map[ir.Value]int
+	// objs[i] is the allocation site of object i (nil for unknown).
+	objs []ir.Value
+}
+
+// Name returns "CF", the label used in the paper's Figure 10.
+func (a *Analysis) Name() string { return "CF" }
+
+// Analyze runs the analysis on a whole module.
+func Analyze(m *ir.Module) *Analysis {
+	a := &Analysis{
+		pts:   map[ir.Value]map[int]bool{},
+		objOf: map[ir.Value]int{},
+		objs:  []ir.Value{nil}, // unknown
+	}
+	solver := &solver{a: a, copies: map[ir.Value][]ir.Value{}}
+
+	newObj := func(site ir.Value) int {
+		id := len(a.objs)
+		a.objs = append(a.objs, site)
+		a.objOf[site] = id
+		return id
+	}
+	// objMem[o] is the representative "contents" node of object o:
+	// what pointers stored inside o may point to.
+	solver.objMem = map[int]*memNode{}
+	memOf := func(o int) *memNode {
+		if n, ok := solver.objMem[o]; ok {
+			return n
+		}
+		n := &memNode{}
+		solver.objMem[o] = n
+		return n
+	}
+	solver.memOf = memOf
+
+	// Seed address-of constraints.
+	for _, g := range m.Globals {
+		newObj(g)
+		solver.addPoints(g, a.objOf[g])
+	}
+	callers := map[*ir.Func]bool{}
+	for _, f := range m.Funcs {
+		f.Instrs(func(in *ir.Instr) bool {
+			switch in.Op {
+			case ir.OpAlloca, ir.OpMalloc:
+				newObj(in)
+				solver.addPoints(in, a.objOf[in])
+			case ir.OpCall:
+				if in.Callee != nil {
+					callers[in.Callee] = true
+				}
+			}
+			return true
+		})
+	}
+	// The unknown object's contents point to unknown.
+	memOf(unknownObj).addObj(unknownObj, solver)
+
+	// Structural constraints.
+	for _, f := range m.Funcs {
+		f.Instrs(func(in *ir.Instr) bool {
+			switch in.Op {
+			case ir.OpGEP:
+				// Field-insensitive: derived pointer inherits the
+				// base's objects.
+				solver.addCopy(in.Args[0], in)
+			case ir.OpCopy, ir.OpSigma:
+				solver.addCopy(in.Args[0], in)
+			case ir.OpPhi:
+				for _, v := range in.Args {
+					solver.addCopy(v, in)
+				}
+			case ir.OpLoad:
+				if ir.IsPtr(in.Typ) {
+					solver.addLoad(in.Args[0], in)
+				}
+			case ir.OpStore:
+				if ir.IsPtr(in.Args[0].Type()) {
+					solver.addStore(in.Args[0], in.Args[1])
+				}
+			case ir.OpCall:
+				if in.Callee != nil {
+					for i, arg := range in.Args {
+						if i < len(in.Callee.Params) && ir.IsPtr(in.Callee.Params[i].Typ) {
+							solver.addCopy(arg, in.Callee.Params[i])
+						}
+					}
+					if ir.IsPtr(in.Typ) {
+						in.Callee.Instrs(func(r *ir.Instr) bool {
+							if r.Op == ir.OpRet && len(r.Args) == 1 {
+								solver.addCopy(r.Args[0], in)
+							}
+							return true
+						})
+					}
+				} else {
+					// External call: pointer arguments escape into
+					// unknown memory; a pointer result is unknown.
+					for _, arg := range in.Args {
+						if ir.IsPtr(arg.Type()) {
+							solver.addStoreUnknown(arg)
+						}
+					}
+					if ir.IsPtr(in.Typ) {
+						solver.addPoints(in, unknownObj)
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Parameters of functions with no in-module caller hold unknown
+	// pointers.
+	for _, f := range m.Funcs {
+		if callers[f] {
+			continue
+		}
+		for _, p := range f.Params {
+			if ir.IsPtr(p.Typ) {
+				solver.addPoints(p, unknownObj)
+			}
+		}
+	}
+	solver.run()
+	return a
+}
+
+// memNode tracks the points-to set of an abstract object's contents.
+type memNode struct {
+	pts map[int]bool
+	// outs are value nodes that load from this object.
+	outs   []ir.Value
+	outSet map[ir.Value]bool
+}
+
+func (n *memNode) addOut(dst ir.Value) bool {
+	if n.outSet == nil {
+		n.outSet = map[ir.Value]bool{}
+	}
+	if n.outSet[dst] {
+		return false
+	}
+	n.outSet[dst] = true
+	n.outs = append(n.outs, dst)
+	return true
+}
+
+func (n *memNode) addObj(o int, s *solver) bool {
+	if n.pts == nil {
+		n.pts = map[int]bool{}
+	}
+	if n.pts[o] {
+		return false
+	}
+	n.pts[o] = true
+	for _, dst := range n.outs {
+		s.propagate(dst, o)
+	}
+	return true
+}
+
+type solver struct {
+	a      *Analysis
+	copies map[ir.Value][]ir.Value // src -> dsts
+	// loads[p] lists destinations of x = *p.
+	loads map[ir.Value][]ir.Value
+	// stores[p] lists sources of *p = x.
+	stores map[ir.Value][]ir.Value
+	// storeUnknown marks pointers whose contents escape entirely.
+	storeUnknownSet map[ir.Value]bool
+	// memStores links stored values to the memory nodes they flow
+	// into, so later points-to growth keeps propagating.
+	memStores map[ir.Value][]*memNode
+	objMem    map[int]*memNode
+	memOf     func(int) *memNode
+
+	work []ir.Value
+	in   map[ir.Value]bool
+}
+
+func (s *solver) pts(v ir.Value) map[int]bool {
+	m := s.a.pts[v]
+	if m == nil {
+		m = map[int]bool{}
+		s.a.pts[v] = m
+	}
+	return m
+}
+
+func (s *solver) enqueue(v ir.Value) {
+	if s.in == nil {
+		s.in = map[ir.Value]bool{}
+	}
+	if !s.in[v] {
+		s.in[v] = true
+		s.work = append(s.work, v)
+	}
+}
+
+func (s *solver) addPoints(v ir.Value, obj int) {
+	if !s.pts(v)[obj] {
+		s.pts(v)[obj] = true
+		s.enqueue(v)
+	}
+}
+
+func (s *solver) propagate(dst ir.Value, obj int) {
+	if !s.pts(dst)[obj] {
+		s.pts(dst)[obj] = true
+		s.enqueue(dst)
+	}
+}
+
+func (s *solver) addCopy(src, dst ir.Value) {
+	if !ir.IsPtr(src.Type()) && !isPtrLike(src) {
+		return
+	}
+	s.copies[src] = append(s.copies[src], dst)
+	for o := range s.pts(src) {
+		s.propagate(dst, o)
+	}
+}
+
+func isPtrLike(v ir.Value) bool {
+	// Null constants typed as pointers carry no objects; they are
+	// handled implicitly by empty sets.
+	_, isConst := v.(*ir.Const)
+	return !isConst
+}
+
+func (s *solver) addLoad(p, dst ir.Value) {
+	if s.loads == nil {
+		s.loads = map[ir.Value][]ir.Value{}
+	}
+	s.loads[p] = append(s.loads[p], dst)
+	s.enqueue(p)
+}
+
+func (s *solver) addStore(val, p ir.Value) {
+	if s.stores == nil {
+		s.stores = map[ir.Value][]ir.Value{}
+	}
+	s.stores[p] = append(s.stores[p], val)
+	s.enqueue(p)
+}
+
+func (s *solver) addStoreUnknown(p ir.Value) {
+	if s.storeUnknownSet == nil {
+		s.storeUnknownSet = map[ir.Value]bool{}
+	}
+	s.storeUnknownSet[p] = true
+	s.enqueue(p)
+}
+
+func (s *solver) run() {
+	for len(s.work) > 0 {
+		v := s.work[0]
+		s.work = s.work[1:]
+		s.in[v] = false
+		vp := s.pts(v)
+		// Copy edges.
+		for _, dst := range s.copies[v] {
+			for o := range vp {
+				s.propagate(dst, o)
+			}
+		}
+		// Load edges: dst ⊇ contents(o) for each pointee o.
+		for _, dst := range s.loads[v] {
+			for o := range vp {
+				n := s.memOf(o)
+				n.addOut(dst)
+				for po := range n.pts {
+					s.propagate(dst, po)
+				}
+			}
+		}
+		// Store edges: contents(o) ⊇ pts(val), now and as pts(val)
+		// grows later (via memStores).
+		for _, val := range s.stores[v] {
+			for o := range vp {
+				n := s.memOf(o)
+				s.linkValToMem(val, n)
+				for po := range s.pts(val) {
+					n.addObj(po, s)
+				}
+			}
+		}
+		if s.storeUnknownSet[v] {
+			for o := range vp {
+				s.memOf(o).addObj(unknownObj, s)
+			}
+		}
+		// If v is itself the source of earlier store links, push its
+		// full set into the linked memory nodes.
+		for _, n := range s.memStores[v] {
+			for o := range vp {
+				n.addObj(o, s)
+			}
+		}
+	}
+}
+
+// linkValToMem records that every object in pts(val) must flow into
+// memory node n, including objects discovered later.
+func (s *solver) linkValToMem(val ir.Value, n *memNode) {
+	if s.memStores == nil {
+		s.memStores = map[ir.Value][]*memNode{}
+	}
+	for _, existing := range s.memStores[val] {
+		if existing == n {
+			return
+		}
+	}
+	s.memStores[val] = append(s.memStores[val], n)
+}
+
+// PointsTo returns the allocation sites v may point to; a nil slice
+// with unknown=true means the set includes unanalyzable memory.
+func (a *Analysis) PointsTo(v ir.Value) (sites []ir.Value, unknown bool) {
+	for o := range a.pts[v] {
+		if o == unknownObj {
+			unknown = true
+			continue
+		}
+		sites = append(sites, a.objs[o])
+	}
+	return sites, unknown
+}
+
+// Alias answers a query from disjointness of points-to sets: two
+// pointers with non-empty, disjoint, fully known sets cannot alias.
+func (a *Analysis) Alias(la, lb alias.Location) alias.Result {
+	pa := a.pts[stripToBase(la.Ptr)]
+	pb := a.pts[stripToBase(lb.Ptr)]
+	if len(pa) == 0 || len(pb) == 0 {
+		return alias.MayAlias
+	}
+	if pa[unknownObj] || pb[unknownObj] {
+		return alias.MayAlias
+	}
+	for o := range pa {
+		if pb[o] {
+			return alias.MayAlias
+		}
+	}
+	return alias.NoAlias
+}
+
+// stripToBase looks through copies and sigmas (the analysis stores
+// sets for them too, but the base is always populated first).
+func stripToBase(v ir.Value) ir.Value { return v }

@@ -1,0 +1,247 @@
+package andersen
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+func analyze(t *testing.T, src string) (*ir.Module, *Analysis) {
+	t.Helper()
+	m := minic.MustCompile("t", src)
+	return m, Analyze(m)
+}
+
+func findOp(f *ir.Func, op ir.Op, nth int) *ir.Instr {
+	var out *ir.Instr
+	n := 0
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == op {
+			if n == nth {
+				out = in
+				return false
+			}
+			n++
+		}
+		return true
+	})
+	return out
+}
+
+func TestDistinctMallocs(t *testing.T) {
+	m, a := analyze(t, `
+int f() {
+  int *p = malloc(8);
+  int *q = malloc(8);
+  *p = 1;
+  *q = 2;
+  return *p + *q;
+}
+`)
+	f := m.FuncByName("f")
+	p := findOp(f, ir.OpMalloc, 0)
+	q := findOp(f, ir.OpMalloc, 1)
+	if got := a.Alias(alias.Loc(p), alias.Loc(q)); got != alias.NoAlias {
+		t.Errorf("malloc vs malloc = %s, want NoAlias", got)
+	}
+	if got := a.Alias(alias.Loc(p), alias.Loc(p)); got != alias.MayAlias {
+		t.Errorf("p vs p = %s, want MayAlias (same object)", got)
+	}
+}
+
+func TestFlowThroughMemory(t *testing.T) {
+	// q = *slot where slot holds p: Andersen sees through the store,
+	// so q and p share an object.
+	m, a := analyze(t, `
+int f() {
+  int *p = malloc(8);
+  int **slot = malloc(8);
+  *slot = p;
+  int *q = *slot;
+  int *r = malloc(8);
+  return *q + *r;
+}
+`)
+	f := m.FuncByName("f")
+	pM := findOp(f, ir.OpMalloc, 0)
+	q := findOp(f, ir.OpLoad, 0)
+	// Find the load producing q: the pointer-typed load.
+	var ptrLoad *ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpLoad && ir.IsPtr(in.Typ) {
+			ptrLoad = in
+		}
+		return true
+	})
+	if ptrLoad == nil {
+		t.Fatalf("no pointer load:\n%s", f)
+	}
+	q = ptrLoad
+	if got := a.Alias(alias.Loc(pM), alias.Loc(q)); got != alias.MayAlias {
+		t.Errorf("p vs *slot = %s, want MayAlias (flows through memory)", got)
+	}
+	rM := findOp(f, ir.OpMalloc, 2)
+	if got := a.Alias(alias.Loc(q), alias.Loc(rM)); got != alias.NoAlias {
+		t.Errorf("*slot vs fresh malloc = %s, want NoAlias", got)
+	}
+}
+
+func TestPhiMerge(t *testing.T) {
+	m, a := analyze(t, `
+int f(int c) {
+  int *p = malloc(8);
+  int *q = malloc(8);
+  int *r = malloc(8);
+  int *sel;
+  if (c) { sel = p; } else { sel = q; }
+  return *sel + *r;
+}
+`)
+	f := m.FuncByName("f")
+	p := findOp(f, ir.OpMalloc, 0)
+	q := findOp(f, ir.OpMalloc, 1)
+	r := findOp(f, ir.OpMalloc, 2)
+	var phi *ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpPhi && ir.IsPtr(in.Typ) {
+			phi = in
+		}
+		return true
+	})
+	if phi == nil {
+		t.Fatalf("no pointer phi:\n%s", f)
+	}
+	if got := a.Alias(alias.Loc(phi), alias.Loc(p)); got != alias.MayAlias {
+		t.Errorf("sel vs p = %s, want MayAlias", got)
+	}
+	if got := a.Alias(alias.Loc(phi), alias.Loc(q)); got != alias.MayAlias {
+		t.Errorf("sel vs q = %s, want MayAlias", got)
+	}
+	if got := a.Alias(alias.Loc(phi), alias.Loc(r)); got != alias.NoAlias {
+		t.Errorf("sel vs r = %s, want NoAlias", got)
+	}
+}
+
+func TestInterproceduralFlow(t *testing.T) {
+	m, a := analyze(t, `
+int* id(int *x) { return x; }
+
+int f() {
+  int *p = malloc(8);
+  int *q = id(p);
+  int *r = malloc(8);
+  return *q + *r;
+}
+`)
+	f := m.FuncByName("f")
+	p := findOp(f, ir.OpMalloc, 0)
+	r := findOp(f, ir.OpMalloc, 1)
+	call := findOp(f, ir.OpCall, 0)
+	if got := a.Alias(alias.Loc(call), alias.Loc(p)); got != alias.MayAlias {
+		t.Errorf("id(p) vs p = %s, want MayAlias", got)
+	}
+	if got := a.Alias(alias.Loc(call), alias.Loc(r)); got != alias.NoAlias {
+		t.Errorf("id(p) vs r = %s, want NoAlias", got)
+	}
+}
+
+func TestUnknownParams(t *testing.T) {
+	m, a := analyze(t, `
+int f(int *ext) {
+  int *p = malloc(8);
+  return *ext + *p;
+}
+`)
+	f := m.FuncByName("f")
+	ext := ir.Value(f.Params[0])
+	p := findOp(f, ir.OpMalloc, 0)
+	// ext points to unknown: every query involving it is MayAlias.
+	if got := a.Alias(alias.Loc(ext), alias.Loc(p)); got != alias.MayAlias {
+		t.Errorf("ext vs local malloc = %s, want MayAlias (unknown)", got)
+	}
+	sites, unknown := a.PointsTo(ext)
+	if !unknown || len(sites) != 0 {
+		t.Errorf("PointsTo(ext) = %v unknown=%v, want only unknown", sites, unknown)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	m, a := analyze(t, `
+int g1[4];
+int g2[4];
+
+int f() {
+  g1[0] = 1;
+  g2[0] = 2;
+  return g1[0] + g2[0];
+}
+`)
+	g1 := m.GlobalByName("g1")
+	g2 := m.GlobalByName("g2")
+	if got := a.Alias(alias.Loc(g1), alias.Loc(g2)); got != alias.NoAlias {
+		t.Errorf("g1 vs g2 = %s, want NoAlias", got)
+	}
+	// GEPs off a global inherit its object (field-insensitive).
+	f := m.FuncByName("f")
+	gep := findOp(f, ir.OpGEP, 0)
+	if got := a.Alias(alias.Loc(gep), alias.Loc(g1)); got != alias.MayAlias {
+		t.Errorf("g1[0] vs g1 = %s, want MayAlias", got)
+	}
+}
+
+func TestExternalCallEscape(t *testing.T) {
+	m, a := analyze(t, `
+int f() {
+  int **p = malloc(8);
+  publish(p);
+  int *q = *p;
+  int *fresh = malloc(8);
+  return *q + *fresh;
+}
+`)
+	f := m.FuncByName("f")
+	var ptrLoad *ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpLoad && ir.IsPtr(in.Typ) {
+			ptrLoad = in
+		}
+		return true
+	})
+	if ptrLoad == nil {
+		t.Fatalf("no pointer load:\n%s", f)
+	}
+	// After publish(p), *p may be anything: q is unknown.
+	fresh := findOp(f, ir.OpMalloc, 1)
+	if got := a.Alias(alias.Loc(ptrLoad), alias.Loc(fresh)); got != alias.MayAlias {
+		t.Errorf("loaded-from-published vs fresh = %s, want MayAlias", got)
+	}
+}
+
+// TestComplementarity reproduces the paper's observation (Section 4.1)
+// that CF and LT are complementary: CF disambiguates same-array
+// derived pointers never (field-insensitive), while it resolves
+// heap-object queries that LT cannot.
+func TestComplementarity(t *testing.T) {
+	m, a := analyze(t, `
+int f(int *v, int n) {
+  for (int i = 0; i < n; i++) {
+    for (int j = i + 1; j < n; j++) {
+      v[i] += v[j];
+    }
+  }
+  return v[0];
+}
+`)
+	f := m.FuncByName("f")
+	g1 := findOp(f, ir.OpGEP, 0)
+	g2 := findOp(f, ir.OpGEP, 1)
+	if g1 == nil || g2 == nil {
+		t.Fatalf("geps missing:\n%s", f)
+	}
+	// CF cannot separate v[i] and v[j]: same (unknown) base object.
+	if got := a.Alias(alias.Loc(g1), alias.Loc(g2)); got != alias.MayAlias {
+		t.Errorf("CF on v[i] vs v[j] = %s, want MayAlias", got)
+	}
+}

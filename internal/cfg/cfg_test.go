@@ -1,0 +1,368 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// diamond builds the classic diamond CFG:
+//
+//	entry -> then | else -> join
+func diamond(t *testing.T) *ir.Func {
+	t.Helper()
+	m := ir.MustParse(`
+func @f(i64 %a, i64 %b) i64 {
+entry:
+  %c = icmp lt %a, %b
+  br %c, then, else
+then:
+  %x = add %a, 1
+  jmp join
+else:
+  %y = add %b, 1
+  jmp join
+join:
+  %r = phi i64 [%x, then], [%y, else]
+  ret %r
+}
+`)
+	return m.FuncByName("f")
+}
+
+// loopFunc builds a counted loop with a nested inner loop.
+func loopFunc(t *testing.T) *ir.Func {
+	t.Helper()
+	m := ir.MustParse(`
+func @g(i64 %n) i64 {
+entry:
+  jmp outer
+outer:
+  %i = phi i64 [0, entry], [%i2, latch]
+  %ci = icmp lt %i, %n
+  br %ci, inner, exit
+inner:
+  %j = phi i64 [0, outer], [%j2, inner.latch]
+  %cj = icmp lt %j, %n
+  br %cj, inner.latch, latch
+inner.latch:
+  %j2 = add %j, 1
+  jmp inner
+latch:
+  %i2 = add %i, 1
+  jmp outer
+exit:
+  ret %i
+}
+`)
+	return m.FuncByName("g")
+}
+
+func blockByName(f *ir.Func, name string) *ir.Block {
+	for _, b := range f.Blocks {
+		if b.Name() == name {
+			return b
+		}
+	}
+	return nil
+}
+
+func TestPostOrder(t *testing.T) {
+	f := diamond(t)
+	po := PostOrder(f)
+	if len(po) != 4 {
+		t.Fatalf("postorder covers %d blocks, want 4", len(po))
+	}
+	if po[len(po)-1] != f.Entry() {
+		t.Error("entry is not last in postorder")
+	}
+	rpo := ReversePostOrder(f)
+	if rpo[0] != f.Entry() {
+		t.Error("entry is not first in reverse postorder")
+	}
+	// join must come after both then and else in RPO.
+	pos := map[string]int{}
+	for i, b := range rpo {
+		pos[b.Name()] = i
+	}
+	if pos["join"] < pos["then"] || pos["join"] < pos["else"] {
+		t.Errorf("rpo order wrong: %v", pos)
+	}
+}
+
+func TestDomTreeDiamond(t *testing.T) {
+	f := diamond(t)
+	dt := NewDomTree(f)
+	entry := blockByName(f, "entry")
+	then := blockByName(f, "then")
+	els := blockByName(f, "else")
+	join := blockByName(f, "join")
+
+	if dt.IDom(entry) != nil {
+		t.Error("entry has an idom")
+	}
+	if dt.IDom(then) != entry || dt.IDom(els) != entry {
+		t.Error("branch arms not dominated by entry")
+	}
+	if dt.IDom(join) != entry {
+		t.Errorf("idom(join) = %v, want entry", dt.IDom(join))
+	}
+	if !dt.Dominates(entry, join) || dt.Dominates(then, join) {
+		t.Error("dominance query wrong")
+	}
+	if !dt.Dominates(join, join) {
+		t.Error("block does not dominate itself")
+	}
+	if dt.StrictlyDominates(join, join) {
+		t.Error("strict self-dominance")
+	}
+	if len(dt.Children(entry)) != 3 {
+		t.Errorf("entry has %d dom children, want 3", len(dt.Children(entry)))
+	}
+}
+
+func TestDomTreeLoop(t *testing.T) {
+	f := loopFunc(t)
+	dt := NewDomTree(f)
+	outer := blockByName(f, "outer")
+	inner := blockByName(f, "inner")
+	latch := blockByName(f, "latch")
+	exit := blockByName(f, "exit")
+	if !dt.Dominates(outer, latch) || !dt.Dominates(outer, exit) {
+		t.Error("loop header must dominate latch and exit")
+	}
+	if dt.IDom(latch) != inner {
+		t.Errorf("idom(latch) = %s, want inner", dt.IDom(latch).Name())
+	}
+	if !dt.Dominates(outer, inner) || dt.Dominates(inner, outer) {
+		t.Error("nesting dominance wrong")
+	}
+}
+
+func TestDomUnreachable(t *testing.T) {
+	m := ir.MustParse(`
+func @f() i64 {
+entry:
+  ret 0
+dead:
+  ret 1
+}
+`)
+	f := m.FuncByName("f")
+	dt := NewDomTree(f)
+	dead := blockByName(f, "dead")
+	if dt.Reachable(dead) {
+		t.Error("dead block reported reachable")
+	}
+	if dt.Dominates(f.Entry(), dead) || dt.Dominates(dead, f.Entry()) {
+		t.Error("unreachable block participates in dominance")
+	}
+}
+
+func TestDominanceFrontier(t *testing.T) {
+	f := diamond(t)
+	dt := NewDomTree(f)
+	df := DominanceFrontier(f, dt)
+	then := blockByName(f, "then")
+	els := blockByName(f, "else")
+	join := blockByName(f, "join")
+	wantJoin := func(b *ir.Block) {
+		t.Helper()
+		got := df[b.Index]
+		if len(got) != 1 || got[0] != join {
+			t.Errorf("DF(%s) = %v, want [join]", b.Name(), got)
+		}
+	}
+	wantJoin(then)
+	wantJoin(els)
+	if len(df[f.Entry().Index]) != 0 {
+		t.Errorf("DF(entry) = %v, want empty", df[f.Entry().Index])
+	}
+}
+
+func TestDominanceFrontierLoop(t *testing.T) {
+	f := loopFunc(t)
+	dt := NewDomTree(f)
+	df := DominanceFrontier(f, dt)
+	outer := blockByName(f, "outer")
+	latch := blockByName(f, "latch")
+	// The latch's frontier must contain the loop header.
+	found := false
+	for _, b := range df[latch.Index] {
+		if b == outer {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("DF(latch) = %v, want to contain outer", df[latch.Index])
+	}
+}
+
+func TestLoopInfo(t *testing.T) {
+	f := loopFunc(t)
+	dt := NewDomTree(f)
+	li := NewLoopInfo(f, dt)
+	if len(li.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(li.Loops))
+	}
+	outer := blockByName(f, "outer")
+	inner := blockByName(f, "inner")
+	lo := li.ByHeader[outer]
+	lin := li.ByHeader[inner]
+	if lo == nil || lin == nil {
+		t.Fatal("loop headers not identified")
+	}
+	if lo.Depth != 1 || lin.Depth != 2 {
+		t.Errorf("depths = %d,%d want 1,2", lo.Depth, lin.Depth)
+	}
+	if lin.Parent != lo {
+		t.Error("inner loop's parent is not the outer loop")
+	}
+	if !lo.Contains(blockByName(f, "latch")) {
+		t.Error("outer loop missing latch")
+	}
+	if lo.Contains(blockByName(f, "exit")) {
+		t.Error("outer loop contains exit")
+	}
+	if got := li.Depth(blockByName(f, "inner.latch")); got != 2 {
+		t.Errorf("depth(inner.latch) = %d, want 2", got)
+	}
+	if got := li.Depth(blockByName(f, "entry")); got != 0 {
+		t.Errorf("depth(entry) = %d, want 0", got)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	f := diamond(t)
+	lv := NewLiveness(f)
+	entry := blockByName(f, "entry")
+	then := blockByName(f, "then")
+	join := blockByName(f, "join")
+	a, b := ir.Value(f.Params[0]), ir.Value(f.Params[1])
+	if !lv.LiveIn(a, entry) || !lv.LiveIn(b, entry) {
+		t.Error("parameters not live into entry")
+	}
+	if !lv.LiveIn(a, then) {
+		t.Error("param a not live into then (used there)")
+	}
+	if lv.LiveIn(b, then) {
+		t.Error("param b live into then though unused there and later")
+	}
+	var x ir.Value
+	for _, in := range then.Instrs {
+		if in.HasResult() {
+			x = in
+		}
+	}
+	if !lv.LiveOut(x, then) {
+		t.Error("value x not live out of then (flows into phi)")
+	}
+	if lv.LiveIn(x, join) {
+		t.Error("phi operand x live into join")
+	}
+	var r ir.Value = join.Phis()[0]
+	if !lv.LiveIn(r, join) {
+		t.Error("phi result not live-in to its block")
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	f := loopFunc(t)
+	lv := NewLiveness(f)
+	outer := blockByName(f, "outer")
+	latch := blockByName(f, "latch")
+	n := ir.Value(f.Params[0])
+	if !lv.LiveIn(n, outer) || !lv.LiveIn(n, latch) {
+		t.Error("param n must be live throughout the loop")
+	}
+	var iPhi ir.Value = outer.Phis()[0]
+	if !lv.LiveOut(iPhi, latch) {
+		// %i is used by %i2 = add %i, 1 in latch... %i2 defined in
+		// latch, and %i is used there; i is live-in to latch.
+		t.Log("note: i dead after its use in latch; checking live-in instead")
+		if !lv.LiveIn(iPhi, latch) {
+			t.Error("value i not live into latch")
+		}
+	}
+}
+
+func TestInterfere(t *testing.T) {
+	f := diamond(t)
+	lv := NewLiveness(f)
+	a, b := ir.Value(f.Params[0]), ir.Value(f.Params[1])
+	if !lv.Interfere(a, b) {
+		t.Error("parameters used on different arms must interfere at entry")
+	}
+	then := blockByName(f, "then")
+	els := blockByName(f, "else")
+	var x, y ir.Value
+	for _, in := range then.Instrs {
+		if in.HasResult() {
+			x = in
+		}
+	}
+	for _, in := range els.Instrs {
+		if in.HasResult() {
+			y = in
+		}
+	}
+	if lv.Interfere(x, y) {
+		t.Error("values on exclusive branch arms must not interfere")
+	}
+	if !lv.Interfere(x, x) {
+		t.Error("value must interfere with itself")
+	}
+}
+
+func TestSplitCriticalEdges(t *testing.T) {
+	// while-style loop: head has two succs (body, exit); head has two
+	// preds (entry, body): the back edge body->head is critical only
+	// if body has >1 succ; here the edge head->exit is not critical
+	// (exit has 1 pred). Build a CFG with a genuine critical edge:
+	// cond jumps straight back to head.
+	m := ir.MustParse(`
+func @f(i64 %n) i64 {
+entry:
+  jmp head
+head:
+  %i = phi i64 [0, entry], [%i3, head2]
+  %c = icmp lt %i, %n
+  br %c, body, exit
+body:
+  %i2 = add %i, 1
+  %c2 = icmp lt %i2, 10
+  br %c2, head2, exit
+head2:
+  %i3 = add %i2, 1
+  jmp head
+exit:
+  ret %i
+}
+`)
+	f := m.FuncByName("f")
+	// Critical edges: head->body? body has 1 pred (head) -> no.
+	// body->exit: body has 2 succs, exit has 2 preds -> critical.
+	// head->exit: head has 2 succs, exit has 2 preds -> critical.
+	n := SplitCriticalEdges(f)
+	if n != 2 {
+		t.Fatalf("split %d edges, want 2", n)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("module invalid after split: %v", err)
+	}
+	// No critical edges must remain.
+	for _, b := range f.Blocks {
+		succs := b.Succs()
+		if len(succs) < 2 {
+			continue
+		}
+		for _, s := range succs {
+			if len(s.Preds) > 1 {
+				t.Errorf("critical edge %s->%s remains", b.Name(), s.Name())
+			}
+		}
+	}
+	if SplitCriticalEdges(f) != 0 {
+		t.Error("second split pass found edges")
+	}
+}

@@ -1,0 +1,191 @@
+package cfg
+
+import (
+	"repro/internal/ir"
+)
+
+// Liveness holds per-block live-in and live-out sets for the SSA
+// values of one function. Only values that can have a live range —
+// parameters and instruction results — are tracked; constants and
+// globals are immortal and excluded.
+//
+// Phi semantics follow the standard convention: a phi's operands are
+// treated as uses at the end of the corresponding predecessor blocks,
+// and the phi's result is live-in to (defined at the top of) its own
+// block.
+type Liveness struct {
+	fn *ir.Func
+	// in[b.Index] and out[b.Index] are the live sets.
+	in, out []map[ir.Value]bool
+}
+
+// NewLiveness computes liveness by iterating the backward dataflow
+// equations to a fixed point over postorder.
+func NewLiveness(f *ir.Func) *Liveness {
+	n := len(f.Blocks)
+	lv := &Liveness{
+		fn:  f,
+		in:  make([]map[ir.Value]bool, n),
+		out: make([]map[ir.Value]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		lv.in[i] = make(map[ir.Value]bool)
+		lv.out[i] = make(map[ir.Value]bool)
+	}
+	po := PostOrder(f)
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range po {
+			out := make(map[ir.Value]bool)
+			for _, s := range b.Succs() {
+				for v := range lv.in[s.Index] {
+					out[v] = true
+				}
+				for _, phi := range s.Phis() {
+					// The phi result is in live-in of s but is not
+					// live across the edge.
+					delete(out, ir.Value(phi))
+					if v := phi.Incoming(b); v != nil && tracked(v) {
+						out[v] = true
+					}
+				}
+			}
+			in := make(map[ir.Value]bool)
+			for v := range out {
+				in[v] = true
+			}
+			// Walk the block backward: kill defs, gen uses.
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				instr := b.Instrs[i]
+				if instr.HasResult() {
+					delete(in, ir.Value(instr))
+				}
+				if instr.Op == ir.OpPhi {
+					continue // operands are uses in predecessors
+				}
+				for _, a := range instr.Args {
+					if tracked(a) {
+						in[a] = true
+					}
+				}
+			}
+			// Phi results are defined at the top of the block but are
+			// considered live-in so that interference with other
+			// live-in values is visible.
+			for _, phi := range b.Phis() {
+				in[phi] = true
+			}
+			if !sameSet(out, lv.out[b.Index]) || !sameSet(in, lv.in[b.Index]) {
+				lv.out[b.Index] = out
+				lv.in[b.Index] = in
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+func tracked(v ir.Value) bool {
+	switch v.(type) {
+	case *ir.Instr, *ir.Param:
+		return true
+	}
+	return false
+}
+
+func sameSet(a, b map[ir.Value]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// LiveIn reports whether v is live at the entry of b.
+func (lv *Liveness) LiveIn(v ir.Value, b *ir.Block) bool { return lv.in[b.Index][v] }
+
+// LiveOut reports whether v is live at the exit of b.
+func (lv *Liveness) LiveOut(v ir.Value, b *ir.Block) bool { return lv.out[b.Index][v] }
+
+// LiveInSet returns the live-in set of b. The returned map is shared;
+// callers must not mutate it.
+func (lv *Liveness) LiveInSet(b *ir.Block) map[ir.Value]bool { return lv.in[b.Index] }
+
+// LiveOutSet returns the live-out set of b. The returned map is
+// shared; callers must not mutate it.
+func (lv *Liveness) LiveOutSet(b *ir.Block) map[ir.Value]bool { return lv.out[b.Index] }
+
+// Interfere reports whether two SSA values are simultaneously live at
+// some program point. In strict SSA form this is equivalent to one
+// value being live at the definition point of the other — the
+// "simultaneously alive" premise of the paper's Corollary 3.10.
+func (lv *Liveness) Interfere(a, b ir.Value) bool {
+	if a == b {
+		return true
+	}
+	return lv.liveAtDef(a, b) || lv.liveAtDef(b, a)
+}
+
+// liveAtDef reports whether v is live at the definition point of w.
+func (lv *Liveness) liveAtDef(v, w ir.Value) bool {
+	var blk *ir.Block
+	var idx int
+	switch w := w.(type) {
+	case *ir.Param:
+		// Parameters are defined at function entry.
+		entry := lv.fn.Entry()
+		return entry != nil && lv.in[entry.Index][v]
+	case *ir.Instr:
+		blk = w.Blk
+		idx = -1
+		for i, in := range blk.Instrs {
+			if in == w {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return false
+		}
+	default:
+		return false
+	}
+	// v must reach the def point: live into the block, or defined
+	// earlier in the same block.
+	reaches := lv.in[blk.Index][v]
+	if !reaches {
+		if vi, ok := v.(*ir.Instr); ok && vi.Blk == blk {
+			for i := 0; i < idx; i++ {
+				if blk.Instrs[i] == vi {
+					reaches = true
+					break
+				}
+			}
+		}
+	}
+	if !reaches {
+		return false
+	}
+	// v must also be used at or after the def point: live out of the
+	// block, or used by a later (non-phi) instruction in it.
+	if lv.out[blk.Index][v] {
+		return true
+	}
+	for i := idx; i < len(blk.Instrs); i++ {
+		in := blk.Instrs[i]
+		if in.Op == ir.OpPhi {
+			continue
+		}
+		for _, arg := range in.Args {
+			if arg == v {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,163 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/csmith"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// bruteDominates is the textbook definition of dominance: a dominates
+// b iff removing a makes b unreachable from the entry. It is the
+// oracle against which the iterative dominator tree is checked.
+func bruteDominates(f *ir.Func, a, b *ir.Block) bool {
+	if a == b {
+		return true
+	}
+	// BFS from entry avoiding a.
+	seen := map[*ir.Block]bool{a: true}
+	queue := []*ir.Block{}
+	if e := f.Entry(); e != a {
+		queue = append(queue, e)
+		seen[e] = true
+	}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		if blk == b {
+			return false // b reachable without a
+		}
+		for _, s := range blk.Succs() {
+			if !seen[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return true
+}
+
+// bruteReachable reports reachability from the entry.
+func bruteReachable(f *ir.Func, b *ir.Block) bool {
+	seen := map[*ir.Block]bool{}
+	var queue []*ir.Block
+	if e := f.Entry(); e != nil {
+		queue = append(queue, e)
+		seen[e] = true
+	}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		if blk == b {
+			return true
+		}
+		for _, s := range blk.Succs() {
+			if !seen[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return false
+}
+
+// TestDominatorOracle validates the Cooper-Harvey-Kennedy tree against
+// the brute-force definition on the CFGs of many generated programs.
+func TestDominatorOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle sweep in -short mode")
+	}
+	pairsChecked := 0
+	for seed := int64(0); seed < 12; seed++ {
+		src := csmith.Generate(csmith.Config{
+			Seed: 40000 + seed, MaxPtrDepth: 2, Stmts: 30,
+		})
+		m, err := minic.Compile("gen", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range m.Funcs {
+			f.RecomputeCFG()
+			dt := cfg.NewDomTree(f)
+			for _, a := range f.Blocks {
+				for _, b := range f.Blocks {
+					if !bruteReachable(f, a) || !bruteReachable(f, b) {
+						continue
+					}
+					want := bruteDominates(f, a, b)
+					got := dt.Dominates(a, b)
+					if got != want {
+						t.Fatalf("seed %d @%s: Dominates(%s, %s) = %v, oracle says %v",
+							seed, f.FName, a.Name(), b.Name(), got, want)
+					}
+					pairsChecked++
+				}
+			}
+			// The immediate dominator must dominate, and no block
+			// between them may.
+			for _, b := range f.Blocks {
+				id := dt.IDom(b)
+				if id == nil {
+					continue
+				}
+				if !bruteDominates(f, id, b) {
+					t.Fatalf("seed %d: idom(%s)=%s does not dominate", seed, b.Name(), id.Name())
+				}
+			}
+		}
+	}
+	if pairsChecked == 0 {
+		t.Fatal("oracle checked nothing")
+	}
+	t.Logf("validated %d dominance pairs against the brute-force oracle", pairsChecked)
+}
+
+// TestDominanceFrontierOracle validates frontiers against their
+// definition: b is in DF(a) iff a dominates a predecessor of b but
+// does not strictly dominate b.
+func TestDominanceFrontierOracle(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		src := csmith.Generate(csmith.Config{
+			Seed: 41000 + seed, MaxPtrDepth: 2, Stmts: 25,
+		})
+		m, err := minic.Compile("gen", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range m.Funcs {
+			f.RecomputeCFG()
+			dt := cfg.NewDomTree(f)
+			df := cfg.DominanceFrontier(f, dt)
+			inDF := func(a, b *ir.Block) bool {
+				for _, x := range df[a.Index] {
+					if x == b {
+						return true
+					}
+				}
+				return false
+			}
+			for _, a := range f.Blocks {
+				if !dt.Reachable(a) {
+					continue
+				}
+				for _, b := range f.Blocks {
+					if !dt.Reachable(b) {
+						continue
+					}
+					want := false
+					for _, p := range b.Preds {
+						if dt.Reachable(p) && dt.Dominates(a, p) && !dt.StrictlyDominates(a, b) {
+							want = true
+						}
+					}
+					if got := inDF(a, b); got != want {
+						t.Fatalf("seed %d @%s: DF(%s) contains %s = %v, definition says %v",
+							seed, f.FName, a.Name(), b.Name(), got, want)
+					}
+				}
+			}
+		}
+	}
+}

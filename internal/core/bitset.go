@@ -1,0 +1,153 @@
+// Package core implements the paper's contribution: the sparse strict
+// less-than analysis of Section 3 and the pointer disambiguation
+// criteria of Definition 3.11.
+//
+// For every SSA variable x (integer or pointer — the analysis works
+// uniformly on scalars), the analysis computes a set LT(x) of
+// variables known to hold values strictly less than x whenever both
+// are alive. Constraints are generated from the e-SSA form
+// (internal/essa) by the rules of Figure 7, using interval ranges
+// (internal/rangeanal) to classify additions whose operands are not
+// constants, and solved by a descending worklist over the lattice
+// (P(V), ⊆, ∩): sets start at V (conceptually) and only shrink, so the
+// paper's termination argument (Lemma 3.6, Theorem 3.7) carries over
+// directly.
+package core
+
+import "math/bits"
+
+// ltSet is a set of variable indices with an explicit top flag. Top
+// represents V, the set of all variables — the lattice's initial
+// value — without materializing n bits per variable up front.
+type ltSet struct {
+	top  bool
+	bits []uint64
+}
+
+func newTopSet() *ltSet { return &ltSet{top: true} }
+
+func (s *ltSet) ensure(n int) {
+	words := (n + 63) / 64
+	for len(s.bits) < words {
+		s.bits = append(s.bits, 0)
+	}
+}
+
+// has reports membership of index i. Top contains everything.
+func (s *ltSet) has(i int) bool {
+	if s.top {
+		return true
+	}
+	w := i / 64
+	if w >= len(s.bits) {
+		return false
+	}
+	return s.bits[w]&(1<<(uint(i)%64)) != 0
+}
+
+// add inserts index i (no-op on top).
+func (s *ltSet) add(i int) {
+	if s.top {
+		return
+	}
+	s.ensure(i + 1)
+	s.bits[i/64] |= 1 << (uint(i) % 64)
+}
+
+// unionWith folds o into s.
+func (s *ltSet) unionWith(o *ltSet) {
+	if s.top {
+		return
+	}
+	if o.top {
+		s.top = true
+		s.bits = nil
+		return
+	}
+	s.ensure(len(o.bits) * 64)
+	for i, w := range o.bits {
+		s.bits[i] |= w
+	}
+}
+
+// intersectWith narrows s to its intersection with o.
+func (s *ltSet) intersectWith(o *ltSet) {
+	if o.top {
+		return
+	}
+	if s.top {
+		s.top = false
+		s.bits = append(s.bits[:0], o.bits...)
+		return
+	}
+	n := len(s.bits)
+	if len(o.bits) < n {
+		n = len(o.bits)
+	}
+	for i := 0; i < n; i++ {
+		s.bits[i] &= o.bits[i]
+	}
+	for i := n; i < len(s.bits); i++ {
+		s.bits[i] = 0
+	}
+}
+
+// equal reports set equality.
+func (s *ltSet) equal(o *ltSet) bool {
+	if s.top || o.top {
+		return s.top == o.top
+	}
+	n := len(s.bits)
+	if len(o.bits) > n {
+		n = len(o.bits)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(s.bits) {
+			a = s.bits[i]
+		}
+		if i < len(o.bits) {
+			b = o.bits[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// count returns the cardinality; -1 for top.
+func (s *ltSet) count() int {
+	if s.top {
+		return -1
+	}
+	n := 0
+	for _, w := range s.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// elems returns the member indices in ascending order; nil for top.
+func (s *ltSet) elems() []int {
+	if s.top {
+		return nil
+	}
+	var out []int
+	for wi, w := range s.bits {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// clone returns an independent copy.
+func (s *ltSet) clone() *ltSet {
+	if s.top {
+		return newTopSet()
+	}
+	return &ltSet{bits: append([]uint64(nil), s.bits...)}
+}

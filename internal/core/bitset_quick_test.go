@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// mkSet builds an ltSet from a byte slice (indices mod 256).
+func mkSet(idxs []byte) *ltSet {
+	s := &ltSet{}
+	for _, b := range idxs {
+		s.add(int(b))
+	}
+	return s
+}
+
+// TestBitsetLatticeProperties property-checks the set operations the
+// solver's correctness rests on (Lemma 3.6 needs ∩ and ∪ to behave
+// like a lattice meet and join).
+func TestBitsetLatticeProperties(t *testing.T) {
+	cfgq := &quick.Config{MaxCount: 1500}
+
+	// Commutativity and idempotence of union.
+	if err := quick.Check(func(a, b []byte) bool {
+		ab := mkSet(a)
+		ab.unionWith(mkSet(b))
+		ba := mkSet(b)
+		ba.unionWith(mkSet(a))
+		if !ab.equal(ba) {
+			return false
+		}
+		aa := mkSet(a)
+		aa.unionWith(mkSet(a))
+		return aa.equal(mkSet(a))
+	}, cfgq); err != nil {
+		t.Error(err)
+	}
+
+	// Commutativity and idempotence of intersection.
+	if err := quick.Check(func(a, b []byte) bool {
+		ab := mkSet(a)
+		ab.intersectWith(mkSet(b))
+		ba := mkSet(b)
+		ba.intersectWith(mkSet(a))
+		if !ab.equal(ba) {
+			return false
+		}
+		aa := mkSet(a)
+		aa.intersectWith(mkSet(a))
+		return aa.equal(mkSet(a))
+	}, cfgq); err != nil {
+		t.Error(err)
+	}
+
+	// Absorption: a ∩ (a ∪ b) = a.
+	if err := quick.Check(func(a, b []byte) bool {
+		u := mkSet(a)
+		u.unionWith(mkSet(b))
+		i := mkSet(a)
+		i.intersectWith(u)
+		return i.equal(mkSet(a))
+	}, cfgq); err != nil {
+		t.Error(err)
+	}
+
+	// Membership agrees with construction.
+	if err := quick.Check(func(a []byte, probe byte) bool {
+		s := mkSet(a)
+		want := false
+		for _, x := range a {
+			if x == probe {
+				want = true
+			}
+		}
+		return s.has(int(probe)) == want
+	}, cfgq); err != nil {
+		t.Error(err)
+	}
+
+	// Top is the identity of intersection and absorbing for union.
+	if err := quick.Check(func(a []byte) bool {
+		s := mkSet(a)
+		ti := newTopSet()
+		ti.intersectWith(s)
+		if !ti.equal(s) {
+			return false
+		}
+		tu := mkSet(a)
+		tu.unionWith(newTopSet())
+		return tu.top
+	}, cfgq); err != nil {
+		t.Error(err)
+	}
+
+	// count matches elems length, and elems are sorted unique.
+	if err := quick.Check(func(a []byte) bool {
+		s := mkSet(a)
+		es := s.elems()
+		if len(es) != s.count() {
+			return false
+		}
+		for i := 1; i < len(es); i++ {
+			if es[i-1] >= es[i] {
+				return false
+			}
+		}
+		return true
+	}, cfgq); err != nil {
+		t.Error(err)
+	}
+}

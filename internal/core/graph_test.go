@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestInequalityGraph(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %a) i64 {
+entry:
+  %b = add %a, 1
+  %c = add %b, 2
+  ret %c
+}
+`)
+	f := m.FuncByName("f")
+	res := AnalyzeFunc(f, nil, Options{})
+	edges := res.InequalityGraph(f)
+	want := map[[2]string]bool{
+		{"a", "b"}: true,
+		{"a", "c"}: true, // transitive closure is materialized
+		{"b", "c"}: true,
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v, want 3", edges)
+	}
+	for _, e := range edges {
+		if !want[[2]string{e.Less.Name(), e.Greater.Name()}] {
+			t.Errorf("unexpected edge %s -> %s", e.Less.Name(), e.Greater.Name())
+		}
+	}
+
+	dot := res.DotInequalityGraph(f, false)
+	if !strings.Contains(dot, `"a" -> "b"`) || !strings.Contains(dot, `"a" -> "c"`) {
+		t.Errorf("dot missing edges:\n%s", dot)
+	}
+	reduced := res.DotInequalityGraph(f, true)
+	if strings.Contains(reduced, `"a" -> "c"`) {
+		t.Errorf("transitive edge not reduced:\n%s", reduced)
+	}
+	if !strings.Contains(reduced, `"a" -> "b"`) || !strings.Contains(reduced, `"b" -> "c"`) {
+		t.Errorf("reduction dropped direct edges:\n%s", reduced)
+	}
+}
+
+func TestInequalityGraphUnknownFunc(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %a) i64 {
+entry:
+  ret %a
+}
+
+func @g(i64 %a) i64 {
+entry:
+  ret %a
+}
+`)
+	res := AnalyzeFunc(m.FuncByName("f"), nil, Options{})
+	if res.InequalityGraph(m.FuncByName("g")) != nil {
+		t.Error("graph for unanalyzed function should be nil")
+	}
+}

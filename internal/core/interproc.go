@@ -1,0 +1,154 @@
+package core
+
+import (
+	"repro/internal/ir"
+	"repro/internal/rangeanal"
+)
+
+// paramPair records a (lesser, greater) pair of parameter indices.
+type paramPair struct{ Lo, Hi int }
+
+// AnalyzeInterproc runs the less-than analysis with the paper's
+// inter-procedural, context-insensitive extension (Section 4): each
+// formal parameter behaves like a pseudo-phi over the actual
+// arguments of every call site. Concretely, for a pair of formals
+// (pi, pj) of one function, pi < pj is recorded when every in-module
+// call site passes arguments with argi < argj in the caller — the
+// intersection semantics of rule 4 lifted across the call graph.
+// Functions that are never called from inside the module (entry
+// points) get no parameter facts, matching the [−∞, +∞] default the
+// paper describes for the intra-procedural alternative.
+//
+// The refinement iterates to a fixed point: caller facts may
+// themselves depend on parameter facts established in a previous
+// round. Termination follows because the set of parameter pairs per
+// function is finite and facts only ever get retracted, never
+// re-added, between rounds (the final round recomputes from scratch
+// with the surviving seeds).
+func AnalyzeInterproc(m *ir.Module, ranges *rangeanal.Result, opt Options) *Result {
+	// Round 0: plain per-function analysis.
+	res := Analyze(m, ranges, opt)
+
+	// Collect call sites per callee.
+	callers := map[*ir.Func][]*ir.Instr{}
+	for _, f := range m.Funcs {
+		f.Instrs(func(in *ir.Instr) bool {
+			if in.Op == ir.OpCall && in.Callee != nil {
+				callers[in.Callee] = append(callers[in.Callee], in)
+			}
+			return true
+		})
+	}
+
+	// seeds[f] is the set of (lesser, greater) parameter index pairs
+	// currently believed to hold.
+	seeds := map[*ir.Func]map[paramPair]bool{}
+
+	const maxRounds = 5
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		next := map[*ir.Func]map[paramPair]bool{}
+		for f, sites := range callers {
+			if len(sites) == 0 || len(f.Params) < 2 {
+				continue
+			}
+			np := len(f.Params)
+			for i := 0; i < np; i++ {
+				for j := 0; j < np; j++ {
+					if i == j {
+						continue
+					}
+					holds := true
+					for _, call := range sites {
+						if i >= len(call.Args) || j >= len(call.Args) {
+							holds = false
+							break
+						}
+						if !argLess(res, call.Args[i], call.Args[j]) {
+							holds = false
+							break
+						}
+					}
+					if holds {
+						if next[f] == nil {
+							next[f] = map[paramPair]bool{}
+						}
+						next[f][paramPair{i, j}] = true
+					}
+				}
+			}
+		}
+		// Compare with current seeds.
+		if !samePairs(seeds, next) {
+			changed = true
+			seeds = next
+		}
+		if !changed {
+			break
+		}
+		// Re-solve every seeded function with the parameter facts
+		// injected as extra constraints.
+		res = analyzeWithSeeds(m, ranges, opt, seeds)
+	}
+	return res
+}
+
+// argLess decides whether one actual argument is provably less than
+// another at a call site: by the caller's LT sets, or directly for
+// integer constants.
+func argLess(res *Result, a, b ir.Value) bool {
+	ca, aConst := a.(*ir.Const)
+	cb, bConst := b.(*ir.Const)
+	if aConst && bConst {
+		return ca.Val < cb.Val
+	}
+	if aConst || bConst {
+		return false // constants carry no LT set
+	}
+	return res.LessThan(a, b)
+}
+
+func samePairs[K comparable](a, b map[*ir.Func]map[K]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for f, pa := range a {
+		pb, ok := b[f]
+		if !ok || len(pa) != len(pb) {
+			return false
+		}
+		for k := range pa {
+			if !pb[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// analyzeWithSeeds repeats the per-function analysis, seeding each
+// function's constraint system with the inter-procedural parameter
+// facts: for a pair (lo, hi), LT(p_hi) ⊇ {p_lo} ∪ LT(p_lo).
+func analyzeWithSeeds(m *ir.Module, ranges *rangeanal.Result, opt Options,
+	seeds map[*ir.Func]map[paramPair]bool) *Result {
+	res := &Result{
+		fns:   make(map[*ir.Func]*funcResult, len(m.Funcs)),
+		Stats: Stats{SetSizes: map[int]int{}},
+	}
+	for _, f := range m.Funcs {
+		var seedPairs [][2]int
+		for p := range seeds[f] {
+			seedPairs = append(seedPairs, [2]int{p.Lo, p.Hi})
+		}
+		fr, st := analyzeFuncSeeded(f, ranges, opt, seedPairs)
+		res.fns[f] = fr
+		res.Stats.Instrs += st.Instrs
+		res.Stats.Vars += st.Vars
+		res.Stats.Constraints += st.Constraints
+		res.Stats.Pops += st.Pops
+		for k, v := range st.SetSizes {
+			res.Stats.SetSizes[k] += v
+		}
+	}
+	return res
+}

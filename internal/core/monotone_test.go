@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/minic"
+)
+
+// subsetOf reports next ⊆ prev (with top treated as V).
+func subsetOf(next, prev *ltSet) bool {
+	if prev.top {
+		return true
+	}
+	if next.top {
+		return false
+	}
+	for _, e := range next.elems() {
+		if !prev.has(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLemma36Monotone instruments the solver and checks, on the whole
+// SPEC corpus, that every worklist update shrinks (or leaves) the set
+// it touches — Lemma 3.6, the heart of the termination proof
+// (Theorem 3.7). Any constraint whose right-hand side could grow a
+// set would surface here immediately.
+func TestLemma36Monotone(t *testing.T) {
+	updates := 0
+	violations := 0
+	solverHook = func(target int, prev, next *ltSet) {
+		updates++
+		if !subsetOf(next, prev) {
+			violations++
+			if violations < 5 {
+				t.Errorf("update %d grew set %d: %v -> %v (top %v -> %v)",
+					updates, target, prev.elems(), next.elems(), prev.top, next.top)
+			}
+		}
+	}
+	defer func() { solverHook = nil }()
+
+	for _, p := range corpus.Spec()[:8] {
+		m := minic.MustCompile(p.Name, p.Source)
+		Prepare(m, PipelineOptions{})
+	}
+	if updates == 0 {
+		t.Fatal("solver hook never fired")
+	}
+	if violations > 0 {
+		t.Fatalf("%d of %d updates violated Lemma 3.6", violations, updates)
+	}
+	t.Logf("verified %d solver updates are monotonically decreasing", updates)
+}

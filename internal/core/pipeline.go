@@ -1,0 +1,60 @@
+package core
+
+import (
+	"repro/internal/essa"
+	"repro/internal/ir"
+	"repro/internal/rangeanal"
+)
+
+// PipelineOptions configures Prepare, the full analysis pipeline. The
+// zero value reproduces the paper's configuration: e-SSA construction
+// with range support, then the less-than analysis.
+type PipelineOptions struct {
+	// NoESSA skips the e-SSA transformation (ablation: the dense
+	// program representation loses all branch and split information).
+	NoESSA bool
+	// Interprocedural enables the parameter pseudo-phi extension of
+	// Section 4 for the less-than analysis itself (ranges are always
+	// inter-procedural): ordering facts that hold between the actual
+	// arguments of every call site flow into the callee's formals.
+	Interprocedural bool
+	// Analysis options forwarded to Analyze.
+	Analysis Options
+}
+
+// Prepared bundles the pipeline outputs: the module is mutated into
+// e-SSA form; Ranges and LT are the analyses over that form.
+type Prepared struct {
+	Module *ir.Module
+	Ranges *rangeanal.Result
+	LT     *Result
+}
+
+// Prepare mutates m into e-SSA form and runs range analysis and the
+// less-than analysis over it, in the order the paper's artifact uses
+// (vSSA, then RangeAnalysis, then sraa): sigma insertion first, a
+// range pass to classify variable-amount subtractions, live-range
+// splitting at those subtractions, a final range pass covering the
+// split names, and constraint generation and solving.
+func Prepare(m *ir.Module, opt PipelineOptions) *Prepared {
+	if !opt.NoESSA {
+		for _, f := range m.Funcs {
+			essa.InsertSigmas(f)
+		}
+		var oracle essa.RangeOracle
+		if !opt.Analysis.NoRanges {
+			oracle = rangeanal.Analyze(m)
+		}
+		for _, f := range m.Funcs {
+			essa.SplitSubtractions(f, oracle)
+		}
+	}
+	ranges := rangeanal.Analyze(m)
+	var lt *Result
+	if opt.Interprocedural {
+		lt = AnalyzeInterproc(m, ranges, opt.Analysis)
+	} else {
+		lt = Analyze(m, ranges, opt.Analysis)
+	}
+	return &Prepared{Module: m, Ranges: ranges, LT: lt}
+}

@@ -1,0 +1,229 @@
+package core
+
+import "sort"
+
+// The paper's conclusion leaves solver speed as an open problem, and
+// Section 4.2 observes that over 95% of LT sets end with two or fewer
+// elements. smallSet exploits that observation: sets are kept as
+// short sorted slices and spill to the dense bitset only past a
+// threshold. Options.SmallSets selects this representation; the
+// solver is otherwise identical, and TestRepresentationEquivalence
+// proves both produce the same fixed point.
+
+// spillThreshold is the size at which a small set converts to a
+// bitset. Sets at or below it are the common case per Section 4.2.
+const spillThreshold = 12
+
+// smallSet is an adaptive set: nil big means the sorted slice `el`
+// is authoritative; a non-nil big delegates to the bitset.
+type smallSet struct {
+	top bool
+	el  []int32
+	big *ltSet
+}
+
+func newTopSmall() *smallSet { return &smallSet{top: true} }
+
+func (s *smallSet) spill() {
+	if s.big != nil {
+		return
+	}
+	b := &ltSet{}
+	for _, e := range s.el {
+		b.add(int(e))
+	}
+	s.big = b
+	s.el = nil
+}
+
+func (s *smallSet) has(i int) bool {
+	if s.top {
+		return true
+	}
+	if s.big != nil {
+		return s.big.has(i)
+	}
+	n := sort.Search(len(s.el), func(k int) bool { return s.el[k] >= int32(i) })
+	return n < len(s.el) && s.el[n] == int32(i)
+}
+
+func (s *smallSet) add(i int) {
+	if s.top {
+		return
+	}
+	if s.big != nil {
+		s.big.add(i)
+		return
+	}
+	n := sort.Search(len(s.el), func(k int) bool { return s.el[k] >= int32(i) })
+	if n < len(s.el) && s.el[n] == int32(i) {
+		return
+	}
+	if len(s.el) >= spillThreshold {
+		s.spill()
+		s.big.add(i)
+		return
+	}
+	s.el = append(s.el, 0)
+	copy(s.el[n+1:], s.el[n:])
+	s.el[n] = int32(i)
+}
+
+func (s *smallSet) unionWith(o *smallSet) {
+	if s.top {
+		return
+	}
+	if o.top {
+		s.top = true
+		s.el, s.big = nil, nil
+		return
+	}
+	if o.big != nil {
+		s.spill()
+		s.big.unionWith(o.big)
+		return
+	}
+	for _, e := range o.el {
+		s.add(int(e))
+	}
+}
+
+func (s *smallSet) intersectWith(o *smallSet) {
+	if o.top {
+		return
+	}
+	if s.top {
+		s.top = false
+		if o.big != nil {
+			s.big = o.big.clone()
+			s.el = nil
+		} else {
+			s.el = append([]int32(nil), o.el...)
+			s.big = nil
+		}
+		return
+	}
+	if s.big != nil || o.big != nil {
+		s.spill()
+		ob := o.big
+		if ob == nil {
+			tmp := &ltSet{}
+			for _, e := range o.el {
+				tmp.add(int(e))
+			}
+			ob = tmp
+		}
+		s.big.intersectWith(ob)
+		return
+	}
+	kept := s.el[:0]
+	for _, e := range s.el {
+		if o.has(int(e)) {
+			kept = append(kept, e)
+		}
+	}
+	s.el = kept
+}
+
+func (s *smallSet) equal(o *smallSet) bool {
+	if s.top || o.top {
+		return s.top == o.top
+	}
+	return s.toLT().equal(o.toLT())
+}
+
+// toLT converts to the dense representation (cheap for small sets).
+func (s *smallSet) toLT() *ltSet {
+	if s.top {
+		return newTopSet()
+	}
+	if s.big != nil {
+		return s.big
+	}
+	b := &ltSet{}
+	for _, e := range s.el {
+		b.add(int(e))
+	}
+	return b
+}
+
+// solveSmall is the worklist of Section 3.4 over the adaptive
+// representation. It mirrors solve exactly; only the set type
+// differs.
+func solveSmall(fr *funcResult, cons []constraint, st *Stats) {
+	n := len(fr.vars)
+	sets := make([]*smallSet, n)
+	for i := range sets {
+		if cons[i].kind == cEmpty {
+			sets[i] = &smallSet{}
+		} else {
+			sets[i] = newTopSmall()
+		}
+	}
+	dependents := make([][]int, n)
+	for t, c := range cons {
+		for _, r := range c.refs {
+			dependents[r] = append(dependents[r], t)
+		}
+	}
+	var work []int
+	inWork := make([]bool, n)
+	for i := range cons {
+		if cons[i].kind != cEmpty {
+			work = append(work, i)
+			inWork[i] = true
+		}
+	}
+	eval := func(c constraint) *smallSet {
+		switch c.kind {
+		case cEmpty:
+			return &smallSet{}
+		case cUnion:
+			out := &smallSet{}
+			for _, e := range c.elts {
+				out.add(e)
+			}
+			for _, r := range c.refs {
+				out.unionWith(sets[r])
+			}
+			return out
+		case cInter:
+			out := newTopSmall()
+			for _, r := range c.refs {
+				out.intersectWith(sets[r])
+			}
+			return out
+		}
+		return &smallSet{}
+	}
+	for len(work) > 0 {
+		t := work[0]
+		work = work[1:]
+		inWork[t] = false
+		st.Pops++
+		next := eval(cons[t])
+		if next.equal(sets[t]) {
+			continue
+		}
+		sets[t] = next
+		for _, d := range dependents[t] {
+			if !inWork[d] {
+				inWork[d] = true
+				work = append(work, d)
+			}
+		}
+	}
+	fr.sets = make([]*ltSet, n)
+	for i, s := range sets {
+		lt := s.toLT()
+		if lt.top {
+			lt = &ltSet{}
+		}
+		if lt.has(i) {
+			cl := lt.clone()
+			cl.bits[i/64] &^= 1 << (uint(i) % 64)
+			lt = cl
+		}
+		fr.sets[i] = lt
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+	"repro/internal/minic"
+)
+
+// TestSmallSetOps mirrors the bitset unit tests on the adaptive
+// representation, crossing the spill threshold.
+func TestSmallSetOps(t *testing.T) {
+	s := &smallSet{}
+	for i := 0; i < 2*spillThreshold; i++ {
+		s.add(i * 3)
+	}
+	if s.big == nil {
+		t.Fatal("set did not spill past the threshold")
+	}
+	for i := 0; i < 2*spillThreshold; i++ {
+		if !s.has(i * 3) {
+			t.Fatalf("missing %d after spill", i*3)
+		}
+		if s.has(i*3 + 1) {
+			t.Fatalf("phantom %d", i*3+1)
+		}
+	}
+	small := &smallSet{}
+	small.add(3)
+	small.add(9)
+	small.intersectWith(s)
+	if !small.has(3) || !small.has(9) || small.has(4) {
+		t.Error("small intersection wrong")
+	}
+	top := newTopSmall()
+	top.intersectWith(small)
+	if !top.equal(small) {
+		t.Error("top ∩ s != s")
+	}
+	u := &smallSet{}
+	u.add(1)
+	u.unionWith(newTopSmall())
+	if !u.top {
+		t.Error("s ∪ top != top")
+	}
+}
+
+// TestSmallSetMatchesBitset property-checks the adaptive set against
+// the bitset on random operation sequences.
+func TestSmallSetMatchesBitset(t *testing.T) {
+	prop := func(adds1, adds2 []byte, doUnion bool) bool {
+		s1, b1 := &smallSet{}, &ltSet{}
+		for _, x := range adds1 {
+			s1.add(int(x))
+			b1.add(int(x))
+		}
+		s2, b2 := &smallSet{}, &ltSet{}
+		for _, x := range adds2 {
+			s2.add(int(x))
+			b2.add(int(x))
+		}
+		if doUnion {
+			s1.unionWith(s2)
+			b1.unionWith(b2)
+		} else {
+			s1.intersectWith(s2)
+			b1.intersectWith(b2)
+		}
+		return s1.toLT().equal(b1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRepresentationEquivalence: both solver representations must
+// produce exactly the same fixed point on the whole SPEC corpus.
+func TestRepresentationEquivalence(t *testing.T) {
+	for _, p := range corpus.Spec()[:6] {
+		mA := minic.MustCompile(p.Name, p.Source)
+		prepA := Prepare(mA, PipelineOptions{})
+		mB := minic.MustCompile(p.Name, p.Source)
+		prepB := Prepare(mB, PipelineOptions{Analysis: Options{SmallSets: true}})
+
+		// The two modules are structurally identical; compare the LT
+		// sets variable by variable via name.
+		for _, fA := range mA.Funcs {
+			fB := mB.FuncByName(fA.FName)
+			varsA := prepA.LT.VarsOf(fA)
+			varsB := prepB.LT.VarsOf(fB)
+			if len(varsA) != len(varsB) {
+				t.Fatalf("%s @%s: var counts differ (%d vs %d)",
+					p.Name, fA.FName, len(varsA), len(varsB))
+			}
+			for i := range varsA {
+				if varsA[i].Name() != varsB[i].Name() {
+					t.Fatalf("%s @%s: variable order differs at %d", p.Name, fA.FName, i)
+				}
+				setA := prepA.LT.LT(varsA[i])
+				setB := prepB.LT.LT(varsB[i])
+				if len(setA) != len(setB) {
+					t.Fatalf("%s @%s: LT(%s) sizes differ: %d vs %d",
+						p.Name, fA.FName, varsA[i].Name(), len(setA), len(setB))
+				}
+				for k := range setA {
+					if setA[k].Name() != setB[k].Name() {
+						t.Fatalf("%s @%s: LT(%s) differs at %d: %s vs %s",
+							p.Name, fA.FName, varsA[i].Name(), k,
+							setA[k].Name(), setB[k].Name())
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// blendMotif generates one work function whose pointer population is
+// controlled by three knobs, so a workload's BA and LT precision can
+// be dialed to match the profile the paper reports for a given SPEC
+// benchmark (Figure 9):
+//
+//   - opaque: pointers loaded from a table through a variable index.
+//     No analysis resolves queries among them — they model pointers
+//     that reach a function from unknown memory.
+//   - arrays: distinct local arrays accessed at constant offsets.
+//     BA resolves queries among them (distinct allocation sites,
+//     disjoint constant offsets); LT does not.
+//   - chain: a loop accessing one parameter array at indices forming
+//     a strict chain (i, i+1, (i+1)+1, ...). LT resolves all queries
+//     among these accesses (and against the base); BA resolves none,
+//     because the subscripts are variables.
+//
+// The generated code is ordinary mini-C; nothing about it is special-
+// cased by the analyses.
+func blendMotif(p string, opaque, arrays, chain, overlap, cf int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "\nint %s_v[512];\n", p)
+	for k := 0; k < cf; k++ {
+		fmt.Fprintf(&sb, "int* %s_mk%d() { return malloc(%d); }\n", p, k, 16+8*k)
+	}
+	fmt.Fprintf(&sb, "\nint %s_work(int *v, int n) {\n", p)
+	sb.WriteString("  int s = 1;\n  int h = 3;\n")
+	// Launder the work pointer and the opaque table through published
+	// memory: after publish(), their contents may have been replaced
+	// by unknown code, so points-to analyses lose the object identity
+	// (allocation-site heuristics already lost it at the load). Each
+	// is reloaded exactly once, keeping a single SSA base for the
+	// populations below.
+	sb.WriteString("  int *vv = v;\n  publish(&vv);\n  int *w = vv;\n")
+	sb.WriteString("  int **tb = 0;\n  publish(&tb);\n  int **tab = tb;\n")
+	// CF population: pointers returned by per-unit allocator helpers.
+	// A context-insensitive inclusion-based analysis still tracks
+	// each to its own allocation site (one site per helper), while
+	// allocation-site heuristics lose the identity at the call.
+	for k := 0; k < cf; k++ {
+		fmt.Fprintf(&sb, "  int *e%d = %s_mk%d(); s += *e%d;\n", k, p, k, k)
+	}
+	// Overlap population: a chain of constant pointer increments.
+	// BA resolves every pair (same base, distinct constant offsets)
+	// and so does LT (each link adds a positive constant), modelling
+	// the query overlap the paper observes between BA and LT.
+	prevd := "w"
+	for k := 1; k <= overlap; k++ {
+		fmt.Fprintf(&sb, "  int *d%d = %s + 1; s += *d%d;\n", k, prevd, k)
+		prevd = fmt.Sprintf("d%d", k)
+	}
+	// Opaque population.
+	for k := 0; k < opaque; k++ {
+		fmt.Fprintf(&sb, "  int *q%d = tab[h %% 32]; s += *q%d; h = h + s + %d;\n",
+			k, k, k+1)
+	}
+	// Allocation-site population: each array contributes three
+	// pointer values (the alloca and two constant-offset GEPs).
+	for k := 0; k < arrays; k++ {
+		fmt.Fprintf(&sb, "  int b%d[8];\n", k)
+		fmt.Fprintf(&sb, "  b%d[1] = s + %d;\n", k, k)
+		fmt.Fprintf(&sb, "  s += b%d[3];\n", k)
+	}
+	// Ordered-chain population.
+	if chain >= 2 {
+		fmt.Fprintf(&sb, "  int i;\n  for (i = 0; i < n - %d; i++) {\n", chain)
+		prev := "i"
+		var idx []string
+		idx = append(idx, "i")
+		for k := 1; k < chain; k++ {
+			cur := fmt.Sprintf("j%d", k)
+			fmt.Fprintf(&sb, "    int %s = %s + 1;\n", cur, prev)
+			idx = append(idx, cur)
+			prev = cur
+		}
+		fmt.Fprintf(&sb, "    w[%s] = ", idx[0])
+		for k := 1; k < chain; k++ {
+			if k > 1 {
+				sb.WriteString(" + ")
+			}
+			fmt.Fprintf(&sb, "w[%s]", idx[k])
+		}
+		sb.WriteString(";\n  }\n")
+	}
+	sb.WriteString("  return s;\n}\n")
+	fmt.Fprintf(&sb, `
+int %[1]s_main(int n) {
+  return %[1]s_work(%[1]s_v, n);
+}
+`, p)
+	return sb.String()
+}
+
+// blendFor derives the knob settings that land a work function of
+// roughly nptr pointer values at the target BA and LT no-alias
+// fractions b and t (each in [0,1]). Value accounting: each opaque
+// unit materializes 3 pointer values (array decay, slot GEP, loaded
+// pointer), each local array 3 (alloca plus two constant GEPs), and
+// the chain one GEP per link. BA resolves the alloc population
+// against everything except itself pairwise-partially: wins ≈
+// A*(nptr - A/2) with A = 3*arrays, inverted as A = nptr*(1-√(1-b)).
+// LT resolves the chain clique: wins ≈ chain²/2, so chain = nptr*√t.
+func blendFor(nptr int, b, t, combo, cfExtra float64) (opaque, arrays, chain, overlap, cf int) {
+	n := float64(nptr)
+	// Shared fraction: queries both BA and LT resolve.
+	s := b + t - combo
+	if s < 0 {
+		s = 0
+	}
+	if s > t {
+		s = t
+	}
+	if s > b {
+		s = b
+	}
+	overlap = int(math.Round(n * math.Sqrt(s)))
+	chain = int(math.Round(n * math.Sqrt(t-s)))
+	arrays = int(math.Round(n * (1 - math.Sqrt(1-(b-s))) / 3.0))
+	// Each CF unit is one helper-returned pointer; the clique of cf
+	// such pointers resolves ~cf²/2 extra pairs for CF only.
+	cf = int(math.Round(n * math.Sqrt(cfExtra)))
+	opaque = (nptr - 1 - 3*arrays - chain - overlap - cf) / 3
+	if chain < 0 {
+		chain = 0
+	}
+	if opaque < 0 {
+		opaque = 0
+	}
+	return opaque, arrays, chain, overlap, cf
+}
+
+// blendPart builds a part for compose from Figure 9/10 targets.
+func blendPart(prefix string, nptr int, b, t, combo, cfExtra float64) part {
+	o, a, c, ov, cf := blendFor(nptr, b, t, combo, cfExtra)
+	return part{
+		m: func(p string, _ int) string {
+			return blendMotif(p, o, a, c, ov, cf)
+		},
+		prefix: prefix,
+		size:   1,
+	}
+}

@@ -1,0 +1,366 @@
+// Package csmith generates random mini-C programs in the style of the
+// Csmith tool, as used in the paper's applicability experiment
+// (Section 4.3): single-function programs (plus main) with pointer
+// nesting depths from 2 to 7, whose memory indexing expressions are
+// dominated by compile-time constants — exactly the trait that lets
+// the less-than analysis shine in Figure 12.
+//
+// Generation is deterministic in the seed, and every generated
+// program compiles with internal/minic (a property the test suite
+// enforces over hundreds of seeds).
+package csmith
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config controls generation.
+type Config struct {
+	// Seed makes output deterministic.
+	Seed int64
+	// MaxPtrDepth is the deepest pointer type generated (e.g. 3 means
+	// int*** may appear). Values below 1 are treated as 1.
+	MaxPtrDepth int
+	// Stmts is the approximate number of statements in the body of
+	// the generated function; the default is 40.
+	Stmts int
+}
+
+// Generate produces a compilable mini-C program.
+func Generate(cfg Config) string {
+	if cfg.MaxPtrDepth < 1 {
+		cfg.MaxPtrDepth = 1
+	}
+	if cfg.Stmts <= 0 {
+		cfg.Stmts = 40
+	}
+	g := &gen{
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		cfg: cfg,
+	}
+	return g.program()
+}
+
+type variable struct {
+	name string
+	// depth is the pointer depth: 0 for int.
+	depth int
+	// arrayLen > 0 marks arrays of the element type with the given
+	// depth.
+	arrayLen int
+}
+
+type gen struct {
+	rng     *rand.Rand
+	cfg     Config
+	nextID  int
+	globals []variable
+	// scopes of local variables.
+	scopes [][]variable
+	buf    strings.Builder
+	indent int
+	// loopDepth guards against deep loop nesting.
+	loopDepth int
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.nextID++
+	return fmt.Sprintf("%s_%d", prefix, g.nextID)
+}
+
+func (g *gen) line(format string, args ...any) {
+	g.buf.WriteString(strings.Repeat("  ", g.indent))
+	fmt.Fprintf(&g.buf, format, args...)
+	g.buf.WriteByte('\n')
+}
+
+func (g *gen) pick(n int) int { return g.rng.Intn(n) }
+
+func (g *gen) program() string {
+	// Globals: a few scalars and arrays.
+	nGlobals := 2 + g.pick(4)
+	for i := 0; i < nGlobals; i++ {
+		v := variable{name: g.fresh("g")}
+		if g.pick(2) == 0 {
+			v.arrayLen = 8 + g.pick(56)
+		}
+		g.globals = append(g.globals, v)
+		if v.arrayLen > 0 {
+			g.line("int %s[%d];", v.name, v.arrayLen)
+		} else {
+			g.line("int %s;", v.name)
+		}
+	}
+	g.line("")
+	// The single work function, as in the paper's Csmith setup.
+	g.line("int func_1(void) {")
+	g.indent++
+	g.pushScope()
+	g.declareLocals()
+	n := g.cfg.Stmts
+	for i := 0; i < n; i++ {
+		g.stmt()
+	}
+	g.line("return %s;", g.intExpr(2))
+	g.popScope()
+	g.indent--
+	g.line("}")
+	g.line("")
+	g.line("int main(void) {")
+	g.line("  return func_1();")
+	g.line("}")
+	return g.buf.String()
+}
+
+func (g *gen) pushScope() { g.scopes = append(g.scopes, nil) }
+func (g *gen) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+func (g *gen) declare(v variable, init string) {
+	stars := strings.Repeat("*", v.depth)
+	switch {
+	case v.arrayLen > 0:
+		g.line("int %s%s[%d];", stars, v.name, v.arrayLen)
+	case init != "":
+		g.line("int %s%s = %s;", stars, v.name, init)
+	default:
+		g.line("int %s%s;", stars, v.name)
+	}
+	g.scopes[len(g.scopes)-1] = append(g.scopes[len(g.scopes)-1], v)
+}
+
+// declareLocals seeds the function with scalars, arrays, and a
+// pointer chain up to the configured depth, each pointer initialized
+// to point one level down (so dereferences are meaningful).
+func (g *gen) declareLocals() {
+	// Scalars.
+	for i := 0; i < 3+g.pick(3); i++ {
+		g.declare(variable{name: g.fresh("l")}, fmt.Sprintf("%d", g.pick(100)))
+	}
+	// Arrays.
+	for i := 0; i < 3+g.pick(4); i++ {
+		g.declare(variable{name: g.fresh("a"), arrayLen: 8 + g.pick(56)}, "")
+	}
+	// Pointer chain: p1 = &scalar, p2 = &p1, ...
+	base := g.scalarVar()
+	prev := base.name
+	for d := 1; d <= g.cfg.MaxPtrDepth; d++ {
+		v := variable{name: g.fresh("p"), depth: d}
+		g.declare(v, "&"+prev)
+		prev = v.name
+	}
+	// A second, independent chain for aliasing diversity.
+	if g.cfg.MaxPtrDepth >= 2 {
+		base2 := g.scalarVar()
+		v1 := variable{name: g.fresh("q"), depth: 1}
+		g.declare(v1, "&"+base2.name)
+		v2 := variable{name: g.fresh("q"), depth: 2}
+		g.declare(v2, "&"+v1.name)
+	}
+	// Pointers into arrays.
+	if arr := g.arrayVar(); arr.name != "" {
+		v := variable{name: g.fresh("ap"), depth: 1}
+		g.declare(v, arr.name)
+	}
+}
+
+// visible returns all variables in scope, globals included.
+func (g *gen) visible() []variable {
+	var out []variable
+	out = append(out, g.globals...)
+	for _, s := range g.scopes {
+		out = append(out, s...)
+	}
+	return out
+}
+
+func (g *gen) varsWhere(pred func(variable) bool) []variable {
+	var out []variable
+	for _, v := range g.visible() {
+		if pred(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (g *gen) scalarVar() variable {
+	vs := g.varsWhere(func(v variable) bool { return v.depth == 0 && v.arrayLen == 0 })
+	if len(vs) == 0 {
+		return variable{name: "0"}
+	}
+	return vs[g.pick(len(vs))]
+}
+
+func (g *gen) arrayVar() variable {
+	vs := g.varsWhere(func(v variable) bool { return v.arrayLen > 0 && v.depth == 0 })
+	if len(vs) == 0 {
+		return variable{}
+	}
+	return vs[g.pick(len(vs))]
+}
+
+func (g *gen) ptrVar(depth int) variable {
+	vs := g.varsWhere(func(v variable) bool { return v.depth == depth && v.arrayLen == 0 })
+	if len(vs) == 0 {
+		return variable{}
+	}
+	return vs[g.pick(len(vs))]
+}
+
+// intExpr generates an int-valued expression with bounded depth.
+// Csmith-like programs index memory with constants, so leaves are
+// mostly constants and scalar reads.
+func (g *gen) intExpr(depth int) string {
+	if depth <= 0 {
+		switch g.pick(4) {
+		case 0:
+			return g.scalarVar().name
+		default:
+			return fmt.Sprintf("%d", g.pick(256))
+		}
+	}
+	switch g.pick(8) {
+	case 0, 1:
+		return fmt.Sprintf("%d", g.pick(256))
+	case 2:
+		return g.scalarVar().name
+	case 3:
+		if arr := g.arrayVar(); arr.name != "" {
+			return fmt.Sprintf("%s[%d]", arr.name, g.pick(arr.arrayLen))
+		}
+		return g.scalarVar().name
+	case 4:
+		if p := g.ptrVar(1); p.name != "" {
+			return "*" + p.name
+		}
+		return g.scalarVar().name
+	case 5:
+		op := []string{"+", "-", "*"}[g.pick(3)]
+		return fmt.Sprintf("(%s %s %s)", g.intExpr(depth-1), op, g.intExpr(depth-1))
+	case 6:
+		// Division by a non-zero constant keeps programs total.
+		return fmt.Sprintf("(%s / %d)", g.intExpr(depth-1), 1+g.pick(9))
+	default:
+		return fmt.Sprintf("(%s %% %d)", g.intExpr(depth-1), 1+g.pick(15))
+	}
+}
+
+// derefChain produces an lvalue dereferencing a pointer of random
+// depth down to int, e.g. "**p_3".
+func (g *gen) derefLValue() string {
+	for tries := 0; tries < 4; tries++ {
+		d := 1 + g.pick(g.cfg.MaxPtrDepth)
+		if p := g.ptrVar(d); p.name != "" {
+			return strings.Repeat("*", d) + p.name
+		}
+	}
+	return ""
+}
+
+func (g *gen) stmt() {
+	// Weighted statement mix: Csmith output is dominated by memory
+	// accesses with compile-time-constant subscripts (the trait the
+	// paper's Section 4.3 highlights), so constant array reads and
+	// writes get the largest share.
+	switch []int{0, 2, 2, 2, 3, 4, 5, 6, 7, 8, 8, 9, 2, 8}[g.pick(14)] {
+	case 0, 1: // scalar assignment
+		g.line("%s = %s;", g.scalarVar().name, g.intExpr(2))
+	case 2: // array write with constant index
+		if arr := g.arrayVar(); arr.name != "" {
+			g.line("%s[%d] = %s;", arr.name, g.pick(arr.arrayLen), g.intExpr(2))
+			return
+		}
+		g.line("%s = %s;", g.scalarVar().name, g.intExpr(1))
+	case 3: // write through a deref chain
+		if lv := g.derefLValue(); lv != "" {
+			g.line("%s = %s;", lv, g.intExpr(2))
+			return
+		}
+		g.line("%s = %s;", g.scalarVar().name, g.intExpr(1))
+	case 4: // pointer retargeting: p = &x or p = q
+		d := 1 + g.pick(g.cfg.MaxPtrDepth)
+		p := g.ptrVar(d)
+		if p.name == "" {
+			g.line("%s = %s;", g.scalarVar().name, g.intExpr(1))
+			return
+		}
+		if d == 1 {
+			if g.pick(2) == 0 {
+				if arr := g.arrayVar(); arr.name != "" {
+					g.line("%s = %s + %d;", p.name, arr.name, g.pick(arr.arrayLen))
+					return
+				}
+			}
+			g.line("%s = &%s;", p.name, g.scalarVar().name)
+			return
+		}
+		if q := g.ptrVar(d - 1); q.name != "" {
+			g.line("%s = &%s;", p.name, q.name)
+			return
+		}
+		g.line("%s = %s;", g.scalarVar().name, g.intExpr(1))
+	case 5: // bounded for loop over a constant subrange of an array
+		if arr := g.arrayVar(); arr.name != "" && g.loopDepth < 2 {
+			lo := g.pick(arr.arrayLen - 1)
+			hi := lo + 1 + g.pick(arr.arrayLen-lo-1+1)
+			if hi > arr.arrayLen {
+				hi = arr.arrayLen
+			}
+			i := g.fresh("i")
+			g.line("for (int %s = %d; %s < %d; %s++) {", i, lo, i, hi, i)
+			g.indent++
+			g.loopDepth++
+			g.pushScope()
+			g.line("%s[%s] = %s[%s] + %s;", arr.name, i, arr.name, i, g.intExpr(1))
+			if g.pick(2) == 0 {
+				g.stmt()
+			}
+			g.popScope()
+			g.loopDepth--
+			g.indent--
+			g.line("}")
+			return
+		}
+		g.line("%s = %s;", g.scalarVar().name, g.intExpr(1))
+	case 6: // if/else on a comparison
+		a, b := g.scalarVar().name, g.intExpr(1)
+		g.line("if (%s < %s) {", a, b)
+		g.indent++
+		g.pushScope()
+		g.stmt()
+		g.popScope()
+		g.indent--
+		if g.pick(2) == 0 {
+			g.line("} else {")
+			g.indent++
+			g.pushScope()
+			g.stmt()
+			g.popScope()
+			g.indent--
+		}
+		g.line("}")
+	case 7: // block with fresh locals
+		g.line("{")
+		g.indent++
+		g.pushScope()
+		g.declare(variable{name: g.fresh("t")}, g.intExpr(1))
+		g.stmt()
+		g.popScope()
+		g.indent--
+		g.line("}")
+	case 8: // array-to-array copy with constant indices
+		arr1, arr2 := g.arrayVar(), g.arrayVar()
+		if arr1.name != "" && arr2.name != "" {
+			g.line("%s[%d] = %s[%d];",
+				arr1.name, g.pick(arr1.arrayLen), arr2.name, g.pick(arr2.arrayLen))
+			return
+		}
+		g.line("%s = %s;", g.scalarVar().name, g.intExpr(1))
+	default: // compound update
+		v := g.scalarVar().name
+		op := []string{"+=", "-=", "*="}[g.pick(3)]
+		g.line("%s %s %s;", v, op, g.intExpr(1))
+	}
+}

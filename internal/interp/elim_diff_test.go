@@ -1,0 +1,101 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/csmith"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/ssa"
+)
+
+// TestEliminateSwapSemantics executes the classic phi-swap pattern
+// before and after out-of-SSA translation.
+func TestEliminateSwapSemantics(t *testing.T) {
+	src := `
+func @f(i64 %n) i64 {
+entry:
+  jmp head
+head:
+  %x = phi i64 [1, entry], [%y, latch]
+  %y = phi i64 [2, entry], [%x, latch]
+  %i = phi i64 [0, entry], [%i2, latch]
+  %c = icmp lt %i, %n
+  br %c, latch, exit
+latch:
+  %i2 = add %i, 1
+  jmp head
+exit:
+  %r = mul %x, 10
+  %r2 = add %r, %y
+  ret %r2
+}
+`
+	for n := int64(0); n <= 5; n++ {
+		ref := ir.MustParse(src)
+		want, err := NewMachine(ref, Options{}).Run("f", IntVal(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod := ir.MustParse(src)
+		ssa.Eliminate(mod.FuncByName("f"))
+		got, err := NewMachine(mod, Options{}).Run("f", IntVal(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v\n%s", n, err, mod)
+		}
+		if got.I != want.I {
+			t.Errorf("n=%d: eliminate changed result: %d, want %d", n, got.I, want.I)
+		}
+	}
+}
+
+// TestEliminateDifferentialFuzz round-trips random programs through
+// out-of-SSA translation and re-promotion, checking results at every
+// stage.
+func TestEliminateDifferentialFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing in -short mode")
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		src := csmith.Generate(csmith.Config{
+			Seed: 3000 + seed, MaxPtrDepth: 2, Stmts: 30,
+		})
+		run := func(stage string, prep func(m *ir.Module)) (int64, bool) {
+			t.Helper()
+			m, err := minic.Compile("fuzz", src)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if prep != nil {
+				prep(m)
+			}
+			v, err := NewMachine(m, Options{}).Run("main")
+			if err != nil {
+				// Division by a runtime zero, etc.: skip this seed, but
+				// only if every stage fails identically.
+				return 0, false
+			}
+			return v.I, true
+		}
+		want, okRef := run("ref", nil)
+		gotE, okE := run("eliminate", func(m *ir.Module) { ssa.EliminateModule(m) })
+		gotR, okR := run("roundtrip", func(m *ir.Module) {
+			ssa.EliminateModule(m)
+			for _, f := range m.Funcs {
+				ssa.Promote(f)
+			}
+		})
+		if okRef != okE || okRef != okR {
+			t.Errorf("seed %d: stages disagree on trap behaviour (ref %v, elim %v, rt %v)",
+				seed, okRef, okE, okR)
+			continue
+		}
+		if !okRef {
+			continue
+		}
+		if gotE != want || gotR != want {
+			t.Errorf("seed %d: results diverge: ref %d, elim %d, roundtrip %d",
+				seed, want, gotE, gotR)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// TestRuntimeErrorPaths exercises the interpreter's strict-oracle
+// behaviour on ill-behaved IR: every case must fail with a
+// descriptive error rather than misexecute.
+func TestRuntimeErrorPaths(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+		args               []Val
+	}{
+		{
+			"branch on pointer",
+			`func @f(i64* %p) i64 {
+entry:
+  br %p, a, b
+a:
+  ret 1
+b:
+  ret 0
+}`,
+			"branch on pointer", []Val{PtrTo(NewArray("x", 1), 0)},
+		},
+		{
+			"store oob",
+			`func @f(i64* %p) i64 {
+entry:
+  %q = gep %p, 99
+  store 1, %q
+  ret 0
+}`,
+			"out of bounds", []Val{PtrTo(NewArray("x", 4), 0)},
+		},
+		{
+			"malloc negative",
+			`func @f(i64 %n) i64* {
+entry:
+  %p = malloc i64, %n
+  ret %p
+}`,
+			"unreasonable", []Val{IntVal(-8)},
+		},
+		{
+			"shift out of range",
+			`func @f(i64 %n) i64 {
+entry:
+  %x = shl %n, 200
+  ret %x
+}`,
+			"shift amount", []Val{IntVal(1)},
+		},
+		{
+			"ordered ptr-int compare",
+			`func @f(i64* %p, i64 %n) i64 {
+entry:
+  %c = icmp lt %p, %n
+  br %c, a, b
+a:
+  ret 1
+b:
+  ret 0
+}`,
+			"ordered comparison", []Val{PtrTo(NewArray("x", 1), 0), IntVal(3)},
+		},
+		{
+			"cross object compare",
+			`func @f(i64* %p, i64* %q) i64 {
+entry:
+  %c = icmp lt %p, %q
+  br %c, a, b
+a:
+  ret 1
+b:
+  ret 0
+}`,
+			"different objects",
+			[]Val{PtrTo(NewArray("x", 1), 0), PtrTo(NewArray("y", 1), 0)},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := ir.Parse(c.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			mach := NewMachine(m, Options{})
+			_, err = mach.Run("f", c.args...)
+			if err == nil {
+				t.Fatal("execution succeeded, want runtime error")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %n) i64 {
+entry:
+  %r = call i64 @f(%n)
+  ret %r
+}
+`)
+	mach := NewMachine(m, Options{MaxDepth: 50})
+	if _, err := mach.Run("f", IntVal(1)); err == nil ||
+		!strings.Contains(err.Error(), "depth") {
+		t.Errorf("infinite recursion not capped: %v", err)
+	}
+}
+
+func TestArityMismatch(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %a, i64 %b) i64 {
+entry:
+  ret %a
+}
+`)
+	mach := NewMachine(m, Options{})
+	if _, err := mach.Run("f", IntVal(1)); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := mach.Run("nosuch"); err == nil {
+		t.Error("missing function accepted")
+	}
+}
+
+func TestEqualityWithNull(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64* %p) i64 {
+entry:
+  %c = icmp eq %p, 0
+  br %c, isnull, notnull
+isnull:
+  ret 1
+notnull:
+  ret 0
+}
+`)
+	mach := NewMachine(m, Options{})
+	v, err := mach.Run("f", Val{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 1 {
+		t.Errorf("null == null gave %d", v.I)
+	}
+	v, err = mach.Run("f", PtrTo(NewArray("x", 1), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 0 {
+		t.Errorf("ptr == null gave %d", v.I)
+	}
+}
+
+func TestGlobalSeeding(t *testing.T) {
+	m := ir.MustParse(`
+global @g [4 x i64]
+
+func @f() i64 {
+entry:
+  %base = gep @g, 0
+  %p = gep %base, 2
+  %x = load %p
+  ret %x
+}
+`)
+	mach := NewMachine(m, Options{})
+	mach.Global("g").Cells[2] = IntVal(77)
+	v, err := mach.Run("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 77 {
+		t.Errorf("global read = %d, want 77", v.I)
+	}
+	if mach.Global("nosuch") != nil {
+		t.Error("missing global not nil")
+	}
+	if mach.Steps() == 0 {
+		t.Error("step counter idle")
+	}
+}

@@ -1,0 +1,343 @@
+package interp
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+func run(t *testing.T, src, fn string, args ...Val) Val {
+	t.Helper()
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	mach := NewMachine(m, Options{})
+	v, err := mach.Run(fn, args...)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, m)
+	}
+	return v
+}
+
+func TestArith(t *testing.T) {
+	src := `
+int calc(int a, int b) {
+  return (a + b) * (a - b) / 2 + a % b;
+}
+`
+	got := run(t, src, "calc", IntVal(10), IntVal(3))
+	want := int64((10+3)*(10-3)/2 + 10%3)
+	if got.I != want {
+		t.Errorf("calc = %d, want %d", got.I, want)
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	src := `
+int sum(int n) {
+  int s = 0;
+  for (int i = 1; i <= n; i++) s += i;
+  return s;
+}
+`
+	if got := run(t, src, "sum", IntVal(100)); got.I != 5050 {
+		t.Errorf("sum(100) = %d, want 5050", got.I)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	src := `
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+`
+	if got := run(t, src, "fib", IntVal(15)); got.I != 610 {
+		t.Errorf("fib(15) = %d, want 610", got.I)
+	}
+}
+
+func TestArraysAndPointers(t *testing.T) {
+	src := `
+int work() {
+  int a[10];
+  int *p = a;
+  for (int i = 0; i < 10; i++) {
+    *p = i * i;
+    p++;
+  }
+  int s = 0;
+  for (int i = 0; i < 10; i++) s += a[i];
+  return s;
+}
+`
+	want := int64(0)
+	for i := int64(0); i < 10; i++ {
+		want += i * i
+	}
+	if got := run(t, src, "work"); got.I != want {
+		t.Errorf("work = %d, want %d", got.I, want)
+	}
+}
+
+func TestMallocAndNested(t *testing.T) {
+	src := `
+int grid(int n) {
+  int **rows = malloc(8 * n);
+  for (int i = 0; i < n; i++) {
+    rows[i] = malloc(8 * n);
+    for (int j = 0; j < n; j++) {
+      rows[i][j] = i * n + j;
+    }
+  }
+  int s = 0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      s += rows[i][j];
+  return s;
+}
+`
+	n := int64(5)
+	want := (n*n - 1) * n * n / 2
+	if got := run(t, src, "grid", IntVal(n)); got.I != want {
+		t.Errorf("grid(%d) = %d, want %d", n, got.I, want)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	src := `
+int counter;
+int hist[4];
+
+void bump(int k) {
+  counter++;
+  hist[k] = hist[k] + 1;
+}
+
+int total() {
+  bump(1); bump(1); bump(3);
+  return counter * 100 + hist[1] * 10 + hist[3];
+}
+`
+	if got := run(t, src, "total"); got.I != 321 {
+		t.Errorf("total = %d, want 321", got.I)
+	}
+}
+
+// TestInsSortExecutes compiles Figure 1(a) of the paper and sorts a
+// real array with it.
+func TestInsSortExecutes(t *testing.T) {
+	src := `
+void ins_sort(int* v, int N) {
+  int i, j;
+  for (i = 0; i < N - 1; i++) {
+    for (j = i + 1; j < N; j++) {
+      if (v[i] > v[j]) {
+        int tmp = v[i];
+        v[i] = v[j];
+        v[j] = tmp;
+      }
+    }
+  }
+}
+`
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := NewMachine(m, Options{})
+	data := []int64{5, 3, 9, 1, 7, 2, 8, 0, 6, 4}
+	arr := NewArray("v", len(data))
+	for i, x := range data {
+		arr.Cells[i] = IntVal(x)
+	}
+	if _, err := mach.Run("ins_sort", PtrTo(arr, 0), IntVal(int64(len(data)))); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int64(nil), data...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if arr.Cells[i].I != want[i] {
+			t.Fatalf("cell %d = %d, want %d", i, arr.Cells[i].I, want[i])
+		}
+	}
+}
+
+// TestPartitionExecutes compiles Figure 1(b) and checks the partition
+// property around the pivot.
+func TestPartitionExecutes(t *testing.T) {
+	src := `
+void partition(int *v, int N) {
+  int i, j, p, tmp;
+  p = v[N/2];
+  for (i = 0, j = N - 1;; i++, j--) {
+    while (v[i] < p) i++;
+    while (p < v[j]) j--;
+    if (i >= j)
+      break;
+    tmp = v[i];
+    v[i] = v[j];
+    v[j] = tmp;
+  }
+}
+`
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := NewMachine(m, Options{})
+	data := []int64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	arr := NewArray("v", len(data))
+	for i, x := range data {
+		arr.Cells[i] = IntVal(x)
+	}
+	if _, err := mach.Run("partition", PtrTo(arr, 0), IntVal(int64(len(data)))); err != nil {
+		t.Fatal(err)
+	}
+	// Hoare partition: there is a split point such that everything on
+	// the left is <= everything on the right.
+	maxLeft := func(k int) int64 {
+		mx := arr.Cells[0].I
+		for i := 1; i <= k; i++ {
+			if arr.Cells[i].I > mx {
+				mx = arr.Cells[i].I
+			}
+		}
+		return mx
+	}
+	minRight := func(k int) int64 {
+		mn := arr.Cells[len(data)-1].I
+		for i := len(data) - 1; i > k; i-- {
+			if arr.Cells[i].I < mn {
+				mn = arr.Cells[i].I
+			}
+		}
+		return mn
+	}
+	ok := false
+	for k := 0; k < len(data)-1; k++ {
+		if maxLeft(k) <= minRight(k) {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		vals := make([]int64, len(data))
+		for i := range data {
+			vals[i] = arr.Cells[i].I
+		}
+		t.Errorf("array not partitioned: %v", vals)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, fn string
+	}{
+		{"oob", "int f() { int a[3]; return a[5]; }", "f"},
+		{"null deref", "int f() { int *p = 0; return *p; }", "f"},
+		{"div zero", "int f(int x) { return 10 / (x - x); }", "f"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := minic.Compile(c.name, c.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach := NewMachine(m, Options{})
+			if _, err := mach.Run(c.fn, IntVal(7)); err == nil {
+				t.Error("execution succeeded, want runtime error")
+			}
+		})
+	}
+}
+
+func TestRuntimeErrorsNoArg(t *testing.T) {
+	m, err := minic.Compile("x", "int f() { return g(); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := NewMachine(m, Options{})
+	if _, err := mach.Run("f"); err == nil {
+		t.Error("call to undefined external succeeded")
+	}
+	// With an External handler it must succeed.
+	mach = NewMachine(m, Options{
+		External: func(name string, args []Val) (Val, error) {
+			return IntVal(42), nil
+		},
+	})
+	v, err := mach.Run("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 42 {
+		t.Errorf("external returned %d, want 42", v.I)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m, err := minic.Compile("x", "int f() { while (1) {} return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := NewMachine(m, Options{MaxSteps: 1000})
+	if _, err := mach.Run("f"); err == nil {
+		t.Error("infinite loop terminated without step-limit error")
+	}
+}
+
+func TestPointerComparisonLoop(t *testing.T) {
+	src := `
+int count(int *p, int n) {
+  int *e = p + n;
+  int c = 0;
+  while (p < e) {
+    if (*p > 0) c++;
+    p++;
+  }
+  return c;
+}
+`
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := NewMachine(m, Options{})
+	arr := NewArray("v", 6)
+	for i, x := range []int64{1, -2, 3, 0, 5, -6} {
+		arr.Cells[i] = IntVal(x)
+	}
+	v, err := mach.Run("count", PtrTo(arr, 0), IntVal(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 3 {
+		t.Errorf("count = %d, want 3", v.I)
+	}
+}
+
+func TestRawIRExecution(t *testing.T) {
+	m := ir.MustParse(`
+func @max(i64 %a, i64 %b) i64 {
+entry:
+  %c = icmp lt %a, %b
+  br %c, bb, ba
+bb:
+  ret %b
+ba:
+  ret %a
+}
+`)
+	mach := NewMachine(m, Options{})
+	v, err := mach.Run("max", IntVal(3), IntVal(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 9 {
+		t.Errorf("max = %d, want 9", v.I)
+	}
+}

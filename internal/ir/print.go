@@ -1,0 +1,112 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in the textual syntax accepted by Parse.
+func (m *Module) String() string {
+	var sb strings.Builder
+	if m.Name != "" {
+		fmt.Fprintf(&sb, "module %q\n\n", m.Name)
+	}
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "global @%s %s\n", g.GName, g.Elem)
+	}
+	if len(m.Globals) > 0 {
+		sb.WriteByte('\n')
+	}
+	for i, f := range m.Funcs {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders the function in the textual syntax.
+func (f *Func) String() string {
+	var sb strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %%%s", p.Typ, p.PName)
+	}
+	fmt.Fprintf(&sb, "func @%s(%s) %s {\n",
+		f.FName, strings.Join(params, ", "), f.RetTyp)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", printInstr(in))
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func printInstr(in *Instr) string {
+	var sb strings.Builder
+	if in.HasResult() {
+		fmt.Fprintf(&sb, "%%%s = ", in.name)
+	}
+	switch in.Op {
+	case OpAlloca:
+		fmt.Fprintf(&sb, "alloca %s, %d", in.AllocTyp, in.NumElems)
+	case OpMalloc:
+		pt := in.Typ.(*PtrType)
+		fmt.Fprintf(&sb, "malloc %s, %s", pt.Elem, in.Args[0].Ref())
+	case OpLoad:
+		fmt.Fprintf(&sb, "load %s", in.Args[0].Ref())
+	case OpStore:
+		fmt.Fprintf(&sb, "store %s, %s", in.Args[0].Ref(), in.Args[1].Ref())
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr:
+		fmt.Fprintf(&sb, "%s %s, %s", in.Op, in.Args[0].Ref(), in.Args[1].Ref())
+	case OpICmp:
+		fmt.Fprintf(&sb, "icmp %s %s, %s", in.Pred, in.Args[0].Ref(), in.Args[1].Ref())
+	case OpGEP:
+		fmt.Fprintf(&sb, "gep %s, %s", in.Args[0].Ref(), in.Args[1].Ref())
+	case OpPhi:
+		fmt.Fprintf(&sb, "phi %s", in.Typ)
+		for i, a := range in.Args {
+			fmt.Fprintf(&sb, " [%s, %s]", a.Ref(), in.PhiBlocks[i].name)
+			if i < len(in.Args)-1 {
+				sb.WriteByte(',')
+			}
+		}
+	case OpSigma:
+		branch := "false"
+		if in.OnTrue {
+			branch = "true"
+		}
+		side := "left"
+		if in.CmpSide == 1 {
+			side = "right"
+		}
+		fmt.Fprintf(&sb, "sigma %s, cmp %s, %s, %s", in.Args[0].Ref(), in.Cmp.Ref(), branch, side)
+	case OpCopy:
+		fmt.Fprintf(&sb, "copy %s", in.Args[0].Ref())
+		if in.SubUser != nil {
+			fmt.Fprintf(&sb, ", sub %s", in.SubUser.Ref())
+		}
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.Ref()
+		}
+		fmt.Fprintf(&sb, "call %s @%s(%s)", in.Typ, in.CalleeName, strings.Join(args, ", "))
+	case OpBr:
+		fmt.Fprintf(&sb, "br %s, %s, %s", in.Args[0].Ref(), in.Succs[0].name, in.Succs[1].name)
+	case OpJmp:
+		fmt.Fprintf(&sb, "jmp %s", in.Succs[0].name)
+	case OpRet:
+		if len(in.Args) > 0 {
+			fmt.Fprintf(&sb, "ret %s", in.Args[0].Ref())
+		} else {
+			sb.WriteString("ret")
+		}
+	default:
+		fmt.Fprintf(&sb, "<bad op %d>", int(in.Op))
+	}
+	return sb.String()
+}

@@ -1,0 +1,210 @@
+package minic
+
+// CType is a source-level type: int with a pointer depth, or void.
+// Arrays are represented on declarations (ArrayLen on VarDecl), not in
+// CType; an array of int decays to pointer depth 1 when used.
+type CType struct {
+	// Void is true for the void function return type.
+	Void bool
+	// PtrDepth is the number of '*' on an int type: 0 is int, 1 is
+	// int*, and so on.
+	PtrDepth int
+}
+
+func (t CType) String() string {
+	if t.Void {
+		return "void"
+	}
+	s := "int"
+	for i := 0; i < t.PtrDepth; i++ {
+		s += "*"
+	}
+	return s
+}
+
+// IsInt reports whether t is plain int.
+func (t CType) IsInt() bool { return !t.Void && t.PtrDepth == 0 }
+
+// IsPtr reports whether t is a pointer.
+func (t CType) IsPtr() bool { return !t.Void && t.PtrDepth > 0 }
+
+// Deref returns the type *t yields.
+func (t CType) Deref() CType { return CType{PtrDepth: t.PtrDepth - 1} }
+
+// AddrOf returns the type &t yields.
+func (t CType) AddrOf() CType { return CType{PtrDepth: t.PtrDepth + 1} }
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl declares a variable: a global, a local, or (with ArrayLen >
+// 0) a fixed-size array.
+type VarDecl struct {
+	Name string
+	Typ  CType
+	// ArrayLen is the declared array length; 0 for scalars.
+	ArrayLen int64
+	// Init is the optional initializer (locals only).
+	Init Expr
+	Line int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    CType
+	Params []*VarDecl
+	Body   *BlockStmt
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a { ... } sequence with its own scope.
+type BlockStmt struct {
+	Stmts []Stmt
+}
+
+// DeclStmt wraps one or more local variable declarations sharing a
+// base type, e.g. "int i, j, *p;".
+type DeclStmt struct {
+	Decls []*VarDecl
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop. DoWhile marks do { } while(cond);.
+type WhileStmt struct {
+	Cond    Expr
+	Body    Stmt
+	DoWhile bool
+}
+
+// ForStmt is a for loop; any of Init, Cond, Post may be nil. Init may
+// be a DeclStmt or ExprStmt.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// ReturnStmt returns X, which is nil for bare return.
+type ReturnStmt struct {
+	X    Expr
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line int }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	// Pos returns the source line of the expression.
+	Pos() int
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val  int64
+	Line int
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// BinExpr is a binary operation. Op is the source spelling: + - * / %
+// == != < <= > >= && || & | ^ << >>.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// UnExpr is a unary operation. Op is one of - ! * & ~.
+type UnExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// AssignExpr assigns R to lvalue L. Op is "=", "+=", "-=", "*=", "/=",
+// or "%=".
+type AssignExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// IncDecExpr is ++/-- applied to an lvalue; Post marks the postfix
+// form.
+type IncDecExpr struct {
+	Op   string // "++" or "--"
+	X    Expr
+	Post bool
+	Line int
+}
+
+// IndexExpr is X[Idx].
+type IndexExpr struct {
+	X, Idx Expr
+	Line   int
+}
+
+// CallExpr calls the named function. Malloc is recognized by name
+// during lowering.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (e *IntLit) exprNode()     {}
+func (e *Ident) exprNode()      {}
+func (e *BinExpr) exprNode()    {}
+func (e *UnExpr) exprNode()     {}
+func (e *AssignExpr) exprNode() {}
+func (e *IncDecExpr) exprNode() {}
+func (e *IndexExpr) exprNode()  {}
+func (e *CallExpr) exprNode()   {}
+
+// Pos implementations.
+func (e *IntLit) Pos() int     { return e.Line }
+func (e *Ident) Pos() int      { return e.Line }
+func (e *BinExpr) Pos() int    { return e.Line }
+func (e *UnExpr) Pos() int     { return e.Line }
+func (e *AssignExpr) Pos() int { return e.Line }
+func (e *IncDecExpr) Pos() int { return e.Line }
+func (e *IndexExpr) Pos() int  { return e.Line }
+func (e *CallExpr) Pos() int   { return e.Line }

@@ -1,0 +1,621 @@
+package minic
+
+// This file implements a tree-walking evaluator over the mini-C AST —
+// a second, independent semantics for the language. The differential
+// test at the bottom runs random programs both ways: interpreted
+// directly from the AST, and compiled through lowering + SSA
+// construction and executed by internal/interp. Any disagreement
+// indicts one of the pipeline stages. (The evaluator lives in a test
+// file on purpose: it is an oracle, not a product.)
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/csmith"
+	"repro/internal/interp"
+)
+
+// aval is a runtime value: an integer or a pointer (cells, index).
+type aval struct {
+	i     int64
+	cells []aval // non-nil for pointers
+	off   int64
+}
+
+func (v aval) isPtr() bool { return v.cells != nil }
+
+// cell is an addressable storage location.
+type cell struct {
+	cells []aval
+	off   int64
+}
+
+func (c cell) load() aval   { return c.cells[c.off] }
+func (c cell) store(v aval) { c.cells[c.off] = v }
+func (c cell) addr() aval   { return aval{cells: c.cells, off: c.off} }
+
+type astScope struct {
+	vars   map[string]cell
+	parent *astScope
+}
+
+func (s *astScope) lookup(name string) (cell, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if c, ok := sc.vars[name]; ok {
+			return c, true
+		}
+	}
+	return cell{}, false
+}
+
+type astEval struct {
+	prog    *Program
+	funcs   map[string]*FuncDecl
+	globals *astScope
+	steps   int
+}
+
+type evalPanic struct{ msg string }
+
+type returnSignal struct{ val aval }
+type breakSignal struct{}
+type continueSignal struct{}
+
+func (e *astEval) fail(format string, args ...any) {
+	panic(evalPanic{fmt.Sprintf(format, args...)})
+}
+
+func (e *astEval) step() {
+	e.steps++
+	if e.steps > 2_000_000 {
+		e.fail("step limit")
+	}
+}
+
+func newASTEval(prog *Program) *astEval {
+	e := &astEval{
+		prog:    prog,
+		funcs:   map[string]*FuncDecl{},
+		globals: &astScope{vars: map[string]cell{}},
+	}
+	for _, f := range prog.Funcs {
+		e.funcs[f.Name] = f
+	}
+	for _, g := range prog.Globals {
+		n := int64(1)
+		if g.ArrayLen > 0 {
+			n = g.ArrayLen
+		}
+		e.globals.vars[g.Name] = cell{cells: make([]aval, n)}
+	}
+	return e
+}
+
+func (e *astEval) call(name string, args []aval) aval {
+	fd, ok := e.funcs[name]
+	if !ok {
+		e.fail("call to undefined %s", name)
+	}
+	if len(args) != len(fd.Params) {
+		e.fail("arity mismatch calling %s", name)
+	}
+	sc := &astScope{vars: map[string]cell{}, parent: e.globals}
+	for i, p := range fd.Params {
+		slot := cell{cells: make([]aval, 1)}
+		slot.store(args[i])
+		sc.vars[p.Name] = slot
+	}
+	var ret aval
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if rs, ok := r.(returnSignal); ok {
+					ret = rs.val
+					return
+				}
+				panic(r)
+			}
+		}()
+		e.block(fd.Body, sc)
+	}()
+	return ret
+}
+
+func (e *astEval) block(b *BlockStmt, parent *astScope) {
+	sc := &astScope{vars: map[string]cell{}, parent: parent}
+	for _, s := range b.Stmts {
+		e.stmt(s, sc)
+	}
+}
+
+func (e *astEval) declare(d *VarDecl, sc *astScope) {
+	n := int64(1)
+	if d.ArrayLen > 0 {
+		n = d.ArrayLen
+	}
+	slot := cell{cells: make([]aval, n)}
+	sc.vars[d.Name] = slot
+	if d.Init != nil {
+		slot.store(e.expr(d.Init, sc))
+	}
+}
+
+func (e *astEval) stmt(s Stmt, sc *astScope) {
+	e.step()
+	switch s := s.(type) {
+	case *BlockStmt:
+		e.block(s, sc)
+	case *DeclStmt:
+		for _, d := range s.Decls {
+			e.declare(d, sc)
+		}
+	case *ExprStmt:
+		e.expr(s.X, sc)
+	case *IfStmt:
+		if e.truthy(s.Cond, sc) {
+			e.stmt(s.Then, sc)
+		} else if s.Else != nil {
+			e.stmt(s.Else, sc)
+		}
+	case *WhileStmt:
+		first := true
+		for {
+			if s.DoWhile && first {
+				// body runs before the first test
+			} else if !e.truthy(s.Cond, sc) {
+				break
+			}
+			first = false
+			if e.loopBody(s.Body, sc) {
+				break
+			}
+		}
+	case *ForStmt:
+		inner := &astScope{vars: map[string]cell{}, parent: sc}
+		if s.Init != nil {
+			e.stmt(s.Init, inner)
+		}
+		for {
+			if s.Cond != nil && !e.truthy(s.Cond, inner) {
+				break
+			}
+			if e.loopBody(s.Body, inner) {
+				break
+			}
+			if s.Post != nil {
+				e.expr(s.Post, inner)
+			}
+		}
+	case *ReturnStmt:
+		var v aval
+		if s.X != nil {
+			v = e.expr(s.X, sc)
+		}
+		panic(returnSignal{v})
+	case *BreakStmt:
+		panic(breakSignal{})
+	case *ContinueStmt:
+		panic(continueSignal{})
+	default:
+		e.fail("unknown statement %T", s)
+	}
+}
+
+// loopBody runs one iteration, returning true if the loop must break.
+func (e *astEval) loopBody(body Stmt, sc *astScope) (brk bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case breakSignal:
+				brk = true
+			case continueSignal:
+				brk = false
+			default:
+				panic(r)
+			}
+		}
+	}()
+	e.stmt(body, sc)
+	return false
+}
+
+func (e *astEval) truthy(x Expr, sc *astScope) bool {
+	v := e.expr(x, sc)
+	if v.isPtr() {
+		return true
+	}
+	return v.i != 0
+}
+
+// lvalue resolves x to a storage cell.
+func (e *astEval) lvalue(x Expr, sc *astScope) cell {
+	switch x := x.(type) {
+	case *Ident:
+		c, ok := sc.lookup(x.Name)
+		if !ok {
+			e.fail("undefined %s", x.Name)
+		}
+		return c
+	case *UnExpr:
+		if x.Op == "*" {
+			p := e.expr(x.X, sc)
+			if !p.isPtr() {
+				e.fail("deref of non-pointer")
+			}
+			return cell{cells: p.cells, off: p.off}
+		}
+	case *IndexExpr:
+		base := e.expr(x.X, sc)
+		if !base.isPtr() {
+			e.fail("index of non-pointer")
+		}
+		idx := e.expr(x.Idx, sc)
+		return cell{cells: base.cells, off: base.off + idx.i}
+	}
+	e.fail("not an lvalue: %T", x)
+	return cell{}
+}
+
+func (e *astEval) expr(x Expr, sc *astScope) aval {
+	e.step()
+	switch x := x.(type) {
+	case *IntLit:
+		return aval{i: x.Val}
+	case *Ident:
+		c, ok := sc.lookup(x.Name)
+		if !ok {
+			e.fail("undefined %s", x.Name)
+		}
+		if len(c.cells) > 1 {
+			// Array decays to a pointer to its first cell.
+			return aval{cells: c.cells, off: 0}
+		}
+		return c.load()
+	case *AssignExpr:
+		c := e.lvalue(x.L, sc)
+		if x.Op == "=" {
+			v := e.expr(x.R, sc)
+			c.store(v)
+			return v
+		}
+		old := c.load()
+		r := e.expr(x.R, sc)
+		var nv aval
+		if old.isPtr() {
+			switch x.Op {
+			case "+=":
+				nv = aval{cells: old.cells, off: old.off + r.i}
+			case "-=":
+				nv = aval{cells: old.cells, off: old.off - r.i}
+			default:
+				e.fail("pointer compound %s", x.Op)
+			}
+		} else {
+			nv = aval{i: e.arith(strings.TrimSuffix(x.Op, "="), old.i, r.i)}
+		}
+		c.store(nv)
+		return nv
+	case *IncDecExpr:
+		c := e.lvalue(x.X, sc)
+		old := c.load()
+		var nv aval
+		d := int64(1)
+		if x.Op == "--" {
+			d = -1
+		}
+		if old.isPtr() {
+			nv = aval{cells: old.cells, off: old.off + d}
+		} else {
+			nv = aval{i: old.i + d}
+		}
+		c.store(nv)
+		if x.Post {
+			return old
+		}
+		return nv
+	case *IndexExpr:
+		return e.lvalue(x, sc).load()
+	case *UnExpr:
+		switch x.Op {
+		case "-":
+			return aval{i: -e.expr(x.X, sc).i}
+		case "~":
+			return aval{i: ^e.expr(x.X, sc).i}
+		case "!":
+			if e.truthy(x.X, sc) {
+				return aval{i: 0}
+			}
+			return aval{i: 1}
+		case "*":
+			c := e.lvalue(x, sc)
+			if c.off < 0 || c.off >= int64(len(c.cells)) {
+				e.fail("out of bounds deref")
+			}
+			return c.load()
+		case "&":
+			// &array decays like the compiler's lowering does.
+			if id, ok := x.X.(*Ident); ok {
+				if c, found := sc.lookup(id.Name); found && len(c.cells) > 1 {
+					return aval{cells: c.cells, off: 0}
+				}
+			}
+			return e.lvalue(x.X, sc).addr()
+		}
+	case *BinExpr:
+		switch x.Op {
+		case ",":
+			e.expr(x.L, sc)
+			return e.expr(x.R, sc)
+		case "&&":
+			if !e.truthy(x.L, sc) {
+				return aval{i: 0}
+			}
+			if e.truthy(x.R, sc) {
+				return aval{i: 1}
+			}
+			return aval{i: 0}
+		case "||":
+			if e.truthy(x.L, sc) {
+				return aval{i: 1}
+			}
+			if e.truthy(x.R, sc) {
+				return aval{i: 1}
+			}
+			return aval{i: 0}
+		}
+		l := e.expr(x.L, sc)
+		r := e.expr(x.R, sc)
+		switch x.Op {
+		case "==", "!=", "<", "<=", ">", ">=":
+			var res bool
+			if l.isPtr() && r.isPtr() {
+				res = cmpInt(x.Op, l.off, r.off)
+			} else {
+				res = cmpInt(x.Op, l.i, r.i)
+			}
+			if res {
+				return aval{i: 1}
+			}
+			return aval{i: 0}
+		case "+":
+			if l.isPtr() {
+				return aval{cells: l.cells, off: l.off + r.i}
+			}
+			if r.isPtr() {
+				return aval{cells: r.cells, off: r.off + l.i}
+			}
+			return aval{i: l.i + r.i}
+		case "-":
+			if l.isPtr() {
+				return aval{cells: l.cells, off: l.off - r.i}
+			}
+			return aval{i: l.i - r.i}
+		default:
+			return aval{i: e.arith(x.Op, l.i, r.i)}
+		}
+	case *CallExpr:
+		switch x.Name {
+		case "malloc":
+			sz := e.expr(x.Args[0], sc)
+			n := sz.i / 8
+			if n <= 0 {
+				n = 1
+			}
+			return aval{cells: make([]aval, n)}
+		case "free":
+			e.expr(x.Args[0], sc)
+			return aval{}
+		}
+		var args []aval
+		for _, a := range x.Args {
+			args = append(args, e.expr(a, sc))
+		}
+		return e.call(x.Name, args)
+	}
+	e.fail("unknown expression %T", x)
+	return aval{}
+}
+
+func (e *astEval) arith(op string, a, b int64) int64 {
+	switch op {
+	case "+":
+		return a + b
+	case "-":
+		return a - b
+	case "*":
+		return a * b
+	case "/":
+		if b == 0 {
+			e.fail("division by zero")
+		}
+		return a / b
+	case "%":
+		if b == 0 {
+			e.fail("remainder by zero")
+		}
+		return a % b
+	case "&":
+		return a & b
+	case "|":
+		return a | b
+	case "^":
+		return a ^ b
+	case "<<":
+		if b < 0 || b > 63 {
+			e.fail("shift out of range")
+		}
+		return a << uint(b)
+	case ">>":
+		if b < 0 || b > 63 {
+			e.fail("shift out of range")
+		}
+		return a >> uint(b)
+	}
+	e.fail("bad op %s", op)
+	return 0
+}
+
+func cmpInt(op string, a, b int64) bool {
+	switch op {
+	case "==":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+// runAST evaluates main() over the AST; ok=false on a runtime fault.
+func runAST(prog *Program) (result int64, ok bool) {
+	e := newASTEval(prog)
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isFault := r.(evalPanic); isFault {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	v := e.call("main", nil)
+	return v.i, true
+}
+
+// runCompiled compiles and executes main() via the IR interpreter.
+func runCompiled(t *testing.T, src string) (int64, bool) {
+	t.Helper()
+	m, err := Compile("diff", src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	mach := interp.NewMachine(m, interp.Options{})
+	v, err := mach.Run("main")
+	if err != nil {
+		return 0, false
+	}
+	return v.I, true
+}
+
+// TestDifferentialFrontend is the frontend's strongest test: for many
+// random programs, the AST evaluator and the full compile-and-execute
+// pipeline must agree exactly — on the result, and on whether the
+// program faults at all.
+func TestDifferentialFrontend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fuzzing in -short mode")
+	}
+	agree := 0
+	for depth := 1; depth <= 4; depth++ {
+		for seed := int64(0); seed < 25; seed++ {
+			src := csmith.Generate(csmith.Config{
+				Seed: 12000 + seed, MaxPtrDepth: depth, Stmts: 35,
+			})
+			prog, err := ParseProgram(src)
+			if err != nil {
+				t.Fatalf("depth %d seed %d: parse: %v", depth, seed, err)
+			}
+			astRes, astOK := runAST(prog)
+			irRes, irOK := runCompiled(t, src)
+			if astOK != irOK {
+				t.Fatalf("depth %d seed %d: fault behaviour differs (ast ok=%v, ir ok=%v)\n%s",
+					depth, seed, astOK, irOK, src)
+			}
+			if astOK && astRes != irRes {
+				t.Fatalf("depth %d seed %d: results differ: ast %d, compiled %d\n%s",
+					depth, seed, astRes, irRes, src)
+			}
+			if astOK {
+				agree++
+			}
+		}
+	}
+	if agree == 0 {
+		t.Fatal("no program executed successfully in both semantics")
+	}
+	t.Logf("%d programs agree across both semantics", agree)
+}
+
+// TestDifferentialKernels runs the paper's kernels through both
+// semantics with fixed inputs.
+func TestDifferentialKernels(t *testing.T) {
+	srcs := []string{
+		`
+int g[10];
+void ins_sort(int* v, int N) {
+  int i, j;
+  for (i = 0; i < N - 1; i++)
+    for (j = i + 1; j < N; j++)
+      if (v[i] > v[j]) { int tmp = v[i]; v[i] = v[j]; v[j] = tmp; }
+}
+int main() {
+  for (int k = 0; k < 10; k++) g[k] = (7 * k + 3) % 10;
+  ins_sort(g, 10);
+  int acc = 0;
+  for (int k = 0; k < 10; k++) acc = acc * 10 + g[k];
+  return acc;
+}
+`,
+		`
+int main() {
+  int *p = malloc(80);
+  int **pp = &p;
+  for (int i = 0; i < 10; i++) (*pp)[i] = i * i;
+  int s = 0;
+  for (int i = 0; i < 10; i++) s += p[i];
+  return s;
+}
+`,
+	}
+	for i, src := range srcs {
+		prog, err := ParseProgram(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		astRes, astOK := runAST(prog)
+		irRes, irOK := runCompiled(t, src)
+		if !astOK || !irOK {
+			t.Fatalf("kernel %d faulted (ast %v, ir %v)", i, astOK, irOK)
+		}
+		if astRes != irRes {
+			t.Fatalf("kernel %d: ast %d, compiled %d", i, astRes, irRes)
+		}
+	}
+}
+
+// TestDifferentialShiftAssign pins the compound shift operators in
+// both semantics.
+func TestDifferentialShiftAssign(t *testing.T) {
+	src := `
+int main() {
+  int x = 3;
+  x <<= 4;
+  x >>= 1;
+  x += 2;
+  x *= 3;
+  return x;
+}
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	astRes, astOK := runAST(prog)
+	irRes, irOK := runCompiled(t, src)
+	if !astOK || !irOK {
+		t.Fatal("fault")
+	}
+	want := int64(((3 << 4 >> 1) + 2) * 3)
+	if astRes != want || irRes != want {
+		t.Errorf("ast %d, ir %d, want %d", astRes, irRes, want)
+	}
+}

@@ -1,0 +1,454 @@
+package minic
+
+import (
+	"fmt"
+)
+
+// ParseProgram parses a mini-C translation unit into an AST.
+func ParseProgram(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &cparser{toks: toks}
+	return p.program()
+}
+
+type cparser struct {
+	toks []Token
+	pos  int
+}
+
+type parseError struct {
+	line int
+	msg  string
+}
+
+func (e *parseError) Error() string {
+	return fmt.Sprintf("minic: line %d: %s", e.line, e.msg)
+}
+
+func (p *cparser) fail(format string, args ...any) {
+	panic(&parseError{line: p.peek().Line, msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *cparser) peek() Token  { return p.toks[p.pos] }
+func (p *cparser) peek2() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *cparser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *cparser) accept(lit string) bool {
+	t := p.peek()
+	if (t.Kind == TokPunct || t.Kind == TokKeyword) && t.Lit == lit {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *cparser) expect(lit string) Token {
+	t := p.peek()
+	if (t.Kind == TokPunct || t.Kind == TokKeyword) && t.Lit == lit {
+		p.pos++
+		return t
+	}
+	p.fail("expected %q, got %s", lit, t)
+	return Token{}
+}
+
+func (p *cparser) program() (prog *Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*parseError); ok {
+				prog, err = nil, pe
+				return
+			}
+			panic(r)
+		}
+	}()
+	prog = &Program{}
+	for p.peek().Kind != TokEOF {
+		base := p.baseType()
+		typ := base
+		for p.accept("*") {
+			typ.PtrDepth++
+		}
+		name := p.ident()
+		if p.peek().Lit == "(" && p.peek().Kind == TokPunct {
+			prog.Funcs = append(prog.Funcs, p.funcRest(typ, name))
+			continue
+		}
+		decls := []*VarDecl{p.varRest(typ, name)}
+		for p.accept(",") {
+			t2 := base
+			for p.accept("*") {
+				t2.PtrDepth++
+			}
+			decls = append(decls, p.varRest(t2, p.ident()))
+		}
+		p.expect(";")
+		for _, d := range decls {
+			if d.Init != nil {
+				p.fail("global %s: initializers on globals are not supported", d.Name)
+			}
+			prog.Globals = append(prog.Globals, d)
+		}
+	}
+	return prog, nil
+}
+
+func (p *cparser) ident() string {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		p.fail("expected identifier, got %s", t)
+	}
+	p.pos++
+	return t.Lit
+}
+
+// baseType parses the "int" or "void" keyword without pointer stars.
+func (p *cparser) baseType() CType {
+	t := p.peek()
+	if t.Kind != TokKeyword || (t.Lit != "int" && t.Lit != "void") {
+		p.fail("expected type, got %s", t)
+	}
+	p.pos++
+	return CType{Void: t.Lit == "void"}
+}
+
+// typeSpec parses "int" {'*'} or "void".
+func (p *cparser) typeSpec() CType {
+	typ := p.baseType()
+	if typ.Void {
+		return typ
+	}
+	for p.accept("*") {
+		typ.PtrDepth++
+	}
+	return typ
+}
+
+// declList parses the declarators of a local declaration statement:
+// stars, name, optional array suffix and initializer, repeated over
+// commas. The trailing ';' is not consumed.
+func (p *cparser) declList() *DeclStmt {
+	base := p.baseType()
+	if base.Void {
+		p.fail("void is not a variable type")
+	}
+	ds := &DeclStmt{}
+	for {
+		typ := base
+		for p.accept("*") {
+			typ.PtrDepth++
+		}
+		ds.Decls = append(ds.Decls, p.varRest(typ, p.ident()))
+		if !p.accept(",") {
+			return ds
+		}
+	}
+}
+
+// startsType reports whether the next tokens begin a declaration.
+func (p *cparser) startsType() bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && (t.Lit == "int" || t.Lit == "void")
+}
+
+// varRest parses the remainder of a variable declaration after the
+// type and name: optional array suffix and initializer.
+func (p *cparser) varRest(typ CType, name string) *VarDecl {
+	d := &VarDecl{Name: name, Typ: typ, Line: p.peek().Line}
+	if p.accept("[") {
+		t := p.peek()
+		if t.Kind != TokInt {
+			p.fail("expected array length, got %s", t)
+		}
+		p.pos++
+		d.ArrayLen = t.Val
+		p.expect("]")
+	}
+	if p.accept("=") {
+		d.Init = p.assignExpr()
+	}
+	return d
+}
+
+func (p *cparser) funcRest(ret CType, name string) *FuncDecl {
+	fd := &FuncDecl{Name: name, Ret: ret, Line: p.peek().Line}
+	p.expect("(")
+	if !p.accept(")") {
+		if p.peek().Kind == TokKeyword && p.peek().Lit == "void" && p.peek2().Lit == ")" {
+			p.next() // (void)
+			p.expect(")")
+		} else {
+			for {
+				pt := p.typeSpec()
+				pn := p.ident()
+				// "int v[]" means int*.
+				if p.accept("[") {
+					p.expect("]")
+					pt.PtrDepth++
+				}
+				fd.Params = append(fd.Params, &VarDecl{Name: pn, Typ: pt, Line: p.peek().Line})
+				if !p.accept(",") {
+					break
+				}
+			}
+			p.expect(")")
+		}
+	}
+	fd.Body = p.block()
+	return fd
+}
+
+func (p *cparser) block() *BlockStmt {
+	p.expect("{")
+	b := &BlockStmt{}
+	for !p.accept("}") {
+		if p.peek().Kind == TokEOF {
+			p.fail("unexpected end of file in block")
+		}
+		b.Stmts = append(b.Stmts, p.stmt())
+	}
+	return b
+}
+
+func (p *cparser) stmt() Stmt {
+	t := p.peek()
+	switch {
+	case t.Lit == "{" && t.Kind == TokPunct:
+		return p.block()
+	case t.Kind == TokKeyword && t.Lit == "if":
+		p.next()
+		p.expect("(")
+		cond := p.expr()
+		p.expect(")")
+		s := &IfStmt{Cond: cond, Then: p.stmt()}
+		if p.accept("else") {
+			s.Else = p.stmt()
+		}
+		return s
+	case t.Kind == TokKeyword && t.Lit == "while":
+		p.next()
+		p.expect("(")
+		cond := p.expr()
+		p.expect(")")
+		return &WhileStmt{Cond: cond, Body: p.stmt()}
+	case t.Kind == TokKeyword && t.Lit == "do":
+		p.next()
+		body := p.stmt()
+		p.expect("while")
+		p.expect("(")
+		cond := p.expr()
+		p.expect(")")
+		p.expect(";")
+		return &WhileStmt{Cond: cond, Body: body, DoWhile: true}
+	case t.Kind == TokKeyword && t.Lit == "for":
+		p.next()
+		p.expect("(")
+		s := &ForStmt{}
+		if !p.accept(";") {
+			if p.startsType() {
+				s.Init = p.declList()
+			} else {
+				s.Init = &ExprStmt{X: p.expr()}
+			}
+			p.expect(";")
+		}
+		if !p.accept(";") {
+			s.Cond = p.expr()
+			p.expect(";")
+		}
+		if !p.accept(")") {
+			s.Post = p.expr()
+			p.expect(")")
+		}
+		s.Body = p.stmt()
+		return s
+	case t.Kind == TokKeyword && t.Lit == "return":
+		p.next()
+		s := &ReturnStmt{Line: t.Line}
+		if !p.accept(";") {
+			s.X = p.expr()
+			p.expect(";")
+		}
+		return s
+	case t.Kind == TokKeyword && t.Lit == "break":
+		p.next()
+		p.expect(";")
+		return &BreakStmt{Line: t.Line}
+	case t.Kind == TokKeyword && t.Lit == "continue":
+		p.next()
+		p.expect(";")
+		return &ContinueStmt{Line: t.Line}
+	case p.startsType():
+		ds := p.declList()
+		p.expect(";")
+		return ds
+	case t.Lit == ";" && t.Kind == TokPunct:
+		p.next()
+		return &BlockStmt{}
+	default:
+		x := p.expr()
+		p.expect(";")
+		return &ExprStmt{X: x}
+	}
+}
+
+// expr parses a comma-free expression. Comma expressions appear only
+// in for-loop clauses in the paper's examples; we support them there
+// by folding into the last expression with side effects preserved.
+func (p *cparser) expr() Expr {
+	e := p.assignExpr()
+	for p.peek().Kind == TokPunct && p.peek().Lit == "," {
+		p.next()
+		r := p.assignExpr()
+		// Represent the comma operator as a binary node evaluated for
+		// both sides; lowering discards the left value.
+		e = &BinExpr{Op: ",", L: e, R: r, Line: r.Pos()}
+	}
+	return e
+}
+
+func (p *cparser) assignExpr() Expr {
+	l := p.orExpr()
+	t := p.peek()
+	if t.Kind == TokPunct {
+		switch t.Lit {
+		case "=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=":
+			p.next()
+			r := p.assignExpr()
+			return &AssignExpr{Op: t.Lit, L: l, R: r, Line: t.Line}
+		}
+	}
+	return l
+}
+
+// Binary precedence climbing: || < && < |,^,& < ==,!= < relational <
+// shifts < additive < multiplicative.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *cparser) orExpr() Expr { return p.binExpr(0) }
+
+func (p *cparser) binExpr(level int) Expr {
+	if level == len(binLevels) {
+		return p.unaryExpr()
+	}
+	l := p.binExpr(level + 1)
+	for {
+		t := p.peek()
+		if t.Kind != TokPunct || !contains(binLevels[level], t.Lit) {
+			return l
+		}
+		p.next()
+		r := p.binExpr(level + 1)
+		l = &BinExpr{Op: t.Lit, L: l, R: r, Line: t.Line}
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *cparser) unaryExpr() Expr {
+	t := p.peek()
+	if t.Kind == TokPunct {
+		switch t.Lit {
+		case "-", "!", "*", "&", "~":
+			p.next()
+			return &UnExpr{Op: t.Lit, X: p.unaryExpr(), Line: t.Line}
+		case "+":
+			p.next()
+			return p.unaryExpr()
+		case "++", "--":
+			p.next()
+			return &IncDecExpr{Op: t.Lit, X: p.unaryExpr(), Line: t.Line}
+		}
+	}
+	return p.postfixExpr()
+}
+
+func (p *cparser) postfixExpr() Expr {
+	e := p.primaryExpr()
+	for {
+		t := p.peek()
+		if t.Kind != TokPunct {
+			return e
+		}
+		switch t.Lit {
+		case "[":
+			p.next()
+			idx := p.expr()
+			p.expect("]")
+			e = &IndexExpr{X: e, Idx: idx, Line: t.Line}
+		case "++", "--":
+			p.next()
+			e = &IncDecExpr{Op: t.Lit, X: e, Post: true, Line: t.Line}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *cparser) primaryExpr() Expr {
+	t := p.peek()
+	switch {
+	case t.Kind == TokInt:
+		p.next()
+		return &IntLit{Val: t.Val, Line: t.Line}
+	case t.Kind == TokIdent:
+		p.next()
+		if p.peek().Kind == TokPunct && p.peek().Lit == "(" {
+			p.next()
+			c := &CallExpr{Name: t.Lit, Line: t.Line}
+			if !p.accept(")") {
+				for {
+					c.Args = append(c.Args, p.assignExpr())
+					if !p.accept(",") {
+						break
+					}
+				}
+				p.expect(")")
+			}
+			return c
+		}
+		return &Ident{Name: t.Lit, Line: t.Line}
+	case t.Kind == TokPunct && t.Lit == "(":
+		p.next()
+		e := p.expr()
+		p.expect(")")
+		return e
+	}
+	p.fail("expected expression, got %s", t)
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,133 @@
+// Package minic implements a compiler frontend for a small subset of C
+// — the dialect the paper's examples and benchmarks are written in —
+// targeting the SSA IR of internal/ir.
+//
+// The subset covers: the int type and arbitrarily nested pointers to
+// it, fixed-size arrays (local and global), functions, if/else, while,
+// for, break/continue, return, integer arithmetic, comparisons,
+// logical && || ! (in conditions), pointer arithmetic, array indexing,
+// address-of, dereference, pre/post increment and decrement, compound
+// assignment, and malloc/free. This is exactly what the paper's
+// motivating snippets (Figure 1) and the Csmith-style generator need.
+//
+// Compile parses, lowers to IR (locals as allocas), promotes the
+// allocas to SSA with internal/ssa, and verifies the result.
+package minic
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokPunct   // operators and punctuation, Lit holds the spelling
+	TokKeyword // int, void, if, else, while, for, return, break, continue
+)
+
+var keywords = map[string]bool{
+	"int": true, "void": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true, "break": true,
+	"continue": true, "do": true,
+}
+
+// Token is a lexical token with its source line for diagnostics.
+type Token struct {
+	Kind TokKind
+	Lit  string
+	Val  int64 // for TokInt
+	Line int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.Lit)
+}
+
+// punct operators, longest first so the lexer is greedy.
+var puncts = []string{
+	"<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "<<", ">>",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+	"(", ")", "{", "}", "[", "]", ";", ",",
+}
+
+// Lex tokenizes src. Comments (// and /* */) are skipped. An invalid
+// rune produces an error naming its line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			i += 2
+		case c >= '0' && c <= '9':
+			j := i
+			var v int64
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				v = v*10 + int64(src[j]-'0')
+				j++
+			}
+			toks = append(toks, Token{Kind: TokInt, Lit: src[i:j], Val: v, Line: line})
+			i = j
+		case isLetter(rune(c)):
+			j := i
+			for j < n && (isLetter(rune(src[j])) || src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			word := src[i:j]
+			kind := TokIdent
+			if keywords[word] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Lit: word, Line: line})
+			i = j
+		default:
+			matched := false
+			for _, p := range puncts {
+				if i+len(p) <= n && src[i:i+len(p)] == p {
+					toks = append(toks, Token{Kind: TokPunct, Lit: p, Line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("minic: line %d: invalid character %q", line, c)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line})
+	return toks, nil
+}
+
+func isLetter(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}

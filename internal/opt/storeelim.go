@@ -1,0 +1,73 @@
+package opt
+
+import (
+	"repro/internal/alias"
+	"repro/internal/ir"
+)
+
+// EliminateDeadStores removes block-local dead stores: a store to
+// address p is dead if a later store in the same block overwrites the
+// exact same SSA address before any intervening instruction could
+// observe it — a load that may alias p, a call, or a block exit. Like
+// redundant-load elimination, the pass's power scales directly with
+// the alias oracle: the intervening load kills the store unless aa
+// proves disjointness. Returns the number of stores removed.
+func EliminateDeadStores(f *ir.Func, aa alias.Analysis) int {
+	removed := 0
+	for _, b := range f.Blocks {
+		// For each instruction, decide whether it is a store made dead
+		// by a later overwrite with no observing access in between.
+		dead := make([]bool, len(b.Instrs))
+		for i, in := range b.Instrs {
+			if in.Op != ir.OpStore {
+				continue
+			}
+			addr := in.Args[1]
+		scan:
+			for j := i + 1; j < len(b.Instrs); j++ {
+				later := b.Instrs[j]
+				switch later.Op {
+				case ir.OpStore:
+					if later.Args[1] == addr {
+						dead[i] = true
+						break scan
+					}
+					// A store that may alias writes over part of the
+					// location; conservatively stop (the first store
+					// may still be visible through the aliased cells).
+					if aa.Alias(alias.Loc(addr), alias.Loc(later.Args[1])) != alias.NoAlias {
+						break scan
+					}
+				case ir.OpLoad:
+					if aa.Alias(alias.Loc(addr), alias.Loc(later.Args[0])) != alias.NoAlias {
+						break scan // observed
+					}
+				case ir.OpCall, ir.OpRet, ir.OpBr, ir.OpJmp:
+					break scan // memory escapes the window
+				}
+			}
+		}
+		kept := b.Instrs[:0]
+		for i, in := range b.Instrs {
+			if dead[i] {
+				removed++
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return removed
+}
+
+// CountStores returns the number of store instructions in f.
+func CountStores(f *ir.Func) int {
+	n := 0
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpStore {
+			n++
+		}
+		return true
+	})
+	return n
+}

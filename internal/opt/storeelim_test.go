@@ -1,0 +1,131 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+func TestDeadStoreSameAddress(t *testing.T) {
+	m, aa := setup(t, `
+int f(int *v, int i) {
+  int *p = v + i;
+  *p = 1;
+  *p = 2;
+  return *p;
+}
+`)
+	f := m.FuncByName("f")
+	before := CountStores(f)
+	n := EliminateDeadStores(f, aa)
+	if n != 1 {
+		t.Fatalf("removed %d stores of %d, want 1:\n%s", n, before, f)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadStoreNeedsLT: the overwrite is separated from the first
+// store by a load of v[j] with j > i; only the LT-enabled oracle can
+// prove the load does not observe the store.
+func TestDeadStoreNeedsLT(t *testing.T) {
+	src := `
+int f(int *v, int i, int n) {
+  int s = 0;
+  for (int j = i + 1; j < n; j++) {
+    int *pi = v + i;
+    int *pj = v + j;
+    *pi = s;
+    s += *pj;
+    *pi = s + 1;
+  }
+  return s;
+}
+`
+	mNone := minic.MustCompile("t", src)
+	fNone := mNone.FuncByName("f")
+	if n := EliminateDeadStores(fNone, mayAll{}); n != 0 {
+		t.Errorf("no-info pass removed %d stores, want 0", n)
+	}
+
+	mLT, aa := setup(t, src)
+	fLT := mLT.FuncByName("f")
+	if n := EliminateDeadStores(fLT, aa); n != 1 {
+		t.Errorf("LT-enabled pass removed %d stores, want 1:\n%s", n, fLT)
+	}
+}
+
+func TestDeadStoreBlockedByCall(t *testing.T) {
+	m, aa := setup(t, `
+int f(int *v, int i) {
+  int *p = v + i;
+  *p = 1;
+  mystery();
+  *p = 2;
+  return *p;
+}
+`)
+	f := m.FuncByName("f")
+	if n := EliminateDeadStores(f, aa); n != 0 {
+		t.Errorf("store before call removed (%d)", n)
+	}
+}
+
+// TestDeadStoreSemantics differentially validates the pass.
+func TestDeadStoreSemantics(t *testing.T) {
+	src := `
+int f(int *v, int i, int n) {
+  int s = 0;
+  for (int j = i + 1; j < n; j++) {
+    int *pi = v + i;
+    int *pj = v + j;
+    *pi = s;
+    s += *pj;
+    *pi = s + 1;
+  }
+  return s + v[i];
+}
+`
+	run := func(m *ir.Module) int64 {
+		t.Helper()
+		mach := interp.NewMachine(m, interp.Options{})
+		arr := interp.NewArray("v", 12)
+		for i := 0; i < 12; i++ {
+			arr.Cells[i] = interp.IntVal(int64(5 - i))
+		}
+		v, err := mach.Run("f", interp.PtrTo(arr, 0), interp.IntVal(1), interp.IntVal(10))
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return v.I
+	}
+	want := run(minic.MustCompile("t", src))
+	mOpt, aa := setup(t, src)
+	EliminateDeadStores(mOpt.FuncByName("f"), aa)
+	if got := run(mOpt); got != want {
+		t.Errorf("dead store elimination changed result: %d, want %d", got, want)
+	}
+}
+
+func TestDeadStoreMayAliasOverwriteBlocks(t *testing.T) {
+	// Overwrite through a different, possibly-aliasing address must
+	// NOT make the first store removable.
+	m, aa := setup(t, `
+int f(int *v, int a, int b) {
+  int *p = v + a;
+  int *q = v + b;
+  *p = 1;
+  *q = 2;
+  return *p;
+}
+`)
+	f := m.FuncByName("f")
+	if n := EliminateDeadStores(f, aa); n != 0 {
+		t.Errorf("removed %d stores under may-alias overwrite", n)
+	}
+	_ = alias.MayAlias
+}

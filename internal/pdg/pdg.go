@@ -1,0 +1,183 @@
+// Package pdg builds the Program Dependence Graph used in the
+// paper's applicability study (Section 4.3, Figure 12). Following the
+// FlowTracker construction, the graph has one node per SSA value and
+// one memory node per equivalence class of memory locations that the
+// supplied alias analysis cannot prove disjoint: a store into a
+// location draws an edge from the stored value to the location's
+// memory node, and a load draws an edge from the memory node to the
+// loaded value.
+//
+// The number of memory nodes is the precision metric: with no alias
+// information every access collapses into one node; perfect
+// information yields one node per independent location.
+package pdg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/alias"
+	"repro/internal/ir"
+)
+
+// Graph is a program dependence graph over one module.
+type Graph struct {
+	// ValueNodes is the number of SSA value nodes.
+	ValueNodes int
+	// MemNodes is the number of memory nodes after merging by alias.
+	MemNodes int
+	// Edges is the number of dependence edges.
+	Edges int
+
+	// memClass maps each accessed pointer to its memory node id.
+	memClass map[ir.Value]int
+	// edges are (from, to) pairs over node labels, for rendering.
+	edgeList [][2]string
+}
+
+// Build constructs the PDG of m, merging memory locations that aa
+// reports as possibly aliasing. Queries are made across the whole
+// module: analyses that cannot relate pointers from different
+// functions conservatively merge them, matching the behaviour the
+// paper describes for inter-procedural LT versus intra-procedural BA.
+func Build(m *ir.Module, aa alias.Analysis) *Graph {
+	g := &Graph{memClass: map[ir.Value]int{}}
+
+	// Collect accessed locations in deterministic order.
+	var accessed []ir.Value
+	seen := map[ir.Value]bool{}
+	add := func(p ir.Value) {
+		if !seen[p] {
+			seen[p] = true
+			accessed = append(accessed, p)
+		}
+	}
+	for _, f := range m.Funcs {
+		f.Instrs(func(in *ir.Instr) bool {
+			switch in.Op {
+			case ir.OpLoad:
+				add(in.Args[0])
+			case ir.OpStore:
+				add(in.Args[1])
+			}
+			if in.HasResult() {
+				g.ValueNodes++
+			}
+			return true
+		})
+	}
+
+	// Union-find over locations.
+	parent := make([]int, len(accessed))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for i := 0; i < len(accessed); i++ {
+		for j := i + 1; j < len(accessed); j++ {
+			if find(i) == find(j) {
+				continue
+			}
+			if aa.Alias(alias.Loc(accessed[i]), alias.Loc(accessed[j])) != alias.NoAlias {
+				union(i, j)
+			}
+		}
+	}
+	// Densify class ids.
+	classOf := map[int]int{}
+	for i, p := range accessed {
+		root := find(i)
+		id, ok := classOf[root]
+		if !ok {
+			id = len(classOf)
+			classOf[root] = id
+		}
+		g.memClass[p] = id
+	}
+	g.MemNodes = len(classOf)
+
+	// Count dependence edges: def-use plus memory edges.
+	for _, f := range m.Funcs {
+		f.Instrs(func(in *ir.Instr) bool {
+			switch in.Op {
+			case ir.OpStore:
+				g.Edges++ // value -> memory node
+				g.edgeList = append(g.edgeList,
+					[2]string{in.Args[0].Ref(), g.memLabel(in.Args[1])})
+			case ir.OpLoad:
+				g.Edges++ // memory node -> value
+				g.edgeList = append(g.edgeList,
+					[2]string{g.memLabel(in.Args[0]), in.Ref()})
+			}
+			for _, a := range in.Args {
+				if _, ok := a.(*ir.Instr); ok {
+					g.Edges++
+				}
+			}
+			return true
+		})
+	}
+	return g
+}
+
+func (g *Graph) memLabel(p ir.Value) string {
+	return fmt.Sprintf("mem%d", g.memClass[p])
+}
+
+// MemNodeOf returns the memory node id of an accessed pointer, or -1
+// if p was never used as a load/store address.
+func (g *Graph) MemNodeOf(p ir.Value) int {
+	if id, ok := g.memClass[p]; ok {
+		return id
+	}
+	return -1
+}
+
+// Dot renders the memory portion of the graph in Graphviz syntax.
+func (g *Graph) Dot() string {
+	var sb strings.Builder
+	sb.WriteString("digraph pdg {\n")
+	nodes := map[string]bool{}
+	edges := append([][2]string(nil), g.edgeList...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		nodes[e[0]] = true
+		nodes[e[1]] = true
+	}
+	var names []string
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		shape := "ellipse"
+		if strings.HasPrefix(n, "mem") {
+			shape = "box"
+		}
+		fmt.Fprintf(&sb, "  %q [shape=%s];\n", n, shape)
+	}
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "  %q -> %q;\n", e[0], e[1])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

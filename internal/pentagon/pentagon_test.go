@@ -1,0 +1,249 @@
+package pentagon
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/rangeanal"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	return minic.MustCompile("t", src)
+}
+
+func valueByName(f *ir.Func, name string) ir.Value {
+	for _, p := range f.Params {
+		if p.PName == name {
+			return p
+		}
+	}
+	var out ir.Value
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.HasResult() && in.Name() == name {
+			out = in
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+func TestSubtractionRule(t *testing.T) {
+	// The case the paper credits to Pentagons (Section 5): at
+	// x1 = x2 - x3 with x3 > 0, infer x1 < x2 — even with a variable
+	// amount, via the interval component.
+	m := ir.MustParse(`
+func @f(i64 %a, i64 %n) i64 {
+entry:
+  %c = icmp gt %n, 0
+  br %c, pos, done
+pos:
+  %x = sub %a, %n
+  %y = add %x, %a
+  ret %y
+done:
+  ret 0
+}
+`)
+	f := m.FuncByName("f")
+	a := AnalyzeFunc(f)
+	x := valueByName(f, "x")
+	av := valueByName(f, "a")
+	if !a.LessThan(x, av) {
+		t.Errorf("x = a - n (n > 0) did not yield x < a")
+	}
+	if a.LessThan(av, x) {
+		t.Error("claims a < x")
+	}
+}
+
+func TestBranchRefinement(t *testing.T) {
+	m := compile(t, `
+int f(int a, int b) {
+  if (a < b) {
+    return a + b;
+  }
+  return 0;
+}
+`)
+	f := m.FuncByName("f")
+	an := AnalyzeFunc(f)
+	// In the then-block, a < b must hold at block entry.
+	var then *ir.Block
+	for _, blk := range f.Blocks {
+		if blk.Name() == "if.then" {
+			then = blk
+		}
+	}
+	if then == nil {
+		t.Fatalf("if.then not found:\n%s", f)
+	}
+	a, b := ir.Value(f.Params[0]), ir.Value(f.Params[1])
+	if !an.LessThanAt(a, b, then) {
+		t.Errorf("a < b not known in then-block")
+	}
+	if an.LessThanAt(b, a, then) {
+		t.Error("claims b < a in then-block")
+	}
+}
+
+func TestJoinDropsOneSided(t *testing.T) {
+	m := compile(t, `
+int f(int a, int b, int c) {
+  int x;
+  if (c) {
+    x = a + 1;
+  } else {
+    x = b;
+  }
+  return x + a;
+}
+`)
+	f := m.FuncByName("f")
+	an := AnalyzeFunc(f)
+	var phi *ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpPhi && ir.IsInt(in.Typ) {
+			phi = in
+		}
+		return true
+	})
+	if phi == nil {
+		t.Fatalf("no phi:\n%s", f)
+	}
+	a := ir.Value(f.Params[0])
+	// a < x held only on one arm: the join must drop it.
+	if an.LessThan(a, phi) {
+		t.Error("one-sided fact survived the join")
+	}
+}
+
+func TestIntervalComponent(t *testing.T) {
+	m := compile(t, `
+int f() {
+  int s = 0;
+  for (int i = 0; i < 10; i++) {
+    s = s + 2;
+  }
+  return s;
+}
+`)
+	f := m.FuncByName("f")
+	an := AnalyzeFunc(f)
+	// The induction phi is bounded below by 0.
+	var phi *ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpPhi && ir.IsInt(in.Typ) {
+			for _, arg := range in.Args {
+				if c, ok := arg.(*ir.Const); ok && c.Val == 0 {
+					phi = in
+				}
+			}
+		}
+		return true
+	})
+	if phi == nil {
+		t.Fatalf("no induction phi:\n%s", f)
+	}
+	iv := an.Range(phi)
+	if iv.Lo < 0 {
+		t.Errorf("induction variable lower bound = %v, want >= 0", iv)
+	}
+	_ = rangeanal.Top
+}
+
+func TestLoopTerminationAndSoundness(t *testing.T) {
+	// A loop whose bounds grow must still converge (widening) and not
+	// claim false facts.
+	m := compile(t, `
+int f(int n) {
+  int x = 0;
+  int y = 1;
+  while (x < n) {
+    x = x + 1;
+    y = y + x;
+  }
+  return y - x;
+}
+`)
+	f := m.FuncByName("f")
+	an := AnalyzeFunc(f)
+	// x and y are incomparable across iterations (y grows faster but
+	// the analysis must not invent x < y facts beyond what transfer
+	// justifies; whatever it claims, it must not claim y < x since
+	// y starts above and grows faster).
+	var xPhi, yPhi *ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpPhi && ir.IsInt(in.Typ) {
+			for _, arg := range in.Args {
+				if c, ok := arg.(*ir.Const); ok {
+					if c.Val == 0 {
+						xPhi = in
+					}
+					if c.Val == 1 {
+						yPhi = in
+					}
+				}
+			}
+		}
+		return true
+	})
+	if xPhi == nil || yPhi == nil {
+		t.Fatalf("phis not found:\n%s", f)
+	}
+	if an.LessThan(yPhi, xPhi) {
+		t.Error("claims y < x")
+	}
+}
+
+func TestDenseStateCost(t *testing.T) {
+	// The dense analysis materializes a state per block; the count
+	// must scale with blocks x variables (the cost Section 5's
+	// sparsity argument is about).
+	m := compile(t, `
+int f(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) {
+    if (i < 5) { s += 1; } else { s += 2; }
+    for (int j = i; j < n; j++) {
+      s += j - i;
+    }
+  }
+  return s;
+}
+`)
+	f := m.FuncByName("f")
+	an := AnalyzeFunc(f)
+	if an.States == 0 {
+		t.Fatal("no dense states recorded")
+	}
+	if an.States < len(f.Blocks) {
+		t.Errorf("state count %d below block count %d", an.States, len(f.Blocks))
+	}
+}
+
+func TestAgainstSparseOnKernel(t *testing.T) {
+	// On the guarded-access kernel both engines prove the ordering.
+	m := compile(t, `
+int f(int a, int b, int *v) {
+  if (a < b) {
+    return v[a] + v[b];
+  }
+  return 0;
+}
+`)
+	f := m.FuncByName("f")
+	an := AnalyzeFunc(f)
+	var then *ir.Block
+	for _, blk := range f.Blocks {
+		if blk.Name() == "if.then" {
+			then = blk
+		}
+	}
+	a, b := ir.Value(f.Params[0]), ir.Value(f.Params[1])
+	if !an.LessThanAt(a, b, then) {
+		t.Error("pentagon missed the guard fact")
+	}
+}

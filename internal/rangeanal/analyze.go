@@ -1,0 +1,351 @@
+package rangeanal
+
+import (
+	"repro/internal/ir"
+)
+
+// Result holds the computed ranges for one module or function.
+type Result struct {
+	ranges map[ir.Value]Interval
+}
+
+// Range returns the interval of v. Constants evaluate directly;
+// pointer-typed and unanalyzed values report Top.
+func (r *Result) Range(v ir.Value) Interval {
+	if c, ok := v.(*ir.Const); ok {
+		return Point(c.Val)
+	}
+	if iv, ok := r.ranges[v]; ok {
+		return iv
+	}
+	return Top
+}
+
+// IsStrictlyPositive reports whether v > 0 always holds. Implements
+// essa.RangeOracle.
+func (r *Result) IsStrictlyPositive(v ir.Value) bool {
+	iv := r.Range(v)
+	return !iv.IsEmpty() && iv.Lo > 0
+}
+
+// IsStrictlyNegative reports whether v < 0 always holds. Implements
+// essa.RangeOracle.
+func (r *Result) IsStrictlyNegative(v ir.Value) bool {
+	iv := r.Range(v)
+	return !iv.IsEmpty() && iv.Hi < 0
+}
+
+// IsNonNegative reports whether v >= 0 always holds.
+func (r *Result) IsNonNegative(v ir.Value) bool {
+	iv := r.Range(v)
+	return !iv.IsEmpty() && iv.Lo >= 0
+}
+
+// widenThreshold is how many growing updates a node tolerates before
+// its bounds jump to infinity.
+const widenThreshold = 4
+
+// narrowPasses is how many descending sweeps refine the widened fixed
+// point using sigma constraints.
+const narrowPasses = 3
+
+// Analyze computes ranges for every integer SSA value in m,
+// inter-procedurally: parameters union the actual arguments of all
+// call sites (functions with no in-module caller, such as entry
+// points, get Top parameters), and call results union the callee's
+// return ranges.
+func Analyze(m *ir.Module) *Result {
+	a := newAnalysis()
+	for _, f := range m.Funcs {
+		a.addFunc(f)
+	}
+	// Inter-procedural edges.
+	callers := map[*ir.Func]int{}
+	for _, f := range m.Funcs {
+		f.Instrs(func(in *ir.Instr) bool {
+			if in.Op == ir.OpCall && in.Callee != nil {
+				callers[in.Callee]++
+				for i, arg := range in.Args {
+					if i < len(in.Callee.Params) {
+						a.addCallArg(arg, in.Callee.Params[i])
+					}
+				}
+				for _, ret := range a.rets[in.Callee] {
+					a.addDep(ret, in)
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range m.Funcs {
+		if callers[f] == 0 {
+			// Externally callable: parameters unconstrained.
+			for _, p := range f.Params {
+				if ir.IsInt(p.Typ) {
+					a.external[p] = true
+				}
+			}
+		}
+	}
+	a.solve()
+	return &Result{ranges: a.env}
+}
+
+// AnalyzeFunc computes ranges for a single function with Top
+// parameters (intra-procedural mode, used by tests and ablations).
+func AnalyzeFunc(f *ir.Func) *Result {
+	a := newAnalysis()
+	a.addFunc(f)
+	for _, p := range f.Params {
+		if ir.IsInt(p.Typ) {
+			a.external[p] = true
+		}
+	}
+	a.solve()
+	return &Result{ranges: a.env}
+}
+
+type analysis struct {
+	env  map[ir.Value]Interval
+	deps map[ir.Value][]ir.Value // value -> nodes to re-evaluate on change
+	// callArgs[param] lists the actual arguments feeding it.
+	callArgs map[*ir.Param][]ir.Value
+	// rets[f] lists the values returned by f.
+	rets map[*ir.Func][]ir.Value
+	// external marks parameters with no analyzable call sites.
+	external map[ir.Value]bool
+	nodes    []ir.Value
+	widenCnt map[ir.Value]int
+}
+
+func newAnalysis() *analysis {
+	return &analysis{
+		env:      map[ir.Value]Interval{},
+		deps:     map[ir.Value][]ir.Value{},
+		callArgs: map[*ir.Param][]ir.Value{},
+		rets:     map[*ir.Func][]ir.Value{},
+		external: map[ir.Value]bool{},
+		widenCnt: map[ir.Value]int{},
+	}
+}
+
+func (a *analysis) addDep(from, to ir.Value) {
+	if _, isConst := from.(*ir.Const); isConst {
+		return
+	}
+	a.deps[from] = append(a.deps[from], to)
+}
+
+func (a *analysis) addCallArg(arg ir.Value, p *ir.Param) {
+	if !ir.IsInt(p.Typ) {
+		return
+	}
+	a.callArgs[p] = append(a.callArgs[p], arg)
+	a.addDep(arg, p)
+}
+
+func (a *analysis) addFunc(f *ir.Func) {
+	for _, p := range f.Params {
+		if ir.IsInt(p.Typ) {
+			a.nodes = append(a.nodes, p)
+			a.env[p] = Bottom
+		}
+	}
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpRet && len(in.Args) == 1 {
+			a.rets[f] = append(a.rets[f], in.Args[0])
+		}
+		if !in.HasResult() || !ir.IsInt(in.Typ) {
+			return true
+		}
+		a.nodes = append(a.nodes, in)
+		a.env[in] = Bottom
+		for _, arg := range in.Args {
+			a.addDep(arg, in)
+		}
+		if in.Op == ir.OpSigma {
+			// The sigma's refinement also depends on the other
+			// compare operand.
+			other := in.Cmp.Args[1-in.CmpSide]
+			a.addDep(other, in)
+		}
+		return true
+	})
+}
+
+func (a *analysis) get(v ir.Value) Interval {
+	if c, ok := v.(*ir.Const); ok {
+		return Point(c.Val)
+	}
+	if iv, ok := a.env[v]; ok {
+		return iv
+	}
+	return Top // pointers, undef, globals: unconstrained
+}
+
+// eval computes the abstract value of a node from the current
+// environment.
+func (a *analysis) eval(v ir.Value) Interval {
+	switch n := v.(type) {
+	case *ir.Param:
+		if a.external[n] {
+			return Top
+		}
+		out := Bottom
+		for _, arg := range a.callArgs[n] {
+			out = Union(out, a.get(arg))
+		}
+		return out
+	case *ir.Instr:
+		return a.evalInstr(n)
+	}
+	return Top
+}
+
+func (a *analysis) evalInstr(in *ir.Instr) Interval {
+	arg := func(i int) Interval { return a.get(in.Args[i]) }
+	switch in.Op {
+	case ir.OpAdd:
+		return Add(arg(0), arg(1))
+	case ir.OpSub:
+		return Sub(arg(0), arg(1))
+	case ir.OpMul:
+		return Mul(arg(0), arg(1))
+	case ir.OpDiv:
+		return Div(arg(0), arg(1))
+	case ir.OpRem:
+		return Rem(arg(0), arg(1))
+	case ir.OpAnd:
+		// x & m with a non-negative constant mask is within [0, m].
+		if c, ok := in.Args[1].(*ir.Const); ok && c.Val >= 0 {
+			return Interval{0, c.Val}
+		}
+		if c, ok := in.Args[0].(*ir.Const); ok && c.Val >= 0 {
+			return Interval{0, c.Val}
+		}
+		return Top
+	case ir.OpICmp:
+		return Interval{0, 1}
+	case ir.OpPhi:
+		out := Bottom
+		for _, v := range in.Args {
+			out = Union(out, a.get(v))
+		}
+		return out
+	case ir.OpSigma:
+		src := a.get(in.Args[0])
+		bound := a.get(in.Cmp.Args[1-in.CmpSide])
+		pred := in.Cmp.Pred
+		if in.CmpSide == 1 {
+			pred = pred.Swap()
+		}
+		if !in.OnTrue {
+			pred = pred.Negate()
+		}
+		return Intersect(src, refine(pred, bound))
+	case ir.OpCopy:
+		return a.get(in.Args[0])
+	case ir.OpCall:
+		if in.Callee == nil {
+			return Top
+		}
+		out := Bottom
+		for _, ret := range a.rets[in.Callee] {
+			out = Union(out, a.get(ret))
+		}
+		if len(a.rets[in.Callee]) == 0 {
+			return Top
+		}
+		return out
+	}
+	// Loads, shifts, xor/or, malloc sizes escaping analysis: Top.
+	return Top
+}
+
+// refine returns the interval a value must lie in when it stands in
+// relation pred to some value in bound.
+func refine(pred ir.CmpPred, bound Interval) Interval {
+	if bound.IsEmpty() {
+		// The bound is not yet evaluated (ascending phase): no
+		// constraint can be applied soundly except through pred's
+		// shape with infinite endpoints.
+		bound = Top
+	}
+	switch pred {
+	case ir.CmpLT:
+		if bound.Hi == PosInf {
+			return Top
+		}
+		return Interval{NegInf, bound.Hi - 1}
+	case ir.CmpLE:
+		return Interval{NegInf, bound.Hi}
+	case ir.CmpGT:
+		if bound.Lo == NegInf {
+			return Top
+		}
+		return Interval{bound.Lo + 1, PosInf}
+	case ir.CmpGE:
+		return Interval{bound.Lo, PosInf}
+	case ir.CmpEQ:
+		return bound
+	case ir.CmpNE:
+		return Top
+	}
+	return Top
+}
+
+func (a *analysis) solve() {
+	// Ascending phase with widening.
+	work := append([]ir.Value(nil), a.nodes...)
+	inWork := make(map[ir.Value]bool, len(work))
+	for _, n := range work {
+		inWork[n] = true
+	}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		inWork[n] = false
+		next := a.eval(n)
+		cur := a.env[n]
+		if next.Eq(cur) {
+			continue
+		}
+		grew := Union(cur, next)
+		if !grew.Eq(cur) {
+			a.widenCnt[n]++
+			if a.widenCnt[n] > widenThreshold {
+				next = Widen(cur, next)
+			} else {
+				next = grew
+			}
+		}
+		if next.Eq(cur) {
+			continue
+		}
+		a.env[n] = next
+		for _, d := range a.deps[n] {
+			if !inWork[d] {
+				inWork[d] = true
+				work = append(work, d)
+			}
+		}
+	}
+	// Descending (narrowing) phase: a bounded number of sweeps lets
+	// sigma intersections pull infinite bounds back to the branch
+	// limits without endangering termination.
+	for pass := 0; pass < narrowPasses; pass++ {
+		changed := false
+		for _, n := range a.nodes {
+			next := a.eval(n)
+			cur := a.env[n]
+			refined := Intersect(cur, next)
+			if !refined.Eq(cur) {
+				a.env[n] = refined
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package soundcheck validates the static analyses against concrete
+// executions — an executable rendition of the paper's adequacy
+// theorem. Theorem 3.9 and Corollary 3.10 state that whenever
+// x' ∈ LT(x) and both variables are simultaneously alive, the dynamic
+// value of x' is strictly below that of x. The checker instruments
+// the reference interpreter: at every basic-block entry it inspects
+// every pair of live-in variables related by the analysis under test
+// and compares their concrete values.
+//
+// Two checkers are provided: CheckLT validates the less-than sets of
+// internal/core, and CheckAlias validates NoAlias/MustAlias claims of
+// any alias.Analysis (a NoAlias pair must never hold overlapping
+// concrete locations while both are live; a MustAlias pair must
+// always hold identical ones). The test suites drive both over the
+// paper's kernels and over hundreds of random Csmith-style programs.
+package soundcheck
+
+import (
+	"fmt"
+
+	"repro/internal/alias"
+	"repro/internal/cfg"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// LessThanOracle is any engine claiming strict orderings between SSA
+// values: core.Result and abcd.Analysis both implement it.
+type LessThanOracle interface {
+	LessThan(a, b ir.Value) bool
+}
+
+// Report aggregates checker results.
+type Report struct {
+	// Violations describes each observed counterexample.
+	Violations []string
+	// ChecksPerformed counts individual pair comparisons.
+	ChecksPerformed int
+	// BlocksVisited counts traced block entries.
+	BlocksVisited int
+}
+
+// Ok reports whether no violation was observed.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+func (r *Report) violate(format string, args ...any) {
+	if len(r.Violations) < 20 { // cap the report, keep counting cheap
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// ltPairs precomputes, per function, the list of (lesser, greater)
+// value pairs to check at each block: both live-in and related by LT.
+type ltPairs struct {
+	perBlock map[*ir.Block][][2]ir.Value
+}
+
+func buildLTPairs(f *ir.Func, lt LessThanOracle) *ltPairs {
+	lv := cfg.NewLiveness(f)
+	out := &ltPairs{perBlock: map[*ir.Block][][2]ir.Value{}}
+	for _, b := range f.Blocks {
+		var live []ir.Value
+		for v := range lv.LiveInSet(b) {
+			live = append(live, v)
+		}
+		for i := 0; i < len(live); i++ {
+			for j := 0; j < len(live); j++ {
+				if i == j {
+					continue
+				}
+				if lt.LessThan(live[i], live[j]) {
+					out.perBlock[b] = append(out.perBlock[b],
+						[2]ir.Value{live[i], live[j]})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckLT executes entry(args...) under instrumentation and validates
+// Corollary 3.10: for every block entry and every pair of live-in
+// variables with a ∈ LT(b), the concrete value of a is strictly less
+// than that of b. Pointer pairs are compared when they reference the
+// same memory object; pointers into distinct objects have no defined
+// order and are skipped (the interpreter already rejects executions
+// that would compare them).
+func CheckLT(m *ir.Module, lt LessThanOracle, entry string, args ...interp.Val) (*Report, error) {
+	rep := &Report{}
+	pairCache := map[*ir.Func]*ltPairs{}
+	mach := interp.NewMachine(m, interp.Options{
+		TraceBlock: func(fn *ir.Func, blk *ir.Block, get func(ir.Value) (interp.Val, bool)) {
+			rep.BlocksVisited++
+			pairs, ok := pairCache[fn]
+			if !ok {
+				pairs = buildLTPairs(fn, lt)
+				pairCache[fn] = pairs
+			}
+			for _, p := range pairs.perBlock[blk] {
+				av, aok := get(p[0])
+				bv, bok := get(p[1])
+				if !aok || !bok {
+					continue
+				}
+				rep.ChecksPerformed++
+				if av.IsPtr() != bv.IsPtr() {
+					continue
+				}
+				if av.IsPtr() {
+					if av.Obj != bv.Obj {
+						continue
+					}
+					if av.Off >= bv.Off {
+						rep.violate("@%s %s: LT claims %s < %s but %s >= %s",
+							fn.FName, blk.Name(), p[0].Ref(), p[1].Ref(), av, bv)
+					}
+					continue
+				}
+				if av.I >= bv.I {
+					rep.violate("@%s %s: LT claims %s < %s but %d >= %d",
+						fn.FName, blk.Name(), p[0].Ref(), p[1].Ref(), av.I, bv.I)
+				}
+			}
+		},
+	})
+	_, err := mach.Run(entry, args...)
+	return rep, err
+}
+
+// aliasPairs precomputes, per function and block, the live-in pointer
+// pairs with a definitive static verdict.
+type aliasPair struct {
+	a, b    ir.Value
+	verdict alias.Result
+}
+
+func buildAliasPairs(f *ir.Func, aa alias.Analysis) map[*ir.Block][]aliasPair {
+	lv := cfg.NewLiveness(f)
+	out := map[*ir.Block][]aliasPair{}
+	for _, b := range f.Blocks {
+		var ptrs []ir.Value
+		for v := range lv.LiveInSet(b) {
+			if ir.IsPtr(v.Type()) {
+				ptrs = append(ptrs, v)
+			}
+		}
+		for i := 0; i < len(ptrs); i++ {
+			for j := i + 1; j < len(ptrs); j++ {
+				v := aa.Alias(alias.Loc(ptrs[i]), alias.Loc(ptrs[j]))
+				if v != alias.MayAlias {
+					out[b] = append(out[b], aliasPair{ptrs[i], ptrs[j], v})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckAlias executes entry(args...) and validates every definitive
+// alias verdict of aa on simultaneously-live pointer pairs: NoAlias
+// pairs must never overlap (same object, ranges within element size
+// intersecting), MustAlias pairs must always coincide exactly.
+func CheckAlias(m *ir.Module, aa alias.Analysis, entry string, args ...interp.Val) (*Report, error) {
+	rep := &Report{}
+	cache := map[*ir.Func]map[*ir.Block][]aliasPair{}
+	mach := interp.NewMachine(m, interp.Options{
+		TraceBlock: func(fn *ir.Func, blk *ir.Block, get func(ir.Value) (interp.Val, bool)) {
+			rep.BlocksVisited++
+			pairs, ok := cache[fn]
+			if !ok {
+				pairs = buildAliasPairs(fn, aa)
+				cache[fn] = pairs
+			}
+			for _, p := range pairs[blk] {
+				av, aok := get(p.a)
+				bv, bok := get(p.b)
+				if !aok || !bok || !av.IsPtr() || !bv.IsPtr() {
+					continue
+				}
+				rep.ChecksPerformed++
+				same := av.Obj == bv.Obj && av.Off == bv.Off
+				switch p.verdict {
+				case alias.NoAlias:
+					if same {
+						rep.violate("@%s %s: NoAlias(%s, %s) but both at %s",
+							fn.FName, blk.Name(), p.a.Ref(), p.b.Ref(), av)
+					}
+				case alias.MustAlias:
+					if !same {
+						rep.violate("@%s %s: MustAlias(%s, %s) but %s != %s",
+							fn.FName, blk.Name(), p.a.Ref(), p.b.Ref(), av, bv)
+					}
+				}
+			}
+		},
+	})
+	_, err := mach.Run(entry, args...)
+	return rep, err
+}

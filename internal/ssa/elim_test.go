@@ -1,0 +1,187 @@
+package ssa
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// elimTestPrograms are executable IR programs used to differentially
+// test the out-of-SSA translation (the interpreter lives in a package
+// that depends on this one, so the execution-based differential tests
+// are in internal/essa and internal/interp; here the checks are
+// structural).
+func TestEliminateStructure(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %n) i64 {
+entry:
+  jmp head
+head:
+  %i = phi i64 [0, entry], [%i2, body]
+  %s = phi i64 [0, entry], [%s2, body]
+  %c = icmp lt %i, %n
+  br %c, body, exit
+body:
+  %s2 = add %s, %i
+  %i2 = add %i, 1
+  jmp head
+exit:
+  ret %s
+}
+`)
+	f := m.FuncByName("f")
+	n := Eliminate(f)
+	if n != 2 {
+		t.Fatalf("eliminated %d phis, want 2", n)
+	}
+	count := func(op ir.Op) int {
+		c := 0
+		f.Instrs(func(in *ir.Instr) bool {
+			if in.Op == op {
+				c++
+			}
+			return true
+		})
+		return c
+	}
+	if count(ir.OpPhi) != 0 {
+		t.Fatalf("phis remain:\n%s", f)
+	}
+	if count(ir.OpAlloca) != 2 {
+		t.Errorf("slots = %d, want 2", count(ir.OpAlloca))
+	}
+	// Two preds x two phis = 4 stores; 2 loads.
+	if count(ir.OpStore) != 4 {
+		t.Errorf("stores = %d, want 4:\n%s", count(ir.OpStore), f)
+	}
+	if count(ir.OpLoad) != 2 {
+		t.Errorf("loads = %d, want 2", count(ir.OpLoad))
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	if err := VerifySSA(f); err != nil {
+		t.Fatalf("per-name SSA broken: %v\n%s", err, f)
+	}
+}
+
+func TestEliminateSigmaCopies(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %a, i64 %b) i64 {
+entry:
+  %c = icmp lt %a, %b
+  br %c, then, else
+then:
+  %at = sigma %a, cmp %c, true, left
+  %x = add %at, 1
+  ret %x
+else:
+  %d = sub %a, 1
+  %ac = copy %a, sub %d
+  %y = add %ac, 2
+  ret %y
+}
+`)
+	f := m.FuncByName("f")
+	Eliminate(f)
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpSigma || in.Op == ir.OpCopy {
+			t.Errorf("copy-like instruction survived: %s", in)
+		}
+		return true
+	})
+	// The adds must now use %a directly.
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpAdd {
+			if in.Args[0] != ir.Value(f.Params[0]) {
+				t.Errorf("add does not use %%a after folding: %s", in)
+			}
+		}
+		return true
+	})
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEliminatePromoteRoundTrip: Promote must fully recover SSA form
+// from the slot-based translation.
+func TestEliminatePromoteRoundTrip(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %n) i64 {
+entry:
+  jmp head
+head:
+  %i = phi i64 [0, entry], [%i2, body]
+  %c = icmp lt %i, %n
+  br %c, body, exit
+body:
+  %i2 = add %i, 1
+  jmp head
+exit:
+  ret %i
+}
+`)
+	f := m.FuncByName("f")
+	Eliminate(f)
+	promoted := Promote(f)
+	if promoted == 0 {
+		t.Fatal("Promote recovered nothing")
+	}
+	remaining := 0
+	f.Instrs(func(in *ir.Instr) bool {
+		switch in.Op {
+		case ir.OpAlloca, ir.OpLoad, ir.OpStore:
+			remaining++
+		}
+		return true
+	})
+	if remaining != 0 {
+		t.Errorf("%d memory ops remain after round trip:\n%s", remaining, f)
+	}
+	if err := VerifySSA(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEliminateSwapProblem: the classic swap pattern — two phis
+// exchanging values through a loop — must translate correctly (the
+// memory-slot strategy is immune by construction; this pins it).
+func TestEliminateSwapProblem(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %n) i64 {
+entry:
+  jmp head
+head:
+  %x = phi i64 [1, entry], [%y, latch]
+  %y = phi i64 [2, entry], [%x, latch]
+  %i = phi i64 [0, entry], [%i2, latch]
+  %c = icmp lt %i, %n
+  br %c, latch, exit
+latch:
+  %i2 = add %i, 1
+  jmp head
+exit:
+  %r = mul %x, 10
+  %r2 = add %r, %y
+  ret %r2
+}
+`)
+	f := m.FuncByName("f")
+	Eliminate(f)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	// Semantics checked differentially in interp-side tests; here the
+	// structure must at least keep distinct slots for x and y.
+	slots := 0
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpAlloca {
+			slots++
+		}
+		return true
+	})
+	if slots != 3 {
+		t.Errorf("slots = %d, want 3", slots)
+	}
+}

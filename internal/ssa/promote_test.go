@@ -1,0 +1,320 @@
+package ssa
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// countOps returns how many instructions with the given op remain.
+func countOps(f *ir.Func, op ir.Op) int {
+	n := 0
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == op {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+func TestPromoteStraightLine(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %a) i64 {
+entry:
+  %x = alloca i64, 1
+  store %a, %x
+  %v = load %x
+  %v2 = add %v, 1
+  store %v2, %x
+  %v3 = load %x
+  ret %v3
+}
+`)
+	f := m.FuncByName("f")
+	if n := Promote(f); n != 1 {
+		t.Fatalf("promoted %d allocas, want 1", n)
+	}
+	if countOps(f, ir.OpAlloca) != 0 || countOps(f, ir.OpLoad) != 0 || countOps(f, ir.OpStore) != 0 {
+		t.Fatalf("memory ops remain:\n%s", f)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	if err := VerifySSA(f); err != nil {
+		t.Fatalf("ssa verify: %v\n%s", err, f)
+	}
+	// The returned value must be the add.
+	ret := f.Blocks[0].Term()
+	add, ok := ret.Args[0].(*ir.Instr)
+	if !ok || add.Op != ir.OpAdd {
+		t.Fatalf("ret operand = %v, want the add", ret.Args[0])
+	}
+}
+
+func TestPromoteDiamondPhi(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %a, i64 %b) i64 {
+entry:
+  %x = alloca i64, 1
+  %c = icmp lt %a, %b
+  br %c, then, else
+then:
+  store %a, %x
+  jmp join
+else:
+  store %b, %x
+  jmp join
+join:
+  %v = load %x
+  ret %v
+}
+`)
+	f := m.FuncByName("f")
+	Promote(f)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	if err := VerifySSA(f); err != nil {
+		t.Fatalf("ssa verify: %v\n%s", err, f)
+	}
+	// join must now begin with a phi merging %a and %b.
+	var join *ir.Block
+	for _, b := range f.Blocks {
+		if b.Name() == "join" {
+			join = b
+		}
+	}
+	phis := join.Phis()
+	if len(phis) != 1 {
+		t.Fatalf("join has %d phis, want 1:\n%s", len(phis), f)
+	}
+	got := map[string]bool{}
+	for _, a := range phis[0].Args {
+		got[a.Name()] = true
+	}
+	if !got["a"] || !got["b"] {
+		t.Errorf("phi args = %v, want {a, b}", phis[0].Args)
+	}
+}
+
+func TestPromoteLoop(t *testing.T) {
+	// i = 0; while (i < n) i = i + 1; return i
+	m := ir.MustParse(`
+func @f(i64 %n) i64 {
+entry:
+  %i = alloca i64, 1
+  store 0, %i
+  jmp head
+head:
+  %v = load %i
+  %c = icmp lt %v, %n
+  br %c, body, exit
+body:
+  %v2 = load %i
+  %v3 = add %v2, 1
+  store %v3, %i
+  jmp head
+exit:
+  %r = load %i
+  ret %r
+}
+`)
+	f := m.FuncByName("f")
+	Promote(f)
+	if err := VerifySSA(f); err != nil {
+		t.Fatalf("ssa verify: %v\n%s", err, f)
+	}
+	if countOps(f, ir.OpPhi) != 1 {
+		t.Fatalf("want exactly 1 phi in loop header:\n%s", f)
+	}
+	if countOps(f, ir.OpLoad)+countOps(f, ir.OpStore)+countOps(f, ir.OpAlloca) != 0 {
+		t.Fatalf("memory ops remain:\n%s", f)
+	}
+}
+
+func TestPromoteSkipsEscaping(t *testing.T) {
+	// The alloca's address escapes into a call and a GEP: must stay.
+	m := ir.MustParse(`
+func @f(i64 %n) i64 {
+entry:
+  %x = alloca i64, 1
+  %arr = alloca i64, 10
+  %q = gep %x, 1
+  %z = call i64 @ext(%x)
+  %v = load %x
+  ret %v
+}
+`)
+	f := m.FuncByName("f")
+	if n := Promote(f); n != 0 {
+		t.Fatalf("promoted %d allocas, want 0", n)
+	}
+	if countOps(f, ir.OpAlloca) != 2 {
+		t.Errorf("allocas disappeared:\n%s", f)
+	}
+}
+
+func TestPromoteSkipsArrays(t *testing.T) {
+	m := ir.MustParse(`
+func @f() i64 {
+entry:
+  %arr = alloca i64, 4
+  %p = gep %arr, 2
+  store 7, %p
+  %v = load %p
+  ret %v
+}
+`)
+	f := m.FuncByName("f")
+	if n := Promote(f); n != 0 {
+		t.Fatalf("promoted %d allocas, want 0", n)
+	}
+}
+
+func TestPromotePointerSlot(t *testing.T) {
+	// A pointer-typed local (int *p) is itself promotable.
+	m := ir.MustParse(`
+func @f(i64* %v, i64 %i) i64 {
+entry:
+  %p = alloca i64*, 1
+  %e = gep %v, %i
+  store %e, %p
+  %pv = load %p
+  %x = load %pv
+  ret %x
+}
+`)
+	f := m.FuncByName("f")
+	if n := Promote(f); n != 1 {
+		t.Fatalf("promoted %d allocas, want 1", n)
+	}
+	if err := VerifySSA(f); err != nil {
+		t.Fatalf("ssa verify: %v\n%s", err, f)
+	}
+	// Exactly one load remains: the dereference of the element pointer.
+	if countOps(f, ir.OpLoad) != 1 {
+		t.Fatalf("want 1 remaining load:\n%s", f)
+	}
+}
+
+func TestPromoteUndefOnUninitialized(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %a) i64 {
+entry:
+  %x = alloca i64, 1
+  %v = load %x
+  ret %v
+}
+`)
+	f := m.FuncByName("f")
+	Promote(f)
+	ret := f.Blocks[0].Term()
+	if _, ok := ret.Args[0].(*ir.Undef); !ok {
+		t.Errorf("load before store should become undef, got %v", ret.Args[0])
+	}
+}
+
+func TestPromoteRemovesUnreachable(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %a) i64 {
+entry:
+  %x = alloca i64, 1
+  store %a, %x
+  %v = load %x
+  ret %v
+dead:
+  jmp dead2
+dead2:
+  jmp dead
+}
+`)
+	f := m.FuncByName("f")
+	Promote(f)
+	if len(f.Blocks) != 1 {
+		t.Errorf("unreachable blocks remain: %d blocks", len(f.Blocks))
+	}
+	if err := VerifySSA(f); err != nil {
+		t.Fatalf("ssa verify: %v", err)
+	}
+}
+
+func TestVerifySSACatchesViolation(t *testing.T) {
+	m := ir.MustParse(`
+func @f(i64 %a, i64 %b) i64 {
+entry:
+  %c = icmp lt %a, %b
+  br %c, then, join
+then:
+  %x = add %a, 1
+  jmp join
+join:
+  ret %a
+}
+`)
+	f := m.FuncByName("f")
+	if err := VerifySSA(f); err != nil {
+		t.Fatalf("valid function rejected: %v", err)
+	}
+	// Break it: make the ret use %x, which does not dominate join.
+	var x *ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpAdd {
+			x = in
+		}
+		return true
+	})
+	ret := f.Blocks[2].Term()
+	ret.Args = []ir.Value{x}
+	err := VerifySSA(f)
+	if err == nil {
+		t.Fatal("dominance violation not detected")
+	}
+	if !strings.Contains(err.Error(), "dominate") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestPromoteTwoVariablesInterleaved(t *testing.T) {
+	// Paper Figure 1(a) inner pattern: i and j both promoted, swap via tmp.
+	m := ir.MustParse(`
+func @f(i64 %a, i64 %b) i64 {
+entry:
+  %i = alloca i64, 1
+  %j = alloca i64, 1
+  %t = alloca i64, 1
+  store %a, %i
+  store %b, %j
+  %vi = load %i
+  store %vi, %t
+  %vj = load %j
+  store %vj, %i
+  %vt = load %t
+  store %vt, %j
+  %ri = load %i
+  %rj = load %j
+  %s = add %ri, %rj
+  ret %s
+}
+`)
+	f := m.FuncByName("f")
+	if n := Promote(f); n != 3 {
+		t.Fatalf("promoted %d, want 3", n)
+	}
+	if err := VerifySSA(f); err != nil {
+		t.Fatalf("ssa verify: %v\n%s", err, f)
+	}
+	// After swap, i holds %b and j holds %a: the add must see (b, a).
+	var add *ir.Instr
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpAdd {
+			add = in
+		}
+		return true
+	})
+	if add.Args[0].Name() != "b" || add.Args[1].Name() != "a" {
+		t.Errorf("swap miscompiled: add(%s, %s), want add(b, a)",
+			add.Args[0].Name(), add.Args[1].Name())
+	}
+}

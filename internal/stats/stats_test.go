@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPerfectLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{3, 5, 7, 9, 11} // y = 2x + 1
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-9 || math.Abs(fit.Intercept-1) > 1e-9 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-9 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestNoisyLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{2.1, 3.9, 6.2, 7.8, 10.1, 11.9}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v, want > 0.99 for mild noise", fit.R2)
+	}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.99 {
+		t.Errorf("Pearson = %v", r)
+	}
+}
+
+func TestNegativeCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{8, 6, 4, 2}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r+1) > 1e-9 {
+		t.Errorf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("accepted single sample")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := LinearFit([]float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("accepted degenerate xs")
+	}
+}
+
+// TestFitRecoversLineProperty: fitting exact lines recovers slope and
+// intercept for arbitrary parameters.
+func TestFitRecoversLineProperty(t *testing.T) {
+	prop := func(a, b int8, spread uint8) bool {
+		slope := float64(a)
+		intercept := float64(b)
+		n := 3 + int(spread)%10
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = float64(i * (1 + int(spread)%5))
+			ys[i] = slope*xs[i] + intercept
+		}
+		fit, err := LinearFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Slope-slope) < 1e-6 &&
+			math.Abs(fit.Intercept-intercept) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
