@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/csmith"
+	"repro/internal/harness"
 	"repro/internal/minic"
 	"repro/internal/pdg"
 	"repro/internal/pentagon"
@@ -447,6 +448,66 @@ func BenchmarkPipeline(b *testing.B) {
 		prep := core.Prepare(m, core.PipelineOptions{})
 		if prep.LT.Stats.Constraints == 0 {
 			b.Fatal("no constraints")
+		}
+	}
+}
+
+// BenchmarkHarnessOverhead measures what the hardened pipeline
+// (internal/harness: per-stage panic containment, budget tracking,
+// quarantine bookkeeping) costs on the happy path relative to the
+// bare core.Prepare pipeline over the SPEC suite. The wrappers add a
+// deferred recover per stage and a nil budget tracker per solve, so
+// the expected overhead is under 5%; the guard below is deliberately
+// looser to keep CI stable on noisy machines.
+func BenchmarkHarnessOverhead(b *testing.B) {
+	progs := corpus.Spec()
+	runBare := func(b *testing.B) time.Duration {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for _, p := range progs {
+				m, err := minic.Compile(p.Name, p.Source)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prep := core.Prepare(m, core.PipelineOptions{})
+				if prep.LT.Stats.Vars == 0 {
+					b.Fatal("no variables")
+				}
+			}
+		}
+		return time.Since(start)
+	}
+	runHarness := func(b *testing.B) time.Duration {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for _, p := range progs {
+				pipe := harness.New(harness.Config{})
+				res, err := pipe.CompileAndAnalyze(p.Name, p.Source)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.LT.Stats.Vars == 0 {
+					b.Fatal("no variables")
+				}
+				if !pipe.Report().Ok() {
+					b.Fatalf("%s: happy path degraded:\n%s", p.Name, pipe.Report())
+				}
+			}
+		}
+		return time.Since(start)
+	}
+	var bareD, harnessD time.Duration
+	var bareN, harnessN int
+	b.Run("bare", func(b *testing.B) { bareD = runBare(b); bareN = b.N })
+	b.Run("harness", func(b *testing.B) { harnessD = runHarness(b); harnessN = b.N })
+	if bareN > 0 && harnessN > 0 && bareD > 0 {
+		perBare := float64(bareD.Nanoseconds()) / float64(bareN)
+		perHarness := float64(harnessD.Nanoseconds()) / float64(harnessN)
+		ratio := perHarness / perBare
+		b.Logf("harness overhead: bare %.2fms/op, harness %.2fms/op (%.3fx; expected < 1.05x)",
+			perBare/1e6, perHarness/1e6, ratio)
+		if ratio > 1.5 {
+			b.Fatalf("harness overhead out of bounds: %.2fx the bare pipeline", ratio)
 		}
 	}
 }

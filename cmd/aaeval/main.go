@@ -13,10 +13,8 @@ import (
 	"sort"
 
 	"repro/internal/alias"
-	"repro/internal/andersen"
-	"repro/internal/core"
 	"repro/internal/corpus"
-	"repro/internal/minic"
+	"repro/internal/harness"
 )
 
 func main() {
@@ -24,6 +22,9 @@ func main() {
 	n := flag.Int("n", 100, "number of programs for -suite testsuite")
 	withCF := flag.Bool("cf", false, "also evaluate the Andersen-style CF analysis (Figure 10)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	timeout := flag.Duration("timeout", 0, "per-stage analysis deadline per benchmark (0 = unlimited); exhausted stages degrade soundly")
+	maxIters := flag.Int("max-iters", 0, "per-solve worklist step cap (0 = unlimited)")
+	strict := flag.Bool("strict", false, "abort on the first contained failure instead of degrading")
 	flag.Parse()
 
 	var progs []corpus.Program
@@ -45,21 +46,31 @@ func main() {
 	}
 	var rows []row
 	var order []string
+	degradedBenchmarks := 0
 	for _, p := range progs {
-		m, err := minic.Compile(p.Name, p.Source)
+		pipe := harness.New(harness.Config{
+			Timeout:  *timeout,
+			MaxSteps: *maxIters,
+			Strict:   *strict,
+			WithCF:   *withCF,
+		})
+		res, err := pipe.CompileAndAnalyze(p.Name, p.Source)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
 			os.Exit(1)
 		}
-		prep := core.Prepare(m, core.PipelineOptions{})
+		m := res.Module
 		ba := alias.NewBasic(m)
-		lt := alias.NewSRAA(prep.LT)
+		lt := alias.NewSRAA(res.LT)
 		analyses := []alias.Analysis{ba, lt, alias.NewChain(ba, lt)}
 		if *withCF {
-			cf := andersen.Analyze(m)
-			analyses = append(analyses, alias.NewChain(ba, cf))
+			analyses = append(analyses, alias.NewChain(ba, res.CF))
 		}
-		rep := alias.Evaluate(m, analyses...)
+		rep := res.Evaluate(analyses...)
+		if hr := pipe.Report(); !hr.Ok() {
+			degradedBenchmarks++
+			fmt.Fprintf(os.Stderr, "%s: degraded\n%s", p.Name, hr)
+		}
 		r := row{name: p.Name, pct: map[string]float64{}, no: map[string]int{}}
 		order = rep.Order
 		for _, an := range rep.Order {
@@ -98,5 +109,9 @@ func main() {
 			fmt.Printf(" %8.2f%%", r.pct[an])
 		}
 		fmt.Println()
+	}
+	if degradedBenchmarks > 0 {
+		fmt.Fprintf(os.Stderr, "%d benchmark(s) ran degraded; their rows are sound but conservative\n",
+			degradedBenchmarks)
 	}
 }

@@ -16,18 +16,42 @@ import (
 	"time"
 
 	"repro/internal/alias"
-	"repro/internal/andersen"
-	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/csmith"
-	"repro/internal/minic"
-	"repro/internal/pdg"
+	"repro/internal/harness"
 	"repro/internal/stats"
 )
 
+// hcfg carries the hardening flags into every per-program pipeline.
+var hcfg harness.Config
+
+// analyze pushes one program through a fresh hardened pipeline; a
+// frontend or strict-mode failure is fatal, a degraded run is noted
+// on stderr and its conservative results are used as-is.
+func analyze(name, src string, withCF bool) *harness.Result {
+	cfg := hcfg
+	cfg.WithCF = withCF
+	p := harness.New(cfg)
+	res, err := p.CompileAndAnalyze(name, src)
+	if err != nil {
+		fatal(err)
+	}
+	if rep := p.Report(); !rep.Ok() {
+		fmt.Fprintf(os.Stderr, "%s: degraded\n%s", name, rep)
+		if hcfg.Strict {
+			os.Exit(1)
+		}
+	}
+	return res
+}
+
 func main() {
 	out := flag.String("out", "results", "output directory for CSV files")
+	timeout := flag.Duration("timeout", 0, "per-stage analysis deadline per program (0 = unlimited); exhausted stages degrade soundly")
+	maxIters := flag.Int("max-iters", 0, "per-solve worklist step cap (0 = unlimited)")
+	strict := flag.Bool("strict", false, "abort on the first contained failure instead of degrading")
 	flag.Parse()
+	hcfg = harness.Config{Timeout: *timeout, MaxSteps: *maxIters, Strict: *strict}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
@@ -59,16 +83,11 @@ func main() {
 	}
 	var specRows []specRow
 	for _, p := range corpus.Spec() {
-		m, err := minic.Compile(p.Name, p.Source)
-		if err != nil {
-			fatal(err)
-		}
-		prep := core.Prepare(m, core.PipelineOptions{})
-		ba := alias.NewBasic(m)
-		lt := alias.NewSRAA(prep.LT)
-		cf := andersen.Analyze(m)
-		rep := alias.Evaluate(m, ba, lt,
-			alias.NewChain(ba, lt), alias.NewChain(ba, cf))
+		res := analyze(p.Name, p.Source, true)
+		ba := alias.NewBasic(res.Module)
+		lt := alias.NewSRAA(res.LT)
+		rep := res.Evaluate(ba, lt,
+			alias.NewChain(ba, lt), alias.NewChain(ba, res.CF))
 		r := specRow{
 			name:    p.Name,
 			queries: rep.PerAnalysis["BA"].Queries,
@@ -102,14 +121,10 @@ func main() {
 	fmt.Fprintln(f8, "benchmark,queries,ba_no,lt_no,balt_no")
 	var totBA, totLT, totBoth int
 	for _, p := range corpus.TestSuite(100) {
-		m, err := minic.Compile(p.Name, p.Source)
-		if err != nil {
-			fatal(err)
-		}
-		prep := core.Prepare(m, core.PipelineOptions{})
-		ba := alias.NewBasic(m)
-		lt := alias.NewSRAA(prep.LT)
-		rep := alias.Evaluate(m, ba, lt, alias.NewChain(ba, lt))
+		res := analyze(p.Name, p.Source, false)
+		ba := alias.NewBasic(res.Module)
+		lt := alias.NewSRAA(res.LT)
+		rep := res.Evaluate(ba, lt, alias.NewChain(ba, lt))
 		cb, cl, cc := rep.PerAnalysis["BA"], rep.PerAnalysis["LT"], rep.PerAnalysis["BA+LT"]
 		totBA += cb.No
 		totLT += cl.No
@@ -134,12 +149,8 @@ func main() {
 	var samples []sample
 	sizeDist := map[int]int{}
 	for _, p := range append(corpus.TestSuite(100), corpus.Spec()...) {
-		m, err := minic.Compile(p.Name, p.Source)
-		if err != nil {
-			fatal(err)
-		}
-		prep := core.Prepare(m, core.PipelineOptions{})
-		st := prep.LT.Stats
+		res := analyze(p.Name, p.Source, false)
+		st := res.LT.Stats
 		samples = append(samples, sample{p.Name, st.Instrs, st.Constraints, st.Pops, st.Vars})
 		for k, v := range st.SetSizes {
 			sizeDist[k] += v
@@ -183,17 +194,17 @@ func main() {
 				Seed: int64(depth*1000 + i), MaxPtrDepth: depth, Stmts: 120,
 			})
 			name := fmt.Sprintf("rand-d%d-%02d", depth, i)
-			m, err := minic.Compile(name, src)
-			if err != nil {
-				fatal(err)
-			}
-			prep := core.Prepare(m, core.PipelineOptions{})
-			ba := alias.NewBasic(m)
+			res := analyze(name, src, false)
+			ba := alias.NewBasic(res.Module)
 			ba.UnknownSizes = true
 			ba.Intraprocedural = true
-			both := alias.NewChain(ba, alias.NewSRAAWithRanges(prep.LT, prep.Ranges))
-			gBA := pdg.Build(m, ba)
-			gBoth := pdg.Build(m, both)
+			both := alias.NewChain(ba, alias.NewSRAAWithRanges(res.LT, res.Ranges))
+			gBA, errA := res.PDG(ba)
+			gBoth, errB := res.PDG(both)
+			if errA != nil || errB != nil {
+				fmt.Fprintf(os.Stderr, "%s: pdg construction degraded, program skipped\n", name)
+				continue
+			}
 			pdgBA += gBA.MemNodes
 			pdgBoth += gBoth.MemNodes
 			fmt.Fprintf(f12, "%s,%d,%d,%d\n", name, depth, gBA.MemNodes, gBoth.MemNodes)

@@ -1,24 +1,93 @@
 // Command csmith generates a random mini-C program, mirroring the
 // paper artifact's random.sh script. The output compiles with the
 // minic frontend and is suitable input for cmd/sraa and cmd/pdgeval.
+//
+// With -check it turns into a crash-triage fuzzer: every generated
+// program is pushed through the hardened pipeline, and any program
+// that provokes a contained failure (panic or verifier error) is
+// persisted to -crash-dir together with the command line that
+// reproduces it. The run exits non-zero when any crash was found.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
+	"time"
 
 	"repro/internal/csmith"
+	"repro/internal/harness"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "random seed (output is deterministic per seed)")
 	depth := flag.Int("depth", 3, "maximum pointer nesting depth (the paper uses 2..7)")
 	stmts := flag.Int("stmts", 60, "approximate number of statements")
+	check := flag.Bool("check", false, "run each generated program through the hardened pipeline and triage failures instead of printing the source")
+	runs := flag.Int("runs", 1, "with -check: number of consecutive seeds to test, starting at -seed")
+	crashDir := flag.String("crash-dir", "crashes", "with -check: directory for offending programs and their reproducer notes")
+	timeout := flag.Duration("timeout", 10*time.Second, "with -check: per-stage budget deadline")
 	flag.Parse()
 
-	fmt.Print(csmith.Generate(csmith.Config{
-		Seed:        *seed,
-		MaxPtrDepth: *depth,
-		Stmts:       *stmts,
-	}))
+	cfg := func(s int64) csmith.Config {
+		return csmith.Config{Seed: s, MaxPtrDepth: *depth, Stmts: *stmts}
+	}
+
+	if !*check {
+		fmt.Print(csmith.Generate(cfg(*seed)))
+		return
+	}
+
+	crashes := 0
+	for i := 0; i < *runs; i++ {
+		s := *seed + int64(i)
+		src := csmith.Generate(cfg(s))
+		name := fmt.Sprintf("csmith_seed%d", s)
+
+		p := harness.New(harness.Config{Timeout: *timeout, WithCF: true})
+		res, err := p.CompileAndAnalyze(name, src)
+		if err == nil && res != nil {
+			// Also exercise the evaluation path, the other common
+			// crash surface.
+			res.Evaluate()
+		}
+		rep := p.Report()
+		if err == nil && rep.Ok() {
+			continue
+		}
+		crashes++
+		if werr := persistCrash(*crashDir, name, s, src, err, rep); werr != nil {
+			fmt.Fprintf(os.Stderr, "csmith: cannot persist crash for seed %d: %v\n", s, werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "csmith: seed %d provoked a failure; reproducer saved under %s\n",
+				s, *crashDir)
+		}
+	}
+	if crashes > 0 {
+		fmt.Fprintf(os.Stderr, "csmith: %d of %d seed(s) failed\n", crashes, *runs)
+		os.Exit(1)
+	}
+	fmt.Printf("csmith: %d seed(s) passed the hardened pipeline cleanly\n", *runs)
+}
+
+// persistCrash writes the offending program plus a triage note: the
+// exact generator command line that recreates the input and the
+// failures the pipeline contained.
+func persistCrash(dir, name string, seed int64, src string, err error, rep *harness.Report) error {
+	if mkErr := os.MkdirAll(dir, 0o755); mkErr != nil {
+		return mkErr
+	}
+	srcPath := filepath.Join(dir, name+".c")
+	if wErr := os.WriteFile(srcPath, []byte(src), 0o644); wErr != nil {
+		return wErr
+	}
+	note := fmt.Sprintf("# reproduce the input:\n#   go run ./cmd/csmith -seed %d -depth %s -stmts %s > %s\n",
+		seed, flag.Lookup("depth").Value.String(), flag.Lookup("stmts").Value.String(), name+".c")
+	note += fmt.Sprintf("# replay the pipeline:\n#   go run ./cmd/sraa -strict %s\n\n", srcPath)
+	if err != nil {
+		note += fmt.Sprintf("fatal error:\n%v\n\n", err)
+	}
+	note += rep.String()
+	return os.WriteFile(filepath.Join(dir, name+".txt"), []byte(note), 0o644)
 }

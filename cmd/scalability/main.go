@@ -15,9 +15,8 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/corpus"
-	"repro/internal/minic"
+	"repro/internal/harness"
 	"repro/internal/stats"
 )
 
@@ -25,6 +24,9 @@ func main() {
 	n := flag.Int("n", 50, "number of largest programs to measure")
 	showSets := flag.Bool("sets", false, "print the LT set size distribution")
 	csv := flag.Bool("csv", false, "emit CSV")
+	timeout := flag.Duration("timeout", 0, "per-stage analysis deadline per program (0 = unlimited); exhausted stages degrade soundly and are reported")
+	maxIters := flag.Int("max-iters", 0, "per-solve worklist step cap (0 = unlimited)")
+	strict := flag.Bool("strict", false, "abort on the first contained failure instead of degrading")
 	flag.Parse()
 
 	progs := append(corpus.TestSuite(100), corpus.Spec()...)
@@ -38,14 +40,25 @@ func main() {
 	var rows []row
 	sizeDist := map[int]int{}
 	for _, p := range progs {
-		m, err := minic.Compile(p.Name, p.Source)
+		pipe := harness.New(harness.Config{
+			Timeout: *timeout, MaxSteps: *maxIters, Strict: *strict,
+		})
+		m, err := pipe.Compile(p.Name, p.Source)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
 			os.Exit(1)
 		}
 		start := time.Now()
-		prep := core.Prepare(m, core.PipelineOptions{})
+		prep, err := pipe.Analyze(m)
 		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
+			os.Exit(1)
+		}
+		if rep := pipe.Report(); !rep.Ok() {
+			fmt.Fprintf(os.Stderr, "%s: degraded (its statistics undercount the full solve)\n%s",
+				p.Name, rep)
+		}
 		st := prep.LT.Stats
 		rows = append(rows, row{
 			name: p.Name, instrs: st.Instrs, constraints: st.Constraints,

@@ -22,10 +22,8 @@ import (
 	"strings"
 
 	"repro/internal/alias"
-	"repro/internal/andersen"
-	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/ir"
-	"repro/internal/minic"
 	"repro/internal/opt"
 )
 
@@ -39,6 +37,9 @@ func main() {
 	optimize := flag.Bool("O", false, "run the alias-driven optimizations (constant folding, redundant-load and dead-store elimination) and report what they removed")
 	interproc := flag.Bool("interproc", false, "enable the inter-procedural parameter facts of Section 4")
 	noReport := flag.Bool("no-report", false, "suppress the alias report")
+	timeout := flag.Duration("timeout", 0, "per-stage analysis deadline (0 = unlimited); exhausted stages degrade to sound conservative answers")
+	maxIters := flag.Int("max-iters", 0, "per-solve worklist step cap (0 = unlimited)")
+	strict := flag.Bool("strict", false, "abort on the first contained failure instead of degrading")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -54,11 +55,18 @@ func main() {
 	}
 	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 
+	p := harness.New(harness.Config{
+		Timeout:         *timeout,
+		MaxSteps:        *maxIters,
+		Strict:          *strict,
+		Interprocedural: *interproc,
+		WithCF:          *withCF,
+	})
 	var m *ir.Module
 	if *irInput {
-		m, err = ir.Parse(string(src))
+		m, err = p.ParseIR(string(src))
 	} else {
-		m, err = minic.Compile(name, string(src))
+		m, err = p.Compile(name, string(src))
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -73,7 +81,12 @@ func main() {
 		fmt.Printf("constant folding removed %d instructions\n", folded)
 	}
 
-	prep := core.Prepare(m, core.PipelineOptions{Interprocedural: *interproc})
+	res, err := p.Analyze(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prep := res
 
 	if *optimize {
 		aa := alias.NewChain(alias.NewBasic(m), alias.NewSRAA(prep.LT))
@@ -131,9 +144,14 @@ func main() {
 		lt := alias.NewSRAA(prep.LT)
 		analyses := []alias.Analysis{ba, lt, alias.NewChain(ba, lt)}
 		if *withCF {
-			cf := andersen.Analyze(m)
-			analyses = append(analyses, cf, alias.NewChain(ba, cf))
+			analyses = append(analyses, prep.CF, alias.NewChain(ba, prep.CF))
 		}
-		fmt.Print(alias.Evaluate(m, analyses...))
+		fmt.Print(res.Evaluate(analyses...))
+	}
+	if rep := p.Report(); !rep.Ok() {
+		fmt.Fprint(os.Stderr, rep)
+		if *strict {
+			os.Exit(1)
+		}
 	}
 }

@@ -36,40 +36,67 @@ type Report struct {
 	Order []string
 }
 
+// NewReport creates an empty report pre-registered for the given
+// analyses, ready for incremental filling via EvaluateFunc.
+func NewReport(module string, analyses ...Analysis) *Report {
+	rep := &Report{Module: module, PerAnalysis: map[string]*Counts{}}
+	for _, a := range analyses {
+		if _, ok := rep.PerAnalysis[a.Name()]; !ok {
+			rep.PerAnalysis[a.Name()] = &Counts{}
+			rep.Order = append(rep.Order, a.Name())
+		}
+	}
+	return rep
+}
+
 // Evaluate runs the aa-eval protocol: within every function of m, it
 // enumerates all unordered pairs of distinct pointer values (function
 // arguments, pointer-yielding instructions, and globals used in the
 // function) and queries every analysis with element-sized locations.
 func Evaluate(m *ir.Module, analyses ...Analysis) *Report {
-	rep := &Report{
-		Module:      m.Name,
-		PerAnalysis: map[string]*Counts{},
-	}
-	for _, a := range analyses {
-		rep.PerAnalysis[a.Name()] = &Counts{}
-		rep.Order = append(rep.Order, a.Name())
-	}
+	rep := NewReport(m.Name, analyses...)
 	for _, f := range m.Funcs {
-		ptrs := PointerValues(f)
-		for i := 0; i < len(ptrs); i++ {
-			for j := i + 1; j < len(ptrs); j++ {
-				la, lb := Loc(ptrs[i]), Loc(ptrs[j])
-				for _, an := range analyses {
-					c := rep.PerAnalysis[an.Name()]
-					c.Queries++
-					switch an.Alias(la, lb) {
-					case NoAlias:
-						c.No++
-					case MustAlias:
-						c.Must++
-					default:
-						c.May++
-					}
+		EvaluateFunc(f, rep, analyses...)
+	}
+	return rep
+}
+
+// EvaluateFunc adds one function's all-pairs queries to rep. Exposed
+// separately so the hardened harness can wrap each function in its own
+// containment region.
+func EvaluateFunc(f *ir.Func, rep *Report, analyses ...Analysis) {
+	ptrs := PointerValues(f)
+	for i := 0; i < len(ptrs); i++ {
+		for j := i + 1; j < len(ptrs); j++ {
+			la, lb := Loc(ptrs[i]), Loc(ptrs[j])
+			for _, an := range analyses {
+				c := rep.PerAnalysis[an.Name()]
+				c.Queries++
+				switch an.Alias(la, lb) {
+				case NoAlias:
+					c.No++
+				case MustAlias:
+					c.Must++
+				default:
+					c.May++
 				}
 			}
 		}
 	}
-	return rep
+}
+
+// MayAliasOnly records every unordered pointer pair of f as MayAlias
+// for every analysis: the sound degraded substitute when evaluating f
+// failed (the pairs still count toward the query total, claiming
+// nothing about any of them).
+func MayAliasOnly(f *ir.Func, rep *Report, analyses ...Analysis) {
+	n := len(PointerValues(f))
+	pairs := n * (n - 1) / 2
+	for _, an := range analyses {
+		c := rep.PerAnalysis[an.Name()]
+		c.Queries += pairs
+		c.May += pairs
+	}
 }
 
 // PointerValues collects the pointer-typed values visible in f, in a

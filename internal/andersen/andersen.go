@@ -19,7 +19,10 @@
 package andersen
 
 import (
+	"context"
+
 	"repro/internal/alias"
+	"repro/internal/budget"
 	"repro/internal/ir"
 )
 
@@ -36,13 +39,54 @@ type Analysis struct {
 	objOf map[ir.Value]int
 	// objs[i] is the allocation site of object i (nil for unknown).
 	objs []ir.Value
+	// degraded records budget exhaustion. Andersen's solver grows
+	// sets toward the least fixed point, so an interrupted run
+	// UNDER-approximates: partial sets must not be trusted. While
+	// degraded is set, Alias answers MayAlias and PointsTo reports
+	// unknown for every query.
+	degraded error
 }
 
 // Name returns "CF", the label used in the paper's Figure 10.
 func (a *Analysis) Name() string { return "CF" }
 
+// Degraded returns the budget-exhaustion error when the solve was
+// interrupted (the error wraps budget.ErrExceeded), or nil when the
+// points-to sets reached their fixed point and are fully trustworthy.
+func (a *Analysis) Degraded() error { return a.degraded }
+
+// Opts configures a hardened run.
+type Opts struct {
+	// Budget bounds the whole-module solve.
+	Budget budget.Spec
+	// Skip lists functions whose bodies must not be traversed (the
+	// harness passes functions broken by an upstream stage). Calls to
+	// a skipped function are treated like calls to external code:
+	// pointer arguments escape to unknown memory and pointer results
+	// are unknown — the sound over-approximation of whatever the
+	// skipped body would have done.
+	Skip map[*ir.Func]bool
+}
+
+// Unanalyzed returns a degraded Analysis carrying cause: every Alias
+// query answers MayAlias and every PointsTo reports unknown. The
+// harness substitutes it when the whole stage fails.
+func Unanalyzed(cause error) *Analysis {
+	return &Analysis{
+		pts:      map[ir.Value]map[int]bool{},
+		objOf:    map[ir.Value]int{},
+		objs:     []ir.Value{nil},
+		degraded: cause,
+	}
+}
+
 // Analyze runs the analysis on a whole module.
 func Analyze(m *ir.Module) *Analysis {
+	return AnalyzeCtx(context.Background(), m, Opts{})
+}
+
+// AnalyzeCtx is Analyze under a context, budget and skip set.
+func AnalyzeCtx(ctx context.Context, m *ir.Module, opt Opts) *Analysis {
 	a := &Analysis{
 		pts:   map[ir.Value]map[int]bool{},
 		objOf: map[ir.Value]int{},
@@ -76,13 +120,16 @@ func Analyze(m *ir.Module) *Analysis {
 	}
 	callers := map[*ir.Func]bool{}
 	for _, f := range m.Funcs {
+		if opt.Skip[f] {
+			continue
+		}
 		f.Instrs(func(in *ir.Instr) bool {
 			switch in.Op {
 			case ir.OpAlloca, ir.OpMalloc:
 				newObj(in)
 				solver.addPoints(in, a.objOf[in])
 			case ir.OpCall:
-				if in.Callee != nil {
+				if in.Callee != nil && !opt.Skip[in.Callee] {
 					callers[in.Callee] = true
 				}
 			}
@@ -94,6 +141,9 @@ func Analyze(m *ir.Module) *Analysis {
 
 	// Structural constraints.
 	for _, f := range m.Funcs {
+		if opt.Skip[f] {
+			continue
+		}
 		f.Instrs(func(in *ir.Instr) bool {
 			switch in.Op {
 			case ir.OpGEP:
@@ -115,7 +165,7 @@ func Analyze(m *ir.Module) *Analysis {
 					solver.addStore(in.Args[0], in.Args[1])
 				}
 			case ir.OpCall:
-				if in.Callee != nil {
+				if in.Callee != nil && !opt.Skip[in.Callee] {
 					for i, arg := range in.Args {
 						if i < len(in.Callee.Params) && ir.IsPtr(in.Callee.Params[i].Typ) {
 							solver.addCopy(arg, in.Callee.Params[i])
@@ -130,8 +180,9 @@ func Analyze(m *ir.Module) *Analysis {
 						})
 					}
 				} else {
-					// External call: pointer arguments escape into
-					// unknown memory; a pointer result is unknown.
+					// External (or skipped) call: pointer arguments
+					// escape into unknown memory; a pointer result is
+					// unknown.
 					for _, arg := range in.Args {
 						if ir.IsPtr(arg.Type()) {
 							solver.addStoreUnknown(arg)
@@ -148,7 +199,7 @@ func Analyze(m *ir.Module) *Analysis {
 	// Parameters of functions with no in-module caller hold unknown
 	// pointers.
 	for _, f := range m.Funcs {
-		if callers[f] {
+		if callers[f] || opt.Skip[f] {
 			continue
 		}
 		for _, p := range f.Params {
@@ -157,7 +208,9 @@ func Analyze(m *ir.Module) *Analysis {
 			}
 		}
 	}
-	solver.run()
+	bgt := opt.Budget.Start(ctx)
+	solver.run(bgt)
+	a.degraded = bgt.Err()
 	return a
 }
 
@@ -288,8 +341,14 @@ func (s *solver) addStoreUnknown(p ir.Value) {
 	s.enqueue(p)
 }
 
-func (s *solver) run() {
+func (s *solver) run(bgt *budget.B) {
 	for len(s.work) > 0 {
+		if bgt.Tick() != nil {
+			// Interrupted before the least fixed point: the partial
+			// sets under-approximate and must not answer queries. The
+			// caller records bgt.Err() as Analysis.degraded.
+			return
+		}
 		v := s.work[0]
 		s.work = s.work[1:]
 		s.in[v] = false
@@ -353,6 +412,9 @@ func (s *solver) linkValToMem(val ir.Value, n *memNode) {
 // PointsTo returns the allocation sites v may point to; a nil slice
 // with unknown=true means the set includes unanalyzable memory.
 func (a *Analysis) PointsTo(v ir.Value) (sites []ir.Value, unknown bool) {
+	if a.degraded != nil {
+		return nil, true
+	}
 	for o := range a.pts[v] {
 		if o == unknownObj {
 			unknown = true
@@ -366,6 +428,9 @@ func (a *Analysis) PointsTo(v ir.Value) (sites []ir.Value, unknown bool) {
 // Alias answers a query from disjointness of points-to sets: two
 // pointers with non-empty, disjoint, fully known sets cannot alias.
 func (a *Analysis) Alias(la, lb alias.Location) alias.Result {
+	if a.degraded != nil {
+		return alias.MayAlias
+	}
 	pa := a.pts[stripToBase(la.Ptr)]
 	pb := a.pts[stripToBase(lb.Ptr)]
 	if len(pa) == 0 || len(pb) == 0 {

@@ -1,0 +1,124 @@
+// Package budget bounds the work an analysis stage may perform. The
+// fixed-point solvers in internal/core, internal/rangeanal and
+// internal/andersen all terminate in theory, but the hardened
+// pipeline (internal/harness) must also survive pathological inputs
+// in practice: a Spec caps a solver run by wall-clock deadline,
+// context cancellation, and an abstract step count, and the solver
+// polls the tracker once per unit of work. Exhaustion is reported as
+// an error wrapping ErrExceeded; the solver then abandons the run and
+// returns its sound conservative answer instead of looping.
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrExceeded is wrapped by every error Tick returns, so callers can
+// classify exhaustion with errors.Is regardless of which limit fired.
+var ErrExceeded = errors.New("analysis budget exceeded")
+
+// Spec declares the limits of one analysis run. The zero value is
+// unlimited.
+type Spec struct {
+	// Timeout is the wall-clock allowance; 0 means none.
+	Timeout time.Duration
+	// MaxSteps caps the number of Tick calls (solver work units);
+	// 0 means none.
+	MaxSteps int
+}
+
+// Limited reports whether the spec constrains anything. A negative
+// Timeout counts: it is a deadline that has already passed.
+func (s Spec) Limited() bool { return s.Timeout != 0 || s.MaxSteps > 0 }
+
+// Start begins tracking a run under s. It returns nil — a valid,
+// zero-overhead tracker — when neither the spec nor the context can
+// ever expire.
+func (s Spec) Start(ctx context.Context) *B {
+	if !s.Limited() && (ctx == nil || ctx.Done() == nil) {
+		return nil
+	}
+	b := &B{ctx: ctx, maxSteps: s.MaxSteps}
+	if s.Timeout != 0 {
+		b.deadline = time.Now().Add(s.Timeout)
+	}
+	return b
+}
+
+// B tracks consumption against a Spec. All methods are nil-receiver
+// safe so solvers can thread a possibly-nil tracker unconditionally.
+type B struct {
+	ctx      context.Context
+	deadline time.Time
+	maxSteps int
+	steps    int
+	err      error
+}
+
+// timeCheckMask throttles the (comparatively expensive) clock and
+// context polls to every 256th step, plus the very first one so an
+// already-expired deadline is caught before any work happens.
+const timeCheckMask = 255
+
+// Tick consumes one step and returns a non-nil error (wrapping
+// ErrExceeded) once any limit is exhausted. After the first failure
+// every subsequent Tick returns the same error.
+func (b *B) Tick() error {
+	if b == nil {
+		return nil
+	}
+	if b.err != nil {
+		return b.err
+	}
+	b.steps++
+	if b.maxSteps > 0 && b.steps > b.maxSteps {
+		b.err = fmt.Errorf("%w: step limit %d reached", ErrExceeded, b.maxSteps)
+		return b.err
+	}
+	if b.steps == 1 || b.steps&timeCheckMask == 0 {
+		return b.Check()
+	}
+	return nil
+}
+
+// Check polls only the clock and the context, without consuming a
+// step. Module-scope stages call it at coarse boundaries.
+func (b *B) Check() error {
+	if b == nil {
+		return nil
+	}
+	if b.err != nil {
+		return b.err
+	}
+	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+		b.err = fmt.Errorf("%w: deadline passed after %d steps", ErrExceeded, b.steps)
+		return b.err
+	}
+	if b.ctx != nil {
+		if err := b.ctx.Err(); err != nil {
+			b.err = fmt.Errorf("%w: %v", ErrExceeded, err)
+			return b.err
+		}
+	}
+	return nil
+}
+
+// Err returns the exhaustion error recorded by a previous Tick or
+// Check, or nil while the budget still has headroom.
+func (b *B) Err() error {
+	if b == nil {
+		return nil
+	}
+	return b.err
+}
+
+// Steps returns the number of steps consumed so far.
+func (b *B) Steps() int {
+	if b == nil {
+		return 0
+	}
+	return b.steps
+}

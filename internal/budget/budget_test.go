@@ -1,0 +1,77 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilTrackerIsUnlimited(t *testing.T) {
+	b := Spec{}.Start(context.Background())
+	if b != nil {
+		t.Fatalf("unlimited spec with plain context should yield a nil tracker, got %v", b)
+	}
+	for i := 0; i < 10_000; i++ {
+		if err := b.Tick(); err != nil {
+			t.Fatalf("nil tracker ticked out: %v", err)
+		}
+	}
+	if b.Err() != nil || b.Steps() != 0 || b.Check() != nil {
+		t.Fatal("nil tracker must report no consumption and no error")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	b := Spec{MaxSteps: 5}.Start(context.Background())
+	for i := 0; i < 5; i++ {
+		if err := b.Tick(); err != nil {
+			t.Fatalf("tick %d failed early: %v", i, err)
+		}
+	}
+	err := b.Tick()
+	if !errors.Is(err, ErrExceeded) {
+		t.Fatalf("step 6 should exceed: %v", err)
+	}
+	// Exhaustion is sticky.
+	if err2 := b.Tick(); !errors.Is(err2, ErrExceeded) {
+		t.Fatalf("exhaustion not sticky: %v", err2)
+	}
+	if b.Err() == nil {
+		t.Fatal("Err must report the recorded failure")
+	}
+}
+
+func TestDeadlineCaughtOnFirstTick(t *testing.T) {
+	b := Spec{Timeout: -time.Second}.Start(context.Background())
+	if err := b.Tick(); !errors.Is(err, ErrExceeded) {
+		t.Fatalf("already-expired deadline must fail the first tick: %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := Spec{}.Start(ctx)
+	if b == nil {
+		t.Fatal("cancellable context must force a real tracker")
+	}
+	if err := b.Tick(); err != nil {
+		t.Fatalf("tick before cancel: %v", err)
+	}
+	cancel()
+	if err := b.Check(); !errors.Is(err, ErrExceeded) {
+		t.Fatalf("cancellation must surface as ErrExceeded: %v", err)
+	}
+}
+
+func TestStepsAccounting(t *testing.T) {
+	b := Spec{MaxSteps: 100}.Start(context.Background())
+	for i := 0; i < 42; i++ {
+		if err := b.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Steps() != 42 {
+		t.Fatalf("Steps() = %d, want 42", b.Steps())
+	}
+}

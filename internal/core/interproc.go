@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/ir"
 	"repro/internal/rangeanal"
 )
@@ -26,8 +28,15 @@ type paramPair struct{ Lo, Hi int }
 // re-added, between rounds (the final round recomputes from scratch
 // with the surviving seeds).
 func AnalyzeInterproc(m *ir.Module, ranges *rangeanal.Result, opt Options) *Result {
+	return AnalyzeInterprocCtx(context.Background(), m, ranges, opt)
+}
+
+// AnalyzeInterprocCtx is AnalyzeInterproc under a context: budgets,
+// panic containment and skip sets apply to every per-function solve
+// of every refinement round, exactly as in AnalyzeCtx.
+func AnalyzeInterprocCtx(ctx context.Context, m *ir.Module, ranges *rangeanal.Result, opt Options) *Result {
 	// Round 0: plain per-function analysis.
-	res := Analyze(m, ranges, opt)
+	res := AnalyzeCtx(ctx, m, ranges, opt)
 
 	// Collect call sites per callee.
 	callers := map[*ir.Func][]*ir.Instr{}
@@ -88,7 +97,7 @@ func AnalyzeInterproc(m *ir.Module, ranges *rangeanal.Result, opt Options) *Resu
 		}
 		// Re-solve every seeded function with the parameter facts
 		// injected as extra constraints.
-		res = analyzeWithSeeds(m, ranges, opt, seeds)
+		res = analyzeWithSeeds(ctx, m, ranges, opt, seeds)
 	}
 	return res
 }
@@ -129,26 +138,13 @@ func samePairs[K comparable](a, b map[*ir.Func]map[K]bool) bool {
 // analyzeWithSeeds repeats the per-function analysis, seeding each
 // function's constraint system with the inter-procedural parameter
 // facts: for a pair (lo, hi), LT(p_hi) ⊇ {p_lo} ∪ LT(p_lo).
-func analyzeWithSeeds(m *ir.Module, ranges *rangeanal.Result, opt Options,
+func analyzeWithSeeds(ctx context.Context, m *ir.Module, ranges *rangeanal.Result, opt Options,
 	seeds map[*ir.Func]map[paramPair]bool) *Result {
-	res := &Result{
-		fns:   make(map[*ir.Func]*funcResult, len(m.Funcs)),
-		Stats: Stats{SetSizes: map[int]int{}},
-	}
-	for _, f := range m.Funcs {
-		var seedPairs [][2]int
-		for p := range seeds[f] {
-			seedPairs = append(seedPairs, [2]int{p.Lo, p.Hi})
-		}
-		fr, st := analyzeFuncSeeded(f, ranges, opt, seedPairs)
-		res.fns[f] = fr
-		res.Stats.Instrs += st.Instrs
-		res.Stats.Vars += st.Vars
-		res.Stats.Constraints += st.Constraints
-		res.Stats.Pops += st.Pops
-		for k, v := range st.SetSizes {
-			res.Stats.SetSizes[k] += v
+	seedPairs := make(map[*ir.Func][][2]int, len(seeds))
+	for f, pairs := range seeds {
+		for p := range pairs {
+			seedPairs[f] = append(seedPairs[f], [2]int{p.Lo, p.Hi})
 		}
 	}
-	return res
+	return analyzeModule(ctx, m, ranges, opt, seedPairs)
 }

@@ -1,6 +1,10 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/budget"
+)
 
 // The paper's conclusion leaves solver speed as an open problem, and
 // Section 4.2 observes that over 95% of LT sets end with two or fewer
@@ -148,9 +152,9 @@ func (s *smallSet) toLT() *ltSet {
 }
 
 // solveSmall is the worklist of Section 3.4 over the adaptive
-// representation. It mirrors solve exactly; only the set type
-// differs.
-func solveSmall(fr *funcResult, cons []constraint, st *Stats) {
+// representation. It mirrors solve exactly — including the collapse
+// to ∅ on budget exhaustion — only the set type differs.
+func solveSmall(fr *funcResult, cons []constraint, st *Stats, bgt *budget.B) {
 	n := len(fr.vars)
 	sets := make([]*smallSet, n)
 	for i := range sets {
@@ -197,6 +201,13 @@ func solveSmall(fr *funcResult, cons []constraint, st *Stats) {
 		return &smallSet{}
 	}
 	for len(work) > 0 {
+		if bgt.Tick() != nil {
+			fr.sets = make([]*ltSet, n)
+			for i := range fr.sets {
+				fr.sets[i] = &ltSet{}
+			}
+			return
+		}
 		t := work[0]
 		work = work[1:]
 		inWork[t] = false

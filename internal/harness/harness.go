@@ -1,0 +1,460 @@
+// Package harness is the hardened driver for the full analysis
+// pipeline. The analyses themselves (internal/core, internal/rangeanal,
+// internal/andersen) aim for the fixed points the paper describes;
+// the harness makes running them safe on hostile or pathological
+// input: every stage executes inside a containment region that
+// converts panics into structured StageFailure records, every solver
+// runs under a configurable budget (wall clock, context cancellation,
+// step count), and anything that fails degrades to a sound
+// conservative answer — empty LT sets, ⊤ ranges, MayAlias — instead
+// of taking down the process or poisoning other functions' results.
+//
+// Containment unit. Transform stages (mem2reg, sigma insertion,
+// subtraction splitting) mutate one function at a time, so a crash
+// can leave that function's IR half-rewritten. The harness therefore
+// quarantines the function: it is added to a skip set, later analysis
+// stages never traverse its body, and calls to it are treated like
+// calls to external code — the sound over-approximation. Analysis
+// stages never mutate the IR, so their failures only discard the
+// failing stage's information.
+//
+// Fault injection. FaultConfig deliberately breaks one stage on one
+// function (panic at stage entry) or starves a solver after N steps
+// (budget exhaustion), which is how the test suite proves the
+// containment and soundness claims rather than asserting them.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/andersen"
+	"repro/internal/budget"
+	"repro/internal/core"
+	"repro/internal/essa"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/rangeanal"
+	"repro/internal/ssa"
+)
+
+// Stage names, in pipeline order.
+const (
+	StageParse     = "parse"
+	StageLower     = "lower"
+	StageMem2Reg   = "mem2reg"
+	StageESSA      = "essa"
+	StageRangesPre = "ranges-pre"
+	StageSplit     = "split"
+	StageRanges    = "ranges"
+	StageLessThan  = "lessthan"
+	StageAndersen  = "andersen"
+	StageAliasEval = "aliaseval"
+	StagePDG       = "pdg"
+)
+
+// FaultConfig injects one deliberate failure, for testing the
+// containment machinery end to end.
+type FaultConfig struct {
+	// Stage selects which stage fails (a Stage* constant).
+	Stage string
+	// Func restricts the fault to the named function; empty matches
+	// every function (and module-scope stages).
+	Func string
+	// AfterSteps, when positive, starves the stage's solver budget
+	// after that many worklist steps instead of panicking at entry.
+	// Only solver stages (ranges-pre, ranges, lessthan, andersen)
+	// consume steps.
+	AfterSteps int
+}
+
+func (fc *FaultConfig) matches(stage, fn string) bool {
+	if fc == nil || fc.Stage != stage {
+		return false
+	}
+	return fc.Func == "" || fc.Func == fn
+}
+
+// Config declares how hard the pipeline may try and what it runs.
+type Config struct {
+	// Timeout is the wall-clock allowance per stage (module-scope
+	// stages) or per function (the less-than solver); 0 means none.
+	Timeout time.Duration
+	// MaxSteps caps each solver run's worklist steps; 0 means none.
+	MaxSteps int
+	// Strict aborts on the first contained failure instead of
+	// degrading: Compile/Analyze return the failure as an error.
+	Strict bool
+
+	// NoESSA, Interprocedural and Analysis mirror
+	// core.PipelineOptions: which variant of the paper's pipeline to
+	// run.
+	NoESSA          bool
+	Interprocedural bool
+	Analysis        core.Options
+
+	// WithCF additionally runs the Andersen-style CF analysis.
+	WithCF bool
+
+	// Fault injects one deliberate failure (tests only).
+	Fault *FaultConfig
+}
+
+// Pipeline drives one module through the hardened pipeline. It is
+// single-module and single-use: create one per module so the Report
+// describes exactly one run.
+type Pipeline struct {
+	cfg Config
+	ctx context.Context
+	rep *Report
+	// skip holds functions quarantined by a transform-stage failure:
+	// their IR may be invalid, so no later stage may traverse them.
+	skip map[*ir.Func]bool
+}
+
+// New creates a pipeline under context.Background.
+func New(cfg Config) *Pipeline { return NewCtx(context.Background(), cfg) }
+
+// NewCtx creates a pipeline whose solver budgets also observe ctx.
+func NewCtx(ctx context.Context, cfg Config) *Pipeline {
+	return &Pipeline{cfg: cfg, ctx: ctx, rep: &Report{}, skip: map[*ir.Func]bool{}}
+}
+
+// Report returns the accumulated run report.
+func (p *Pipeline) Report() *Report { return p.rep }
+
+// spec is the budget for one stage, honoring an AfterSteps fault
+// aimed at it.
+func (p *Pipeline) spec(stage, fn string) budget.Spec {
+	s := budget.Spec{Timeout: p.cfg.Timeout, MaxSteps: p.cfg.MaxSteps}
+	if fc := p.cfg.Fault; fc != nil && fc.AfterSteps > 0 && fc.matches(stage, fn) {
+		s.MaxSteps = fc.AfterSteps
+	}
+	return s
+}
+
+// maybeFault panics when a panic-mode fault targets (stage, fn). It
+// is called inside containment regions only.
+func (p *Pipeline) maybeFault(stage, fn string) {
+	if fc := p.cfg.Fault; fc != nil && fc.AfterSteps == 0 && fc.matches(stage, fn) {
+		panic(fmt.Sprintf("injected fault: stage=%s func=%s", stage, fn))
+	}
+}
+
+// guard runs body inside a containment region and converts a panic
+// into a recorded StageFailure, which it returns (nil on success).
+func (p *Pipeline) guard(stage, fn string, body func()) (fail *StageFailure) {
+	defer func() {
+		if r := recover(); r != nil {
+			fail = &StageFailure{
+				Stage: stage, Func: fn, Cause: "panic",
+				Value: fmt.Sprint(r), Stack: string(debug.Stack()),
+			}
+			p.rep.addFailure(*fail)
+		}
+	}()
+	p.maybeFault(stage, fn)
+	body()
+	return nil
+}
+
+// guardBare is guard without the fault-injection hook: fallback paths
+// use it so a fault injected into the primary attempt does not fire a
+// second time while recording the degraded substitute.
+func (p *Pipeline) guardBare(stage, fn string, body func()) (fail *StageFailure) {
+	defer func() {
+		if r := recover(); r != nil {
+			fail = &StageFailure{
+				Stage: stage, Func: fn, Cause: "panic",
+				Value: fmt.Sprint(r), Stack: string(debug.Stack()),
+			}
+			p.rep.addFailure(*fail)
+		}
+	}()
+	body()
+	return nil
+}
+
+// fail records a non-panic stage failure.
+func (p *Pipeline) fail(stage, fn, cause string, err error) *StageFailure {
+	f := &StageFailure{Stage: stage, Func: fn, Cause: cause, Value: err.Error()}
+	p.rep.addFailure(*f)
+	return f
+}
+
+// timeStage appends a timing entry; callers defer it at stage start.
+func (p *Pipeline) timeStage(stage string) func() {
+	start := time.Now()
+	return func() {
+		p.rep.Timings = append(p.rep.Timings, StageTiming{Stage: stage, D: time.Since(start)})
+	}
+}
+
+// quarantine marks f as broken: later stages skip its body and treat
+// calls to it as external.
+func (p *Pipeline) quarantine(f *ir.Func, stage string) {
+	p.skip[f] = true
+	p.rep.markDegraded(f.FName, stage)
+}
+
+// strictErr returns fail when strict mode promotes it to an abort.
+func (p *Pipeline) strictErr(fail *StageFailure) error {
+	if fail != nil && p.cfg.Strict {
+		return fail
+	}
+	return nil
+}
+
+// Compile runs the hardened frontend: parse, lower, then per-function
+// SSA promotion. Parse and lower failures (including contained
+// panics) are fatal for the module — there is nothing to degrade to —
+// and are returned as errors, never as raw panics. A mem2reg failure
+// quarantines only the affected function unless Strict is set.
+func (p *Pipeline) Compile(name, src string) (*ir.Module, error) {
+	var prog *minic.Program
+	done := p.timeStage(StageParse)
+	fail := p.guard(StageParse, "", func() {
+		pr, err := minic.ParseProgram(src)
+		if err != nil {
+			panic(err)
+		}
+		prog = pr
+	})
+	done()
+	if fail != nil {
+		return nil, fail
+	}
+
+	var m *ir.Module
+	done = p.timeStage(StageLower)
+	fail = p.guard(StageLower, "", func() {
+		mod, err := minic.LowerProgram(name, prog)
+		if err != nil {
+			panic(err)
+		}
+		m = mod
+	})
+	done()
+	if fail != nil {
+		return nil, fail
+	}
+
+	done = p.timeStage(StageMem2Reg)
+	defer done()
+	for _, f := range m.Funcs {
+		f := f
+		fail := p.guard(StageMem2Reg, f.FName, func() {
+			ssa.Promote(f)
+			if err := ssa.VerifySSA(f); err != nil {
+				panic(err)
+			}
+		})
+		if fail != nil {
+			p.quarantine(f, StageMem2Reg)
+			if err := p.strictErr(fail); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// ParseIR runs the hardened textual-IR frontend.
+func (p *Pipeline) ParseIR(src string) (*ir.Module, error) {
+	var m *ir.Module
+	done := p.timeStage(StageParse)
+	fail := p.guard(StageParse, "", func() {
+		mod, err := ir.Parse(src)
+		if err != nil {
+			panic(err)
+		}
+		m = mod
+	})
+	done()
+	if fail != nil {
+		return nil, fail
+	}
+	return m, nil
+}
+
+// Analyze runs the hardened analysis pipeline over m (the order of
+// core.Prepare: sigma insertion, a pre-range pass, subtraction
+// splitting, the final range pass, the less-than solve, and
+// optionally Andersen's analysis). The returned error is non-nil only
+// in strict mode; otherwise every failure degrades and the Result is
+// always usable.
+func (p *Pipeline) Analyze(m *ir.Module) (*Result, error) {
+	res := &Result{Module: m, p: p}
+
+	if !p.cfg.NoESSA {
+		done := p.timeStage(StageESSA)
+		for _, f := range m.Funcs {
+			f := f
+			if p.skip[f] {
+				continue
+			}
+			fail := p.guard(StageESSA, f.FName, func() { essa.InsertSigmas(f) })
+			if fail != nil {
+				p.quarantine(f, StageESSA)
+				if err := p.strictErr(fail); err != nil {
+					done()
+					return res, err
+				}
+			}
+		}
+		done()
+
+		var oracle essa.RangeOracle
+		if !p.cfg.Analysis.NoRanges {
+			pre, err := p.runRanges(StageRangesPre, m)
+			if p.cfg.Strict && err != nil {
+				return res, err
+			}
+			oracle = pre
+		}
+
+		done = p.timeStage(StageSplit)
+		for _, f := range m.Funcs {
+			f := f
+			if p.skip[f] {
+				continue
+			}
+			fail := p.guard(StageSplit, f.FName, func() { essa.SplitSubtractions(f, oracle) })
+			if fail != nil {
+				p.quarantine(f, StageSplit)
+				if err := p.strictErr(fail); err != nil {
+					done()
+					return res, err
+				}
+			}
+		}
+		done()
+	}
+
+	ranges, err := p.runRanges(StageRanges, m)
+	if p.cfg.Strict && err != nil {
+		return res, err
+	}
+	res.Ranges = ranges
+
+	lt, err := p.runLessThan(m, ranges)
+	if p.cfg.Strict && err != nil {
+		return res, err
+	}
+	res.LT = lt
+
+	if p.cfg.WithCF {
+		cf, err := p.runAndersen(m)
+		if p.cfg.Strict && err != nil {
+			return res, err
+		}
+		res.CF = cf
+	}
+	return res, nil
+}
+
+// runRanges is the module-scope range stage. A panic degrades to the
+// all-⊤ empty result; budget exhaustion during the ascending phase
+// already degrades inside the solver (see rangeanal.AnalyzeCtx) and
+// is recorded here.
+func (p *Pipeline) runRanges(stage string, m *ir.Module) (*rangeanal.Result, error) {
+	defer p.timeStage(stage)()
+	var r *rangeanal.Result
+	fail := p.guard(stage, "", func() {
+		r = rangeanal.AnalyzeCtx(p.ctx, m, rangeanal.Opts{
+			Budget: p.spec(stage, ""),
+			Skip:   p.skip,
+		})
+	})
+	if fail == nil && r.Err() != nil {
+		fail = p.fail(stage, "", "budget", r.Err())
+	}
+	if r == nil {
+		r = rangeanal.Empty()
+	}
+	return r, p.strictErr(fail)
+}
+
+// runLessThan is the less-than stage. Per-function panics and budget
+// exhaustion are contained inside core (Options.Recover / Budget);
+// the harness forwards core's failure records into the report and
+// additionally guards the whole call.
+func (p *Pipeline) runLessThan(m *ir.Module, ranges *rangeanal.Result) (*core.Result, error) {
+	defer p.timeStage(StageLessThan)()
+	opt := p.cfg.Analysis
+	opt.Recover = true
+	opt.Skip = p.skip
+	opt.Budget = budget.Spec{Timeout: p.cfg.Timeout, MaxSteps: p.cfg.MaxSteps}
+	opt.BudgetFor = func(f *ir.Func) budget.Spec { return p.spec(StageLessThan, f.FName) }
+	opt.OnFunc = func(f *ir.Func) { p.maybeFault(StageLessThan, f.FName) }
+
+	// guardBare: fault injection for this stage goes through OnFunc,
+	// per function, not through the module-level guard.
+	var lt *core.Result
+	fail := p.guardBare(StageLessThan, "", func() {
+		if p.cfg.Interprocedural {
+			lt = core.AnalyzeInterprocCtx(p.ctx, m, ranges, opt)
+		} else {
+			lt = core.AnalyzeCtx(p.ctx, m, ranges, opt)
+		}
+	})
+	if lt == nil {
+		lt = core.Empty()
+	}
+	var firstContained *StageFailure
+	for _, ff := range lt.Failures {
+		sf := StageFailure{
+			Stage: StageLessThan, Func: ff.Fn,
+			Cause: ff.Cause, Value: ff.Value, Stack: ff.Stack,
+		}
+		p.rep.addFailure(sf)
+		if firstContained == nil {
+			first := sf
+			firstContained = &first
+		}
+	}
+	for f, cause := range lt.Degraded {
+		if cause != "skipped" { // skip-set entries are already recorded
+			p.rep.markDegraded(f.FName, StageLessThan)
+		}
+	}
+	if fail == nil {
+		fail = firstContained
+	}
+	return lt, p.strictErr(fail)
+}
+
+// runAndersen is the CF stage. A panic degrades to the Unanalyzed
+// (MayAlias-everywhere) result; budget exhaustion is detected by the
+// solver itself, which flags the Analysis degraded.
+func (p *Pipeline) runAndersen(m *ir.Module) (*andersen.Analysis, error) {
+	defer p.timeStage(StageAndersen)()
+	var cf *andersen.Analysis
+	fail := p.guard(StageAndersen, "", func() {
+		cf = andersen.AnalyzeCtx(p.ctx, m, andersen.Opts{
+			Budget: p.spec(StageAndersen, ""),
+			Skip:   p.skip,
+		})
+	})
+	if fail == nil && cf.Degraded() != nil {
+		fail = p.fail(StageAndersen, "", "budget", cf.Degraded())
+	}
+	if cf == nil {
+		cf = andersen.Unanalyzed(fail)
+	}
+	return cf, p.strictErr(fail)
+}
+
+// CompileAndAnalyze is the one-call convenience the drivers use.
+func (p *Pipeline) CompileAndAnalyze(name, src string) (*Result, error) {
+	m, err := p.Compile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return p.Analyze(m)
+}
+
+// Skipped reports whether f was quarantined by a transform failure.
+func (p *Pipeline) Skipped(f *ir.Func) bool { return p.skip[f] }

@@ -1,0 +1,376 @@
+package harness
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/alias"
+	"repro/internal/budget"
+	"repro/internal/ir"
+	"repro/internal/soundcheck"
+)
+
+// testSrc is a three-function module: every function has pointer
+// pairs the LT analysis can disambiguate, and main exercises all of
+// them so the soundcheck interpreter can replay the whole module.
+const testSrc = `
+int g[10];
+int h[10];
+
+void fill(int* v, int n) {
+  int i, j;
+  for (i = 0; i < n - 1; i++) {
+    for (j = i + 1; j < n; j++) {
+      if (v[i] > v[j]) {
+        int tmp = v[i];
+        v[i] = v[j];
+        v[j] = tmp;
+      }
+    }
+  }
+}
+
+int sum(int* v, int n) {
+  int i, j, s;
+  s = 0;
+  for (i = 0; i < n - 1; i++) {
+    j = i + 1;
+    s = s + v[i] - v[j];
+  }
+  return s;
+}
+
+int main() {
+  g[0] = 5; g[1] = 1; g[2] = 9; g[3] = 3; g[4] = 7;
+  h[0] = 2; h[1] = 8; h[2] = 0; h[3] = 6; h[4] = 4;
+  fill(g, 10);
+  fill(h, 10);
+  return sum(g, 10) + sum(h, 10);
+}
+`
+
+// run compiles and analyzes testSrc under cfg, failing the test on
+// frontend errors (the analysis stages must degrade, not error, in
+// non-strict mode).
+func run(t *testing.T, cfg Config) (*Pipeline, *Result) {
+	t.Helper()
+	p := New(cfg)
+	res, err := p.CompileAndAnalyze("t", testSrc)
+	if err != nil {
+		t.Fatalf("pipeline error (non-strict must degrade): %v", err)
+	}
+	return p, res
+}
+
+// evalCounts evaluates the BA+LT chain and returns per-analysis
+// counts for the whole module.
+func evalCounts(r *Result) *alias.Report {
+	ba := alias.NewBasic(r.Module)
+	lt := alias.NewSRAA(r.LT)
+	return r.Evaluate(ba, lt, alias.NewChain(ba, lt))
+}
+
+// funcCounts evaluates one function in isolation with a fresh SRAA
+// over r's LT sets.
+func funcCounts(r *Result, fn string) alias.Counts {
+	lt := alias.NewSRAA(r.LT)
+	for _, f := range r.Module.Funcs {
+		if f.FName == fn {
+			rep := alias.NewReport("f", lt)
+			alias.EvaluateFunc(f, rep, lt)
+			return *rep.PerAnalysis[lt.Name()]
+		}
+	}
+	return alias.Counts{}
+}
+
+func TestHappyPathCleanReport(t *testing.T) {
+	p, res := run(t, Config{WithCF: true})
+	if !p.Report().Ok() {
+		t.Fatalf("clean run reported failures:\n%s", p.Report())
+	}
+	rep := evalCounts(res)
+	if c := rep.PerAnalysis["LT"]; c.No == 0 {
+		t.Fatalf("LT disambiguated nothing on the happy path: %+v", c)
+	}
+	if res.CF == nil || res.CF.Degraded() != nil {
+		t.Fatalf("CF missing or degraded on the happy path")
+	}
+	if len(p.Report().Timings) == 0 {
+		t.Fatal("no stage timings recorded")
+	}
+}
+
+// perFuncStages are the stages whose containment unit is one
+// function: a fault on fill must leave sum and main untouched.
+var perFuncStages = []string{StageMem2Reg, StageESSA, StageSplit, StageLessThan, StageAliasEval}
+
+func TestFaultContainmentPerFunction(t *testing.T) {
+	_, clean := run(t, Config{})
+	cleanSum := funcCounts(clean, "sum")
+	cleanFill := funcCounts(clean, "fill")
+	cleanFull := *evalCounts(clean).PerAnalysis["LT"]
+	if cleanFill.No == 0 {
+		t.Fatal("fill must have disambiguated pairs for the containment check to mean anything")
+	}
+
+	for _, stage := range perFuncStages {
+		stage := stage
+		t.Run(stage, func(t *testing.T) {
+			p, res := run(t, Config{Fault: &FaultConfig{Stage: stage, Func: "fill"}})
+
+			// The module evaluation survives the fault (an aliaseval
+			// fault fires here, during evaluation itself).
+			full := evalCounts(res)
+			if full.PerAnalysis["LT"].Queries == 0 {
+				t.Fatal("module evaluation produced no queries")
+			}
+
+			rep := p.Report()
+			if rep.Ok() {
+				t.Fatalf("injected fault into %s@fill but report is clean", stage)
+			}
+			// Report accuracy: the failure names the stage, the
+			// function, and a panic cause.
+			found := false
+			for _, f := range rep.Failures {
+				if f.Stage == stage && f.Func == "fill" && f.Cause == "panic" &&
+					strings.Contains(f.Value, "injected fault") {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("failure record missing or wrong: %+v", rep.Failures)
+			}
+			if stage == StageAliasEval {
+				// The analysis results are intact; the degradation is
+				// in the evaluation itself: fill's pairs still count,
+				// all as MayAlias.
+				got := *full.PerAnalysis["LT"]
+				if got.Queries != cleanFull.Queries {
+					t.Fatalf("aliaseval fault lost queries: clean %+v, got %+v",
+						cleanFull, got)
+				}
+				if got.No != cleanFull.No-cleanFill.No {
+					t.Fatalf("fill's pairs not degraded to May: clean %+v, fill %+v, got %+v",
+						cleanFull, cleanFill, got)
+				}
+			} else {
+				gotSum := funcCounts(res, "sum")
+				if gotSum != cleanSum {
+					t.Fatalf("fault on fill changed sum's answers: clean %+v, got %+v",
+						cleanSum, gotSum)
+				}
+				// The degraded function claims nothing: only MayAlias.
+				gotFill := funcCounts(res, "fill")
+				if gotFill.No != 0 || gotFill.Must != 0 {
+					t.Fatalf("degraded fill still claims NoAlias/MustAlias: %+v", gotFill)
+				}
+			}
+			// ...and the report lists it as degraded (aliaseval faults
+			// degrade only the evaluation, recorded the same way).
+			degraded := false
+			for _, fn := range rep.DegradedFuncs() {
+				if fn == "fill" {
+					degraded = true
+				}
+			}
+			if !degraded {
+				t.Fatalf("fill not listed as degraded: %v", rep.DegradedFuncs())
+			}
+		})
+	}
+}
+
+// TestSoundnessUnderFault is the adequacy check of the degraded
+// results: whatever a faulted pipeline still claims must hold on a
+// real execution. Injected faults fire at stage entry, before any
+// mutation, so the module stays runnable.
+func TestSoundnessUnderFault(t *testing.T) {
+	for _, stage := range perFuncStages {
+		stage := stage
+		t.Run(stage, func(t *testing.T) {
+			_, res := run(t, Config{Fault: &FaultConfig{Stage: stage, Func: "fill"}})
+			rep, err := soundcheck.CheckLT(res.Module, res.LT, "main")
+			if err != nil {
+				t.Fatalf("execution failed: %v", err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("degraded LT sets violated adequacy:\n%s", rep)
+			}
+			lt := alias.NewSRAA(res.LT)
+			arep, err := soundcheck.CheckAlias(res.Module, lt, "main")
+			if err != nil {
+				t.Fatalf("execution failed: %v", err)
+			}
+			if !arep.Ok() {
+				t.Fatalf("degraded alias verdicts violated soundness:\n%s", arep)
+			}
+		})
+	}
+}
+
+// TestModuleStageFaults degrades whole module-scope stages; the
+// pipeline must keep going on conservative stand-ins.
+func TestModuleStageFaults(t *testing.T) {
+	for _, stage := range []string{StageRangesPre, StageRanges, StageAndersen} {
+		stage := stage
+		t.Run(stage, func(t *testing.T) {
+			p, res := run(t, Config{WithCF: true, Fault: &FaultConfig{Stage: stage}})
+			if p.Report().Ok() {
+				t.Fatalf("injected fault into %s but report is clean", stage)
+			}
+			if res.Ranges == nil || res.LT == nil {
+				t.Fatal("degraded pipeline lost a result")
+			}
+			if stage == StageAndersen {
+				la := alias.Loc(res.Module.Funcs[0].Params[0])
+				if got := res.CF.Alias(la, la); got != alias.MayAlias {
+					t.Fatalf("degraded CF answered %v, want MayAlias", got)
+				}
+			}
+			// Evaluation still runs over the whole module.
+			if rep := evalCounts(res); rep.PerAnalysis["LT"].Queries == 0 {
+				t.Fatal("module evaluation produced no queries")
+			}
+		})
+	}
+}
+
+func TestBudgetInjectionLessThan(t *testing.T) {
+	_, clean := run(t, Config{})
+	cleanSum := funcCounts(clean, "sum")
+
+	p, res := run(t, Config{Fault: &FaultConfig{Stage: StageLessThan, Func: "fill", AfterSteps: 1}})
+	rep := p.Report()
+	found := false
+	for _, f := range rep.Failures {
+		if f.Stage == StageLessThan && f.Func == "fill" && f.Cause == "budget" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("budget exhaustion not reported: %+v", rep.Failures)
+	}
+	if got := funcCounts(res, "fill"); got.No != 0 {
+		t.Fatalf("budget-starved fill still claims NoAlias: %+v", got)
+	}
+	if got := funcCounts(res, "sum"); got != cleanSum {
+		t.Fatalf("starving fill changed sum: clean %+v, got %+v", cleanSum, got)
+	}
+
+	// The starved sets must also be dynamically sound.
+	srep, err := soundcheck.CheckLT(res.Module, res.LT, "main")
+	if err != nil {
+		t.Fatalf("execution failed: %v", err)
+	}
+	if !srep.Ok() {
+		t.Fatalf("budget-degraded LT sets violated adequacy:\n%s", srep)
+	}
+}
+
+func TestBudgetInjectionModuleStages(t *testing.T) {
+	for _, stage := range []string{StageRanges, StageAndersen} {
+		stage := stage
+		t.Run(stage, func(t *testing.T) {
+			p, res := run(t, Config{WithCF: true,
+				Fault: &FaultConfig{Stage: stage, AfterSteps: 1}})
+			var f *StageFailure
+			for i, ff := range p.Report().Failures {
+				if ff.Stage == stage {
+					f = &p.Report().Failures[i]
+				}
+			}
+			if f == nil || f.Cause != "budget" {
+				t.Fatalf("no budget failure recorded for %s: %+v", stage, p.Report().Failures)
+			}
+			if !strings.Contains(f.Value, budget.ErrExceeded.Error()) {
+				t.Fatalf("failure value does not wrap ErrExceeded: %q", f.Value)
+			}
+			if stage == StageRanges {
+				// Ascending-phase abort: every non-constant integer
+				// value must be ⊤ (constants evaluate directly and
+				// stay sound by construction).
+				for _, fn := range res.Module.Funcs {
+					for _, v := range fn.Values() {
+						if _, isConst := v.(*ir.Const); isConst || !ir.IsInt(v.Type()) {
+							continue
+						}
+						if iv := res.Ranges.Range(v); !iv.IsTop() {
+							t.Fatalf("aborted range stage still claims %s for %s",
+								iv, v.Ref())
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestStrictModeAborts(t *testing.T) {
+	p := New(Config{Strict: true, Fault: &FaultConfig{Stage: StageLessThan, Func: "fill"}})
+	_, err := p.CompileAndAnalyze("t", testSrc)
+	if err == nil {
+		t.Fatal("strict mode swallowed an injected fault")
+	}
+	var sf *StageFailure
+	if !errors.As(err, &sf) {
+		t.Fatalf("strict error is not a *StageFailure: %T %v", err, err)
+	}
+	if sf.Stage != StageLessThan || sf.Func != "fill" {
+		t.Fatalf("strict error misattributed: %+v", sf)
+	}
+
+	p = New(Config{Strict: true, Fault: &FaultConfig{Stage: StageMem2Reg, Func: "fill"}})
+	if _, err := p.Compile("t", testSrc); err == nil {
+		t.Fatal("strict mode swallowed a mem2reg fault")
+	}
+}
+
+func TestExpiredTimeoutDegradesEverySolver(t *testing.T) {
+	p, res := run(t, Config{Timeout: -time.Nanosecond, WithCF: true})
+	rep := p.Report()
+	if rep.Ok() {
+		t.Fatal("expired deadline produced a clean report")
+	}
+	stages := map[string]bool{}
+	for _, f := range rep.Failures {
+		if f.Cause != "budget" {
+			t.Fatalf("expired deadline produced a non-budget failure: %+v", f)
+		}
+		stages[f.Stage] = true
+	}
+	for _, want := range []string{StageRanges, StageLessThan, StageAndersen} {
+		if !stages[want] {
+			t.Fatalf("stage %s did not report budget exhaustion: %v", want, stages)
+		}
+	}
+	// Everything degraded, nothing claimed, still evaluable.
+	full := evalCounts(res)
+	c := full.PerAnalysis["LT"]
+	if c.Queries == 0 || c.No != 0 {
+		t.Fatalf("timed-out LT still claims NoAlias: %+v", c)
+	}
+}
+
+func TestFaultMatchesAllFunctions(t *testing.T) {
+	p, res := run(t, Config{Fault: &FaultConfig{Stage: StageLessThan}})
+	if got, want := len(p.Report().Failures), len(res.Module.Funcs); got != want {
+		t.Fatalf("fault with empty Func hit %d functions, want %d", got, want)
+	}
+	if got := evalCounts(res).PerAnalysis["LT"]; got.No != 0 {
+		t.Fatalf("fully faulted LT still claims NoAlias: %+v", got)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	p, _ := run(t, Config{Fault: &FaultConfig{Stage: StageESSA, Func: "fill"}})
+	s := p.Report().String()
+	for _, want := range []string{"degraded", "essa", "fill", "panic"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+}

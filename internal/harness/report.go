@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StageFailure describes one contained failure: a stage that panicked
+// or ran out of budget on one function (or, for module-scope stages,
+// on the module as a whole). It implements error so strict mode can
+// surface it directly.
+type StageFailure struct {
+	// Stage is one of the Stage* constants.
+	Stage string
+	// Func is the affected function's name; empty for module-scope
+	// failures.
+	Func string
+	// Cause is "panic", "budget", or "error" (a transform reported an
+	// invalid result without panicking).
+	Cause string
+	// Value is the recovered panic value, the budget error text, or
+	// the reported error.
+	Value string
+	// Stack is the recovered goroutine stack for panic causes.
+	Stack string
+}
+
+func (f *StageFailure) Error() string {
+	where := "module"
+	if f.Func != "" {
+		where = "@" + f.Func
+	}
+	return fmt.Sprintf("stage %s %s: %s: %s", f.Stage, where, f.Cause, f.Value)
+}
+
+// StageTiming records the wall-clock cost of one pipeline stage.
+type StageTiming struct {
+	Stage string
+	D     time.Duration
+}
+
+// Report accumulates everything the hardened pipeline observed while
+// processing one module: contained failures, which functions run on
+// degraded (sound but conservative) answers and why, and per-stage
+// timings.
+type Report struct {
+	// Failures lists every contained failure in pipeline order.
+	Failures []StageFailure
+	// Timings lists stage durations in execution order.
+	Timings []StageTiming
+
+	// degraded maps a function name to the stages that degraded it.
+	degraded map[string][]string
+}
+
+// Ok reports whether the whole pipeline ran without a single
+// contained failure.
+func (r *Report) Ok() bool { return len(r.Failures) == 0 }
+
+// DegradedFuncs returns the names of functions whose answers are
+// conservative, sorted.
+func (r *Report) DegradedFuncs() []string {
+	out := make([]string, 0, len(r.degraded))
+	for fn := range r.degraded {
+		out = append(out, fn)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DegradedBy returns the stages that degraded fn, in pipeline order.
+func (r *Report) DegradedBy(fn string) []string { return r.degraded[fn] }
+
+func (r *Report) addFailure(f StageFailure) {
+	r.Failures = append(r.Failures, f)
+}
+
+func (r *Report) markDegraded(fn, stage string) {
+	if fn == "" {
+		return
+	}
+	if r.degraded == nil {
+		r.degraded = map[string][]string{}
+	}
+	for _, s := range r.degraded[fn] {
+		if s == stage {
+			return
+		}
+	}
+	r.degraded[fn] = append(r.degraded[fn], stage)
+}
+
+// String renders a human-readable summary: status line, one line per
+// failure, one line per degraded function, then timings.
+func (r *Report) String() string {
+	var sb strings.Builder
+	if r.Ok() {
+		sb.WriteString("pipeline ok: no contained failures\n")
+	} else {
+		fmt.Fprintf(&sb, "pipeline degraded: %d contained failure(s)\n", len(r.Failures))
+		for _, f := range r.Failures {
+			fmt.Fprintf(&sb, "  %s\n", f.Error())
+		}
+	}
+	if fns := r.DegradedFuncs(); len(fns) > 0 {
+		fmt.Fprintf(&sb, "degraded functions (%d):\n", len(fns))
+		for _, fn := range fns {
+			fmt.Fprintf(&sb, "  %-20s %s\n", fn, strings.Join(r.degraded[fn], ", "))
+		}
+	}
+	if len(r.Timings) > 0 {
+		sb.WriteString("stage timings:\n")
+		for _, t := range r.Timings {
+			fmt.Fprintf(&sb, "  %-12s %s\n", t.Stage, t.D)
+		}
+	}
+	return sb.String()
+}

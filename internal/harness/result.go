@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"repro/internal/alias"
+	"repro/internal/andersen"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/pdg"
+	"repro/internal/rangeanal"
+)
+
+// Result bundles the hardened pipeline's outputs. Unlike
+// core.Prepared it is never nil-fielded: failed stages leave sound
+// conservative stand-ins (⊤ ranges, empty LT sets, MayAlias CF), so
+// every downstream client keeps running.
+type Result struct {
+	Module *ir.Module
+	Ranges *rangeanal.Result
+	LT     *core.Result
+	// CF is the Andersen analysis; nil unless Config.WithCF.
+	CF *andersen.Analysis
+
+	p *Pipeline
+}
+
+// Evaluate runs the aa-eval protocol with each function inside its
+// own containment region: a panic while evaluating one function
+// (broken IR, a crashing analysis) records a StageFailure and counts
+// all of that function's pointer pairs as MayAlias — the queries still
+// appear in the totals, claiming nothing. Quarantined functions take
+// the MayAlias path directly, without traversing their bodies'
+// instruction lists beyond pointer enumeration.
+func (r *Result) Evaluate(analyses ...alias.Analysis) *alias.Report {
+	p := r.p
+	rep := alias.NewReport(r.Module.Name, analyses...)
+	for _, f := range r.Module.Funcs {
+		f := f
+		if p.skip[f] {
+			// The IR may be broken; even enumeration runs guarded.
+			p.guardBare(StageAliasEval, f.FName, func() {
+				alias.MayAliasOnly(f, rep, analyses...)
+			})
+			continue
+		}
+		fRep := alias.NewReport(r.Module.Name, analyses...)
+		fail := p.guard(StageAliasEval, f.FName, func() {
+			alias.EvaluateFunc(f, fRep, analyses...)
+		})
+		if fail != nil {
+			p.rep.markDegraded(f.FName, StageAliasEval)
+			fRep = alias.NewReport(r.Module.Name, analyses...)
+			p.guardBare(StageAliasEval, f.FName, func() {
+				alias.MayAliasOnly(f, fRep, analyses...)
+			})
+		}
+		rep = alias.MergeReports(r.Module.Name, rep, fRep)
+	}
+	return rep
+}
+
+// PDG builds the program dependence graph under containment. On
+// failure it returns nil and the recorded StageFailure; callers in
+// non-strict pipelines treat a nil graph as "no PDG information".
+func (r *Result) PDG(aa alias.Analysis) (*pdg.Graph, error) {
+	p := r.p
+	defer p.timeStage(StagePDG)()
+	var g *pdg.Graph
+	fail := p.guard(StagePDG, "", func() {
+		g = pdg.Build(r.Module, aa)
+	})
+	if fail != nil {
+		return nil, fail
+	}
+	return g, nil
+}
+
+// Degraded reports whether fn runs on conservative answers.
+func (r *Result) Degraded(fn string) bool {
+	return len(r.p.rep.DegradedBy(fn)) > 0
+}

@@ -1,13 +1,28 @@
 package rangeanal
 
 import (
+	"context"
+
+	"repro/internal/budget"
 	"repro/internal/ir"
 )
 
 // Result holds the computed ranges for one module or function.
 type Result struct {
 	ranges map[ir.Value]Interval
+	// err records budget exhaustion during solving; the ranges are
+	// still sound (see AnalyzeCtx) but possibly all-Top.
+	err error
 }
+
+// Err reports whether the analysis ran out of budget (the error wraps
+// budget.ErrExceeded) or nil when it reached its fixed point.
+func (r *Result) Err() error { return r.err }
+
+// Empty returns a Result with no information: every value reports
+// Top. It is the sound degraded substitute when the range stage
+// fails entirely.
+func Empty() *Result { return &Result{ranges: map[ir.Value]Interval{}} }
 
 // Range returns the interval of v. Constants evaluate directly;
 // pointer-typed and unanalyzed values report Top.
@@ -55,15 +70,45 @@ const narrowPasses = 3
 // points, get Top parameters), and call results union the callee's
 // return ranges.
 func Analyze(m *ir.Module) *Result {
+	return AnalyzeCtx(context.Background(), m, Opts{})
+}
+
+// Opts configures a hardened run of the module analysis.
+type Opts struct {
+	// Budget bounds the whole module's solve (ranges are a module-
+	// scope, inter-procedural stage).
+	Budget budget.Spec
+	// Skip lists functions to leave out: their bodies are not
+	// traversed (the harness passes functions broken by an upstream
+	// stage), their values report Top, and calls to them are treated
+	// like calls to external code.
+	Skip map[*ir.Func]bool
+}
+
+// AnalyzeCtx is Analyze under a context and budget. Soundness of the
+// partial result: aborting the ascending (widening) phase leaves
+// intervals smaller than the fixed point, which would be unsound, so
+// exhaustion there discards everything — the result reports Top for
+// every value. Aborting the descending (narrowing) phase keeps the
+// current environment: every narrowing step starts from a sound
+// over-approximation and intersects it with a consequence of sound
+// inputs, so each intermediate state is itself sound.
+func AnalyzeCtx(ctx context.Context, m *ir.Module, opt Opts) *Result {
 	a := newAnalysis()
 	for _, f := range m.Funcs {
+		if opt.Skip[f] {
+			continue
+		}
 		a.addFunc(f)
 	}
 	// Inter-procedural edges.
 	callers := map[*ir.Func]int{}
 	for _, f := range m.Funcs {
+		if opt.Skip[f] {
+			continue
+		}
 		f.Instrs(func(in *ir.Instr) bool {
-			if in.Op == ir.OpCall && in.Callee != nil {
+			if in.Op == ir.OpCall && in.Callee != nil && !opt.Skip[in.Callee] {
 				callers[in.Callee]++
 				for i, arg := range in.Args {
 					if i < len(in.Callee.Params) {
@@ -78,6 +123,9 @@ func Analyze(m *ir.Module) *Result {
 		})
 	}
 	for _, f := range m.Funcs {
+		if opt.Skip[f] {
+			continue
+		}
 		if callers[f] == 0 {
 			// Externally callable: parameters unconstrained.
 			for _, p := range f.Params {
@@ -87,8 +135,13 @@ func Analyze(m *ir.Module) *Result {
 			}
 		}
 	}
-	a.solve()
-	return &Result{ranges: a.env}
+	bgt := opt.Budget.Start(ctx)
+	ascendAborted := a.solve(bgt)
+	res := &Result{ranges: a.env, err: bgt.Err()}
+	if ascendAborted {
+		res.ranges = map[ir.Value]Interval{}
+	}
+	return res
 }
 
 // AnalyzeFunc computes ranges for a single function with Top
@@ -101,7 +154,7 @@ func AnalyzeFunc(f *ir.Func) *Result {
 			a.external[p] = true
 		}
 	}
-	a.solve()
+	a.solve(nil)
 	return &Result{ranges: a.env}
 }
 
@@ -294,7 +347,12 @@ func refine(pred ir.CmpPred, bound Interval) Interval {
 	return Top
 }
 
-func (a *analysis) solve() {
+// solve runs the ascending phase to its widened fixed point, then a
+// bounded narrowing. It reports aborted=true only when the budget
+// expired mid-ascent, in which case the environment holds an unsound
+// under-approximation that the caller must discard. Exhaustion during
+// narrowing is not an abort: the caller keeps the (sound) env as-is.
+func (a *analysis) solve(bgt *budget.B) (aborted bool) {
 	// Ascending phase with widening.
 	work := append([]ir.Value(nil), a.nodes...)
 	inWork := make(map[ir.Value]bool, len(work))
@@ -302,6 +360,9 @@ func (a *analysis) solve() {
 		inWork[n] = true
 	}
 	for len(work) > 0 {
+		if bgt.Tick() != nil {
+			return true
+		}
 		n := work[0]
 		work = work[1:]
 		inWork[n] = false
@@ -336,6 +397,9 @@ func (a *analysis) solve() {
 	for pass := 0; pass < narrowPasses; pass++ {
 		changed := false
 		for _, n := range a.nodes {
+			if bgt.Tick() != nil {
+				return false
+			}
 			next := a.eval(n)
 			cur := a.env[n]
 			refined := Intersect(cur, next)
@@ -348,4 +412,5 @@ func (a *analysis) solve() {
 			break
 		}
 	}
+	return false
 }

@@ -30,23 +30,55 @@ type LessThanOracle interface {
 	LessThan(a, b ir.Value) bool
 }
 
+// maxRecordedViolations caps how many counterexamples keep their full
+// message; DroppedViolations counts the rest.
+const maxRecordedViolations = 20
+
 // Report aggregates checker results.
 type Report struct {
-	// Violations describes each observed counterexample.
+	// Violations describes each observed counterexample, up to
+	// maxRecordedViolations entries.
 	Violations []string
+	// DroppedViolations counts counterexamples past the cap: the true
+	// violation total is len(Violations) + DroppedViolations.
+	DroppedViolations int
 	// ChecksPerformed counts individual pair comparisons.
 	ChecksPerformed int
 	// BlocksVisited counts traced block entries.
 	BlocksVisited int
 }
 
-// Ok reports whether no violation was observed.
-func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+// Ok reports whether no violation was observed, including any beyond
+// the recording cap.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 && r.DroppedViolations == 0 }
+
+// ViolationCount is the true number of counterexamples observed.
+func (r *Report) ViolationCount() int { return len(r.Violations) + r.DroppedViolations }
 
 func (r *Report) violate(format string, args ...any) {
-	if len(r.Violations) < 20 { // cap the report, keep counting cheap
+	if len(r.Violations) < maxRecordedViolations {
 		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+		return
 	}
+	r.DroppedViolations++
+}
+
+// String summarizes the report; when the cap truncated the list it
+// says how many more counterexamples were observed.
+func (r *Report) String() string {
+	if r.Ok() {
+		return fmt.Sprintf("ok: %d checks over %d blocks", r.ChecksPerformed, r.BlocksVisited)
+	}
+	s := fmt.Sprintf("%d violation(s) in %d checks over %d blocks",
+		r.ViolationCount(), r.ChecksPerformed, r.BlocksVisited)
+	for _, v := range r.Violations {
+		s += "\n  " + v
+	}
+	if r.DroppedViolations > 0 {
+		s += fmt.Sprintf("\n  ... and %d more (recording capped at %d)",
+			r.DroppedViolations, maxRecordedViolations)
+	}
+	return s
 }
 
 // ltPairs precomputes, per function, the list of (lesser, greater)
