@@ -17,6 +17,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"testing"
 	"time"
@@ -510,6 +511,97 @@ func BenchmarkHarnessOverhead(b *testing.B) {
 			b.Fatalf("harness overhead out of bounds: %.2fx the bare pipeline", ratio)
 		}
 	}
+}
+
+// BenchmarkParallelShards measures the sharded driver over the
+// scalability corpus: the same batch at -jobs 1 versus -jobs 4
+// (program-level sharding via harness.RunBatch). The outputs are
+// byte-identical by construction — the differential suite proves it —
+// so this benchmark is purely about wall clock. The >= 2x speedup
+// expectation only holds when the hardware can actually run 4 workers,
+// so the assertion is gated on runtime.NumCPU(); on smaller machines
+// the measured ratio is still logged.
+func BenchmarkParallelShards(b *testing.B) {
+	progs := append(corpus.TestSuite(100), corpus.Spec()...)
+	items := make([]harness.BatchItem, len(progs))
+	for i, p := range progs {
+		items[i] = harness.BatchItem{Name: p.Name, Src: p.Source}
+	}
+	measure := func(jobs int) (time.Duration, int) {
+		var d time.Duration
+		var n int
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				outs := harness.RunBatch(harness.Config{}, jobs, items, nil, nil)
+				for _, out := range outs {
+					if out.Err != nil {
+						b.Fatalf("%s: %v", out.Name, out.Err)
+					}
+				}
+			}
+			d, n = time.Since(start), b.N
+		})
+		return d, n
+	}
+	serialD, serialN := measure(1)
+	parD, parN := measure(4)
+	if serialN > 0 && parN > 0 && parD > 0 {
+		perSerial := float64(serialD.Nanoseconds()) / float64(serialN)
+		perPar := float64(parD.Nanoseconds()) / float64(parN)
+		speedup := perSerial / perPar
+		b.Logf("parallel shards: jobs=1 %.1fms/op, jobs=4 %.1fms/op, speedup %.2fx on %d CPU(s)",
+			perSerial/1e6, perPar/1e6, speedup, runtime.NumCPU())
+		if runtime.NumCPU() >= 4 && speedup < 2 {
+			b.Fatalf("jobs=4 speedup %.2fx < 2x on a %d-CPU machine", speedup, runtime.NumCPU())
+		}
+	}
+}
+
+// BenchmarkMemoCache measures the content-addressed memo cache over
+// the scalability corpus: a cold pass that fills it versus a warm
+// pass that replays it. The warm pass must hit on at least 90% of its
+// lookups — every function text reappears unchanged — and its solver
+// work degenerates to artifact rebinds.
+func BenchmarkMemoCache(b *testing.B) {
+	progs := append(corpus.TestSuite(100), corpus.Spec()...)
+	items := make([]harness.BatchItem, len(progs))
+	for i, p := range progs {
+		items[i] = harness.BatchItem{Name: p.Name, Src: p.Source}
+	}
+	runPass := func(b *testing.B, cache *harness.Cache) {
+		outs := harness.RunBatch(harness.Config{Cache: cache}, 1, items, nil, nil)
+		for _, out := range outs {
+			if out.Err != nil {
+				b.Fatalf("%s: %v", out.Name, out.Err)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runPass(b, harness.NewCache())
+		}
+	})
+	var warmRate float64
+	b.Run("warm", func(b *testing.B) {
+		cache := harness.NewCache()
+		runPass(b, cache) // fill
+		pre := cache.Stats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runPass(b, cache)
+		}
+		b.StopTimer()
+		post := cache.Stats()
+		hits, misses := post.Hits-pre.Hits, post.Misses-pre.Misses
+		if hits+misses > 0 {
+			warmRate = float64(hits) / float64(hits+misses)
+		}
+		b.Logf("warm pass: hits=%d misses=%d hit-rate=%.1f%%", hits, misses, 100*warmRate)
+		if warmRate < 0.9 {
+			b.Fatalf("warm hit rate %.1f%% < 90%%", 100*warmRate)
+		}
+	})
 }
 
 // BenchmarkSolverRepresentation compares the dense-bitset solver with

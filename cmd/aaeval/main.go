@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"repro/internal/alias"
@@ -25,6 +26,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-stage analysis deadline per benchmark (0 = unlimited); exhausted stages degrade soundly")
 	maxIters := flag.Int("max-iters", 0, "per-solve worklist step cap (0 = unlimited)")
 	strict := flag.Bool("strict", false, "abort on the first contained failure instead of degrading")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "programs analyzed concurrently (output is identical at any value)")
+	useCache := flag.Bool("cache", false, "share a content-addressed memo cache across all programs; stats go to stderr")
 	flag.Parse()
 
 	var progs []corpus.Program
@@ -47,39 +50,59 @@ func main() {
 	var rows []row
 	var order []string
 	degradedBenchmarks := 0
-	for _, p := range progs {
-		pipe := harness.New(harness.Config{
-			Timeout:  *timeout,
-			MaxSteps: *maxIters,
-			Strict:   *strict,
-			WithCF:   *withCF,
+	var cache *harness.Cache
+	if *useCache {
+		cache = harness.NewCache()
+	}
+	items := make([]harness.BatchItem, len(progs))
+	for i, p := range progs {
+		items[i] = harness.BatchItem{Name: p.Name, Src: p.Source}
+	}
+	cfg := harness.Config{
+		Timeout:  *timeout,
+		MaxSteps: *maxIters,
+		Strict:   *strict,
+		WithCF:   *withCF,
+		Cache:    cache,
+	}
+	harness.RunBatch(cfg, *jobs, items,
+		// Worker side: evaluation fans out with the analysis.
+		func(i int, out *harness.BatchOutcome) {
+			if out.Err != nil {
+				return
+			}
+			m := out.Res.Module
+			ba := alias.NewBasic(m)
+			lt := alias.NewSRAA(out.Res.LT)
+			analyses := []alias.Analysis{ba, lt, alias.NewChain(ba, lt)}
+			if *withCF {
+				analyses = append(analyses, alias.NewChain(ba, out.Res.CF))
+			}
+			out.Value = out.Res.Evaluate(analyses...)
+		},
+		// Serial side, in input order: row building and diagnostics.
+		func(i int, out *harness.BatchOutcome) {
+			if out.Err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", out.Name, out.Err)
+				os.Exit(1)
+			}
+			rep := out.Value.(*alias.Report)
+			if hr := out.Pipe.Report(); !hr.Ok() {
+				degradedBenchmarks++
+				fmt.Fprintf(os.Stderr, "%s: degraded\n%s", out.Name, hr)
+			}
+			r := row{name: out.Name, pct: map[string]float64{}, no: map[string]int{}}
+			order = rep.Order
+			for _, an := range rep.Order {
+				c := rep.PerAnalysis[an]
+				r.queries = c.Queries
+				r.pct[an] = c.NoAliasPercent()
+				r.no[an] = c.No
+			}
+			rows = append(rows, r)
 		})
-		res, err := pipe.CompileAndAnalyze(p.Name, p.Source)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
-			os.Exit(1)
-		}
-		m := res.Module
-		ba := alias.NewBasic(m)
-		lt := alias.NewSRAA(res.LT)
-		analyses := []alias.Analysis{ba, lt, alias.NewChain(ba, lt)}
-		if *withCF {
-			analyses = append(analyses, alias.NewChain(ba, res.CF))
-		}
-		rep := res.Evaluate(analyses...)
-		if hr := pipe.Report(); !hr.Ok() {
-			degradedBenchmarks++
-			fmt.Fprintf(os.Stderr, "%s: degraded\n%s", p.Name, hr)
-		}
-		r := row{name: p.Name, pct: map[string]float64{}, no: map[string]int{}}
-		order = rep.Order
-		for _, an := range rep.Order {
-			c := rep.PerAnalysis[an]
-			r.queries = c.Queries
-			r.pct[an] = c.NoAliasPercent()
-			r.no[an] = c.No
-		}
-		rows = append(rows, r)
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "cache: %s\n", cache.Stats())
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].queries < rows[j].queries })
 

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// End-to-end tests for the aaeval binary: TestMain builds it once,
+// the tests run the precision-evaluation protocol on a corpus slice
+// and golden-compare the CSV output. Regenerate goldens with:
+// go test ./cmd/aaeval -run Golden -update
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+var aaevalBin string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	dir, err := os.MkdirTemp("", "aaeval-e2e")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	aaevalBin = filepath.Join(dir, "aaeval")
+	if out, err := exec.Command("go", "build", "-o", aaevalBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building aaeval: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func runAaeval(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(aaevalBin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("aaeval %v: %v\nstderr:\n%s", args, err, stderr.String())
+	}
+	return stdout.String()
+}
+
+func checkGolden(t *testing.T, golden, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", golden)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from %s (regenerate with -update if intended):\n--- want ---\n%s\n--- got ---\n%s",
+			path, want, got)
+	}
+}
+
+func TestCSVGolden(t *testing.T) {
+	got := runAaeval(t, "-suite", "testsuite", "-n", "5", "-csv")
+	checkGolden(t, "testsuite5.csv.golden", got)
+}
+
+func TestTableGolden(t *testing.T) {
+	got := runAaeval(t, "-suite", "testsuite", "-n", "3")
+	checkGolden(t, "testsuite3.table.golden", got)
+}
+
+// TestJobsEquivalence: the evaluation table is byte-identical at any
+// worker count, with and without the shared memo cache.
+func TestJobsEquivalence(t *testing.T) {
+	base := runAaeval(t, "-suite", "testsuite", "-n", "6", "-csv", "-jobs", "1")
+	for _, extra := range [][]string{
+		{"-jobs", "4"},
+		{"-jobs", "8", "-cache"},
+	} {
+		args := append([]string{"-suite", "testsuite", "-n", "6", "-csv"}, extra...)
+		if got := runAaeval(t, args...); got != base {
+			t.Fatalf("aaeval %v output differs from -jobs 1", extra)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"time"
 
@@ -22,27 +23,52 @@ import (
 	"repro/internal/stats"
 )
 
-// hcfg carries the hardening flags into every per-program pipeline.
+// hcfg carries the hardening flags — and the shared memo cache — into
+// every per-program pipeline.
 var hcfg harness.Config
 
-// analyze pushes one program through a fresh hardened pipeline; a
-// frontend or strict-mode failure is fatal, a degraded run is noted
-// on stderr and its conservative results are used as-is.
-func analyze(name, src string, withCF bool) *harness.Result {
+// batchJobs is how many programs each phase analyzes concurrently.
+var batchJobs int
+
+// batchAnalyze pushes a phase's programs through the hardened driver,
+// fanning them across batchJobs workers. eval, when non-nil, runs on
+// the worker right after analysis (evaluation protocols and PDG
+// construction parallelize with it) and its result lands in
+// out.Value. emit runs serially in input order: a frontend or
+// strict-mode failure is fatal, a degraded run is noted on stderr and
+// its conservative results are used as-is. The phases share hcfg's
+// cache, so later phases that revisit the same corpus mostly rebind
+// memoized artifacts instead of re-solving.
+func batchAnalyze(items []harness.BatchItem, withCF bool,
+	eval func(*harness.Result) any, emit func(i int, out *harness.BatchOutcome)) {
 	cfg := hcfg
 	cfg.WithCF = withCF
-	p := harness.New(cfg)
-	res, err := p.CompileAndAnalyze(name, src)
-	if err != nil {
-		fatal(err)
+	harness.RunBatch(cfg, batchJobs, items,
+		func(i int, out *harness.BatchOutcome) {
+			if out.Err == nil && eval != nil {
+				out.Value = eval(out.Res)
+			}
+		},
+		func(i int, out *harness.BatchOutcome) {
+			if out.Err != nil {
+				fatal(out.Err)
+			}
+			if rep := out.Pipe.Report(); !rep.Ok() {
+				fmt.Fprintf(os.Stderr, "%s: degraded\n%s", out.Name, rep)
+				if hcfg.Strict {
+					os.Exit(1)
+				}
+			}
+			emit(i, out)
+		})
+}
+
+func corpusItems(progs []corpus.Program) []harness.BatchItem {
+	items := make([]harness.BatchItem, len(progs))
+	for i, p := range progs {
+		items[i] = harness.BatchItem{Name: p.Name, Src: p.Source}
 	}
-	if rep := p.Report(); !rep.Ok() {
-		fmt.Fprintf(os.Stderr, "%s: degraded\n%s", name, rep)
-		if hcfg.Strict {
-			os.Exit(1)
-		}
-	}
-	return res
+	return items
 }
 
 func main() {
@@ -50,8 +76,14 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-stage analysis deadline per program (0 = unlimited); exhausted stages degrade soundly")
 	maxIters := flag.Int("max-iters", 0, "per-solve worklist step cap (0 = unlimited)")
 	strict := flag.Bool("strict", false, "abort on the first contained failure instead of degrading")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "programs analyzed concurrently per phase (results are identical at any value)")
+	useCache := flag.Bool("cache", true, "share a content-addressed memo cache across all phases; stats go to stderr")
 	flag.Parse()
 	hcfg = harness.Config{Timeout: *timeout, MaxSteps: *maxIters, Strict: *strict}
+	if *useCache {
+		hcfg.Cache = harness.NewCache()
+	}
+	batchJobs = *jobs
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
@@ -82,24 +114,27 @@ func main() {
 		ba, lt, balt, bacf float64
 	}
 	var specRows []specRow
-	for _, p := range corpus.Spec() {
-		res := analyze(p.Name, p.Source, true)
-		ba := alias.NewBasic(res.Module)
-		lt := alias.NewSRAA(res.LT)
-		rep := res.Evaluate(ba, lt,
-			alias.NewChain(ba, lt), alias.NewChain(ba, res.CF))
-		r := specRow{
-			name:    p.Name,
-			queries: rep.PerAnalysis["BA"].Queries,
-			ba:      rep.PerAnalysis["BA"].NoAliasPercent(),
-			lt:      rep.PerAnalysis["LT"].NoAliasPercent(),
-			balt:    rep.PerAnalysis["BA+LT"].NoAliasPercent(),
-			bacf:    rep.PerAnalysis["BA+CF"].NoAliasPercent(),
-		}
-		specRows = append(specRows, r)
-		fmt.Fprintf(f9, "%s,%d,%.2f,%.2f,%.2f,%.2f\n",
-			r.name, r.queries, r.ba, r.lt, r.balt, r.bacf)
-	}
+	batchAnalyze(corpusItems(corpus.Spec()), true,
+		func(res *harness.Result) any {
+			ba := alias.NewBasic(res.Module)
+			lt := alias.NewSRAA(res.LT)
+			return res.Evaluate(ba, lt,
+				alias.NewChain(ba, lt), alias.NewChain(ba, res.CF))
+		},
+		func(i int, out *harness.BatchOutcome) {
+			rep := out.Value.(*alias.Report)
+			r := specRow{
+				name:    out.Name,
+				queries: rep.PerAnalysis["BA"].Queries,
+				ba:      rep.PerAnalysis["BA"].NoAliasPercent(),
+				lt:      rep.PerAnalysis["LT"].NoAliasPercent(),
+				balt:    rep.PerAnalysis["BA+LT"].NoAliasPercent(),
+				bacf:    rep.PerAnalysis["BA+CF"].NoAliasPercent(),
+			}
+			specRows = append(specRows, r)
+			fmt.Fprintf(f9, "%s,%d,%.2f,%.2f,%.2f,%.2f\n",
+				r.name, r.queries, r.ba, r.lt, r.balt, r.bacf)
+		})
 	f9.Close()
 	for _, r := range specRows {
 		switch r.name {
@@ -120,17 +155,20 @@ func main() {
 	}
 	fmt.Fprintln(f8, "benchmark,queries,ba_no,lt_no,balt_no")
 	var totBA, totLT, totBoth int
-	for _, p := range corpus.TestSuite(100) {
-		res := analyze(p.Name, p.Source, false)
-		ba := alias.NewBasic(res.Module)
-		lt := alias.NewSRAA(res.LT)
-		rep := res.Evaluate(ba, lt, alias.NewChain(ba, lt))
-		cb, cl, cc := rep.PerAnalysis["BA"], rep.PerAnalysis["LT"], rep.PerAnalysis["BA+LT"]
-		totBA += cb.No
-		totLT += cl.No
-		totBoth += cc.No
-		fmt.Fprintf(f8, "%s,%d,%d,%d,%d\n", p.Name, cb.Queries, cb.No, cl.No, cc.No)
-	}
+	batchAnalyze(corpusItems(corpus.TestSuite(100)), false,
+		func(res *harness.Result) any {
+			ba := alias.NewBasic(res.Module)
+			lt := alias.NewSRAA(res.LT)
+			return res.Evaluate(ba, lt, alias.NewChain(ba, lt))
+		},
+		func(i int, out *harness.BatchOutcome) {
+			rep := out.Value.(*alias.Report)
+			cb, cl, cc := rep.PerAnalysis["BA"], rep.PerAnalysis["LT"], rep.PerAnalysis["BA+LT"]
+			totBA += cb.No
+			totLT += cl.No
+			totBoth += cc.No
+			fmt.Fprintf(f8, "%s,%d,%d,%d,%d\n", out.Name, cb.Queries, cb.No, cl.No, cc.No)
+		})
 	f8.Close()
 	note("  suite-wide: LT lifts BA by %.2f%% (paper: 9.49%%)",
 		100*float64(totBoth-totBA)/float64(totBA))
@@ -148,14 +186,16 @@ func main() {
 	}
 	var samples []sample
 	sizeDist := map[int]int{}
-	for _, p := range append(corpus.TestSuite(100), corpus.Spec()...) {
-		res := analyze(p.Name, p.Source, false)
-		st := res.LT.Stats
-		samples = append(samples, sample{p.Name, st.Instrs, st.Constraints, st.Pops, st.Vars})
-		for k, v := range st.SetSizes {
-			sizeDist[k] += v
-		}
-	}
+	// This phase re-analyzes the corpus of the previous two; with the
+	// shared cache the solves are mostly artifact rebinds.
+	batchAnalyze(corpusItems(append(corpus.TestSuite(100), corpus.Spec()...)), false, nil,
+		func(i int, out *harness.BatchOutcome) {
+			st := out.Res.LT.Stats
+			samples = append(samples, sample{out.Name, st.Instrs, st.Constraints, st.Pops, st.Vars})
+			for k, v := range st.SetSizes {
+				sizeDist[k] += v
+			}
+		})
 	sort.Slice(samples, func(i, j int) bool { return samples[i].instrs > samples[j].instrs })
 	samples = samples[:50]
 	var xs, ys []float64
@@ -188,13 +228,21 @@ func main() {
 	}
 	fmt.Fprintln(f12, "program,depth,ba_nodes,balt_nodes")
 	pdgBA, pdgBoth := 0, 0
+	var pdgItems []harness.BatchItem
+	var pdgDepths []int
 	for depth := 2; depth <= 7; depth++ {
 		for i := 0; i < 20; i++ {
-			src := csmith.Generate(csmith.Config{
-				Seed: int64(depth*1000 + i), MaxPtrDepth: depth, Stmts: 120,
+			pdgItems = append(pdgItems, harness.BatchItem{
+				Name: fmt.Sprintf("rand-d%d-%02d", depth, i),
+				Src: csmith.Generate(csmith.Config{
+					Seed: int64(depth*1000 + i), MaxPtrDepth: depth, Stmts: 120,
+				}),
 			})
-			name := fmt.Sprintf("rand-d%d-%02d", depth, i)
-			res := analyze(name, src, false)
+			pdgDepths = append(pdgDepths, depth)
+		}
+	}
+	batchAnalyze(pdgItems, false,
+		func(res *harness.Result) any {
 			ba := alias.NewBasic(res.Module)
 			ba.UnknownSizes = true
 			ba.Intraprocedural = true
@@ -202,18 +250,27 @@ func main() {
 			gBA, errA := res.PDG(ba)
 			gBoth, errB := res.PDG(both)
 			if errA != nil || errB != nil {
-				fmt.Fprintf(os.Stderr, "%s: pdg construction degraded, program skipped\n", name)
-				continue
+				return nil
 			}
-			pdgBA += gBA.MemNodes
-			pdgBoth += gBoth.MemNodes
-			fmt.Fprintf(f12, "%s,%d,%d,%d\n", name, depth, gBA.MemNodes, gBoth.MemNodes)
-		}
-	}
+			return [2]int{gBA.MemNodes, gBoth.MemNodes}
+		},
+		func(i int, out *harness.BatchOutcome) {
+			nodes, ok := out.Value.([2]int)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "%s: pdg construction degraded, program skipped\n", out.Name)
+				return
+			}
+			pdgBA += nodes[0]
+			pdgBoth += nodes[1]
+			fmt.Fprintf(f12, "%s,%d,%d,%d\n", out.Name, pdgDepths[i], nodes[0], nodes[1])
+		})
 	f12.Close()
 	note("  memory nodes: BA %d, BA+LT %d (%.2fx; paper: 6.23x)",
 		pdgBA, pdgBoth, float64(pdgBoth)/float64(pdgBA))
 
+	if hcfg.Cache != nil {
+		fmt.Fprintf(os.Stderr, "cache: %s\n", hcfg.Cache.Stats())
+	}
 	note("\ndone in %s; CSVs in %s/", time.Since(start).Round(time.Millisecond), *out)
 }
 

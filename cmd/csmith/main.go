@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/csmith"
@@ -28,6 +29,8 @@ func main() {
 	runs := flag.Int("runs", 1, "with -check: number of consecutive seeds to test, starting at -seed")
 	crashDir := flag.String("crash-dir", "crashes", "with -check: directory for offending programs and their reproducer notes")
 	timeout := flag.Duration("timeout", 10*time.Second, "with -check: per-stage budget deadline")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "with -check: seeds checked concurrently (triage output stays in seed order)")
+	useCache := flag.Bool("cache", false, "with -check: share a memo cache across seeds (engages only with -timeout 0; budgeted runs bypass it)")
 	flag.Parse()
 
 	cfg := func(s int64) csmith.Config {
@@ -39,31 +42,43 @@ func main() {
 		return
 	}
 
-	crashes := 0
-	for i := 0; i < *runs; i++ {
+	var cache *harness.Cache
+	if *useCache {
+		cache = harness.NewCache()
+	}
+	items := make([]harness.BatchItem, *runs)
+	for i := range items {
 		s := *seed + int64(i)
-		src := csmith.Generate(cfg(s))
-		name := fmt.Sprintf("csmith_seed%d", s)
-
-		p := harness.New(harness.Config{Timeout: *timeout, WithCF: true})
-		res, err := p.CompileAndAnalyze(name, src)
-		if err == nil && res != nil {
-			// Also exercise the evaluation path, the other common
-			// crash surface.
-			res.Evaluate()
-		}
-		rep := p.Report()
-		if err == nil && rep.Ok() {
-			continue
-		}
-		crashes++
-		if werr := persistCrash(*crashDir, name, s, src, err, rep); werr != nil {
-			fmt.Fprintf(os.Stderr, "csmith: cannot persist crash for seed %d: %v\n", s, werr)
-		} else {
-			fmt.Fprintf(os.Stderr, "csmith: seed %d provoked a failure; reproducer saved under %s\n",
-				s, *crashDir)
+		items[i] = harness.BatchItem{
+			Name: fmt.Sprintf("csmith_seed%d", s),
+			Src:  csmith.Generate(cfg(s)),
 		}
 	}
+	crashes := 0
+	harness.RunBatch(harness.Config{Timeout: *timeout, WithCF: true, Cache: cache}, *jobs, items,
+		// Worker side: also exercise the evaluation path, the other
+		// common crash surface.
+		func(i int, out *harness.BatchOutcome) {
+			if out.Err == nil && out.Res != nil {
+				out.Res.Evaluate()
+			}
+		},
+		// Serial side: triage in seed order, so reruns produce the
+		// same reproducers whatever the worker count.
+		func(i int, out *harness.BatchOutcome) {
+			rep := out.Pipe.Report()
+			if out.Err == nil && rep.Ok() {
+				return
+			}
+			s := *seed + int64(i)
+			crashes++
+			if werr := persistCrash(*crashDir, out.Name, s, items[i].Src, out.Err, rep); werr != nil {
+				fmt.Fprintf(os.Stderr, "csmith: cannot persist crash for seed %d: %v\n", s, werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "csmith: seed %d provoked a failure; reproducer saved under %s\n",
+					s, *crashDir)
+			}
+		})
 	if crashes > 0 {
 		fmt.Fprintf(os.Stderr, "csmith: %d of %d seed(s) failed\n", crashes, *runs)
 		os.Exit(1)

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -27,6 +28,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-stage analysis deadline per program (0 = unlimited); exhausted stages degrade soundly and are reported")
 	maxIters := flag.Int("max-iters", 0, "per-solve worklist step cap (0 = unlimited)")
 	strict := flag.Bool("strict", false, "abort on the first contained failure instead of degrading")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "programs analyzed concurrently (statistics are identical at any value; per-program timings include scheduling noise when > 1)")
+	useCache := flag.Bool("cache", false, "share a content-addressed memo cache across all programs; stats go to stderr")
 	flag.Parse()
 
 	progs := append(corpus.TestSuite(100), corpus.Spec()...)
@@ -39,34 +42,38 @@ func main() {
 	}
 	var rows []row
 	sizeDist := map[int]int{}
-	for _, p := range progs {
-		pipe := harness.New(harness.Config{
-			Timeout: *timeout, MaxSteps: *maxIters, Strict: *strict,
+	var cache *harness.Cache
+	if *useCache {
+		cache = harness.NewCache()
+	}
+	items := make([]harness.BatchItem, len(progs))
+	for i, p := range progs {
+		items[i] = harness.BatchItem{Name: p.Name, Src: p.Source}
+	}
+	cfg := harness.Config{
+		Timeout: *timeout, MaxSteps: *maxIters, Strict: *strict, Cache: cache,
+	}
+	harness.RunBatch(cfg, *jobs, items, nil,
+		func(i int, out *harness.BatchOutcome) {
+			if out.Err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", out.Name, out.Err)
+				os.Exit(1)
+			}
+			if rep := out.Pipe.Report(); !rep.Ok() {
+				fmt.Fprintf(os.Stderr, "%s: degraded (its statistics undercount the full solve)\n%s",
+					out.Name, rep)
+			}
+			st := out.Res.LT.Stats
+			rows = append(rows, row{
+				name: out.Name, instrs: st.Instrs, constraints: st.Constraints,
+				pops: st.Pops, vars: st.Vars, elapsed: out.AnalyzeTime,
+			})
+			for k, v := range st.SetSizes {
+				sizeDist[k] += v
+			}
 		})
-		m, err := pipe.Compile(p.Name, p.Source)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
-			os.Exit(1)
-		}
-		start := time.Now()
-		prep, err := pipe.Analyze(m)
-		elapsed := time.Since(start)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
-			os.Exit(1)
-		}
-		if rep := pipe.Report(); !rep.Ok() {
-			fmt.Fprintf(os.Stderr, "%s: degraded (its statistics undercount the full solve)\n%s",
-				p.Name, rep)
-		}
-		st := prep.LT.Stats
-		rows = append(rows, row{
-			name: p.Name, instrs: st.Instrs, constraints: st.Constraints,
-			pops: st.Pops, vars: st.Vars, elapsed: elapsed,
-		})
-		for k, v := range st.SetSizes {
-			sizeDist[k] += v
-		}
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "cache: %s\n", cache.Stats())
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].instrs > rows[j].instrs })
 	if len(rows) > *n {

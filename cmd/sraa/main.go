@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/alias"
@@ -40,6 +41,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-stage analysis deadline (0 = unlimited); exhausted stages degrade to sound conservative answers")
 	maxIters := flag.Int("max-iters", 0, "per-solve worklist step cap (0 = unlimited)")
 	strict := flag.Bool("strict", false, "abort on the first contained failure instead of degrading")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "worker count for the per-function pipeline stages (results are identical at any value)")
+	useCache := flag.Bool("cache", false, "memoize per-function less-than solves by content hash; stats go to stderr")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -55,12 +58,18 @@ func main() {
 	}
 	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 
+	var cache *harness.Cache
+	if *useCache {
+		cache = harness.NewCache()
+	}
 	p := harness.New(harness.Config{
 		Timeout:         *timeout,
 		MaxSteps:        *maxIters,
 		Strict:          *strict,
 		Interprocedural: *interproc,
 		WithCF:          *withCF,
+		Jobs:            *jobs,
+		Cache:           cache,
 	})
 	var m *ir.Module
 	if *irInput {
@@ -147,6 +156,9 @@ func main() {
 			analyses = append(analyses, prep.CF, alias.NewChain(ba, prep.CF))
 		}
 		fmt.Print(res.Evaluate(analyses...))
+	}
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "cache: %s\n", cache.Stats())
 	}
 	if rep := p.Report(); !rep.Ok() {
 		fmt.Fprint(os.Stderr, rep)

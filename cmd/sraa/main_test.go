@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// End-to-end tests for the sraa binary: TestMain builds it once, the
+// tests run it on testdata fixtures and golden-compare stdout.
+// Regenerate goldens with: go test ./cmd/sraa -run Golden -update
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+var sraaBin string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	dir, err := os.MkdirTemp("", "sraa-e2e")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sraaBin = filepath.Join(dir, "sraa")
+	if out, err := exec.Command("go", "build", "-o", sraaBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building sraa: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// runSraa executes the built binary and returns its stdout; stderr is
+// tolerated (degradation notes, cache stats) but a non-zero exit is
+// fatal.
+func runSraa(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(sraaBin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("sraa %v: %v\nstderr:\n%s", args, err, stderr.String())
+	}
+	return stdout.String()
+}
+
+func checkGolden(t *testing.T, golden, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", golden)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from %s (regenerate with -update if intended):\n--- want ---\n%s\n--- got ---\n%s",
+			path, want, got)
+	}
+}
+
+func TestReportGolden(t *testing.T) {
+	got := runSraa(t, filepath.Join("testdata", "sort.c"))
+	checkGolden(t, "sort.report.golden", got)
+}
+
+func TestDumpGolden(t *testing.T) {
+	got := runSraa(t, "-no-report", "-lt", "-ranges", filepath.Join("testdata", "sort.c"))
+	checkGolden(t, "sort.dump.golden", got)
+}
+
+func TestInterprocGolden(t *testing.T) {
+	got := runSraa(t, "-interproc", filepath.Join("testdata", "sort.c"))
+	checkGolden(t, "sort.interproc.golden", got)
+}
+
+// TestJobsEquivalence: the observable output is byte-identical
+// whatever the worker count, with and without the memo cache.
+func TestJobsEquivalence(t *testing.T) {
+	src := filepath.Join("testdata", "sort.c")
+	base := runSraa(t, "-jobs", "1", "-dump-ir", "-lt", "-ranges", "-cf", src)
+	for _, extra := range [][]string{
+		{"-jobs", "4"},
+		{"-jobs", "8", "-cache"},
+	} {
+		args := append(append([]string{}, extra...), "-dump-ir", "-lt", "-ranges", "-cf", src)
+		if got := runSraa(t, args...); got != base {
+			t.Fatalf("sraa %v output differs from -jobs 1", extra)
+		}
+	}
+}

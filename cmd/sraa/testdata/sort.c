@@ -1,0 +1,33 @@
+int g[10];
+int h[10];
+
+void fill(int* v, int n) {
+  int i, j;
+  for (i = 0; i < n - 1; i++) {
+    for (j = i + 1; j < n; j++) {
+      if (v[i] > v[j]) {
+        int tmp = v[i];
+        v[i] = v[j];
+        v[j] = tmp;
+      }
+    }
+  }
+}
+
+int sum(int* v, int n) {
+  int i, j, s;
+  s = 0;
+  for (i = 0; i < n - 1; i++) {
+    j = i + 1;
+    s = s + v[i] - v[j];
+  }
+  return s;
+}
+
+int main() {
+  g[0] = 5; g[1] = 1; g[2] = 9; g[3] = 3; g[4] = 7;
+  h[0] = 2; h[1] = 8; h[2] = 0; h[3] = 6; h[4] = 4;
+  fill(g, 10);
+  fill(h, 10);
+  return sum(g, 10) + sum(h, 10);
+}

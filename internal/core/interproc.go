@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sort"
 
 	"repro/internal/ir"
 	"repro/internal/rangeanal"
@@ -145,6 +146,16 @@ func analyzeWithSeeds(ctx context.Context, m *ir.Module, ranges *rangeanal.Resul
 		for p := range pairs {
 			seedPairs[f] = append(seedPairs[f], [2]int{p.Lo, p.Hi})
 		}
+		// Map iteration filled the slice in arbitrary order; sort it
+		// so constraint generation — and therefore memo keys and any
+		// byte-level result comparison — is deterministic.
+		sort.Slice(seedPairs[f], func(i, j int) bool {
+			a, b := seedPairs[f][i], seedPairs[f][j]
+			if a[0] != b[0] {
+				return a[0] < b[0]
+			}
+			return a[1] < b[1]
+		})
 	}
 	return analyzeModule(ctx, m, ranges, opt, seedPairs)
 }

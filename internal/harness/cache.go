@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/rangeanal"
+)
+
+// Cache is a content-addressed memo store for per-function less-than
+// results. The key fingerprints every input the per-function solve
+// reads — the function's canonical IR text, the interval of every
+// integer-typed variable, the element types of every referenced
+// global (GEP scaling reads them, and global declarations are not
+// part of the function text), and the option flags that change the
+// solver's semantics — so a hit is guaranteed to denote the same
+// computation, not merely the same source text. Artifacts are
+// positional (see core/memo.go) and rebinding verifies every variable
+// reference, so even a hash collision cannot silently corrupt a
+// result: a mismatched artifact falls back to recomputation.
+//
+// Cache is safe for concurrent use and may be shared across pipelines
+// and modules; that sharing is the point — csmith sweeps and repeated
+// experiment phases re-analyze textually identical functions, which
+// become table lookups on the second encounter.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*core.FuncArtifact
+	hits    int64
+	misses  int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]*core.FuncArtifact{}}
+}
+
+// Lookup implements core.Memo.
+func (c *Cache) Lookup(key string) (*core.FuncArtifact, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return a, ok
+}
+
+// Store implements core.Memo.
+func (c *Cache) Store(key string, a *core.FuncArtifact) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = a
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Entries int
+	Hits    int64
+	Misses  int64
+}
+
+// HitRate is hits over lookups, 0 when the cache was never consulted.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("entries=%d hits=%d misses=%d hit-rate=%.1f%%",
+		s.Entries, s.Hits, s.Misses, 100*s.HitRate())
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+}
+
+// funcKey fingerprints one function's solve inputs. Section order is
+// fixed (text, globals, ranges, options) with NUL separators so no
+// section can masquerade as another. Inter-procedural seeds are NOT
+// part of this key: core appends its own canonical seed suffix, so
+// refinement rounds with different seeds never collide.
+func funcKey(f *ir.Func, ranges *rangeanal.Result, opt core.Options) string {
+	h := sha256.New()
+	io.WriteString(h, f.String())
+
+	// Referenced globals in first-use order (block/instruction order,
+	// hence deterministic). Their element types decide GEP scaling.
+	io.WriteString(h, "\x00globals\x00")
+	seen := map[*ir.Global]bool{}
+	f.Instrs(func(in *ir.Instr) bool {
+		for _, a := range in.Args {
+			if g, ok := a.(*ir.Global); ok && !seen[g] {
+				seen[g] = true
+				fmt.Fprintf(h, "@%s:%s;", g.GName, g.Elem.String())
+			}
+		}
+		return true
+	})
+
+	// Intervals of every integer-typed variable, in the same
+	// enumeration order the solver uses (params, then instruction
+	// results in block order).
+	io.WriteString(h, "\x00ranges\x00")
+	if !opt.NoRanges && ranges != nil {
+		writeIv := func(v ir.Value) {
+			if !ir.IsInt(v.Type()) {
+				return
+			}
+			iv := ranges.Range(v)
+			fmt.Fprintf(h, "%s=[%d,%d];", v.Ref(), iv.Lo, iv.Hi)
+		}
+		for _, p := range f.Params {
+			writeIv(p)
+		}
+		f.Instrs(func(in *ir.Instr) bool {
+			if in.HasResult() {
+				writeIv(in)
+			}
+			return true
+		})
+	}
+
+	fmt.Fprintf(h, "\x00opts:nr=%t,ns=%t,ss=%t", opt.NoRanges, opt.NonStrict, opt.SmallSets)
+	return hex.EncodeToString(h.Sum(nil))
+}

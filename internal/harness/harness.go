@@ -98,6 +98,16 @@ type Config struct {
 	// WithCF additionally runs the Andersen-style CF analysis.
 	WithCF bool
 
+	// Jobs fans the per-function stages out across a bounded worker
+	// pool; 0 or 1 runs them serially. Results and reports are merged
+	// in module function order and are byte-identical at any value
+	// (see parallel.go).
+	Jobs int
+	// Cache, when non-nil, memoizes per-function less-than solves by
+	// content hash (see cache.go). It may be shared across pipelines.
+	// Budgeted and fault-injected runs bypass it.
+	Cache *Cache
+
 	// Fault injects one deliberate failure (tests only).
 	Fault *FaultConfig
 }
@@ -143,38 +153,51 @@ func (p *Pipeline) maybeFault(stage, fn string) {
 	}
 }
 
-// guard runs body inside a containment region and converts a panic
-// into a recorded StageFailure, which it returns (nil on success).
-func (p *Pipeline) guard(stage, fn string, body func()) (fail *StageFailure) {
+// contain runs body inside a containment region and returns a panic
+// as a StageFailure WITHOUT recording it. It is the primitive the
+// worker pools build on: workers must not append to the shared report
+// (a data race, and completion order would leak into it), so they
+// capture into per-function slots and the calling goroutine records
+// everything in module function order after the pool drains. faultable
+// selects whether the fault-injection hook fires; fallback paths pass
+// false so a fault injected into the primary attempt does not fire a
+// second time while computing the degraded substitute.
+func (p *Pipeline) contain(stage, fn string, faultable bool, body func()) (fail *StageFailure) {
 	defer func() {
 		if r := recover(); r != nil {
 			fail = &StageFailure{
 				Stage: stage, Func: fn, Cause: "panic",
 				Value: fmt.Sprint(r), Stack: string(debug.Stack()),
 			}
-			p.rep.addFailure(*fail)
 		}
 	}()
-	p.maybeFault(stage, fn)
+	if faultable {
+		p.maybeFault(stage, fn)
+	}
 	body()
 	return nil
+}
+
+// guard runs body inside a containment region and converts a panic
+// into a recorded StageFailure, which it returns (nil on success).
+// Serial callers only; worker pools use contain directly.
+func (p *Pipeline) guard(stage, fn string, body func()) *StageFailure {
+	fail := p.contain(stage, fn, true, body)
+	if fail != nil {
+		p.rep.addFailure(*fail)
+	}
+	return fail
 }
 
 // guardBare is guard without the fault-injection hook: fallback paths
 // use it so a fault injected into the primary attempt does not fire a
 // second time while recording the degraded substitute.
-func (p *Pipeline) guardBare(stage, fn string, body func()) (fail *StageFailure) {
-	defer func() {
-		if r := recover(); r != nil {
-			fail = &StageFailure{
-				Stage: stage, Func: fn, Cause: "panic",
-				Value: fmt.Sprint(r), Stack: string(debug.Stack()),
-			}
-			p.rep.addFailure(*fail)
-		}
-	}()
-	body()
-	return nil
+func (p *Pipeline) guardBare(stage, fn string, body func()) *StageFailure {
+	fail := p.contain(stage, fn, false, body)
+	if fail != nil {
+		p.rep.addFailure(*fail)
+	}
+	return fail
 }
 
 // fail records a non-panic stage failure.
@@ -241,22 +264,14 @@ func (p *Pipeline) Compile(name, src string) (*ir.Module, error) {
 		return nil, fail
 	}
 
-	done = p.timeStage(StageMem2Reg)
-	defer done()
-	for _, f := range m.Funcs {
-		f := f
-		fail := p.guard(StageMem2Reg, f.FName, func() {
-			ssa.Promote(f)
-			if err := ssa.VerifySSA(f); err != nil {
-				panic(err)
-			}
-		})
-		if fail != nil {
-			p.quarantine(f, StageMem2Reg)
-			if err := p.strictErr(fail); err != nil {
-				return nil, err
-			}
+	fail = p.runFuncStage(StageMem2Reg, m, func(f *ir.Func) {
+		ssa.Promote(f)
+		if err := ssa.VerifySSA(f); err != nil {
+			panic(err)
 		}
+	})
+	if err := p.strictErr(fail); err != nil {
+		return nil, err
 	}
 	return m, nil
 }
@@ -289,22 +304,10 @@ func (p *Pipeline) Analyze(m *ir.Module) (*Result, error) {
 	res := &Result{Module: m, p: p}
 
 	if !p.cfg.NoESSA {
-		done := p.timeStage(StageESSA)
-		for _, f := range m.Funcs {
-			f := f
-			if p.skip[f] {
-				continue
-			}
-			fail := p.guard(StageESSA, f.FName, func() { essa.InsertSigmas(f) })
-			if fail != nil {
-				p.quarantine(f, StageESSA)
-				if err := p.strictErr(fail); err != nil {
-					done()
-					return res, err
-				}
-			}
+		fail := p.runFuncStage(StageESSA, m, func(f *ir.Func) { essa.InsertSigmas(f) })
+		if err := p.strictErr(fail); err != nil {
+			return res, err
 		}
-		done()
 
 		var oracle essa.RangeOracle
 		if !p.cfg.Analysis.NoRanges {
@@ -315,22 +318,12 @@ func (p *Pipeline) Analyze(m *ir.Module) (*Result, error) {
 			oracle = pre
 		}
 
-		done = p.timeStage(StageSplit)
-		for _, f := range m.Funcs {
-			f := f
-			if p.skip[f] {
-				continue
-			}
-			fail := p.guard(StageSplit, f.FName, func() { essa.SplitSubtractions(f, oracle) })
-			if fail != nil {
-				p.quarantine(f, StageSplit)
-				if err := p.strictErr(fail); err != nil {
-					done()
-					return res, err
-				}
-			}
+		// SplitSubtractions only reads the shared oracle (interval
+		// lookups on an immutable result), so sharding is safe.
+		fail = p.runFuncStage(StageSplit, m, func(f *ir.Func) { essa.SplitSubtractions(f, oracle) })
+		if err := p.strictErr(fail); err != nil {
+			return res, err
 		}
-		done()
 	}
 
 	ranges, err := p.runRanges(StageRanges, m)
@@ -389,6 +382,12 @@ func (p *Pipeline) runLessThan(m *ir.Module, ranges *rangeanal.Result) (*core.Re
 	opt.Budget = budget.Spec{Timeout: p.cfg.Timeout, MaxSteps: p.cfg.MaxSteps}
 	opt.BudgetFor = func(f *ir.Func) budget.Spec { return p.spec(StageLessThan, f.FName) }
 	opt.OnFunc = func(f *ir.Func) { p.maybeFault(StageLessThan, f.FName) }
+	opt.Workers = p.jobs()
+	if p.cacheEnabled() {
+		opt.Memo = p.cfg.Cache
+		keyOpt := p.cfg.Analysis
+		opt.MemoKey = func(f *ir.Func) string { return funcKey(f, ranges, keyOpt) }
+	}
 
 	// guardBare: fault injection for this stage goes through OnFunc,
 	// per function, not through the module-level guard.

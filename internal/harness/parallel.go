@@ -1,0 +1,202 @@
+// Parallel sharding of the hardened pipeline. Two levels exist:
+//
+//   - Function-level: within one module, the per-function stages
+//     (mem2reg, sigma insertion, subtraction splitting, the less-than
+//     solve, alias evaluation) fan out across Config.Jobs workers.
+//     Module-scope stages (parse, lower, range analysis, Andersen)
+//     stay serial — they are whole-module fixed points with shared
+//     mutable state and no per-function decomposition.
+//   - Program-level: RunBatch shards a corpus of independent programs
+//     across workers, one pipeline per program.
+//
+// Equivalence discipline. Workers never touch shared pipeline state:
+// containment captures failures into per-function slots, and the
+// calling goroutine records them in module function order after the
+// pool drains. Every merge is in declaration order, so reports,
+// results, and statistics are byte-identical at any worker count —
+// the property the differential test suite pins down.
+//
+// Quarantine stays per-function under concurrency: a worker that
+// panics poisons only its own function's slot. The containment region
+// is entered on the worker itself, so the panic never reaches the
+// pool machinery, and the skip set is only written by the calling
+// goroutine during the ordered merge — a half-rewritten function is
+// quarantined exactly as in the serial pipeline, and its neighbors'
+// results are unaffected.
+package harness
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/ir"
+)
+
+// jobs resolves the effective function-level worker count; 0 and 1
+// both mean serial execution on the calling goroutine.
+func (p *Pipeline) jobs() int {
+	if p.cfg.Jobs > 1 {
+		return p.cfg.Jobs
+	}
+	return 1
+}
+
+// cacheEnabled reports whether the memo cache participates in this
+// run. Budgeted and fault-injected runs bypass it: their outcomes
+// depend on wall clock and injected state, so memoizing them would
+// let one run's degradation leak into another's answers.
+func (p *Pipeline) cacheEnabled() bool {
+	return p.cfg.Cache != nil && p.cfg.Timeout == 0 && p.cfg.MaxSteps == 0 && p.cfg.Fault == nil
+}
+
+// runFuncStage applies one per-function stage body to every
+// non-quarantined function, fanning across the worker pool when
+// Config.Jobs > 1. Failures are captured on the workers into
+// per-function slots and recorded — with the matching quarantines —
+// in module function order after the pool drains. Returns the first
+// failure in function order, for strict mode.
+func (p *Pipeline) runFuncStage(stage string, m *ir.Module, body func(*ir.Func)) *StageFailure {
+	defer p.timeStage(stage)()
+	type target struct {
+		i int
+		f *ir.Func
+	}
+	var targets []target
+	for i, f := range m.Funcs {
+		if !p.skip[f] {
+			targets = append(targets, target{i, f})
+		}
+	}
+	fails := make([]*StageFailure, len(m.Funcs))
+	run := func(t target) {
+		fails[t.i] = p.contain(stage, t.f.FName, true, func() { body(t.f) })
+	}
+	if jobs := min(p.jobs(), len(targets)); jobs <= 1 {
+		for _, t := range targets {
+			run(t)
+		}
+	} else {
+		ch := make(chan target)
+		var wg sync.WaitGroup
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range ch {
+					run(t)
+				}
+			}()
+		}
+		for _, t := range targets {
+			ch <- t
+		}
+		close(ch)
+		wg.Wait()
+	}
+	var first *StageFailure
+	for i, f := range m.Funcs {
+		if fails[i] == nil {
+			continue
+		}
+		p.rep.addFailure(*fails[i])
+		p.quarantine(f, stage)
+		if first == nil {
+			first = fails[i]
+		}
+	}
+	return first
+}
+
+// BatchItem is one program of a batch run.
+type BatchItem struct {
+	Name string
+	Src  string
+}
+
+// BatchOutcome is what one program's pipeline produced. Value carries
+// whatever the worker-side callback computed (an evaluation report, a
+// statistics row) to the serial post-processing phase.
+type BatchOutcome struct {
+	Name string
+	Pipe *Pipeline
+	Res  *Result
+	Err  error
+	// AnalyzeTime is the wall-clock cost of the analysis phase alone
+	// (excluding Compile). Under program-level sharding it measures
+	// the program's own work, though scheduling noise from sibling
+	// workers is included.
+	AnalyzeTime time.Duration
+	Value       any
+}
+
+// RunBatch shards a corpus of independent programs across jobs
+// workers, one fresh pipeline per program so quarantine state never
+// crosses program boundaries. work, when non-nil, runs on the worker
+// goroutine right after analysis — put per-program evaluation there.
+// post, when non-nil, runs serially on the calling goroutine in input
+// order after all workers drain — put printing and aggregation there.
+// Outcomes are returned in input order.
+//
+// When jobs > 1 the per-program pipelines run with function-level
+// sharding disabled (Jobs=1): one level of parallelism is enough to
+// fill the machine, and nesting pools would oversubscribe it.
+func RunBatch(cfg Config, jobs int, items []BatchItem,
+	work func(i int, out *BatchOutcome),
+	post func(i int, out *BatchOutcome)) []*BatchOutcome {
+
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > len(items) {
+		jobs = len(items)
+	}
+	inner := cfg
+	if jobs > 1 {
+		inner.Jobs = 1
+	}
+	outs := make([]*BatchOutcome, len(items))
+	run := func(i int) {
+		it := items[i]
+		out := &BatchOutcome{Name: it.Name, Pipe: New(inner)}
+		m, err := out.Pipe.Compile(it.Name, it.Src)
+		if err != nil {
+			out.Err = err
+		} else {
+			start := time.Now()
+			out.Res, out.Err = out.Pipe.Analyze(m)
+			out.AnalyzeTime = time.Since(start)
+		}
+		if work != nil {
+			work(i, out)
+		}
+		outs[i] = out
+	}
+	if jobs <= 1 {
+		for i := range items {
+			run(i)
+		}
+	} else {
+		ch := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range ch {
+					run(i)
+				}
+			}()
+		}
+		for i := range items {
+			ch <- i
+		}
+		close(ch)
+		wg.Wait()
+	}
+	if post != nil {
+		for i := range outs {
+			post(i, outs[i])
+		}
+	}
+	return outs
+}

@@ -94,7 +94,16 @@ func (r *Report) markDegraded(fn, stage string) {
 
 // String renders a human-readable summary: status line, one line per
 // failure, one line per degraded function, then timings.
-func (r *Report) String() string {
+func (r *Report) String() string { return r.render(true) }
+
+// Summary is String without the stage timings: everything the
+// pipeline observed that is deterministic. Two runs of the same
+// module produce byte-identical summaries whatever the worker count —
+// the invariant the differential tests compare on, since wall-clock
+// timings legitimately differ run to run.
+func (r *Report) Summary() string { return r.render(false) }
+
+func (r *Report) render(withTimings bool) string {
 	var sb strings.Builder
 	if r.Ok() {
 		sb.WriteString("pipeline ok: no contained failures\n")
@@ -110,7 +119,7 @@ func (r *Report) String() string {
 			fmt.Fprintf(&sb, "  %-20s %s\n", fn, strings.Join(r.degraded[fn], ", "))
 		}
 	}
-	if len(r.Timings) > 0 {
+	if withTimings && len(r.Timings) > 0 {
 		sb.WriteString("stage timings:\n")
 		for _, t := range r.Timings {
 			fmt.Fprintf(&sb, "  %-12s %s\n", t.Stage, t.D)

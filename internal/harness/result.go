@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"sync"
+
 	"repro/internal/alias"
 	"repro/internal/andersen"
 	"repro/internal/core"
@@ -32,28 +34,80 @@ type Result struct {
 // instruction lists beyond pointer enumeration.
 func (r *Result) Evaluate(analyses ...alias.Analysis) *alias.Report {
 	p := r.p
-	rep := alias.NewReport(r.Module.Name, analyses...)
-	for _, f := range r.Module.Funcs {
-		f := f
+	m := r.Module
+	// Per-function slots: workers fill them, the calling goroutine
+	// merges in module function order (see parallel.go).
+	type slot struct {
+		rep      *alias.Report
+		fails    []StageFailure
+		degraded bool
+	}
+	slots := make([]slot, len(m.Funcs))
+	evalOne := func(i int, f *ir.Func) {
+		s := &slots[i]
 		if p.skip[f] {
-			// The IR may be broken; even enumeration runs guarded.
-			p.guardBare(StageAliasEval, f.FName, func() {
-				alias.MayAliasOnly(f, rep, analyses...)
-			})
-			continue
+			// The IR may be broken; even enumeration runs contained.
+			fRep := alias.NewReport(m.Name, analyses...)
+			if fail := p.contain(StageAliasEval, f.FName, false, func() {
+				alias.MayAliasOnly(f, fRep, analyses...)
+			}); fail != nil {
+				s.fails = append(s.fails, *fail)
+			}
+			s.rep = fRep
+			return
 		}
-		fRep := alias.NewReport(r.Module.Name, analyses...)
-		fail := p.guard(StageAliasEval, f.FName, func() {
+		fRep := alias.NewReport(m.Name, analyses...)
+		fail := p.contain(StageAliasEval, f.FName, true, func() {
 			alias.EvaluateFunc(f, fRep, analyses...)
 		})
 		if fail != nil {
-			p.rep.markDegraded(f.FName, StageAliasEval)
-			fRep = alias.NewReport(r.Module.Name, analyses...)
-			p.guardBare(StageAliasEval, f.FName, func() {
+			s.fails = append(s.fails, *fail)
+			s.degraded = true
+			fRep = alias.NewReport(m.Name, analyses...)
+			if fail2 := p.contain(StageAliasEval, f.FName, false, func() {
 				alias.MayAliasOnly(f, fRep, analyses...)
-			})
+			}); fail2 != nil {
+				s.fails = append(s.fails, *fail2)
+			}
 		}
-		rep = alias.MergeReports(r.Module.Name, rep, fRep)
+		s.rep = fRep
+	}
+
+	if jobs := min(p.jobs(), len(m.Funcs)); jobs <= 1 {
+		for i, f := range m.Funcs {
+			evalOne(i, f)
+		}
+	} else {
+		ch := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range ch {
+					evalOne(i, m.Funcs[i])
+				}
+			}()
+		}
+		for i := range m.Funcs {
+			ch <- i
+		}
+		close(ch)
+		wg.Wait()
+	}
+
+	rep := alias.NewReport(m.Name, analyses...)
+	for i, f := range m.Funcs {
+		s := &slots[i]
+		for _, sf := range s.fails {
+			p.rep.addFailure(sf)
+		}
+		if s.degraded {
+			p.rep.markDegraded(f.FName, StageAliasEval)
+		}
+		if s.rep != nil {
+			rep = alias.MergeReports(m.Name, rep, s.rep)
+		}
 	}
 	return rep
 }

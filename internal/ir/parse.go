@@ -39,7 +39,7 @@ const (
 	tLocal   // %name
 	tGlobalT // @name
 	tInt     // integer literal
-	tStr     // "..."
+	tStr     // a full quoted literal, quotes included
 	tPunct   // single punctuation rune
 )
 
@@ -82,12 +82,22 @@ func newLexer(src string) *lexer {
 			toks = append(toks, token{kind, src[i+1 : j], line})
 			i = j
 		case c == '"':
+			// Scan the full quoted literal, honoring backslash
+			// escapes (the printer emits %q, so names containing
+			// quotes or backslashes arrive escaped). The token keeps
+			// the surrounding quotes; the parser unquotes.
 			j := i + 1
 			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+				}
 				j++
 			}
-			toks = append(toks, token{tStr, src[i+1 : j], line})
-			i = j + 1
+			if j < len(src) {
+				j++ // closing quote
+			}
+			toks = append(toks, token{tStr, src[i:j], line})
+			i = j
 		case c == '-' || (c >= '0' && c <= '9'):
 			j := i + 1
 			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
@@ -169,7 +179,11 @@ func (p *parser) parseModule() error {
 		case t.kind == tIdent && t.text == "module":
 			p.lex.next()
 			if s := p.lex.peek(); s.kind == tStr {
-				p.mod.Name = s.text
+				name, err := strconv.Unquote(s.text)
+				if err != nil {
+					return p.errf(s.line, "bad module name literal %s", s.text)
+				}
+				p.mod.Name = name
 				p.lex.next()
 			}
 		case t.kind == tIdent && t.text == "global":
