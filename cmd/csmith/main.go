@@ -31,10 +31,11 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "with -check: per-stage budget deadline")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "with -check: seeds checked concurrently (triage output stays in seed order)")
 	useCache := flag.Bool("cache", false, "with -check: share a memo cache across seeds (engages only with -timeout 0; budgeted runs bypass it)")
+	injectOOB := flag.Bool("inject-oob", false, "append one guaranteed out-of-bounds array store to func_1 (for sanitizer soundness sweeps); off, the output is byte-identical to earlier releases")
 	flag.Parse()
 
 	cfg := func(s int64) csmith.Config {
-		return csmith.Config{Seed: s, MaxPtrDepth: *depth, Stmts: *stmts}
+		return csmith.Config{Seed: s, MaxPtrDepth: *depth, Stmts: *stmts, InjectOOB: *injectOOB}
 	}
 
 	if !*check {

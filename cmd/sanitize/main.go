@@ -1,0 +1,212 @@
+// Command sanitize is the static memory-safety checker built on the
+// strict-inequalities toolchain: it compiles a mini-C source file (or
+// parses textual IR), runs the hardened analysis pipeline, and
+// classifies every memory access as proved-safe, proved-unsafe or
+// unknown for three check kinds — out-of-bounds, null dereference,
+// and read of uninitialized memory — reporting which prover layer
+// (interval, abcd, pentagon, lt) decided each verdict.
+//
+// Usage:
+//
+//	sanitize [flags] file.c
+//	sanitize [flags] -ir file.ir
+//	sanitize -sweep N [flags]
+//
+// With -sweep N it becomes a self-checking differential harness: N
+// generated programs are sanitized and executed, and every verdict is
+// validated against the observed behavior (a proved-safe access must
+// not trap; with -inject-oob, the planted out-of-bounds store must
+// both trap and be diagnosed). The sweep exits non-zero on any
+// violation, which is how CI smoke-tests the sanitizer's soundness.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/csmith"
+	"repro/internal/harness"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/sanitize"
+)
+
+func main() {
+	irInput := flag.Bool("ir", false, "input is textual IR rather than mini-C")
+	interproc := flag.Bool("interproc", false, "enable the inter-procedural parameter facts (lets the lt layer prove cross-function bounds)")
+	timeout := flag.Duration("timeout", 0, "per-stage analysis deadline (0 = unlimited); exhausted checks degrade to unknown")
+	maxIters := flag.Int("max-iters", 0, "per-solve worklist step cap (0 = unlimited)")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "worker count for per-function stages (reports are byte-identical at any value)")
+	useCache := flag.Bool("cache", false, "memoize per-function less-than solves by content hash; stats go to stderr")
+	summaryOnly := flag.Bool("summary", false, "print only the aggregate summary, not per-access diagnostics")
+	failUnsafe := flag.Bool("fail-unsafe", false, "exit non-zero when any access is proved unsafe")
+
+	sweep := flag.Int("sweep", 0, "differential self-check over N generated programs instead of a file")
+	seed := flag.Int64("seed", 9000, "with -sweep: first generator seed")
+	injectOOB := flag.Bool("inject-oob", false, "with -sweep: plant a guaranteed out-of-bounds store in every program and require it to be both diagnosed and observed")
+	flag.Parse()
+
+	if *sweep > 0 {
+		os.Exit(runSweep(*sweep, *seed, *injectOOB, *jobs, *useCache))
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sanitize [flags] file.c  |  sanitize -sweep N [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+
+	var cache *harness.Cache
+	if *useCache {
+		cache = harness.NewCache()
+	}
+	p := harness.New(harness.Config{
+		Timeout:         *timeout,
+		MaxSteps:        *maxIters,
+		Interprocedural: *interproc,
+		Jobs:            *jobs,
+		Cache:           cache,
+	})
+	var m *ir.Module
+	if *irInput {
+		m, err = p.ParseIR(string(src))
+	} else {
+		m, err = p.Compile(name, string(src))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := p.Analyze(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep := res.Sanitize()
+
+	if !*summaryOnly {
+		fmt.Print(rep)
+	}
+	sum := rep.Summarize()
+	fmt.Print(sum)
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "cache: %s\n", cache.Stats())
+	}
+	if hrep := p.Report(); !hrep.Ok() {
+		fmt.Fprint(os.Stderr, hrep)
+	}
+	if *failUnsafe && sum.Unsafe > 0 {
+		os.Exit(1)
+	}
+}
+
+// runSweep generates, sanitizes and executes count programs, checking
+// every verdict against the interpreter. Returns the process exit
+// code.
+func runSweep(count int, seed int64, injectOOB bool, jobs int, useCache bool) int {
+	items := make([]harness.BatchItem, count)
+	for i := range items {
+		s := seed + int64(i)
+		items[i] = harness.BatchItem{
+			Name: fmt.Sprintf("san_seed%d", s),
+			Src: csmith.Generate(csmith.Config{
+				Seed: s, MaxPtrDepth: 2 + i%5, Stmts: 25 + i%20,
+				InjectOOB: injectOOB,
+			}),
+		}
+	}
+	var cache *harness.Cache
+	if useCache {
+		cache = harness.NewCache()
+	}
+
+	type verdict struct {
+		violations []string
+		summary    sanitize.Summary
+	}
+	violations := 0
+	var total sanitize.Summary
+	total.SafeByLayer = map[string]int{}
+	harness.RunBatch(harness.Config{Cache: cache}, jobs, items,
+		func(i int, out *harness.BatchOutcome) {
+			if out.Err != nil {
+				return
+			}
+			v := &verdict{}
+			rep := out.Res.Sanitize()
+			v.summary = rep.Summarize()
+
+			mach := interp.NewMachine(out.Res.Module, interp.Options{})
+			_, rerr := mach.Run("main")
+			tr := interp.TrapOf(rerr)
+			if tr != nil && tr.Code != "" {
+				if k, ok := sanitize.KindOfTrap(tr.Code); ok {
+					if d, found := rep.Find(tr.In, k); found && d.Verdict == sanitize.Safe {
+						v.violations = append(v.violations, fmt.Sprintf(
+							"UNSOUND: %s proved safe/%s but trapped %s at @%s %s",
+							k, d.Layer, tr.Code, tr.Fn.FName, tr.In))
+					}
+				}
+			}
+			if injectOOB {
+				if tr == nil || tr.Code != interp.TrapOOB {
+					if rerr == nil {
+						v.violations = append(v.violations,
+							"injected oob store did not trap")
+					}
+					// A non-memory early exit (e.g. division by zero)
+					// before the injection point is not a violation.
+				} else if d, found := rep.Find(tr.In, sanitize.KindBounds); !found || d.Verdict != sanitize.Unsafe {
+					v.violations = append(v.violations, fmt.Sprintf(
+						"injected oob store at @%s %s not diagnosed unsafe", tr.Fn.FName, tr.In))
+				}
+			} else if v.summary.Unsafe > 0 {
+				v.violations = append(v.violations, fmt.Sprintf(
+					"%d unsafe verdicts on default (trap-free) generator output", v.summary.Unsafe))
+			}
+			out.Value = v
+		},
+		func(i int, out *harness.BatchOutcome) {
+			if out.Err != nil {
+				violations++
+				fmt.Fprintf(os.Stderr, "%s: pipeline error: %v\n", out.Name, out.Err)
+				return
+			}
+			v := out.Value.(*verdict)
+			for _, viol := range v.violations {
+				violations++
+				fmt.Fprintf(os.Stderr, "%s: %s\n", out.Name, viol)
+			}
+			total.Checks += v.summary.Checks
+			total.Safe += v.summary.Safe
+			total.Unsafe += v.summary.Unsafe
+			total.Unknown += v.summary.Unknown
+			for l, n := range v.summary.SafeByLayer {
+				total.SafeByLayer[l] += n
+			}
+		})
+
+	fmt.Printf("sweep: %d programs (inject-oob=%v): %d checks, %d safe, %d unsafe, %d unknown\n",
+		count, injectOOB, total.Checks, total.Safe, total.Unsafe, total.Unknown)
+	fmt.Printf("safe by layer: %s\n", sanitize.LayerCounts(total.SafeByLayer))
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "cache: %s\n", cache.Stats())
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "sanitize: %d violation(s)\n", violations)
+		return 1
+	}
+	fmt.Println("sanitize: all verdicts consistent with execution")
+	return 0
+}

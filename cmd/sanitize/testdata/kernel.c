@@ -1,0 +1,21 @@
+int g_x;
+int g_n;
+
+int kernel(int i, int n) {
+  int a[100];
+  if (n <= 100) {
+    if (i >= 0) {
+      return a[i];
+    }
+  }
+  return 0;
+}
+
+int main() {
+  int x = g_x;
+  int nn = g_n;
+  if (x < nn) {
+    return kernel(x, nn);
+  }
+  return 0;
+}

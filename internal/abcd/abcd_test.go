@@ -311,3 +311,99 @@ func itoa(i int) string {
 	}
 	return string(b)
 }
+
+// TestEdgeCaseTable pins BuildGraph/ProveLE behavior on the awkward
+// shapes the sanitizer's witness search feeds it: negative constant
+// offsets, phi cycles in plain (non-e-SSA) form, queries mixing
+// values from different functions, and exact constant-slack
+// boundaries.
+func TestEdgeCaseTable(t *testing.T) {
+	m := ir.MustParse(`
+func @neg(i64 %a) i64 {
+entry:
+  %b = sub %a, 3
+  %c = add %b, 1
+  %d = add %a, 5
+  ret %c
+}
+
+func @loop(i64 %n) i64 {
+entry:
+  jmp head
+head:
+  %i = phi i64 [0, entry], [%i2, body]
+  %cond = icmp lt %i, %n
+  br %cond, body, exit
+body:
+  %i2 = add %i, 1
+  jmp head
+exit:
+  ret %i
+}
+
+func @other(i64 %z) i64 {
+entry:
+  %w = add %z, 1
+  ret %w
+}
+`)
+	graphs := map[string]*Graph{}
+	val := func(fn, name string) ir.Value {
+		f := m.FuncByName(fn)
+		if f == nil {
+			t.Fatalf("no function %s", fn)
+		}
+		if graphs[fn] == nil {
+			graphs[fn] = BuildGraph(f)
+		}
+		v := valueByName(f, name)
+		if v == nil {
+			t.Fatalf("no value %%%s in @%s", name, fn)
+		}
+		return v
+	}
+
+	cases := []struct {
+		name string
+		fn   string // graph under query
+		a, b string
+		bFn  string // function b comes from; defaults to fn
+		c    int64
+		want bool
+	}{
+		// b = a - 3: the negative offset must carry exactly.
+		{name: "neg exact", fn: "neg", a: "b", b: "a", c: -3, want: true},
+		{name: "neg too tight", fn: "neg", a: "b", b: "a", c: -4, want: false},
+		{name: "neg slack", fn: "neg", a: "b", b: "a", c: -2, want: true},
+		// c = b + 1 = a - 2: chains mixing signs.
+		{name: "mixed chain", fn: "neg", a: "c", b: "a", c: -2, want: true},
+		{name: "mixed chain tight", fn: "neg", a: "c", b: "a", c: -3, want: false},
+		// d = a + 5: the exact-slack boundary in the other direction.
+		{name: "pos exact", fn: "neg", a: "d", b: "a", c: 5, want: true},
+		{name: "pos too tight", fn: "neg", a: "d", b: "a", c: 4, want: false},
+		// phi cycle in plain SSA: i2 = i + 1 is provable, nothing
+		// amplifies around the cycle, and self-queries stay false.
+		{name: "cycle forward", fn: "loop", a: "i", b: "i2", c: -1, want: true},
+		{name: "cycle backward", fn: "loop", a: "i2", b: "i", c: -1, want: false},
+		{name: "cycle self", fn: "loop", a: "i", b: "i", c: -1, want: false},
+		{name: "cycle amplified", fn: "loop", a: "i", b: "i2", c: -5, want: false},
+		// Unrelated values in the same function: no path, no proof.
+		{name: "unrelated", fn: "loop", a: "i", b: "n", c: 1000, want: false},
+		// Values from another function are simply absent from the
+		// graph: the query must answer false, not panic.
+		{name: "cross-function", fn: "neg", a: "b", b: "w", bFn: "other", c: 1000, want: false},
+		{name: "cross-function rev", fn: "loop", a: "i", b: "d", bFn: "neg", c: 0, want: false},
+	}
+	for _, tc := range cases {
+		bFn := tc.bFn
+		if bFn == "" {
+			bFn = tc.fn
+		}
+		a, b := val(tc.fn, tc.a), val(bFn, tc.b)
+		g := graphs[tc.fn]
+		if got := g.ProveLE(a, b, tc.c); got != tc.want {
+			t.Errorf("%s: ProveLE(%s, %s, %d) = %v, want %v",
+				tc.name, tc.a, tc.b, tc.c, got, tc.want)
+		}
+	}
+}

@@ -26,6 +26,13 @@ type Config struct {
 	// Stmts is the approximate number of statements in the body of
 	// the generated function; the default is 40.
 	Stmts int
+	// InjectOOB appends one deliberately out-of-bounds array store
+	// (index == length) at the end of func_1's body, on the main path
+	// so every execution reaches it. The injection draws nothing from
+	// the RNG: with InjectOOB unset the output is byte-identical to
+	// the same Config without the field, which keeps seed corpora
+	// stable. Used to give soundness sweeps a known-trapping access.
+	InjectOOB bool
 }
 
 // Generate produces a compilable mini-C program.
@@ -102,6 +109,19 @@ func (g *gen) program() string {
 	n := g.cfg.Stmts
 	for i := 0; i < n; i++ {
 		g.stmt()
+	}
+	if g.cfg.InjectOOB {
+		// First visible plain array, deterministically and without
+		// touching the RNG; declareLocals guarantees one exists. The
+		// store at index == length is the canonical one-past-the-end
+		// bug, and it sits on the main path: the generator never emits
+		// mid-body returns, so every run reaches it.
+		for _, v := range g.visible() {
+			if v.depth == 0 && v.arrayLen > 0 {
+				g.line("%s[%d] = 1;", v.name, v.arrayLen)
+				break
+			}
+		}
 	}
 	g.line("return %s;", g.intExpr(2))
 	g.popScope()

@@ -44,6 +44,40 @@ func TestDepthAppears(t *testing.T) {
 	}
 }
 
+// TestInjectOOB pins the injection contract: the flag adds exactly
+// one line — an index-at-length store into a visible array — right
+// before func_1's return, perturbs nothing else (same seed without
+// the flag differs by only that line), and the result still compiles.
+func TestInjectOOB(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		plain := Generate(Config{Seed: seed, MaxPtrDepth: 3, Stmts: 30})
+		inj := Generate(Config{Seed: seed, MaxPtrDepth: 3, Stmts: 30, InjectOOB: true})
+		pl := strings.Split(plain, "\n")
+		il := strings.Split(inj, "\n")
+		if len(il) != len(pl)+1 {
+			t.Fatalf("seed %d: injection added %d lines, want 1", seed, len(il)-len(pl))
+		}
+		extra := ""
+		for i := range il {
+			if i >= len(pl) || il[i] != pl[i] {
+				extra = il[i]
+				rest := append([]string{}, il[:i]...)
+				rest = append(rest, il[i+1:]...)
+				if strings.Join(rest, "\n") != plain {
+					t.Fatalf("seed %d: injection perturbed surrounding lines", seed)
+				}
+				break
+			}
+		}
+		if !strings.Contains(extra, "] = 1;") {
+			t.Fatalf("seed %d: unexpected injected line %q", seed, extra)
+		}
+		if _, err := minic.Compile("gen", inj); err != nil {
+			t.Fatalf("seed %d: injected program does not compile: %v", seed, err)
+		}
+	}
+}
+
 func TestSizeScales(t *testing.T) {
 	small := Generate(Config{Seed: 1, MaxPtrDepth: 2, Stmts: 10})
 	large := Generate(Config{Seed: 1, MaxPtrDepth: 2, Stmts: 200})

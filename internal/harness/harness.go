@@ -53,6 +53,7 @@ const (
 	StageAndersen  = "andersen"
 	StageAliasEval = "aliaseval"
 	StagePDG       = "pdg"
+	StageSanitize  = "sanitize"
 )
 
 // FaultConfig injects one deliberate failure, for testing the

@@ -5,10 +5,12 @@ import (
 
 	"repro/internal/alias"
 	"repro/internal/andersen"
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/pdg"
 	"repro/internal/rangeanal"
+	"repro/internal/sanitize"
 )
 
 // Result bundles the hardened pipeline's outputs. Unlike
@@ -107,6 +109,49 @@ func (r *Result) Evaluate(analyses ...alias.Analysis) *alias.Report {
 		}
 		if s.rep != nil {
 			rep = alias.MergeReports(m.Name, rep, s.rep)
+		}
+	}
+	return rep
+}
+
+// Sanitize runs the memory-safety sanitizer over the pipeline's
+// results, under the same hardening discipline as the less-than
+// stage: per-function panics and budget exhaustion are contained
+// inside the sanitizer (Options.Recover / BudgetFor), quarantined
+// functions are skipped, and failures are forwarded into the run
+// report. The returned report is never nil: total failure degrades to
+// an empty report, which claims nothing about any access.
+func (r *Result) Sanitize() *sanitize.Report {
+	p := r.p
+	defer p.timeStage(StageSanitize)()
+	opt := sanitize.Options{
+		Recover: true,
+		Skip:    p.skip,
+		Budget:  budget.Spec{Timeout: p.cfg.Timeout, MaxSteps: p.cfg.MaxSteps},
+		BudgetFor: func(f *ir.Func) budget.Spec {
+			return p.spec(StageSanitize, f.FName)
+		},
+		OnFunc:  func(f *ir.Func) { p.maybeFault(StageSanitize, f.FName) },
+		Workers: p.jobs(),
+	}
+
+	// guardBare: fault injection goes through OnFunc, per function.
+	var rep *sanitize.Report
+	p.guardBare(StageSanitize, "", func() {
+		rep = sanitize.AnalyzeCtx(p.ctx, r.Module, r.Ranges, r.LT, opt)
+	})
+	if rep == nil {
+		rep = &sanitize.Report{Degraded: map[*ir.Func]string{}}
+	}
+	for _, ff := range rep.Failures {
+		p.rep.addFailure(StageFailure{
+			Stage: StageSanitize, Func: ff.Fn,
+			Cause: ff.Cause, Value: ff.Value, Stack: ff.Stack,
+		})
+	}
+	for f, cause := range rep.Degraded {
+		if cause != "skipped" {
+			p.rep.markDegraded(f.FName, StageSanitize)
 		}
 	}
 	return rep

@@ -116,12 +116,78 @@ func (mach *Machine) Run(fname string, args ...Val) (Val, error) {
 	return mach.call(f, args, 0)
 }
 
-type runtimeError struct{ msg string }
+type runtimeError struct {
+	msg string
+	// code classifies the trap for static-checker differentials:
+	// "oob", "null", "undef", or "" for everything else.
+	code string
+}
 
 func (e *runtimeError) Error() string { return "interp: " + e.msg }
 
 func (mach *Machine) errf(format string, args ...any) error {
 	return &runtimeError{msg: fmt.Sprintf(format, args...)}
+}
+
+// errc is errf with a trap classification code attached.
+func (mach *Machine) errc(code, format string, args ...any) error {
+	return &runtimeError{msg: fmt.Sprintf(format, args...), code: code}
+}
+
+// Trap codes attached to classified runtime errors.
+const (
+	TrapOOB   = "oob"   // load/store outside the accessed object
+	TrapNull  = "null"  // load/store/gep through a non-pointer (null)
+	TrapUndef = "undef" // use of an undef (uninitialized) SSA value
+)
+
+// Trap wraps a runtime error with the function and instruction that
+// raised it, so differential checkers can map a dynamic failure back
+// to the static program point. Code is one of the Trap* constants, or
+// "" when the error has no memory-safety classification (division by
+// zero, step limits, ...).
+type Trap struct {
+	Fn   *ir.Func
+	In   *ir.Instr
+	Code string
+	err  error
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("%v [@%s %s]", t.err, t.Fn.FName, t.In)
+}
+
+func (t *Trap) Unwrap() error { return t.err }
+
+// TrapOf extracts the innermost Trap from err, or nil if execution
+// failed for a reason that never reached an attributable instruction.
+func TrapOf(err error) *Trap {
+	for err != nil {
+		if t, ok := err.(*Trap); ok {
+			return t
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return nil
+		}
+		err = u.Unwrap()
+	}
+	return nil
+}
+
+// trapAt attributes err to (f, in) unless an inner frame already did.
+func trapAt(f *ir.Func, in *ir.Instr, err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := err.(*Trap); ok {
+		return err
+	}
+	code := ""
+	if re, ok := err.(*runtimeError); ok {
+		code = re.code
+	}
+	return &Trap{Fn: f, In: in, Code: code, err: err}
 }
 
 func (mach *Machine) call(f *ir.Func, args []Val, depth int) (Val, error) {
@@ -154,7 +220,7 @@ func (mach *Machine) call(f *ir.Func, args []Val, depth int) (Val, error) {
 				}
 				v, err := mach.eval(env, in)
 				if err != nil {
-					return Val{}, err
+					return Val{}, trapAt(f, phi, err)
 				}
 				vals[i] = v
 			}
@@ -181,13 +247,14 @@ func (mach *Machine) call(f *ir.Func, args []Val, depth int) (Val, error) {
 				if len(in.Args) == 0 {
 					return Val{}, nil
 				}
-				return mach.eval(env, in.Args[0])
+				v, err := mach.eval(env, in.Args[0])
+				return v, trapAt(f, in, err)
 			case ir.OpJmp:
 				prev, blk = blk, in.Succs[0]
 			case ir.OpBr:
 				c, err := mach.eval(env, in.Args[0])
 				if err != nil {
-					return Val{}, err
+					return Val{}, trapAt(f, in, err)
 				}
 				if c.IsPtr() {
 					return Val{}, mach.errf("branch on pointer")
@@ -200,7 +267,7 @@ func (mach *Machine) call(f *ir.Func, args []Val, depth int) (Val, error) {
 			default:
 				v, err := mach.exec(env, in, depth)
 				if err != nil {
-					return Val{}, err
+					return Val{}, trapAt(f, in, err)
 				}
 				if in.HasResult() {
 					env[in] = v
@@ -225,7 +292,7 @@ func (mach *Machine) eval(env map[ir.Value]Val, v ir.Value) (Val, error) {
 	case *ir.Global:
 		return Val{Obj: mach.globals[v]}, nil
 	case *ir.Undef:
-		return Val{}, mach.errf("use of undef (uninitialized variable)")
+		return Val{}, mach.errc(TrapUndef, "use of undef (uninitialized variable)")
 	default:
 		val, ok := env[v]
 		if !ok {
@@ -273,10 +340,10 @@ func (mach *Machine) exec(env map[ir.Value]Val, in *ir.Instr, depth int) (Val, e
 			return Val{}, err
 		}
 		if !p.IsPtr() {
-			return Val{}, mach.errf("load through non-pointer %s", p)
+			return Val{}, mach.errc(TrapNull, "load through non-pointer %s", p)
 		}
 		if p.Off < 0 || p.Off >= int64(len(p.Obj.Cells)) {
-			return Val{}, mach.errf("load out of bounds: %s (size %d)", p, len(p.Obj.Cells))
+			return Val{}, mach.errc(TrapOOB, "load out of bounds: %s (size %d)", p, len(p.Obj.Cells))
 		}
 		return p.Obj.Cells[p.Off], nil
 	case ir.OpStore:
@@ -289,10 +356,10 @@ func (mach *Machine) exec(env map[ir.Value]Val, in *ir.Instr, depth int) (Val, e
 			return Val{}, err
 		}
 		if !p.IsPtr() {
-			return Val{}, mach.errf("store through non-pointer %s", p)
+			return Val{}, mach.errc(TrapNull, "store through non-pointer %s", p)
 		}
 		if p.Off < 0 || p.Off >= int64(len(p.Obj.Cells)) {
-			return Val{}, mach.errf("store out of bounds: %s (size %d)", p, len(p.Obj.Cells))
+			return Val{}, mach.errc(TrapOOB, "store out of bounds: %s (size %d)", p, len(p.Obj.Cells))
 		}
 		p.Obj.Cells[p.Off] = v
 		return Val{}, nil
@@ -309,7 +376,7 @@ func (mach *Machine) exec(env map[ir.Value]Val, in *ir.Instr, depth int) (Val, e
 			return Val{}, mach.errf("gep with pointer index")
 		}
 		if !base.IsPtr() {
-			return Val{}, mach.errf("gep on non-pointer %s", base)
+			return Val{}, mach.errc(TrapNull, "gep on non-pointer %s", base)
 		}
 		return Val{Obj: base.Obj, Off: base.Off + idx.I}, nil
 	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,

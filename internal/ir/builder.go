@@ -7,6 +7,7 @@ type Builder struct {
 	fn   *Func
 	blk  *Block
 	name string // pending name for the next instruction
+	line int    // source line stamped on emitted instructions (0 = none)
 }
 
 // NewBuilder returns a builder for fn with no insertion point.
@@ -27,6 +28,11 @@ func (bld *Builder) Named(name string) *Builder {
 	return bld
 }
 
+// SetLine sets the source line stamped on subsequently emitted
+// instructions. Unlike Named it is sticky: it stays in effect until
+// the next SetLine. Pass 0 to stop stamping.
+func (bld *Builder) SetLine(n int) { bld.line = n }
+
 func (bld *Builder) emit(in *Instr) *Instr {
 	if bld.blk == nil {
 		panic("ir: Builder has no insertion block")
@@ -39,6 +45,9 @@ func (bld *Builder) emit(in *Instr) *Instr {
 		}
 	}
 	bld.name = ""
+	if in.Line == 0 {
+		in.Line = bld.line
+	}
 	bld.blk.Append(in)
 	return in
 }
@@ -110,7 +119,7 @@ func (bld *Builder) GEP(base, idx Value) *Instr {
 // Phi emits an empty phi of type t; incoming edges are added with
 // AddIncoming. Phis are placed at the block head.
 func (bld *Builder) Phi(t Type) *Instr {
-	in := &Instr{Op: OpPhi, Typ: t}
+	in := &Instr{Op: OpPhi, Typ: t, Line: bld.line}
 	if bld.name != "" {
 		in.name = bld.fn.UniqueName(bld.name)
 		bld.name = ""

@@ -209,6 +209,11 @@ type Instr struct {
 	// (OpCopy only; nil for plain copies).
 	SubUser *Instr
 
+	// Line is the 1-based source line this instruction was lowered
+	// from; 0 means unknown. Printed and parsed as a trailing
+	// "!line N" so locations survive a textual round trip.
+	Line int
+
 	// Blk is the block containing the instruction.
 	Blk *Block
 }

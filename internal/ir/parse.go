@@ -363,6 +363,35 @@ func (p *parser) parseFunc() error {
 			fx.in.Args[fx.arg] = v
 		}
 	}
+	// Stored values come syntactically before the pointer operand, so
+	// constants (and undefs) were parsed with an i64 hint. Now that
+	// every pointer type is resolved, retype them to the pointee so
+	// the verifier's store type-agreement check sees the real type. A
+	// 0 stored into a pointer cell is the null-pointer idiom.
+	for _, b := range p.fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != OpStore {
+				continue
+			}
+			pt, ok := typeOf(in.Args[1]).(*PtrType)
+			if !ok {
+				continue
+			}
+			switch v := in.Args[0].(type) {
+			case *Const:
+				switch pt.Elem.(type) {
+				case *IntType:
+					in.Args[0] = &Const{Val: v.Val, Typ: pt.Elem}
+				case *PtrType:
+					if v.Val == 0 {
+						in.Args[0] = &Const{Val: 0, Typ: pt.Elem}
+					}
+				}
+			case *Undef:
+				in.Args[0] = &Undef{Typ: pt.Elem}
+			}
+		}
+	}
 	p.fn.RecomputeCFG()
 	return nil
 }
@@ -774,6 +803,20 @@ func (p *parser) parseInstr(b *Block) error {
 		emit()
 	default:
 		return p.errf(t.line, "unknown opcode %q", t.text)
+	}
+	// Optional source-location suffix: "!line N".
+	if nx := p.lex.peek(); nx.kind == tPunct && nx.text == "!" {
+		p.lex.next()
+		kw := p.lex.next()
+		if kw.kind != tIdent || kw.text != "line" {
+			return p.errf(kw.line, "expected 'line' after '!', got %q", kw.text)
+		}
+		n := p.lex.next()
+		ln, err := strconv.Atoi(n.text)
+		if n.kind != tInt || err != nil || ln < 0 {
+			return p.errf(n.line, "expected non-negative line number after !line, got %q", n.text)
+		}
+		in.Line = ln
 	}
 	return nil
 }

@@ -108,5 +108,8 @@ func printInstr(in *Instr) string {
 	default:
 		fmt.Fprintf(&sb, "<bad op %d>", int(in.Op))
 	}
+	if in.Line > 0 {
+		fmt.Fprintf(&sb, " !line %d", in.Line)
+	}
 	return sb.String()
 }

@@ -145,8 +145,13 @@ func verifyInstr(in *Instr) error {
 		if err := argc(2); err != nil {
 			return err
 		}
-		if !IsPtr(in.Args[1].Type()) {
+		pt, ok := in.Args[1].Type().(*PtrType)
+		if !ok {
 			return fmt.Errorf("store to non-pointer")
+		}
+		if !Equal(in.Args[0].Type(), pt.Elem) && !isNullConstFor(in.Args[0], pt.Elem) {
+			return fmt.Errorf("store value type %s does not match pointee %s",
+				in.Args[0].Type(), pt.Elem)
 		}
 	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr:
 		if err := argc(2); err != nil {
@@ -161,6 +166,10 @@ func verifyInstr(in *Instr) error {
 		}
 		if !Equal(in.Typ, I1) {
 			return fmt.Errorf("icmp result must be i1")
+		}
+		at, bt := in.Args[0].Type(), in.Args[1].Type()
+		if !Equal(at, bt) && !icmpNullMix(in.Args[0], in.Args[1]) {
+			return fmt.Errorf("icmp operand types disagree: %s vs %s", at, bt)
 		}
 	case OpGEP:
 		if err := argc(2); err != nil {
@@ -225,3 +234,25 @@ func verifyInstr(in *Instr) error {
 // of whole arrays are rejected by returning the array type, which will
 // not match the load's scalar result type.
 func loadableElem(pt *PtrType) Type { return pt.Elem }
+
+// isNullConstFor reports whether v is the null-pointer idiom for a
+// pointer-typed cell: the integer constant 0 standing in for a null
+// of the pointee type (C's NULL).
+func isNullConstFor(v Value, pointee Type) bool {
+	if !IsPtr(pointee) {
+		return false
+	}
+	c, ok := v.(*Const)
+	return ok && c.Val == 0 && IsInt(c.Typ)
+}
+
+// icmpNullMix reports whether a type-mismatched comparison is the C
+// NULL idiom: a pointer compared against an integer constant (either
+// side), as in "if (p == 0)".
+func icmpNullMix(a, b Value) bool {
+	isIntConst := func(v Value) bool {
+		c, ok := v.(*Const)
+		return ok && IsInt(c.Typ)
+	}
+	return (IsPtr(a.Type()) && isIntConst(b)) || (IsPtr(b.Type()) && isIntConst(a))
+}

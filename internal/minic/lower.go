@@ -331,6 +331,7 @@ func (lw *lowerer) lowerStmt(s Stmt) {
 		lw.popScope()
 	case *ReturnStmt:
 		lw.ensureLive()
+		lw.bld.SetLine(s.Line)
 		if s.X == nil {
 			lw.bld.Ret(nil)
 		} else {
@@ -340,6 +341,7 @@ func (lw *lowerer) lowerStmt(s Stmt) {
 		lw.terminated = true
 	case *BreakStmt:
 		lw.ensureLive()
+		lw.bld.SetLine(s.Line)
 		if len(lw.loops) == 0 {
 			lw.fail(s.Line, "break outside loop")
 		}
@@ -347,6 +349,7 @@ func (lw *lowerer) lowerStmt(s Stmt) {
 		lw.terminated = true
 	case *ContinueStmt:
 		lw.ensureLive()
+		lw.bld.SetLine(s.Line)
 		if len(lw.loops) == 0 {
 			lw.fail(s.Line, "continue outside loop")
 		}
@@ -361,6 +364,7 @@ func (lw *lowerer) lowerDecl(d *VarDecl) {
 	if d.Typ.Void {
 		lw.fail(d.Line, "variable %s has void type", d.Name)
 	}
+	lw.bld.SetLine(d.Line)
 	elem := irType(d.Typ)
 	n := int64(1)
 	isArray := d.ArrayLen > 0
@@ -392,6 +396,9 @@ func (lw *lowerer) checkAssignable(line int, to, from CType) {
 
 // lowerCond lowers e as a branch condition jumping to t or f.
 func (lw *lowerer) lowerCond(e Expr, t, f *ir.Block) {
+	if p := e.Pos(); p > 0 {
+		lw.bld.SetLine(p)
+	}
 	switch e := e.(type) {
 	case *BinExpr:
 		switch e.Op {
@@ -458,6 +465,9 @@ func predOf(op string) ir.CmpPred {
 
 // lvalue lowers e to (address, type of object).
 func (lw *lowerer) lvalue(e Expr) (ir.Value, CType) {
+	if p := e.Pos(); p > 0 {
+		lw.bld.SetLine(p)
+	}
 	switch e := e.(type) {
 	case *Ident:
 		s := lw.lookup(e.Name)
@@ -494,6 +504,9 @@ func (lw *lowerer) lvalue(e Expr) (ir.Value, CType) {
 // lowerExpr lowers e to a value. want is a contextual type hint used
 // to type malloc results; CType{} means no expectation.
 func (lw *lowerer) lowerExpr(e Expr, want CType) (ir.Value, CType) {
+	if p := e.Pos(); p > 0 {
+		lw.bld.SetLine(p)
+	}
 	switch e := e.(type) {
 	case *IntLit:
 		if want.IsPtr() {

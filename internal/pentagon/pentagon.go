@@ -425,6 +425,17 @@ func (a *Analysis) LessThan(x, y ir.Value) bool {
 	return p.Sub[y]
 }
 
+// RangeAt returns the interval of v in the entry state of blk — the
+// flow-sensitive counterpart of Range, for clients that ask about a
+// specific program point (e.g. a memory access in blk).
+func (a *Analysis) RangeAt(v ir.Value, blk *ir.Block) rangeanal.Interval {
+	st := a.entry[blk]
+	if st == nil {
+		return rangeanal.Top
+	}
+	return get(st, v).Iv
+}
+
 // Range returns the interval of v at the exit of its defining block.
 func (a *Analysis) Range(v ir.Value) rangeanal.Interval {
 	var blk *ir.Block

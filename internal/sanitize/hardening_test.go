@@ -1,0 +1,209 @@
+// Hardening contract tests: worker-count determinism, panic
+// containment, budget degradation, and fault injection through the
+// harness stage — every failure mode must degrade to Unknown, never
+// to a verdict.
+package sanitize_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/csmith"
+	"repro/internal/harness"
+	"repro/internal/ir"
+	"repro/internal/sanitize"
+)
+
+// TestWorkersIdentical pins the parallel contract: the rendered
+// report is byte-identical at any worker count, across a band of
+// generated multi-function modules.
+func TestWorkersIdentical(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		src := csmith.Generate(csmith.Config{
+			Seed: int64(7600 + i), MaxPtrDepth: 2 + i%4, Stmts: 30,
+		})
+		p := harness.New(harness.Config{})
+		res, err := p.CompileAndAnalyze(fmt.Sprintf("w%d", i), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := sanitize.Analyze(res.Module, res.Ranges, res.LT, sanitize.Options{Workers: 1})
+		wide := sanitize.Analyze(res.Module, res.Ranges, res.LT, sanitize.Options{Workers: 8})
+		if serial.String() != wide.String() {
+			t.Fatalf("seed %d: report differs between 1 and 8 workers:\n--- serial\n%s--- wide\n%s",
+				7600+i, serial, wide)
+		}
+	}
+}
+
+// TestPanicContained: a panic inside one function's checks must
+// surface as a FuncFailure, degrade that function's accesses to
+// Unknown("contained"), and leave other functions' verdicts intact.
+func TestPanicContained(t *testing.T) {
+	p := harness.New(harness.Config{})
+	res, err := p.CompileAndAnalyze("t", `
+int a[10];
+
+int good(void) {
+  a[3] = 1;
+  return 0;
+}
+
+int victim(void) {
+  a[4] = 2;
+  return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := res.Module.FuncByName("victim")
+	rep := sanitize.Analyze(res.Module, res.Ranges, res.LT, sanitize.Options{
+		Recover: true,
+		OnFunc: func(f *ir.Func) {
+			if f == victim {
+				panic("injected sanitizer fault")
+			}
+		},
+	})
+	if len(rep.Failures) != 1 || rep.Failures[0].Fn != "victim" {
+		t.Fatalf("failures = %+v, want one for victim", rep.Failures)
+	}
+	if !strings.Contains(rep.Failures[0].Value, "injected sanitizer fault") {
+		t.Errorf("failure value %q does not carry the panic", rep.Failures[0].Value)
+	}
+	if rep.Degraded[victim] != "panic" {
+		t.Errorf("victim degraded cause = %q, want panic", rep.Degraded[victim])
+	}
+	sawVictim := false
+	for _, d := range rep.Diags {
+		if d.Fn == victim {
+			sawVictim = true
+			if d.Verdict != sanitize.Unknown || d.Layer != sanitize.LayerContained {
+				t.Errorf("victim diag %s = %s/%s, want unknown/contained", d.In, d.Verdict, d.Layer)
+			}
+		} else if d.Kind == sanitize.KindBounds && d.Verdict != sanitize.Safe {
+			t.Errorf("good's %s lost its verdict: %s/%s", d.In, d.Verdict, d.Layer)
+		}
+	}
+	if !sawVictim {
+		t.Error("victim contributed no diagnostics; containment should still enumerate accesses")
+	}
+}
+
+// TestPanicPropagatesWithoutRecover: the serial contract — no
+// Recover, the panic reaches the caller.
+func TestPanicPropagatesWithoutRecover(t *testing.T) {
+	p := harness.New(harness.Config{})
+	res, err := p.CompileAndAnalyze("t", `
+int a[10];
+int f(void) { a[1] = 1; return 0; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("panic did not propagate with Recover unset")
+		}
+	}()
+	sanitize.Analyze(res.Module, res.Ranges, res.LT, sanitize.Options{
+		OnFunc: func(*ir.Func) { panic("boom") },
+	})
+}
+
+// TestBudgetDegradesToUnknown: starving the per-function budget marks
+// the function degraded and turns undecided checks into
+// Unknown("budget") — never into a verdict.
+func TestBudgetDegradesToUnknown(t *testing.T) {
+	src := csmith.Generate(csmith.Config{Seed: 7700, MaxPtrDepth: 2, Stmts: 40})
+	p := harness.New(harness.Config{})
+	res, err := p.CompileAndAnalyze("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sanitize.Analyze(res.Module, res.Ranges, res.LT, sanitize.Options{
+		Budget: budget.Spec{MaxSteps: 5},
+	})
+	f1 := res.Module.FuncByName("func_1")
+	if rep.Degraded[f1] != "budget" {
+		t.Fatalf("func_1 degraded cause = %q, want budget", rep.Degraded[f1])
+	}
+	budgetDiags := 0
+	for _, d := range rep.Diags {
+		if d.Layer == sanitize.LayerBudget {
+			budgetDiags++
+			if d.Verdict != sanitize.Unknown {
+				t.Errorf("budget-layer diag %s has verdict %s, want unknown", d.In, d.Verdict)
+			}
+		}
+	}
+	if budgetDiags == 0 {
+		t.Error("no budget-layer diagnostics despite exhaustion")
+	}
+}
+
+// TestSkipQuarantined: skipped functions contribute nothing and are
+// recorded, mirroring the pipeline's quarantine discipline.
+func TestSkipQuarantined(t *testing.T) {
+	p := harness.New(harness.Config{})
+	res, err := p.CompileAndAnalyze("t", `
+int a[10];
+int f(void) { a[1] = 1; return 0; }
+int g(void) { a[2] = 2; return 0; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Module.FuncByName("g")
+	rep := sanitize.Analyze(res.Module, res.Ranges, res.LT, sanitize.Options{
+		Skip: map[*ir.Func]bool{g: true},
+	})
+	if rep.Degraded[g] != "skipped" {
+		t.Errorf("g degraded cause = %q, want skipped", rep.Degraded[g])
+	}
+	for _, d := range rep.Diags {
+		if d.Fn == g {
+			t.Fatalf("skipped function produced diagnostic %s", d.In)
+		}
+	}
+}
+
+// TestHarnessFaultInjection drives the sanitizer through the pipeline
+// stage with an injected fault and checks the failure lands in the
+// run report under the sanitize stage.
+func TestHarnessFaultInjection(t *testing.T) {
+	src := csmith.Generate(csmith.Config{Seed: 7800, MaxPtrDepth: 2, Stmts: 20})
+	p := harness.New(harness.Config{
+		Fault: &harness.FaultConfig{Stage: harness.StageSanitize, Func: "func_1"},
+	})
+	res, err := p.CompileAndAnalyze("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Sanitize()
+	if len(rep.Failures) != 1 || rep.Failures[0].Fn != "func_1" {
+		t.Fatalf("failures = %+v, want one for func_1", rep.Failures)
+	}
+	found := false
+	for _, sf := range p.Report().Failures {
+		if sf.Stage == harness.StageSanitize && sf.Func == "func_1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pipeline report missing the sanitize-stage failure:\n%s", p.Report())
+	}
+	// main's verdicts survive the sibling fault.
+	mainSafe := 0
+	for _, d := range rep.Diags {
+		if d.Fn.FName == "main" && d.Verdict == sanitize.Safe {
+			mainSafe++
+		}
+	}
+	if mainSafe == 0 {
+		t.Error("main has no safe verdicts despite being fault-free")
+	}
+}

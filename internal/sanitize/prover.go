@@ -1,0 +1,353 @@
+// The layered prover behind the sanitizer's verdicts. Bounds proofs
+// try four layers in cost order — interval ranges, the ABCD graph,
+// the Pentagon domain, the paper's LT solver — and record the
+// strongest layer a proof needed, which is how the experiments
+// attribute "only LT could discharge this access".
+//
+// Every relational query quantifies over witnesses under a
+// runtime-equality discipline: an access index is interchangeable
+// with its sigma/copy sources (the chain), and a witness w may borrow
+// interval caps from any value sharing its root (the group) whose
+// definition dominates the access — e-SSA renames values at every
+// branch, so the fact "i < j" and the fact "j <= 99" usually attach
+// to different names of the same runtime value, and neither the
+// relational provers nor the range analysis will bridge them alone.
+package sanitize
+
+import (
+	"repro/internal/abcd"
+	"repro/internal/budget"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/pentagon"
+	"repro/internal/rangeanal"
+)
+
+// Bounds-layer indices, in the order they are tried; the verdict
+// records the strongest (highest) layer either half of the proof
+// needed.
+const (
+	layerInterval = iota
+	layerABCD
+	layerPentagon
+	layerLT
+)
+
+var boundsLayerName = [...]string{LayerInterval, LayerABCD, LayerPentagon, LayerLT}
+
+// capLimit filters witness caps: no allocation exceeds 1<<28 cells,
+// so a cap beyond this is range-analysis saturation noise that cannot
+// discharge any bound — skipping it saves pointless graph searches.
+const capLimit = int64(1) << 40
+
+// prover holds the per-function analyses, built lazily: csmith-style
+// code indexes mostly with constants, and functions whose every check
+// the interval layer settles never pay for the dominator tree, the
+// ABCD graph or the Pentagon fixpoint.
+type prover struct {
+	f      *ir.Func
+	ranges *rangeanal.Result
+	lt     *core.Result
+	bgt    *budget.B
+
+	dom   *cfg.DomTree
+	graph *abcd.Graph
+	pent  *pentagon.Analysis
+
+	null   map[ir.Value]nullState
+	groups map[ir.Value][]ir.Value
+	cands  []ir.Value
+	posIn  map[*ir.Instr]int
+}
+
+func newProver(f *ir.Func, ranges *rangeanal.Result, lt *core.Result, bgt *budget.B) *prover {
+	return &prover{
+		f: f, ranges: ranges, lt: lt, bgt: bgt,
+		null: map[ir.Value]nullState{},
+	}
+}
+
+func (p *prover) domtree() *cfg.DomTree {
+	if p.dom == nil {
+		p.f.RecomputeCFG()
+		p.dom = cfg.NewDomTree(p.f)
+	}
+	return p.dom
+}
+
+func (p *prover) abcdGraph() *abcd.Graph {
+	if p.graph == nil {
+		p.graph = abcd.BuildGraph(p.f)
+	}
+	return p.graph
+}
+
+func (p *prover) pentagon() *pentagon.Analysis {
+	if p.pent == nil {
+		p.pent = pentagon.AnalyzeFunc(p.f)
+	}
+	return p.pent
+}
+
+// candidates lists the witness values relational layers quantify
+// over: the function's int-typed params and instruction results.
+func (p *prover) candidates() []ir.Value {
+	if p.cands == nil {
+		vals := p.f.Values()
+		p.cands = make([]ir.Value, 0, len(vals))
+		for _, v := range vals {
+			if ir.IsInt(v.Type()) {
+				p.cands = append(p.cands, v)
+			}
+		}
+		if p.cands == nil {
+			p.cands = []ir.Value{}
+		}
+	}
+	return p.cands
+}
+
+// pos returns in's index within its block, for same-block dominance.
+func (p *prover) pos(in *ir.Instr) int {
+	if p.posIn == nil {
+		p.posIn = map[*ir.Instr]int{}
+	}
+	if i, ok := p.posIn[in]; ok {
+		return i
+	}
+	for i, bi := range in.Blk.Instrs {
+		p.posIn[bi] = i
+	}
+	return p.posIn[in]
+}
+
+// check classifies one (access, kind) pair.
+func (p *prover) check(in *ir.Instr, k Kind) (Verdict, string) {
+	switch k {
+	case KindBounds:
+		return p.bounds(in)
+	case KindNull:
+		switch p.nullness(boundsPtr(in)) {
+		case nullNonNull:
+			return Safe, LayerNullness
+		case nullMustNull:
+			return Unsafe, LayerNullness
+		}
+		return Unknown, LayerNone
+	case KindUninit:
+		if hasUndefOperand(in) {
+			return Unsafe, LayerDirect
+		}
+		return Safe, LayerDirect
+	}
+	return Unknown, LayerNone
+}
+
+// bounds classifies the access offset against the resolved object
+// size. Verdicts are per-kind: an access may be bounds-Safe yet
+// null-Unknown, because the offset argument is sound whichever object
+// the matching allocation produced.
+func (p *prover) bounds(in *ir.Instr) (Verdict, string) {
+	r, ok := resolveBase(boundsPtr(in))
+	if !ok {
+		return Unknown, LayerNone
+	}
+	// Offset interval: k plus the chain-refined range of each
+	// symbolic index. An over-approximation of every reachable
+	// offset, so an interval wholly outside [0, size) proves the
+	// access traps whenever executed.
+	iv := rangeanal.Point(r.k)
+	for _, s := range r.syms {
+		iv = rangeanal.Add(iv, p.bestRange(s))
+	}
+	if iv.Hi < 0 || iv.Lo > r.size-1 {
+		return Unsafe, LayerInterval
+	}
+	if iv.Lo >= 0 && iv.Hi <= r.size-1 {
+		return Safe, LayerInterval
+	}
+	if len(r.syms) != 1 {
+		// Multi-symbol offsets get the interval layer only.
+		return Unknown, LayerNone
+	}
+	// Single symbolic index s: the access is in bounds iff
+	// -k <= s <= size-1-k. Prove each half independently; the
+	// verdict's layer is the strongest either half needed.
+	s := r.syms[0]
+	upBound, okU := subExact(r.size-1, r.k)
+	loBound, okL := subExact(0, r.k)
+	if !okU || !okL {
+		return Unknown, LayerNone
+	}
+	upLayer, upOK := p.proveUpper(s, upBound, in)
+	if !upOK {
+		return Unknown, LayerNone
+	}
+	loLayer, loOK := p.proveLower(s, loBound, in)
+	if !loOK {
+		return Unknown, LayerNone
+	}
+	return Safe, boundsLayerName[max(upLayer, loLayer)]
+}
+
+// proveUpper proves s <= bound at the program point of at, returning
+// the first layer that succeeds.
+func (p *prover) proveUpper(s ir.Value, bound int64, at *ir.Instr) (int, bool) {
+	aliases := p.chain(s)
+
+	// Interval: the chain-refined range alone.
+	if p.bestRange(s).Hi <= bound {
+		return layerInterval, true
+	}
+
+	// ABCD: find a witness w with s <= w + c (relational graph) and
+	// w <= cap (group interval), such that cap + c <= bound.
+	g := p.abcdGraph()
+	for _, w := range p.candidates() {
+		if p.bgt.Tick() != nil {
+			return 0, false
+		}
+		cap := p.groupHi(w, at)
+		if cap >= capLimit {
+			continue
+		}
+		c, ok := subExact(bound, cap)
+		if !ok {
+			continue
+		}
+		for _, a := range aliases {
+			if g.ProveLE(a, w, c) {
+				return layerABCD, true
+			}
+		}
+	}
+
+	// Pentagon: flow-sensitive interval at the access block, or a
+	// strict SUB fact s < w with w capped at the same point. A finite
+	// RangeAt implies w is defined on every path into the block (the
+	// pentagon join drops one-sided facts), so no dominance check is
+	// needed here.
+	pe := p.pentagon()
+	blk := at.Blk
+	for _, a := range aliases {
+		if pe.RangeAt(a, blk).Hi <= bound {
+			return layerPentagon, true
+		}
+	}
+	for _, w := range p.candidates() {
+		if p.bgt.Tick() != nil {
+			return 0, false
+		}
+		cap := pe.RangeAt(w, blk).Hi
+		if hi := p.groupHi(w, at); hi < cap {
+			cap = hi
+		}
+		// s < w <= cap proves s <= cap-1.
+		if cap >= capLimit || cap-1 > bound {
+			continue
+		}
+		for _, a := range aliases {
+			if pe.LessThanAt(a, w, blk) {
+				return layerPentagon, true
+			}
+		}
+	}
+
+	// LT: the paper's solver. s < w with w's group capped at the
+	// access; the only layer whose facts cross function boundaries
+	// (via the interprocedural seeds).
+	for _, w := range p.candidates() {
+		if p.bgt.Tick() != nil {
+			return 0, false
+		}
+		if !p.validAt(w, at) {
+			continue
+		}
+		cap := p.groupHi(w, at)
+		if cap >= capLimit || cap-1 > bound {
+			continue
+		}
+		for _, a := range aliases {
+			if p.lt.LessThan(a, w) {
+				return layerLT, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// proveLower proves s >= bound at the program point of at.
+func (p *prover) proveLower(s ir.Value, bound int64, at *ir.Instr) (int, bool) {
+	aliases := p.chain(s)
+
+	if p.bestRange(s).Lo >= bound {
+		return layerInterval, true
+	}
+
+	// ABCD: w <= s + c with w >= cap gives s >= cap - c.
+	g := p.abcdGraph()
+	for _, w := range p.candidates() {
+		if p.bgt.Tick() != nil {
+			return 0, false
+		}
+		cap := p.groupLo(w, at)
+		if cap <= -capLimit {
+			continue
+		}
+		c, ok := subExact(cap, bound)
+		if !ok {
+			continue
+		}
+		for _, a := range aliases {
+			if g.ProveLE(w, a, c) {
+				return layerABCD, true
+			}
+		}
+	}
+
+	pe := p.pentagon()
+	blk := at.Blk
+	for _, a := range aliases {
+		if pe.RangeAt(a, blk).Lo >= bound {
+			return layerPentagon, true
+		}
+	}
+	for _, w := range p.candidates() {
+		if p.bgt.Tick() != nil {
+			return 0, false
+		}
+		cap := pe.RangeAt(w, blk).Lo
+		if lo := p.groupLo(w, at); lo > cap {
+			cap = lo
+		}
+		// w < s with w >= cap proves s >= cap+1.
+		if cap <= -capLimit || cap+1 < bound {
+			continue
+		}
+		for _, a := range aliases {
+			if pe.LessThanAt(w, a, blk) {
+				return layerPentagon, true
+			}
+		}
+	}
+
+	for _, w := range p.candidates() {
+		if p.bgt.Tick() != nil {
+			return 0, false
+		}
+		if !p.validAt(w, at) {
+			continue
+		}
+		cap := p.groupLo(w, at)
+		if cap <= -capLimit || cap+1 < bound {
+			continue
+		}
+		for _, a := range aliases {
+			if p.lt.LessThan(w, a) {
+				return layerLT, true
+			}
+		}
+	}
+	return 0, false
+}

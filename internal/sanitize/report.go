@@ -1,0 +1,142 @@
+// Deterministic rendering of a sanitizer report. String output is a
+// pure function of the diagnostics slice, which is itself in fixed
+// module/block/instruction/kind order — so reports from different
+// worker counts compare byte-for-byte.
+package sanitize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// String renders one line per access, grouping that access's kinds:
+//
+//	@func_1:12 store: bounds=safe/interval null=safe/nullness uninit=safe/direct
+//
+// The :12 is the mini-C source line (omitted when 0).
+func (r *Report) String() string {
+	var sb strings.Builder
+	for i := 0; i < len(r.Diags); {
+		j := i
+		for j < len(r.Diags) && r.Diags[j].In == r.Diags[i].In {
+			j++
+		}
+		d := r.Diags[i]
+		if d.Line() > 0 {
+			fmt.Fprintf(&sb, "@%s:%d %s:", d.Fn.FName, d.Line(), d.In.Op)
+		} else {
+			fmt.Fprintf(&sb, "@%s %s:", d.Fn.FName, d.In.Op)
+		}
+		for _, d := range r.Diags[i:j] {
+			fmt.Fprintf(&sb, " %s=%s", d.Kind, d.Verdict)
+			if d.Layer != LayerNone {
+				fmt.Fprintf(&sb, "/%s", d.Layer)
+			}
+		}
+		sb.WriteByte('\n')
+		i = j
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(&sb, "! contained panic in %s: %s\n", f.Fn, f.Value)
+	}
+	return sb.String()
+}
+
+// Summary aggregates the report for humans and experiment tables.
+type Summary struct {
+	Checks  int
+	Safe    int
+	Unsafe  int
+	Unknown int
+	// ByKind counts verdicts per check kind, indexed [kind][verdict].
+	ByKind map[Kind][3]int
+	// SafeByLayer counts Safe verdicts per deciding layer.
+	SafeByLayer map[string]int
+	// UnsafeByLayer counts Unsafe verdicts per deciding layer.
+	UnsafeByLayer map[string]int
+	Failures      int
+	Degraded      int
+}
+
+// Summarize tallies the report.
+func (r *Report) Summarize() Summary {
+	s := Summary{
+		ByKind:        map[Kind][3]int{},
+		SafeByLayer:   map[string]int{},
+		UnsafeByLayer: map[string]int{},
+		Failures:      len(r.Failures),
+		Degraded:      len(r.Degraded),
+	}
+	for _, d := range r.Diags {
+		s.Checks++
+		bk := s.ByKind[d.Kind]
+		bk[d.Verdict]++
+		s.ByKind[d.Kind] = bk
+		switch d.Verdict {
+		case Safe:
+			s.Safe++
+			s.SafeByLayer[d.Layer]++
+		case Unsafe:
+			s.Unsafe++
+			s.UnsafeByLayer[d.Layer]++
+		default:
+			s.Unknown++
+		}
+	}
+	return s
+}
+
+// String renders the summary as a small fixed-order table.
+func (s Summary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "checks %d: safe %d, unsafe %d, unknown %d\n",
+		s.Checks, s.Safe, s.Unsafe, s.Unknown)
+	for _, k := range []Kind{KindBounds, KindNull, KindUninit} {
+		bk := s.ByKind[k]
+		fmt.Fprintf(&sb, "  %-6s safe %d, unsafe %d, unknown %d\n",
+			k, bk[Safe], bk[Unsafe], bk[Unknown])
+	}
+	if len(s.SafeByLayer) > 0 {
+		fmt.Fprintf(&sb, "  safe by layer: %s\n", LayerCounts(s.SafeByLayer))
+	}
+	if len(s.UnsafeByLayer) > 0 {
+		fmt.Fprintf(&sb, "  unsafe by layer: %s\n", LayerCounts(s.UnsafeByLayer))
+	}
+	if s.Failures > 0 || s.Degraded > 0 {
+		fmt.Fprintf(&sb, "  failures %d, degraded functions %d\n", s.Failures, s.Degraded)
+	}
+	return sb.String()
+}
+
+// layerOrder fixes the rendering order of layer names; anything
+// unlisted sorts after, alphabetically.
+var layerOrder = map[string]int{
+	LayerInterval: 0, LayerABCD: 1, LayerPentagon: 2, LayerLT: 3,
+	LayerNullness: 4, LayerDirect: 5,
+}
+
+// LayerCounts renders a layer→count map in fixed layer order; the
+// summary table and the sweep drivers share it so their outputs agree.
+func LayerCounts(m map[string]int) string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		oi, iok := layerOrder[names[i]]
+		oj, jok := layerOrder[names[j]]
+		if iok != jok {
+			return iok
+		}
+		if iok && oi != oj {
+			return oi < oj
+		}
+		return names[i] < names[j]
+	})
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s %d", n, m[n])
+	}
+	return strings.Join(parts, ", ")
+}

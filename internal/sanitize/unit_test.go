@@ -1,0 +1,134 @@
+// Internal unit tests for the sanitizer's small pure helpers: trap
+// mapping, summary rendering, overflow-checked arithmetic, and the
+// interpreter-exact malloc sizing edge cases.
+package sanitize
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+func TestKindOfTrap(t *testing.T) {
+	cases := []struct {
+		code string
+		kind Kind
+		ok   bool
+	}{
+		{interp.TrapOOB, KindBounds, true},
+		{interp.TrapNull, KindNull, true},
+		{interp.TrapUndef, KindUninit, true},
+		{"", 0, false},
+		{"div", 0, false},
+	}
+	for _, tc := range cases {
+		k, ok := KindOfTrap(tc.code)
+		if ok != tc.ok || (ok && k != tc.kind) {
+			t.Errorf("KindOfTrap(%q) = %v, %v; want %v, %v", tc.code, k, ok, tc.kind, tc.ok)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if KindBounds.String() != "bounds" || KindNull.String() != "null" || KindUninit.String() != "uninit" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Errorf("out-of-range kind = %q", Kind(9))
+	}
+	if Safe.String() != "safe" || Unsafe.String() != "unsafe" || Unknown.String() != "unknown" {
+		t.Error("Verdict strings wrong")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	rep := &Report{Diags: []Diagnostic{
+		{Kind: KindBounds, Verdict: Safe, Layer: LayerLT},
+		{Kind: KindBounds, Verdict: Unsafe, Layer: LayerInterval},
+		{Kind: KindNull, Verdict: Safe, Layer: LayerNullness},
+		{Kind: KindUninit, Verdict: Unknown, Layer: LayerBudget},
+	}}
+	s := rep.Summarize()
+	if s.Checks != 4 || s.Safe != 2 || s.Unsafe != 1 || s.Unknown != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	out := s.String()
+	for _, want := range []string{
+		"checks 4: safe 2, unsafe 1, unknown 1",
+		"safe by layer: lt 1, nullness 1",
+		"unsafe by layer: interval 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExactArithmetic(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		sum  int64
+		ok   bool
+	}{
+		{1, 2, 3, true},
+		{math.MaxInt64, 1, 0, false},
+		{math.MinInt64, -1, 0, false},
+		{math.MaxInt64, -1, math.MaxInt64 - 1, true},
+		{-5, 5, 0, true},
+	}
+	for _, tc := range cases {
+		got, ok := addExact(tc.a, tc.b)
+		if ok != tc.ok || (ok && got != tc.sum) {
+			t.Errorf("addExact(%d, %d) = %d, %v; want %d, %v", tc.a, tc.b, got, ok, tc.sum, tc.ok)
+		}
+	}
+	if _, ok := subExact(1, math.MinInt64); ok {
+		t.Error("subExact(1, MinInt64) must overflow")
+	}
+	if got, ok := subExact(-2, math.MinInt64); !ok || got != math.MinInt64+(-2)-math.MinInt64*2 {
+		// -2 - MinInt64 = MaxInt64 - 1: representable.
+		if !ok || got != math.MaxInt64-1 {
+			t.Errorf("subExact(-2, MinInt64) = %d, %v", got, ok)
+		}
+	}
+	if got, ok := subExact(10, 3); !ok || got != 7 {
+		t.Errorf("subExact(10, 3) = %d, %v", got, ok)
+	}
+}
+
+// TestResolveMallocEdges builds malloc instructions directly and
+// checks the interpreter-exact sizing rules: zero bytes still
+// allocates one cell, negative and absurd sizes are unresolvable
+// (the malloc itself traps, so accesses through it are unreachable),
+// and non-constant sizes resolve to nothing.
+func TestResolveMallocEdges(t *testing.T) {
+	i64 := ir.I64
+	cases := []struct {
+		bytes    int64
+		wantOK   bool
+		wantSize int64
+	}{
+		{80, true, 10},
+		{0, true, 1},
+		{7, true, 1}, // 7/8 = 0 cells, rounded up to 1
+		{-8, false, 0},
+		{int64(1) << 62, false, 0}, // > 1<<28 cells: interp calls it unreasonable
+	}
+	for _, tc := range cases {
+		in := &ir.Instr{Op: ir.OpMalloc, Typ: ir.Ptr(i64), Args: []ir.Value{&ir.Const{Val: tc.bytes, Typ: i64}}}
+		r, ok := resolveMalloc(in, resolved{})
+		if ok != tc.wantOK || (ok && r.size != tc.wantSize) {
+			t.Errorf("resolveMalloc(%d bytes) = size %d, ok %v; want %d, %v",
+				tc.bytes, r.size, ok, tc.wantSize, tc.wantOK)
+		}
+	}
+	// Non-constant size: unresolvable.
+	szParam := &ir.Param{PName: "n", Typ: i64}
+	in := &ir.Instr{Op: ir.OpMalloc, Typ: ir.Ptr(i64), Args: []ir.Value{szParam}}
+	if _, ok := resolveMalloc(in, resolved{}); ok {
+		t.Error("non-constant malloc size resolved")
+	}
+}
