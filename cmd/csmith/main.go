@@ -5,8 +5,10 @@
 // With -check it turns into a crash-triage fuzzer: every generated
 // program is pushed through the hardened pipeline, and any program
 // that provokes a contained failure (panic or verifier error) is
-// persisted to -crash-dir together with the command line that
-// reproduces it. The run exits non-zero when any crash was found.
+// persisted to -crash-dir as a corpus-format repro file (replayable
+// with `fuzz -replay -corpus <dir>`) plus a human triage note with
+// the command line that reproduces it. The run exits non-zero when
+// any crash was found.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/csmith"
+	"repro/internal/fuzz"
 	"repro/internal/harness"
 )
 
@@ -73,7 +76,7 @@ func main() {
 			}
 			s := *seed + int64(i)
 			crashes++
-			if werr := persistCrash(*crashDir, out.Name, s, items[i].Src, out.Err, rep); werr != nil {
+			if werr := persistCrash(*crashDir, out.Name, s, cfg(s), items[i].Src, out.Err, rep); werr != nil {
 				fmt.Fprintf(os.Stderr, "csmith: cannot persist crash for seed %d: %v\n", s, werr)
 			} else {
 				fmt.Fprintf(os.Stderr, "csmith: seed %d provoked a failure; reproducer saved under %s\n",
@@ -87,20 +90,35 @@ func main() {
 	fmt.Printf("csmith: %d seed(s) passed the hardened pipeline cleanly\n", *runs)
 }
 
-// persistCrash writes the offending program plus a triage note: the
-// exact generator command line that recreates the input and the
-// failures the pipeline contained.
-func persistCrash(dir, name string, seed int64, src string, err error, rep *harness.Report) error {
-	if mkErr := os.MkdirAll(dir, 0o755); mkErr != nil {
-		return mkErr
+// persistCrash writes the offending program as a corpus-format repro
+// (seed, generator config, and failure signature in the header, the
+// source as the body) plus a triage note with the exact command lines
+// that recreate and replay it.
+func persistCrash(dir, name string, seed int64, cfg csmith.Config, src string, err error, rep *harness.Report) error {
+	conf := fmt.Sprintf("depth=%d stmts=%d", cfg.MaxPtrDepth, cfg.Stmts)
+	if cfg.InjectOOB {
+		conf += " inject-oob"
 	}
-	srcPath := filepath.Join(dir, name+".c")
-	if wErr := os.WriteFile(srcPath, []byte(src), 0o644); wErr != nil {
+	e := &fuzz.Entry{
+		Name:   name,
+		Lang:   "c",
+		Oracle: "pipeline",
+		Expect: "fail",
+		Seed:   seed,
+		Config: conf,
+		Src:    src,
+	}
+	if len(rep.Failures) > 0 {
+		e.Signature = rep.Failures[0].Signature()
+	} else if err != nil {
+		e.Signature = "compile:error"
+	}
+	if _, wErr := fuzz.WriteEntry(dir, e); wErr != nil {
 		return wErr
 	}
-	note := fmt.Sprintf("# reproduce the input:\n#   go run ./cmd/csmith -seed %d -depth %s -stmts %s > %s\n",
-		seed, flag.Lookup("depth").Value.String(), flag.Lookup("stmts").Value.String(), name+".c")
-	note += fmt.Sprintf("# replay the pipeline:\n#   go run ./cmd/sraa -strict %s\n\n", srcPath)
+	note := fmt.Sprintf("# reproduce the input:\n#   go run ./cmd/csmith -seed %d -depth %d -stmts %d\n",
+		seed, cfg.MaxPtrDepth, cfg.Stmts)
+	note += fmt.Sprintf("# replay the repro:\n#   go run ./cmd/fuzz -replay -corpus %s\n\n", dir)
 	if err != nil {
 		note += fmt.Sprintf("fatal error:\n%v\n\n", err)
 	}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/csmith"
+	"repro/internal/fuzz"
+	"repro/internal/harness"
+)
+
+// TestPersistCrashCorpusFormat: a triaged crash lands on disk as a
+// corpus-format repro that ReadCorpus accepts and whose signature
+// matches the contained failure, plus a human triage note.
+func TestPersistCrashCorpusFormat(t *testing.T) {
+	dir := t.TempDir()
+
+	src := "int main(void) { return 1; }"
+	p := harness.New(harness.Config{
+		Fault: &harness.FaultConfig{Stage: harness.StageMem2Reg, Func: "main"},
+	})
+	if _, err := p.Compile("crash_seed42", src); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Report()
+	if rep.Ok() {
+		t.Fatal("fault injection produced no failure")
+	}
+
+	gcfg := csmith.Config{Seed: 42, MaxPtrDepth: 3, Stmts: 60}
+	if err := persistCrash(dir, "crash_seed42", 42, gcfg, src, nil, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := fuzz.ReadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("got %d corpus entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Expect != "fail" || e.Seed != 42 || e.Src != src+"\n" && e.Src != src {
+		t.Fatalf("entry fields: %+v", e)
+	}
+	if e.Signature != rep.Failures[0].Signature() {
+		t.Fatalf("signature %q does not match failure %q", e.Signature, rep.Failures[0].Signature())
+	}
+	if !strings.Contains(e.Config, "depth=") || !strings.Contains(e.Config, "stmts=") {
+		t.Fatalf("config line %q lacks generator parameters", e.Config)
+	}
+
+	note, err := os.ReadFile(filepath.Join(dir, "crash_seed42.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(note), "cmd/fuzz -replay") {
+		t.Fatalf("triage note lacks replay instructions:\n%s", note)
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// End-to-end tests for the fuzz binary: TestMain builds it once, the
+// tests exercise both modes against the checked-in corpus.
+
+var fuzzBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "fuzz-e2e")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fuzzBin = filepath.Join(dir, "fuzz")
+	if out, err := exec.Command("go", "build", "-o", fuzzBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building fuzz: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func runFuzz(t *testing.T, wantCode int, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(fuzzBin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("fuzz %v: %v\nstderr:\n%s", args, err, stderr.String())
+	}
+	if code != wantCode {
+		t.Fatalf("fuzz %v exited %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			args, code, wantCode, stdout.String(), stderr.String())
+	}
+	return stdout.String()
+}
+
+// TestReplayCorpus is the acceptance gate: the checked-in corpus
+// replays cleanly, with byte-identical reports at -jobs 1 and 8.
+func TestReplayCorpus(t *testing.T) {
+	r1 := runFuzz(t, 0, "-replay", "-corpus", filepath.Join("..", "..", "corpus"), "-jobs", "1")
+	r8 := runFuzz(t, 0, "-replay", "-corpus", filepath.Join("..", "..", "corpus"), "-jobs", "8")
+	if r1 != r8 {
+		t.Fatalf("replay output differs between -jobs 1 and 8:\n--- 1 ---\n%s--- 8 ---\n%s", r1, r8)
+	}
+	if !strings.Contains(r1, "replay: 3 entries, 0 failed") {
+		t.Fatalf("unexpected replay summary:\n%s", r1)
+	}
+}
+
+// TestFuzzSmoke runs a short fuzzing pass; the pipeline is expected to
+// survive it with zero buckets.
+func TestFuzzSmoke(t *testing.T) {
+	dir := t.TempDir()
+	out := runFuzz(t, 0, "-n", "15", "-jobs", "4", "-seed", "7000", "-corpus", dir)
+	if !strings.Contains(out, "0 failure bucket(s)") {
+		t.Fatalf("fuzz smoke found buckets:\n%s", out)
+	}
+	// No buckets → no corpus writes.
+	left, _ := filepath.Glob(filepath.Join(dir, "*.repro"))
+	if len(left) != 0 {
+		t.Fatalf("unexpected corpus entries: %v", left)
+	}
+}
+
+// TestReplayMissingCorpus: an empty or absent corpus is an error, not
+// a silent pass.
+func TestReplayMissingCorpus(t *testing.T) {
+	runFuzz(t, 1, "-replay", "-corpus", t.TempDir())
+}

@@ -1,0 +1,202 @@
+// The persistent regression corpus: one self-describing text file per
+// bucket. The format is a short key:value header, a "---" separator,
+// and the (minimized) program:
+//
+//	name: oob-kernel
+//	lang: c
+//	oracle: sanitizer
+//	expect: detect
+//	seed: 4242
+//	config: depth=3 stmts=40 inject-oob
+//	signature: detect:oob@main
+//	note: minimized from 48 to 3 units
+//	---
+//	int a[4];
+//	...
+//
+// expect drives replay semantics:
+//
+//	clean  — the pipeline and every oracle must report nothing; the
+//	         entry is a regression test for a fixed bug.
+//	detect — the planted bug must still be caught: the interpreter
+//	         traps and the sanitizer diagnoses the access Unsafe,
+//	         matching the recorded signature (e.g. detect:oob@main).
+//	fail   — the recorded failure signature must still reproduce;
+//	         these are pre-fix triage entries written by the loop.
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one corpus repro.
+type Entry struct {
+	Name      string
+	Lang      string // "c" or "ir"
+	Oracle    string
+	Expect    string // "clean", "detect", or "fail"
+	Seed      int64
+	Config    string
+	Signature string
+	Note      string
+	Src       string
+}
+
+// Planted reports whether the entry's program carries an injected
+// out-of-bounds store.
+func (e *Entry) Planted() bool {
+	return e.Expect == "detect" || strings.Contains(e.Config, "inject-oob")
+}
+
+// Input converts the entry to an oracle input.
+func (e *Entry) Input() Input {
+	return Input{
+		Name: e.Name, Lang: e.Lang, Src: e.Src,
+		Seed: e.Seed, Config: e.Config, Planted: e.Planted(),
+	}
+}
+
+// Marshal renders the entry in corpus file format.
+func (e *Entry) Marshal() []byte {
+	var sb strings.Builder
+	put := func(k, v string) {
+		if v != "" {
+			fmt.Fprintf(&sb, "%s: %s\n", k, v)
+		}
+	}
+	put("name", e.Name)
+	put("lang", e.Lang)
+	put("oracle", e.Oracle)
+	put("expect", e.Expect)
+	if e.Seed != 0 {
+		put("seed", strconv.FormatInt(e.Seed, 10))
+	}
+	put("config", e.Config)
+	put("signature", e.Signature)
+	put("note", e.Note)
+	sb.WriteString("---\n")
+	sb.WriteString(e.Src)
+	if !strings.HasSuffix(e.Src, "\n") {
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+// ParseEntry parses corpus file content.
+func ParseEntry(data []byte) (*Entry, error) {
+	text := string(data)
+	sep := "\n---\n"
+	i := strings.Index(text, sep)
+	if i < 0 {
+		if strings.HasPrefix(text, "---\n") {
+			i, sep = 0, "---\n"
+		} else {
+			return nil, fmt.Errorf("corpus entry: missing --- separator")
+		}
+	}
+	header, body := text[:i], text[i+len(sep):]
+	e := &Entry{Src: body}
+	for ln, line := range strings.Split(header, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("corpus entry: header line %d: want key: value, got %q", ln+1, line)
+		}
+		v = strings.TrimSpace(v)
+		switch strings.TrimSpace(k) {
+		case "name":
+			e.Name = v
+		case "lang":
+			e.Lang = v
+		case "oracle":
+			e.Oracle = v
+		case "expect":
+			e.Expect = v
+		case "seed":
+			s, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("corpus entry: bad seed %q", v)
+			}
+			e.Seed = s
+		case "config":
+			e.Config = v
+		case "signature":
+			e.Signature = v
+		case "note":
+			e.Note = v
+		default:
+			return nil, fmt.Errorf("corpus entry: unknown header key %q", k)
+		}
+	}
+	if e.Name == "" {
+		return nil, fmt.Errorf("corpus entry: missing name")
+	}
+	if e.Lang == "" {
+		e.Lang = "c"
+	}
+	switch e.Expect {
+	case "clean", "detect", "fail":
+	default:
+		return nil, fmt.Errorf("corpus entry %s: expect must be clean, detect, or fail (got %q)", e.Name, e.Expect)
+	}
+	if e.Expect == "fail" && e.Signature == "" {
+		return nil, fmt.Errorf("corpus entry %s: expect: fail requires a signature", e.Name)
+	}
+	return e, nil
+}
+
+// WriteEntry persists e under dir as <name>.repro, creating dir if
+// needed. Returns the file path.
+func WriteEntry(dir string, e *Entry) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, sanitizeName(e.Name)+".repro")
+	if err := os.WriteFile(path, e.Marshal(), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// sanitizeName maps an entry name to a safe filename stem.
+func sanitizeName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+// ReadCorpus loads every *.repro file under dir, sorted by filename so
+// replay order — and therefore the replay report — is deterministic.
+func ReadCorpus(dir string) ([]*Entry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.repro"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []*Entry
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		e, err := ParseEntry(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

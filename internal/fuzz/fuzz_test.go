@@ -1,0 +1,250 @@
+package fuzz
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/harness"
+	"repro/internal/reduce"
+)
+
+func TestCorpusRoundTrip(t *testing.T) {
+	e := &Entry{
+		Name:      "oob-kernel",
+		Lang:      "c",
+		Oracle:    "sanitizer",
+		Expect:    "detect",
+		Seed:      4242,
+		Config:    "depth=3 stmts=40 inject-oob",
+		Signature: "detect:oob@main",
+		Note:      "minimized from 48 to 3 units",
+		Src:       "int a[4];\nint main(void) {\n  a[7] = 1;\n  return 0;\n}\n",
+	}
+	got, err := ParseEntry(e.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *e {
+		t.Fatalf("round trip changed the entry:\n%+v\nvs\n%+v", got, e)
+	}
+
+	dir := t.TempDir()
+	path, err := WriteEntry(dir, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "oob-kernel.repro" {
+		t.Fatalf("unexpected filename %s", path)
+	}
+	entries, err := ReadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || *entries[0] != *e {
+		t.Fatalf("corpus read back %d entries, first %+v", len(entries), entries[0])
+	}
+}
+
+func TestCorpusParseErrors(t *testing.T) {
+	cases := []string{
+		"name: x\nexpect: clean\n",                        // no separator
+		"name: x\nexpect: maybe\n---\nint main(void){}\n", // bad expect
+		"expect: clean\n---\nsrc\n",                       // no name
+		"name: x\nexpect: fail\n---\nsrc\n",               // fail without signature
+		"name: x\nbogus-key: v\nexpect: clean\n---\ns\n",  // unknown key
+	}
+	for i, c := range cases {
+		if _, err := ParseEntry([]byte(c)); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestCheckCleanAndPlanted(t *testing.T) {
+	// A trivially clean program produces no findings.
+	out := Check(Input{Name: "clean", Lang: "c",
+		Src: "int main(void) { return 0; }"}, Options{})
+	if len(out.Failures) != 0 {
+		t.Fatalf("clean program produced findings: %v", out.Signatures())
+	}
+
+	// A planted OOB must be observed and diagnosed — a detection,
+	// not a failure.
+	out = Check(Input{Name: "planted", Lang: "c", Planted: true,
+		Src: "int a[4];\nint main(void) { a[7] = 1; return 0; }"}, Options{})
+	if len(out.Failures) != 0 {
+		t.Fatalf("planted kernel produced findings: %v", out.Signatures())
+	}
+	if !out.Detected("detect:oob@main") {
+		t.Fatalf("planted kernel not detected: %v", out.Detections)
+	}
+
+	// An IR input goes through ParseIR.
+	out = Check(Input{Name: "irin", Lang: "ir", Src: `module "m"
+
+func @main() i64 {
+entry:
+  ret 7
+}
+`}, Options{})
+	if len(out.Failures) != 0 {
+		t.Fatalf("ir input produced findings: %v", out.Signatures())
+	}
+
+	// Unparseable input is a compile:error finding, not a crash.
+	out = Check(Input{Name: "bad", Lang: "c", Src: "not C {{{"}, Options{})
+	if !out.Has("compile:error") {
+		t.Fatalf("bad input findings: %v", out.Signatures())
+	}
+}
+
+// TestLoopBucketsInjectedFault drives the whole tentpole path on a
+// synthetic bug: a fault injected into mem2reg makes every program
+// panic, the loop buckets the failures under one signature, reduces
+// the witness, and persists a corpus entry that replays as expect:
+// fail under the same fault — and as FAIL without it.
+func TestLoopBucketsInjectedFault(t *testing.T) {
+	dir := t.TempDir()
+	opt := LoopOptions{
+		N:    6,
+		Seed: 300,
+		Jobs: 2,
+		// Fault every program's main at mem2reg.
+		Check:        Options{Fault: &harness.FaultConfig{Stage: harness.StageMem2Reg, Func: "main"}},
+		CorpusDir:    dir,
+		Reduce:       true,
+		ReduceBudget: budget.Spec{Timeout: 30 * time.Second},
+	}
+	res, err := Loop(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ran != 6 {
+		t.Fatalf("ran %d programs, want 6", res.Ran)
+	}
+	if len(res.Buckets) != 1 {
+		t.Fatalf("got %d buckets, want 1: %+v", len(res.Buckets), res.Buckets)
+	}
+	b := res.Buckets[0]
+	if !strings.HasPrefix(b.Signature, "mem2reg:panic:") {
+		t.Fatalf("unexpected signature %s", b.Signature)
+	}
+	if b.Count != 6 {
+		t.Fatalf("bucket count %d, want 6 (one per program)", b.Count)
+	}
+	if b.Reduced == "" || b.UnitsAfter >= b.UnitsBefore {
+		t.Fatalf("witness not reduced: %d -> %d\n%s", b.UnitsBefore, b.UnitsAfter, b.Reduced)
+	}
+
+	// The persisted entry replays under the same fault...
+	entries, err := ReadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Expect != "fail" {
+		t.Fatalf("corpus: %+v", entries)
+	}
+	rr := Replay(entries, 1, opt.Check)
+	if !rr.Ok() {
+		t.Fatalf("replay under fault failed:\n%s", rr.Report)
+	}
+	// ...and fails to reproduce once the bug is "fixed" (fault off),
+	// which is exactly the moment to flip the entry to expect: clean.
+	rr = Replay(entries, 1, Options{})
+	if rr.Ok() || rr.Failed != 1 {
+		t.Fatalf("replay without fault should fail:\n%s", rr.Report)
+	}
+}
+
+// TestLoopDeterministic: same (Seed, N) → same buckets and the same
+// reduced witness, byte for byte.
+func TestLoopDeterministic(t *testing.T) {
+	opt := LoopOptions{
+		N:    4,
+		Seed: 300,
+		Jobs: 3,
+		Check: Options{Fault: &harness.FaultConfig{
+			Stage: harness.StageLessThan, Func: "main"}},
+		Reduce:       true,
+		ReduceBudget: budget.Spec{Timeout: 30 * time.Second},
+	}
+	a, err := Loop(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Jobs = 1
+	b, err := Loop(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Buckets) != len(b.Buckets) || len(a.Buckets) == 0 {
+		t.Fatalf("bucket counts differ: %d vs %d", len(a.Buckets), len(b.Buckets))
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i].Signature != b.Buckets[i].Signature ||
+			a.Buckets[i].Reduced != b.Buckets[i].Reduced ||
+			a.Buckets[i].Witness.Name != b.Buckets[i].Witness.Name {
+			t.Fatalf("bucket %d differs across jobs settings:\n%+v\nvs\n%+v",
+				i, a.Buckets[i], b.Buckets[i])
+		}
+	}
+}
+
+// repoCorpus loads the checked-in regression corpus.
+func repoCorpus(t *testing.T) []*Entry {
+	t.Helper()
+	entries, err := ReadCorpus(filepath.Join("..", "..", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("checked-in corpus has %d entries, want >= 3", len(entries))
+	}
+	return entries
+}
+
+// TestReplayCheckedInCorpus is the regression gate the CI job mirrors:
+// every checked-in repro meets its expectation, and the report is
+// byte-identical at jobs 1 and 8.
+func TestReplayCheckedInCorpus(t *testing.T) {
+	entries := repoCorpus(t)
+	opt := Options{Timeout: 30 * time.Second}
+	r1 := Replay(entries, 1, opt)
+	if !r1.Ok() {
+		t.Fatalf("corpus replay failed:\n%s", r1.Report)
+	}
+	r8 := Replay(entries, 8, opt)
+	if r1.Report != r8.Report {
+		t.Fatalf("replay report differs between jobs=1 and jobs=8:\n--- 1 ---\n%s--- 8 ---\n%s",
+			r1.Report, r8.Report)
+	}
+}
+
+// TestCorpusEntriesMinimal: reducing a checked-in repro again must be
+// a no-op — the corpus stays minimal by construction.
+func TestCorpusEntriesMinimal(t *testing.T) {
+	for _, e := range repoCorpus(t) {
+		if e.Lang != "c" || e.Expect != "detect" {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			pred := func(src string) bool {
+				in := e.Input()
+				in.Src = src
+				out := Check(in, Options{})
+				return len(out.Failures) == 0 && out.Detected(e.Signature)
+			}
+			res, err := reduce.Source(e.Src, pred, budget.Spec{Timeout: 60 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Source != e.Src {
+				t.Fatalf("%s is not minimal; reducer shrank it to:\n%s", e.Name, res.Source)
+			}
+		})
+	}
+}

@@ -1,0 +1,225 @@
+// The fuzz loop: generate → check → bucket → reduce → persist.
+package fuzz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/csmith"
+	"repro/internal/reduce"
+)
+
+// LoopOptions configures one fuzzing run.
+type LoopOptions struct {
+	// N is the number of programs to generate; 0 with a Duration set
+	// means "until the deadline".
+	N int
+	// Duration, when non-zero, stops the loop at a wall-clock
+	// deadline even if N programs have not run yet.
+	Duration time.Duration
+	// Seed is the first generator seed; program i uses Seed+i, so a
+	// run is reproducible from (Seed, N).
+	Seed int64
+	// Jobs bounds concurrent oracle runs.
+	Jobs int
+	// CorpusDir, when non-empty, receives one minimized repro file
+	// per new bucket.
+	CorpusDir string
+	// Reduce minimizes each bucket's witness before persisting.
+	Reduce bool
+	// ReduceBudget bounds each minimization; the zero value means
+	// unlimited.
+	ReduceBudget budget.Spec
+	// Check configures the oracles.
+	Check Options
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// Bucket is one distinct failure: every input whose outcome contains
+// the signature lands here.
+type Bucket struct {
+	Signature string
+	Oracle    string
+	Detail    string
+	// Count is how many generated inputs hit the bucket.
+	Count int
+	// Witness is the first input that hit the bucket.
+	Witness Input
+	// Reduced is the minimized witness source ("" when reduction was
+	// off, failed, or the input was not reducible).
+	Reduced string
+	// UnitsBefore and UnitsAfter are the witness's statement counts
+	// around reduction.
+	UnitsBefore, UnitsAfter int
+	// Path is the corpus file the bucket was persisted to.
+	Path string
+}
+
+// LoopResult summarizes one fuzzing run.
+type LoopResult struct {
+	// Buckets are the distinct failures, sorted by signature.
+	Buckets []*Bucket
+	// Ran is the number of programs checked.
+	Ran int
+	// Checks is the total oracle comparisons across the run.
+	Checks int
+	// Detections counts planted bugs that were caught as expected.
+	Detections int
+}
+
+// genInput builds the i-th generated program of a run starting at
+// seed. The config matrix varies pointer depth, program size and
+// injection so one run exercises shallow/deep chains and planted
+// bugs; everything derives from (seed, i) alone.
+func genInput(seed int64, i int) Input {
+	s := seed + int64(i)
+	cfg := csmith.Config{
+		Seed:        s,
+		MaxPtrDepth: 2 + i%6,
+		Stmts:       30 + (i%5)*15,
+		InjectOOB:   i%3 == 0,
+	}
+	conf := fmt.Sprintf("depth=%d stmts=%d", cfg.MaxPtrDepth, cfg.Stmts)
+	if cfg.InjectOOB {
+		conf += " inject-oob"
+	}
+	return Input{
+		Name:    fmt.Sprintf("fuzz_seed%d", s),
+		Lang:    "c",
+		Src:     csmith.Generate(cfg),
+		Seed:    s,
+		Config:  conf,
+		Planted: cfg.InjectOOB,
+	}
+}
+
+// Loop runs the fuzzing loop.
+func Loop(opt LoopOptions) (*LoopResult, error) {
+	if opt.N <= 0 && opt.Duration <= 0 {
+		return nil, fmt.Errorf("fuzz: need N or Duration")
+	}
+	logf := func(format string, args ...any) {
+		if opt.Log != nil {
+			fmt.Fprintf(opt.Log, format+"\n", args...)
+		}
+	}
+	var deadline time.Time
+	if opt.Duration > 0 {
+		deadline = time.Now().Add(opt.Duration)
+	}
+	jobs := opt.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+
+	res := &LoopResult{}
+	bySig := map[string]*Bucket{}
+	batch := jobs * 8
+
+	for i := 0; opt.N <= 0 || i < opt.N; i += batch {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			logf("fuzz: deadline reached after %d programs", res.Ran)
+			break
+		}
+		n := batch
+		if opt.N > 0 && i+n > opt.N {
+			n = opt.N - i
+		}
+		ins := make([]Input, n)
+		outs := make([]*Outcome, n)
+		for j := range ins {
+			ins[j] = genInput(opt.Seed, i+j)
+		}
+		runSlots(n, jobs, func(j int) {
+			outs[j] = Check(ins[j], opt.Check)
+		})
+		// Merge serially in seed order so bucket witnesses are
+		// deterministic for a fixed (Seed, N).
+		for j, out := range outs {
+			res.Ran++
+			res.Checks += out.Checks
+			res.Detections += len(out.Detections)
+			for _, f := range out.Failures {
+				b := bySig[f.Signature]
+				if b == nil {
+					b = &Bucket{Signature: f.Signature, Oracle: f.Oracle,
+						Detail: f.Detail, Witness: ins[j]}
+					bySig[f.Signature] = b
+					logf("fuzz: new bucket %s (witness %s)", f.Signature, ins[j].Name)
+				}
+				b.Count++
+			}
+		}
+	}
+
+	for _, b := range bySig {
+		res.Buckets = append(res.Buckets, b)
+	}
+	sort.Slice(res.Buckets, func(i, j int) bool {
+		return res.Buckets[i].Signature < res.Buckets[j].Signature
+	})
+
+	for _, b := range res.Buckets {
+		if opt.Reduce {
+			reduceBucket(b, opt, logf)
+		}
+		if opt.CorpusDir != "" {
+			if err := persistBucket(b, opt.CorpusDir); err != nil {
+				return res, err
+			}
+			logf("fuzz: wrote %s", b.Path)
+		}
+	}
+	return res, nil
+}
+
+// reduceBucket minimizes a bucket's witness under a
+// signature-preserving predicate.
+func reduceBucket(b *Bucket, opt LoopOptions, logf func(string, ...any)) {
+	if b.Witness.Lang != "c" {
+		return
+	}
+	pred := func(src string) bool {
+		in := b.Witness
+		in.Src = src
+		return Check(in, opt.Check).Has(b.Signature)
+	}
+	r, err := reduce.Source(b.Witness.Src, pred, opt.ReduceBudget)
+	if err != nil {
+		logf("fuzz: reduce %s: %v", b.Signature, err)
+		return
+	}
+	b.Reduced = r.Source
+	b.UnitsBefore, b.UnitsAfter = r.StmtsBefore, r.StmtsAfter
+	logf("fuzz: reduced %s: %d -> %d units (%d predicate runs)",
+		b.Signature, r.StmtsBefore, r.StmtsAfter, r.Stats.Tests)
+}
+
+// persistBucket writes the bucket as an expect:fail corpus entry.
+func persistBucket(b *Bucket, dir string) error {
+	src := b.Reduced
+	note := ""
+	if src == "" {
+		src = b.Witness.Src
+	} else {
+		note = fmt.Sprintf("minimized from %d to %d units", b.UnitsBefore, b.UnitsAfter)
+	}
+	e := &Entry{
+		Name:      "fuzz-" + sanitizeName(b.Signature),
+		Lang:      b.Witness.Lang,
+		Oracle:    b.Oracle,
+		Expect:    "fail",
+		Seed:      b.Witness.Seed,
+		Config:    b.Witness.Config,
+		Signature: b.Signature,
+		Note:      note,
+		Src:       src,
+	}
+	path, err := WriteEntry(dir, e)
+	b.Path = path
+	return err
+}

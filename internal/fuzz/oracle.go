@@ -1,0 +1,248 @@
+// Package fuzz is the continuous fuzzing loop over the hardened
+// analysis pipeline. One generated (or corpus) program is swept
+// through three oracles:
+//
+//   - pipeline: the hardened driver itself — every contained
+//     StageFailure (panic, budget blow-up, invalid transform result)
+//     is a finding, keyed by its normalized Signature.
+//   - soundcheck: the interpreter-differential adequacy check — an LT
+//     fact or definitive alias verdict refuted by a concrete execution
+//     is a soundness bug in the analysis stack.
+//   - sanitizer: verdict/execution consistency — an access proved
+//     Safe that traps at runtime refutes the prover; a deliberately
+//     planted out-of-bounds store that fails to trap or fails to be
+//     diagnosed Unsafe refutes the generator or the prover.
+//
+// Findings are bucketed by a normalized signature so one root cause
+// maps to one bucket regardless of seed, SSA naming, or goroutine
+// scheduling. The loop (loop.go) minimizes each new bucket's witness
+// with internal/reduce and persists it to the regression corpus
+// (corpus.go); replay (replay.go) re-runs every corpus entry as a
+// deterministic regression gate.
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/alias"
+	"repro/internal/harness"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/sanitize"
+	"repro/internal/soundcheck"
+)
+
+// Input is one program to check.
+type Input struct {
+	Name string
+	// Lang is "c" (mini-C source) or "ir" (textual IR).
+	Lang string
+	Src  string
+	// Seed and Config describe how the program was generated; both
+	// are informational and flow into corpus entries.
+	Seed   int64
+	Config string
+	// Planted reports that the program carries a deliberately
+	// injected out-of-bounds store which must be observed and
+	// diagnosed.
+	Planted bool
+}
+
+// Failure is one oracle finding.
+type Failure struct {
+	// Oracle is "pipeline", "soundcheck", or "sanitizer".
+	Oracle string
+	// Signature is the stable bucket key; see the sig* helpers.
+	Signature string
+	// Detail is the human-readable finding.
+	Detail string
+}
+
+// Outcome is everything the oracles observed on one input.
+type Outcome struct {
+	// Failures are the oracle findings, deduplicated by signature,
+	// in deterministic (pipeline, soundcheck, sanitizer) order.
+	Failures []Failure
+	// Detections are signatures of planted bugs that were both
+	// observed (the interpreter trapped) and diagnosed (the sanitizer
+	// proved the access Unsafe), e.g. "detect:oob@func_1".
+	Detections []string
+	// Checks counts individual oracle comparisons performed.
+	Checks int
+}
+
+// Signatures returns the failure signatures in order.
+func (o *Outcome) Signatures() []string {
+	out := make([]string, len(o.Failures))
+	for i, f := range o.Failures {
+		out[i] = f.Signature
+	}
+	return out
+}
+
+// Has reports whether sig appears among the failures.
+func (o *Outcome) Has(sig string) bool {
+	for _, f := range o.Failures {
+		if f.Signature == sig {
+			return true
+		}
+	}
+	return false
+}
+
+// Detected reports whether sig appears among the detections.
+func (o *Outcome) Detected(sig string) bool {
+	for _, d := range o.Detections {
+		if d == sig {
+			return true
+		}
+	}
+	return false
+}
+
+// Options configures one oracle run.
+type Options struct {
+	// Timeout and MaxSteps bound each pipeline stage; see
+	// harness.Config.
+	Timeout  time.Duration
+	MaxSteps int
+	// Fault injects one deliberate pipeline failure (tests only).
+	Fault *harness.FaultConfig
+}
+
+// Check runs in through the pipeline and all three oracles. It never
+// returns an error: problems are findings. The pipeline runs with
+// Jobs:1 — the fuzz loop parallelizes across inputs, not within one.
+func Check(in Input, opt Options) *Outcome {
+	out := &Outcome{}
+	p := harness.New(harness.Config{
+		Timeout:  opt.Timeout,
+		MaxSteps: opt.MaxSteps,
+		WithCF:   true,
+		Jobs:     1,
+		Fault:    opt.Fault,
+	})
+	var m *ir.Module
+	var err error
+	if in.Lang == "ir" {
+		m, err = p.ParseIR(in.Src)
+	} else {
+		m, err = p.Compile(in.Name, in.Src)
+	}
+	if err != nil {
+		out.add("pipeline", "compile:error", err.Error())
+		return out
+	}
+	res, err := p.Analyze(m)
+	if err != nil {
+		out.add("pipeline", "analyze:error", err.Error())
+		return out
+	}
+
+	// Oracle 1: contained pipeline failures, keyed by normalized
+	// signature.
+	for i := range p.Report().Failures {
+		f := &p.Report().Failures[i]
+		out.add("pipeline", f.Signature(), f.Error())
+	}
+
+	if m.FuncByName("main") == nil {
+		return out
+	}
+
+	// Oracle 2: interpreter-differential adequacy. CheckLT executes
+	// the program; its run error doubles as the canonical execution
+	// outcome for the sanitizer oracle below.
+	ltRep, rerr := soundcheck.CheckLT(res.Module, res.LT, "main")
+	if ltRep != nil {
+		out.Checks += ltRep.ChecksPerformed
+		for _, v := range ltRep.Violations {
+			out.add("soundcheck", "soundcheck:lt@"+violationFunc(v), v)
+		}
+		if ltRep.DroppedViolations > 0 {
+			out.add("soundcheck", "soundcheck:lt@...", fmt.Sprintf(
+				"... and %d more LT violations", ltRep.DroppedViolations))
+		}
+	}
+	aa := alias.NewChain(alias.NewBasic(res.Module), alias.NewSRAA(res.LT))
+	aRep, _ := soundcheck.CheckAlias(res.Module, aa, "main")
+	if aRep != nil {
+		out.Checks += aRep.ChecksPerformed
+		for _, v := range aRep.Violations {
+			out.add("soundcheck", "soundcheck:alias:"+aliasKind(v)+"@"+violationFunc(v), v)
+		}
+	}
+
+	// Oracle 3: sanitizer verdicts against the observed execution.
+	rep := res.Sanitize()
+	sum := rep.Summarize()
+	out.Checks += sum.Checks
+	tr := interp.TrapOf(rerr)
+	if tr != nil && tr.Code != "" {
+		if k, ok := sanitize.KindOfTrap(tr.Code); ok {
+			if d, found := rep.Find(tr.In, k); found && d.Verdict == sanitize.Safe {
+				out.add("sanitizer",
+					fmt.Sprintf("sanitizer:unsound:%s@%s", k, tr.Fn.FName),
+					fmt.Sprintf("%s proved safe/%s but trapped %s at @%s %s",
+						k, d.Layer, tr.Code, tr.Fn.FName, tr.In))
+			}
+		}
+	}
+	if in.Planted {
+		switch {
+		case tr == nil || tr.Code != interp.TrapOOB:
+			if rerr == nil {
+				out.add("sanitizer", "sanitizer:planted-no-trap",
+					"injected oob store did not trap")
+			}
+			// A non-memory early exit (e.g. division by zero) before
+			// the injection point is tolerated: neither a failure nor
+			// a detection.
+		default:
+			if d, found := rep.Find(tr.In, sanitize.KindBounds); found && d.Verdict == sanitize.Unsafe {
+				out.Detections = append(out.Detections,
+					fmt.Sprintf("detect:oob@%s", tr.Fn.FName))
+			} else {
+				out.add("sanitizer",
+					fmt.Sprintf("sanitizer:planted-undiagnosed@%s", tr.Fn.FName),
+					fmt.Sprintf("injected oob store at @%s %s not diagnosed unsafe",
+						tr.Fn.FName, tr.In))
+			}
+		}
+	}
+	return out
+}
+
+// add appends a failure unless its signature is already present.
+func (o *Outcome) add(oracle, sig, detail string) {
+	for _, f := range o.Failures {
+		if f.Signature == sig {
+			return
+		}
+	}
+	o.Failures = append(o.Failures, Failure{Oracle: oracle, Signature: sig, Detail: detail})
+}
+
+// violationFunc extracts the function name from a soundcheck
+// violation, which always leads with "@func ".
+func violationFunc(v string) string {
+	if !strings.HasPrefix(v, "@") {
+		return "?"
+	}
+	rest := v[1:]
+	if i := strings.IndexByte(rest, ' '); i > 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+// aliasKind classifies an alias violation message by the refuted
+// verdict.
+func aliasKind(v string) string {
+	if strings.Contains(v, "MustAlias(") {
+		return "MustAlias"
+	}
+	return "NoAlias"
+}

@@ -1,0 +1,111 @@
+// Replay: re-run every corpus entry through the oracles and check it
+// against its expectation. The report is byte-identical at any worker
+// count: workers fill a slot array, and the report is rendered
+// serially in corpus order.
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// ReplayResult is the outcome of one corpus replay.
+type ReplayResult struct {
+	// Report is the full per-entry report plus summary line.
+	Report string
+	// Failed counts entries whose expectation did not hold.
+	Failed int
+	// Total is the number of entries replayed.
+	Total int
+}
+
+// Ok reports whether every entry met its expectation.
+func (r *ReplayResult) Ok() bool { return r.Failed == 0 }
+
+// Replay checks each entry against its expect: clause. jobs bounds
+// concurrent oracle runs; the report does not depend on it.
+func Replay(entries []*Entry, jobs int, opt Options) *ReplayResult {
+	outs := make([]*Outcome, len(entries))
+	runSlots(len(entries), jobs, func(i int) {
+		outs[i] = Check(entries[i].Input(), opt)
+	})
+
+	var sb strings.Builder
+	res := &ReplayResult{Total: len(entries)}
+	for i, e := range entries {
+		if reason := judge(e, outs[i]); reason != "" {
+			res.Failed++
+			fmt.Fprintf(&sb, "FAIL %s (%s): %s\n", e.Name, e.Expect, reason)
+			for _, f := range outs[i].Failures {
+				fmt.Fprintf(&sb, "     %s: %s\n", f.Oracle, f.Detail)
+			}
+		} else {
+			fmt.Fprintf(&sb, "ok   %s (%s)\n", e.Name, e.Expect)
+		}
+	}
+	fmt.Fprintf(&sb, "replay: %d entries, %d failed\n", res.Total, res.Failed)
+	res.Report = sb.String()
+	return res
+}
+
+// judge returns "" when the outcome matches the entry's expectation,
+// otherwise the reason it does not.
+func judge(e *Entry, out *Outcome) string {
+	switch e.Expect {
+	case "clean":
+		if len(out.Failures) > 0 {
+			return fmt.Sprintf("expected no findings, got %s", strings.Join(out.Signatures(), ", "))
+		}
+	case "detect":
+		if len(out.Failures) > 0 {
+			return fmt.Sprintf("expected a clean detection, got findings %s", strings.Join(out.Signatures(), ", "))
+		}
+		if e.Signature != "" {
+			if !out.Detected(e.Signature) {
+				return fmt.Sprintf("planted bug not detected (want %s, got %s)",
+					e.Signature, strings.Join(out.Detections, ", "))
+			}
+		} else if len(out.Detections) == 0 {
+			return "planted bug not detected"
+		}
+	case "fail":
+		if !out.Has(e.Signature) {
+			return fmt.Sprintf("recorded failure %s no longer reproduces (got %s)",
+				e.Signature, strings.Join(out.Signatures(), ", "))
+		}
+	}
+	return ""
+}
+
+// runSlots executes fn(0..n-1) across at most jobs goroutines.
+func runSlots(n, jobs int, fn func(i int)) {
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

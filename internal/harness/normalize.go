@@ -1,0 +1,141 @@
+// Panic-report normalization. Raw goroutine stacks are full of
+// run-to-run noise: pointer arguments, goroutine ids, closure capture
+// addresses, and file:line pairs in the Go runtime that drift across
+// toolchain versions. The fuzz loop (internal/fuzz) buckets failures
+// by stack identity, so two crashes with the same root cause must
+// normalize to the same string on every run and every Go version.
+//
+// The rules, in order:
+//
+//   - "goroutine 17 [running]:" headers lose their id, as do the
+//     "created by ... in goroutine 3" tails.
+//   - Argument lists on frame lines are dropped entirely: "foo(0x?,
+//     0x?)" and "foo(...)" both become "foo". Method receivers like
+//     "(*Pipeline)" are part of the name and survive.
+//   - Source positions under a frame of this module (the function path
+//     starts with the repo's package prefix) keep their file and line —
+//     they move only when the repo itself changes, which is exactly
+//     when a bucket should split. Positions under any other frame
+//     (GOROOT, the runtime) keep the file but lose the line number,
+//     and every position loses its "+0x1b4" frame offset.
+//   - Remaining hexadecimal literals (addresses inside panic values)
+//     become "0x?".
+package harness
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// repoPrefix identifies stack frames that belong to this module.
+const repoPrefix = "repro/"
+
+var (
+	goroutineHeadRe = regexp.MustCompile(`^goroutine \d+ (\[[^\]]*\])`)
+	inGoroutineRe   = regexp.MustCompile(` in goroutine \d+$`)
+	hexRe           = regexp.MustCompile(`0x[0-9a-fA-F]+`)
+	// fileLineRe matches a source position line: "\t/path/file.go:123
+	// +0x1b4" (the offset is optional).
+	fileLineRe = regexp.MustCompile(`^\t(.*\.(?:go|s)):(\d+)(?: \+0x[0-9a-fA-F]+)?$`)
+)
+
+// stripArgs removes the trailing argument list from a frame's function
+// line: everything from the last '(' when the line ends with ')'. The
+// last '(' is the argument list even for methods — receiver parens
+// like "(*Pipeline)" sit earlier in the name.
+func stripArgs(line string) string {
+	if strings.HasSuffix(line, ")") {
+		if i := strings.LastIndex(line, "("); i >= 0 {
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// NormalizeStack rewrites a raw goroutine stack (as captured by
+// runtime/debug.Stack inside a containment region) into its stable
+// form. The result is deterministic across runs, goroutine schedules,
+// ASLR, and Go patch releases, and is what failure bucketing keys on.
+func NormalizeStack(stack string) string {
+	var out []string
+	inRepoFrame := false
+	for _, line := range strings.Split(strings.TrimRight(stack, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "goroutine "):
+			out = append(out, goroutineHeadRe.ReplaceAllString(line, "goroutine N $1"))
+		case strings.HasPrefix(line, "\t"):
+			if m := fileLineRe.FindStringSubmatch(line); m != nil {
+				if inRepoFrame {
+					out = append(out, fmt.Sprintf("\t%s:%s", m[1], m[2]))
+				} else {
+					out = append(out, fmt.Sprintf("\t%s:?", m[1]))
+				}
+				continue
+			}
+			out = append(out, hexRe.ReplaceAllString(line, "0x?"))
+		case strings.HasPrefix(line, "created by "):
+			fn := inGoroutineRe.ReplaceAllString(line, " in goroutine N")
+			inRepoFrame = strings.HasPrefix(strings.TrimPrefix(fn, "created by "), repoPrefix)
+			out = append(out, fn)
+		case line != "":
+			fn := stripArgs(line)
+			inRepoFrame = strings.HasPrefix(fn, repoPrefix)
+			out = append(out, hexRe.ReplaceAllString(fn, "0x?"))
+		default:
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n") + "\n"
+}
+
+var (
+	numRe = regexp.MustCompile(`\b\d+\b`)
+	wsRe  = regexp.MustCompile(`\s+`)
+)
+
+// NormalizeValue rewrites a recovered panic value (or error text) into
+// a stable form: hex literals become "0x?", decimal literals become
+// "N" (slice lengths, indices, and source line numbers embedded in
+// error messages all drift as inputs are reduced), and whitespace is
+// collapsed. Used as the human-readable half of a failure signature.
+func NormalizeValue(v string) string {
+	v = hexRe.ReplaceAllString(v, "0x?")
+	v = numRe.ReplaceAllString(v, "N")
+	v = wsRe.ReplaceAllString(strings.TrimSpace(v), " ")
+	return v
+}
+
+// topRepoFrame returns the innermost normalized stack frame that
+// belongs to this module and is not part of the containment machinery
+// itself — the function that actually crashed.
+func topRepoFrame(normalized string) string {
+	for _, line := range strings.Split(normalized, "\n") {
+		if !strings.HasPrefix(line, repoPrefix) {
+			continue
+		}
+		// The containment region and the panic plumbing sit on every
+		// stack; skip to the first frame below them.
+		if strings.Contains(line, "harness.(*Pipeline).contain") {
+			continue
+		}
+		return line
+	}
+	return ""
+}
+
+// Signature returns the failure's stable bucket key. Two failures with
+// the same signature are the same bug for triage purposes: the key
+// combines the stage, the cause, the normalized panic value, and (for
+// panics) the innermost in-repo frame of the normalized stack. The
+// function name is deliberately excluded — the same crash provoked via
+// a differently-named function is still the same crash.
+func (f *StageFailure) Signature() string {
+	sig := f.Stage + ":" + f.Cause + ":" + NormalizeValue(f.Value)
+	if f.Cause == "panic" && f.Stack != "" {
+		if frame := topRepoFrame(NormalizeStack(f.Stack)); frame != "" {
+			sig += "@" + frame
+		}
+	}
+	return sig
+}

@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+// rawStack1 and rawStack2 are two captures of the same crash from
+// different runs: goroutine ids, pointer arguments, and frame offsets
+// all differ, and the runtime frames carry line numbers from a
+// different Go patch release. Bucketing must see one bug.
+const rawStack1 = `goroutine 21 [running]:
+runtime/debug.Stack()
+	/usr/local/go/src/runtime/debug/stack.go:24 +0x64
+repro/internal/harness.(*Pipeline).contain.func1()
+	/root/repo/internal/harness/harness.go:168 +0x45
+panic({0x5b1040?, 0xc0001293b0?})
+	/usr/local/go/src/runtime/panic.go:770 +0x132
+repro/internal/ssa.Promote(0xc000164d80)
+	/root/repo/internal/ssa/promote.go:55 +0x9c1
+repro/internal/harness.(*Pipeline).Compile.func3(0xc000164d80)
+	/root/repo/internal/harness/harness.go:269 +0x1d
+created by repro/internal/harness.(*Pipeline).runFuncStage in goroutine 1
+	/root/repo/internal/harness/parallel.go:83 +0x198
+`
+
+const rawStack2 = `goroutine 7 [running]:
+runtime/debug.Stack()
+	/usr/local/go/src/runtime/debug/stack.go:26 +0x5e
+repro/internal/harness.(*Pipeline).contain.func1()
+	/root/repo/internal/harness/harness.go:168 +0x45
+panic({0x6c2150?, 0xc0000a1f80?})
+	/usr/local/go/src/runtime/panic.go:792 +0x12f
+repro/internal/ssa.Promote(0xc0002517a0)
+	/root/repo/internal/ssa/promote.go:55 +0x8ff
+repro/internal/harness.(*Pipeline).Compile.func3(0xc0002517a0)
+	/root/repo/internal/harness/harness.go:269 +0x1d
+created by repro/internal/harness.(*Pipeline).runFuncStage in goroutine 4
+	/root/repo/internal/harness/parallel.go:83 +0x1a4
+`
+
+func TestNormalizeStackStable(t *testing.T) {
+	n1, n2 := NormalizeStack(rawStack1), NormalizeStack(rawStack2)
+	if n1 != n2 {
+		t.Fatalf("two captures of the same crash normalize differently:\n--- run 1 ---\n%s--- run 2 ---\n%s", n1, n2)
+	}
+}
+
+func TestNormalizeStackRules(t *testing.T) {
+	n := NormalizeStack(rawStack1)
+	for _, forbidden := range []string{
+		"goroutine 21", "goroutine 1\n", "0xc000", "+0x", "0x5b1040",
+		"/usr/local/go/src/runtime/panic.go:770",
+		"/usr/local/go/src/runtime/debug/stack.go:24",
+	} {
+		if strings.Contains(n, forbidden) {
+			t.Errorf("normalized stack still contains %q:\n%s", forbidden, n)
+		}
+	}
+	for _, required := range []string{
+		"goroutine N [running]:",
+		"repro/internal/ssa.Promote",
+		"repro/internal/harness.(*Pipeline).contain.func1",
+		// In-repo positions keep their line; the crash site moving IS a
+		// new bucket.
+		"/root/repo/internal/ssa/promote.go:55",
+		// Out-of-repo positions keep the file, lose the line.
+		"/usr/local/go/src/runtime/panic.go:?",
+		"created by repro/internal/harness.(*Pipeline).runFuncStage in goroutine N",
+	} {
+		if !strings.Contains(n, required) {
+			t.Errorf("normalized stack lost %q:\n%s", required, n)
+		}
+	}
+	// Frame argument lists are gone.
+	if strings.Contains(n, "Promote(") {
+		t.Errorf("frame arguments survived normalization:\n%s", n)
+	}
+}
+
+func TestNormalizeValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"runtime error: index out of range [13] with length 13",
+			"runtime error: index out of range [N] with length N"},
+		{"invalid memory address or nil pointer dereference",
+			"invalid memory address or nil pointer dereference"},
+		{"minic: line 42: expected expression, got ';'",
+			"minic: line N: expected expression, got ';'"},
+		{"bad ptr 0xc00012a018  here", "bad ptr 0x? here"},
+	}
+	for _, c := range cases {
+		if got := NormalizeValue(c.in); got != c.want {
+			t.Errorf("NormalizeValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestNormalizeLiveStack normalizes a stack captured in this very
+// process: two captures of the same panic site taken on different
+// goroutines must collapse to one form, and the signature of a
+// StageFailure built from them must match.
+func TestNormalizeLiveStack(t *testing.T) {
+	capture := func() (stack string) {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer func() {
+				if recover() != nil {
+					stack = string(debug.Stack())
+				}
+			}()
+			boom()
+		}()
+		<-done
+		return stack
+	}
+	s1, s2 := capture(), capture()
+	if s1 == s2 {
+		t.Log("raw captures happened to be identical (no ASLR noise); normalization still checked")
+	}
+	if NormalizeStack(s1) != NormalizeStack(s2) {
+		t.Fatalf("live captures normalize differently:\n%s\nvs\n%s",
+			NormalizeStack(s1), NormalizeStack(s2))
+	}
+	f1 := &StageFailure{Stage: StageMem2Reg, Cause: "panic", Value: "boom 1", Stack: s1}
+	f2 := &StageFailure{Stage: StageMem2Reg, Cause: "panic", Value: "boom 2", Stack: s2}
+	if f1.Signature() != f2.Signature() {
+		t.Fatalf("signatures differ: %q vs %q", f1.Signature(), f2.Signature())
+	}
+	if !strings.Contains(f1.Signature(), "mem2reg:panic:") {
+		t.Fatalf("signature %q lacks stage/cause prefix", f1.Signature())
+	}
+}
+
+//go:noinline
+func boom() { panic("boom 1") }
+
+// TestSignatureInjectedFault drives a real injected fault through the
+// pipeline twice and checks the two recorded failures bucket together.
+func TestSignatureInjectedFault(t *testing.T) {
+	src := "int main(void) { int x = 1; return x; }"
+	run := func() *StageFailure {
+		p := New(Config{Fault: &FaultConfig{Stage: StageMem2Reg, Func: "main"}})
+		if _, err := p.Compile("sig", src); err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		rep := p.Report()
+		if len(rep.Failures) == 0 {
+			t.Fatal("injected fault produced no failure")
+		}
+		f := rep.Failures[0]
+		return &f
+	}
+	a, b := run(), run()
+	if a.Signature() != b.Signature() {
+		t.Fatalf("same injected fault, different signatures:\n%q\n%q", a.Signature(), b.Signature())
+	}
+}

@@ -1,0 +1,227 @@
+// AST printer: renders a Program back into mini-C source accepted by
+// ParseProgram. The delta-debugging reducer (internal/reduce) works by
+// deleting AST statements and reprinting, so the printer must be a
+// right inverse of the parser: print(parse(src)) reparses to the same
+// AST. Expressions are printed fully parenthesized — precedence was
+// already resolved by the parser, and redundant parens are harmless to
+// every consumer (the reducer's outputs are regression-corpus entries,
+// not style exemplars).
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PrintProgram renders prog as compilable mini-C source.
+func PrintProgram(prog *Program) string {
+	pr := &printer{}
+	for _, g := range prog.Globals {
+		pr.line("%s;", declString(g))
+	}
+	if len(prog.Globals) > 0 {
+		pr.line("")
+	}
+	for i, f := range prog.Funcs {
+		if i > 0 {
+			pr.line("")
+		}
+		pr.printFunc(f)
+	}
+	return pr.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (pr *printer) line(format string, args ...any) {
+	if format != "" {
+		pr.sb.WriteString(strings.Repeat("  ", pr.indent))
+		fmt.Fprintf(&pr.sb, format, args...)
+	}
+	pr.sb.WriteByte('\n')
+}
+
+// declString renders one declarator: stars bind to the name, the array
+// suffix and initializer follow.
+func declString(d *VarDecl) string {
+	s := "int " + strings.Repeat("*", d.Typ.PtrDepth) + d.Name
+	if d.ArrayLen > 0 {
+		s += fmt.Sprintf("[%d]", d.ArrayLen)
+	}
+	if d.Init != nil {
+		s += " = " + ExprString(d.Init)
+	}
+	return s
+}
+
+func (pr *printer) printFunc(f *FuncDecl) {
+	params := "void"
+	if len(f.Params) > 0 {
+		ps := make([]string, len(f.Params))
+		for i, p := range f.Params {
+			ps[i] = fmt.Sprintf("int %s%s", strings.Repeat("*", p.Typ.PtrDepth), p.Name)
+		}
+		params = strings.Join(ps, ", ")
+	}
+	ret := f.Ret.String()
+	pr.line("%s %s(%s) {", ret, f.Name, params)
+	pr.indent++
+	for _, s := range f.Body.Stmts {
+		pr.printStmt(s)
+	}
+	pr.indent--
+	pr.line("}")
+}
+
+func (pr *printer) printStmt(s Stmt) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		pr.line("{")
+		pr.indent++
+		for _, inner := range s.Stmts {
+			pr.printStmt(inner)
+		}
+		pr.indent--
+		pr.line("}")
+	case *DeclStmt:
+		ds := make([]string, len(s.Decls))
+		for i, d := range s.Decls {
+			part := declString(d)
+			if i > 0 {
+				part = strings.TrimPrefix(part, "int ")
+			}
+			ds[i] = part
+		}
+		pr.line("%s;", strings.Join(ds, ", "))
+	case *ExprStmt:
+		pr.line("%s;", stmtExprString(s.X))
+	case *IfStmt:
+		pr.line("if (%s)", ExprString(s.Cond))
+		pr.printBody(s.Then)
+		if s.Else != nil {
+			pr.line("else")
+			pr.printBody(s.Else)
+		}
+	case *WhileStmt:
+		if s.DoWhile {
+			pr.line("do")
+			pr.printBody(s.Body)
+			pr.line("while (%s);", ExprString(s.Cond))
+			return
+		}
+		pr.line("while (%s)", ExprString(s.Cond))
+		pr.printBody(s.Body)
+	case *ForStmt:
+		init, cond, post := "", "", ""
+		switch is := s.Init.(type) {
+		case *DeclStmt:
+			ds := make([]string, len(is.Decls))
+			for i, d := range is.Decls {
+				part := declString(d)
+				if i > 0 {
+					part = strings.TrimPrefix(part, "int ")
+				}
+				ds[i] = part
+			}
+			init = strings.Join(ds, ", ")
+		case *ExprStmt:
+			init = stmtExprString(is.X)
+		}
+		if s.Cond != nil {
+			cond = ExprString(s.Cond)
+		}
+		if s.Post != nil {
+			post = stmtExprString(s.Post)
+		}
+		pr.line("for (%s; %s; %s)", init, cond, post)
+		pr.printBody(s.Body)
+	case *ReturnStmt:
+		if s.X != nil {
+			pr.line("return %s;", ExprString(s.X))
+			return
+		}
+		pr.line("return;")
+	case *BreakStmt:
+		pr.line("break;")
+	case *ContinueStmt:
+		pr.line("continue;")
+	default:
+		pr.line("/* unknown stmt */;")
+	}
+}
+
+// printBody prints a statement as the body of a control construct,
+// always braced so dangling-else never changes meaning.
+func (pr *printer) printBody(s Stmt) {
+	if b, ok := s.(*BlockStmt); ok {
+		pr.printStmt(b)
+		return
+	}
+	pr.line("{")
+	pr.indent++
+	pr.printStmt(s)
+	pr.indent--
+	pr.line("}")
+}
+
+// stmtExprString prints an expression in statement position, where the
+// outermost parens are unnecessary.
+func stmtExprString(e Expr) string {
+	s := ExprString(e)
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+		// Only strip if these parens match each other.
+		depth := 0
+		for i, r := range s {
+			switch r {
+			case '(':
+				depth++
+			case ')':
+				depth--
+				if depth == 0 && i != len(s)-1 {
+					return s
+				}
+			}
+		}
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// ExprString renders an expression, fully parenthesized.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		if e.Val < 0 {
+			return fmt.Sprintf("(-%d)", -e.Val)
+		}
+		return fmt.Sprintf("%d", e.Val)
+	case *Ident:
+		return e.Name
+	case *BinExpr:
+		if e.Op == "," {
+			return fmt.Sprintf("(%s, %s)", ExprString(e.L), ExprString(e.R))
+		}
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.L), e.Op, ExprString(e.R))
+	case *UnExpr:
+		return fmt.Sprintf("(%s%s)", e.Op, ExprString(e.X))
+	case *AssignExpr:
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.L), e.Op, ExprString(e.R))
+	case *IncDecExpr:
+		if e.Post {
+			return fmt.Sprintf("(%s%s)", ExprString(e.X), e.Op)
+		}
+		return fmt.Sprintf("(%s%s)", e.Op, ExprString(e.X))
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", ExprString(e.X), ExprString(e.Idx))
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	}
+	return "/*?*/0"
+}

@@ -1,0 +1,115 @@
+// Package reduce minimizes failure-inducing inputs with Zeller-style
+// delta debugging (ddmin). Two drivers exist on top of one generic
+// engine: Source shrinks mini-C programs at statement/declaration
+// granularity (parse, drop AST statements, reprint), and Module
+// shrinks IR at function/block/instruction granularity (every
+// candidate is gated by ir.Verify and a print→parse round trip, so a
+// reduced module is always structurally valid). Both iterate to a
+// fixpoint under an oracle-preserving predicate — "the candidate still
+// triggers the same failure bucket" — and both run under a
+// wall-clock/step budget from internal/budget, where one step is one
+// predicate evaluation.
+//
+// Everything here is deterministic: given the same input, predicate,
+// and budget, the reducer explores the same candidates in the same
+// order and returns byte-identical output. The fuzz loop
+// (internal/fuzz) relies on that to make corpus entries reproducible.
+package reduce
+
+import (
+	"repro/internal/budget"
+)
+
+// Stats counts the work one reduction performed.
+type Stats struct {
+	// Tests is the number of predicate evaluations.
+	Tests int
+	// Removed is the number of units (statements, instructions, ...)
+	// deleted from the input.
+	Removed int
+	// Passes is the number of fixpoint iterations completed.
+	Passes int
+	// Exhausted reports whether the budget ran out before the fixpoint
+	// was reached; the result is still valid, just possibly non-minimal.
+	Exhausted bool
+}
+
+// ddmin minimizes the list of kept item ids under test, which must
+// report true for the full list. It returns a subset that still
+// satisfies test and is 1-minimal: removing any single remaining
+// element makes test fail (unless the budget expired first). test is
+// never called on the empty list unless items shrank to one element.
+func ddmin(items []int, test func([]int) bool, bud *budget.B, st *Stats) []int {
+	try := func(cand []int) bool {
+		st.Tests++
+		return test(cand)
+	}
+	n := 2
+	for len(items) >= 2 {
+		if bud.Tick() != nil {
+			st.Exhausted = true
+			return items
+		}
+		chunks := split(items, n)
+		reduced := false
+		// Try each complement: remove one chunk, keep the rest.
+		for i := range chunks {
+			if bud.Tick() != nil {
+				st.Exhausted = true
+				return items
+			}
+			cand := complement(chunks, i)
+			if try(cand) {
+				st.Removed += len(items) - len(cand)
+				items = cand
+				n = max(2, n-1)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(items) {
+				break // 1-minimal
+			}
+			n = min(len(items), 2*n)
+		}
+	}
+	// A single survivor: see if the whole thing can go.
+	if len(items) == 1 {
+		if bud.Tick() != nil {
+			st.Exhausted = true
+			return items
+		}
+		if try(nil) {
+			st.Removed++
+			return nil
+		}
+	}
+	return items
+}
+
+// split partitions items into n nearly equal contiguous chunks.
+func split(items []int, n int) [][]int {
+	if n > len(items) {
+		n = len(items)
+	}
+	chunks := make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(items)/n, (i+1)*len(items)/n
+		if lo < hi {
+			chunks = append(chunks, items[lo:hi])
+		}
+	}
+	return chunks
+}
+
+// complement concatenates every chunk except chunks[skip].
+func complement(chunks [][]int, skip int) []int {
+	var out []int
+	for i, c := range chunks {
+		if i != skip {
+			out = append(out, c...)
+		}
+	}
+	return out
+}

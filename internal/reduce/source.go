@@ -1,0 +1,209 @@
+// Statement/declaration-level reduction of mini-C source. The program
+// is parsed once per fixpoint pass; every statement slot (in function
+// bodies and nested blocks) and every global declaration becomes a
+// removable unit with a stable id assigned in walk order. A candidate
+// is produced by rebuilding the AST without the removed units and
+// reprinting it; candidates that no longer parse simply fail the
+// predicate (the caller's predicate runs the frontend), so ddmin
+// naturally keeps units that later code depends on.
+package reduce
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/budget"
+	"repro/internal/minic"
+)
+
+// SourceResult is the outcome of one Source reduction.
+type SourceResult struct {
+	// Source is the minimized program; equal to the input when nothing
+	// could be removed.
+	Source string
+	// StmtsBefore and StmtsAfter count removable units (statements
+	// plus global declarations) in the input and the result.
+	StmtsBefore, StmtsAfter int
+	Stats                   Stats
+}
+
+// Source minimizes src at statement/declaration granularity under
+// pred, which must hold for src itself (if it does not, Source returns
+// an error — the failure the caller wants to preserve is not there).
+// The reduction runs ddmin passes to a fixpoint: removing an outer
+// statement (an if, a loop) deletes its whole subtree, which can
+// expose further removals in the next pass.
+func Source(src string, pred func(string) bool, spec budget.Spec) (*SourceResult, error) {
+	prog, err := minic.ParseProgram(src)
+	if err != nil {
+		return nil, fmt.Errorf("reduce: input does not parse: %w", err)
+	}
+	res := &SourceResult{Source: src, StmtsBefore: countUnits(prog)}
+	if !pred(src) {
+		return nil, fmt.Errorf("reduce: predicate does not hold on the input")
+	}
+	bud := spec.Start(context.Background())
+
+	cur := src
+	for {
+		res.Stats.Passes++
+		next, removed, exhausted := sourcePass(cur, pred, bud, &res.Stats)
+		cur = next
+		if exhausted {
+			res.Stats.Exhausted = true
+			break
+		}
+		if removed == 0 {
+			break
+		}
+	}
+	res.Source = cur
+	if p, err := minic.ParseProgram(cur); err == nil {
+		res.StmtsAfter = countUnits(p)
+	}
+	return res, nil
+}
+
+// sourcePass runs one ddmin round over the current best program and
+// returns the (possibly smaller) program, how many units went away,
+// and whether the budget expired.
+func sourcePass(src string, pred func(string) bool, bud *budget.B, st *Stats) (string, int, bool) {
+	prog, err := minic.ParseProgram(src)
+	if err != nil {
+		return src, 0, false
+	}
+	total := countUnits(prog)
+	all := make([]int, total)
+	for i := range all {
+		all[i] = i
+	}
+	before := st.Removed
+	kept := ddmin(all, func(keep []int) bool {
+		keepSet := make(map[int]bool, len(keep))
+		for _, id := range keep {
+			keepSet[id] = true
+		}
+		cand := filterProgram(prog, func(id int) bool { return keepSet[id] })
+		return pred(minic.PrintProgram(cand))
+	}, bud, st)
+	if st.Exhausted {
+		return src, 0, true
+	}
+	if len(kept) == total {
+		return src, 0, false
+	}
+	keepSet := make(map[int]bool, len(kept))
+	for _, id := range kept {
+		keepSet[id] = true
+	}
+	out := minic.PrintProgram(filterProgram(prog, func(id int) bool { return keepSet[id] }))
+	return out, st.Removed - before, false
+}
+
+// countUnits returns the number of removable units in prog.
+func countUnits(prog *minic.Program) int {
+	c := &filterCtx{keep: func(int) bool { return true }}
+	c.program(prog)
+	return c.next
+}
+
+// StmtCount parses src and returns its removable-unit count — the
+// metric reduction quality is measured in. Returns 0 for unparseable
+// input.
+func StmtCount(src string) int {
+	prog, err := minic.ParseProgram(src)
+	if err != nil {
+		return 0
+	}
+	return countUnits(prog)
+}
+
+// filterProgram rebuilds prog keeping only the units keep admits.
+// Units are numbered in walk order: globals first, then every
+// statement slot of every function in order, recursing into blocks and
+// control-flow bodies. The walk is identical in counting and filtering
+// mode, so ids are stable for a given program.
+func filterProgram(prog *minic.Program, keep func(int) bool) *minic.Program {
+	c := &filterCtx{keep: keep}
+	return c.program(prog)
+}
+
+type filterCtx struct {
+	keep func(int) bool
+	next int
+}
+
+func (c *filterCtx) id() int {
+	id := c.next
+	c.next++
+	return id
+}
+
+func (c *filterCtx) program(prog *minic.Program) *minic.Program {
+	out := &minic.Program{}
+	for _, g := range prog.Globals {
+		if c.keep(c.id()) {
+			out.Globals = append(out.Globals, g)
+		}
+	}
+	for _, f := range prog.Funcs {
+		nf := *f
+		nf.Body = c.block(f.Body)
+		out.Funcs = append(out.Funcs, &nf)
+	}
+	return out
+}
+
+func (c *filterCtx) block(b *minic.BlockStmt) *minic.BlockStmt {
+	out := &minic.BlockStmt{}
+	for _, s := range b.Stmts {
+		id := c.id()
+		ns := c.stmt(s)
+		if c.keep(id) {
+			out.Stmts = append(out.Stmts, ns)
+		}
+	}
+	return out
+}
+
+// stmt rebuilds one statement, recursing into sub-statements. The walk
+// must visit sub-statement slots even when the parent is dropped, so
+// ids stay aligned between counting and filtering.
+func (c *filterCtx) stmt(s minic.Stmt) minic.Stmt {
+	switch s := s.(type) {
+	case *minic.BlockStmt:
+		return c.block(s)
+	case *minic.IfStmt:
+		ns := *s
+		ns.Then = c.body(s.Then)
+		if s.Else != nil {
+			ns.Else = c.body(s.Else)
+		}
+		return &ns
+	case *minic.WhileStmt:
+		ns := *s
+		ns.Body = c.body(s.Body)
+		return &ns
+	case *minic.ForStmt:
+		ns := *s
+		ns.Body = c.body(s.Body)
+		return &ns
+	default:
+		return s
+	}
+}
+
+// body rebuilds a control-flow body. A non-block body is a single
+// statement that is removable on its own: dropping it leaves an empty
+// block, preserving the parent's structure.
+func (c *filterCtx) body(s minic.Stmt) minic.Stmt {
+	if b, ok := s.(*minic.BlockStmt); ok {
+		return c.block(b)
+	}
+	id := c.id()
+	ns := c.stmt(s)
+	if c.keep(id) {
+		return ns
+	}
+	return &minic.BlockStmt{}
+}

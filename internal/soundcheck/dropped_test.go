@@ -1,0 +1,88 @@
+package soundcheck
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// lyingOracle claims every distinct value pair is strictly ordered —
+// maximally wrong, so a loopy program floods the checker with
+// counterexamples and exercises the recording cap.
+type lyingOracle struct{}
+
+func (lyingOracle) LessThan(a, b ir.Value) bool { return a != b }
+
+// TestDroppedViolationAccounting pins the cap contract: recording
+// stops at maxRecordedViolations, but every counterexample past the
+// cap is still counted, keeps Ok() false, feeds ViolationCount, and
+// is summarized in String().
+func TestDroppedViolationAccounting(t *testing.T) {
+	// Many live locals over many loop iterations: each visited block
+	// entry checks every ordered pair, so violations pile up far past
+	// the cap.
+	m := minic.MustCompile("cap", `
+int main(void) {
+  int a = 1;
+  int b = 1;
+  int c = 1;
+  int d = 1;
+  int i = 0;
+  while (i < 50) {
+    a = b;
+    b = c;
+    c = d;
+    d = a;
+    i++;
+  }
+  return a + b + c + d;
+}`)
+
+	rep, err := CheckLT(m, lyingOracle{}, "main")
+	if err != nil {
+		t.Fatalf("execution failed: %v", err)
+	}
+	if len(rep.Violations) != maxRecordedViolations {
+		t.Fatalf("recorded %d violations, want exactly the cap %d",
+			len(rep.Violations), maxRecordedViolations)
+	}
+	if rep.DroppedViolations <= 0 {
+		t.Fatalf("expected dropped violations past the cap, got %d", rep.DroppedViolations)
+	}
+	if rep.Ok() {
+		t.Fatal("Ok() must be false while violations are only dropped, not recorded")
+	}
+	if got, want := rep.ViolationCount(), len(rep.Violations)+rep.DroppedViolations; got != want {
+		t.Fatalf("ViolationCount() = %d, want %d", got, want)
+	}
+
+	s := rep.String()
+	if !strings.Contains(s, fmt.Sprintf("... and %d more", rep.DroppedViolations)) {
+		t.Fatalf("String() does not surface the dropped count:\n%s", s)
+	}
+	if !strings.Contains(s, fmt.Sprintf("%d violation(s)", rep.ViolationCount())) {
+		t.Fatalf("String() headline does not use the true total:\n%s", s)
+	}
+}
+
+// TestDroppedViolationBoundary: a report exactly at the cap drops
+// nothing and does not claim truncation.
+func TestDroppedViolationBoundary(t *testing.T) {
+	rep := &Report{}
+	for i := 0; i < maxRecordedViolations; i++ {
+		rep.violate("v%d", i)
+	}
+	if rep.DroppedViolations != 0 {
+		t.Fatalf("dropped %d at exactly the cap", rep.DroppedViolations)
+	}
+	if strings.Contains(rep.String(), "more") {
+		t.Fatalf("String() claims truncation without any:\n%s", rep.String())
+	}
+	rep.violate("one past")
+	if rep.DroppedViolations != 1 || rep.ViolationCount() != maxRecordedViolations+1 {
+		t.Fatalf("cap+1 accounting wrong: %+v", rep)
+	}
+}
