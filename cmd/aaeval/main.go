@@ -4,9 +4,14 @@
 // style CF analysis). For every benchmark it runs the aa-eval
 // protocol — all pairs of pointers per function — against BA, LT,
 // BA+LT, and optionally BA+CF, and prints one row per benchmark.
+//
+// With -state DIR each benchmark's row is journaled as it completes;
+// a run killed mid-suite and restarted with -resume skips the
+// completed benchmarks and prints the identical table.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,10 +20,28 @@ import (
 
 	"repro/internal/alias"
 	"repro/internal/corpus"
+	"repro/internal/driver"
 	"repro/internal/harness"
 )
 
+// aaRow is one benchmark's result — and its journaled form, so every
+// field the table printer reads must live here, not in live pipeline
+// state. Diag carries the deterministic degradation summary ("" for a
+// clean run).
+type aaRow struct {
+	Name    string             `json:"name"`
+	Queries int                `json:"queries"`
+	Order   []string           `json:"order"`
+	No      map[string]int     `json:"no"`
+	Pct     map[string]float64 `json:"pct"`
+	Diag    string             `json:"diag,omitempty"`
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	suite := flag.String("suite", "spec", "benchmark suite: spec | testsuite")
 	n := flag.Int("n", 100, "number of programs for -suite testsuite")
 	withCF := flag.Bool("cf", false, "also evaluate the Andersen-style CF analysis (Figure 10)")
@@ -28,6 +51,9 @@ func main() {
 	strict := flag.Bool("strict", false, "abort on the first contained failure instead of degrading")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "programs analyzed concurrently (output is identical at any value)")
 	useCache := flag.Bool("cache", false, "share a content-addressed memo cache across all programs; stats go to stderr")
+	cacheDir := flag.String("persist-cache", "", "durable memo store directory; artifacts persist across runs")
+	stateDir := flag.String("state", "", "checkpoint directory: journal per-benchmark rows so a killed run can resume")
+	resume := flag.Bool("resume", false, "with -state: reuse the existing journal, skipping completed benchmarks")
 	flag.Parse()
 
 	var progs []corpus.Program
@@ -38,22 +64,43 @@ func main() {
 		progs = corpus.TestSuite(*n)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suite)
-		os.Exit(2)
+		return 2
 	}
 
-	type row struct {
-		name    string
-		queries int
-		pct     map[string]float64
-		no      map[string]int
+	cache, err := driver.OpenCache(*useCache, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
-	var rows []row
+	ctx, stop := driver.SignalContext()
+	defer stop()
+	var ck *harness.BatchCheckpoint
+	if *stateDir != "" {
+		c, err := driver.OpenState(*stateDir, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer c.Close()
+		ck = &harness.BatchCheckpoint{
+			C: c,
+			Encode: func(i int, out *harness.BatchOutcome) (any, error) {
+				return out.Value, nil
+			},
+			Decode: func(i int, data []byte, out *harness.BatchOutcome) error {
+				var r aaRow
+				if err := json.Unmarshal(data, &r); err != nil {
+					return err
+				}
+				out.Value = r
+				return nil
+			},
+		}
+	}
+
+	var rows []aaRow
 	var order []string
 	degradedBenchmarks := 0
-	var cache *harness.Cache
-	if *useCache {
-		cache = harness.NewCache()
-	}
 	items := make([]harness.BatchItem, len(progs))
 	for i, p := range progs {
 		items[i] = harness.BatchItem{Name: p.Name, Src: p.Source}
@@ -65,8 +112,10 @@ func main() {
 		WithCF:   *withCF,
 		Cache:    cache,
 	}
-	harness.RunBatch(cfg, *jobs, items,
-		// Worker side: evaluation fans out with the analysis.
+	exit := 0
+	_, completed, runErr := harness.RunBatchCtx(ctx, cfg, *jobs, items, ck,
+		// Worker side: evaluation fans out with the analysis; the row
+		// is fully built here so it can be journaled.
 		func(i int, out *harness.BatchOutcome) {
 			if out.Err != nil {
 				return
@@ -78,33 +127,51 @@ func main() {
 			if *withCF {
 				analyses = append(analyses, alias.NewChain(ba, out.Res.CF))
 			}
-			out.Value = out.Res.Evaluate(analyses...)
+			rep := out.Res.Evaluate(analyses...)
+			r := aaRow{Name: out.Name, Order: rep.Order,
+				No: map[string]int{}, Pct: map[string]float64{}}
+			for _, an := range rep.Order {
+				c := rep.PerAnalysis[an]
+				r.Queries = c.Queries
+				r.Pct[an] = c.NoAliasPercent()
+				r.No[an] = c.No
+			}
+			if hr := out.Pipe.Report(); !hr.Ok() {
+				r.Diag = hr.Summary()
+			}
+			out.Value = r
 		},
-		// Serial side, in input order: row building and diagnostics.
+		// Serial side, in input order: collect rows and diagnostics.
 		func(i int, out *harness.BatchOutcome) {
 			if out.Err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", out.Name, out.Err)
-				os.Exit(1)
+				exit = 1
+				return
 			}
-			rep := out.Value.(*alias.Report)
-			if hr := out.Pipe.Report(); !hr.Ok() {
+			r := out.Value.(aaRow)
+			if r.Diag != "" {
 				degradedBenchmarks++
-				fmt.Fprintf(os.Stderr, "%s: degraded\n%s", out.Name, hr)
+				fmt.Fprintf(os.Stderr, "%s: degraded\n%s", r.Name, r.Diag)
 			}
-			r := row{name: out.Name, pct: map[string]float64{}, no: map[string]int{}}
-			order = rep.Order
-			for _, an := range rep.Order {
-				c := rep.PerAnalysis[an]
-				r.queries = c.Queries
-				r.pct[an] = c.NoAliasPercent()
-				r.no[an] = c.No
-			}
+			order = r.Order
 			rows = append(rows, r)
 		})
+	if runErr != nil {
+		if *stateDir != "" {
+			driver.Resumable("aaeval", completed, len(items), *stateDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "aaeval: interrupted at %d/%d; rerun with -state DIR to make runs resumable\n",
+				completed, len(items))
+		}
+		return driver.ExitInterrupted
+	}
+	if exit != 0 {
+		return exit
+	}
 	if cache != nil {
 		fmt.Fprintf(os.Stderr, "cache: %s\n", cache.Stats())
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].queries < rows[j].queries })
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Queries < rows[j].Queries })
 
 	if *csv {
 		fmt.Print("benchmark,queries")
@@ -113,13 +180,13 @@ func main() {
 		}
 		fmt.Println()
 		for _, r := range rows {
-			fmt.Printf("%s,%d", r.name, r.queries)
+			fmt.Printf("%s,%d", r.Name, r.Queries)
 			for _, an := range order {
-				fmt.Printf(",%d,%.2f", r.no[an], r.pct[an])
+				fmt.Printf(",%d,%.2f", r.No[an], r.Pct[an])
 			}
 			fmt.Println()
 		}
-		return
+		return 0
 	}
 	fmt.Printf("%-28s %10s", "benchmark", "queries")
 	for _, an := range order {
@@ -127,9 +194,9 @@ func main() {
 	}
 	fmt.Println()
 	for _, r := range rows {
-		fmt.Printf("%-28s %10d", r.name, r.queries)
+		fmt.Printf("%-28s %10d", r.Name, r.Queries)
 		for _, an := range order {
-			fmt.Printf(" %8.2f%%", r.pct[an])
+			fmt.Printf(" %8.2f%%", r.Pct[an])
 		}
 		fmt.Println()
 	}
@@ -137,4 +204,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%d benchmark(s) ran degraded; their rows are sound but conservative\n",
 			degradedBenchmarks)
 	}
+	return 0
 }

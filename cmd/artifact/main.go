@@ -5,9 +5,19 @@
 // PDG memory-node counts. Results are written as CSV files into the
 // directory given by -out (default ./results), plus a summary.txt
 // recording the headline comparisons against the paper's numbers.
+//
+// Durability: every output file is buffered in memory and written
+// atomically at the end of its phase — a killed run never leaves a
+// half-written CSV. With -state DIR each program's phase result is
+// journaled as it completes (phases namespace the journal, since the
+// same corpus recurs across phases), so rerunning with -resume skips
+// everything already done and emits identical outputs.
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +29,10 @@ import (
 	"repro/internal/alias"
 	"repro/internal/corpus"
 	"repro/internal/csmith"
+	"repro/internal/driver"
 	"repro/internal/harness"
+	"repro/internal/persist"
+	"repro/internal/persist/journal"
 	"repro/internal/stats"
 )
 
@@ -30,20 +43,50 @@ var hcfg harness.Config
 // batchJobs is how many programs each phase analyzes concurrently.
 var batchJobs int
 
+// runCtx, state, and stateDirName thread the interrupt context and
+// the checkpoint journal into every phase.
+var (
+	runCtx       = context.Background()
+	state        *journal.Checkpoint
+	stateDirName string
+)
+
 // batchAnalyze pushes a phase's programs through the hardened driver,
 // fanning them across batchJobs workers. eval, when non-nil, runs on
 // the worker right after analysis (evaluation protocols and PDG
-// construction parallelize with it) and its result lands in
-// out.Value. emit runs serially in input order: a frontend or
-// strict-mode failure is fatal, a degraded run is noted on stderr and
-// its conservative results are used as-is. The phases share hcfg's
-// cache, so later phases that revisit the same corpus mostly rebind
-// memoized artifacts instead of re-solving.
-func batchAnalyze(items []harness.BatchItem, withCF bool,
-	eval func(*harness.Result) any, emit func(i int, out *harness.BatchOutcome)) {
+// construction parallelize with it) and its result — which must be
+// JSON-marshalable so it can be journaled — lands in out.Value,
+// decoded back through decode on a resumed run. emit runs serially in
+// input order: a frontend or strict-mode failure is fatal, a degraded
+// run is noted on stderr and its conservative results are used as-is.
+// The phases share hcfg's cache, so later phases that revisit the
+// same corpus mostly rebind memoized artifacts instead of re-solving.
+// On interruption the process checkpoints and exits 130.
+func batchAnalyze(phase string, items []harness.BatchItem, withCF bool,
+	eval func(*harness.Result) any,
+	decode func([]byte) (any, error),
+	emit func(i int, out *harness.BatchOutcome)) {
 	cfg := hcfg
 	cfg.WithCF = withCF
-	harness.RunBatch(cfg, batchJobs, items,
+	var ck *harness.BatchCheckpoint
+	if state != nil {
+		ck = &harness.BatchCheckpoint{
+			C:      state,
+			Prefix: phase + ":",
+			Encode: func(i int, out *harness.BatchOutcome) (any, error) {
+				return out.Value, nil
+			},
+			Decode: func(i int, data []byte, out *harness.BatchOutcome) error {
+				v, err := decode(data)
+				if err != nil {
+					return err
+				}
+				out.Value = v
+				return nil
+			},
+		}
+	}
+	_, completed, err := harness.RunBatchCtx(runCtx, cfg, batchJobs, items, ck,
 		func(i int, out *harness.BatchOutcome) {
 			if out.Err == nil && eval != nil {
 				out.Value = eval(out.Res)
@@ -53,14 +96,26 @@ func batchAnalyze(items []harness.BatchItem, withCF bool,
 			if out.Err != nil {
 				fatal(out.Err)
 			}
-			if rep := out.Pipe.Report(); !rep.Ok() {
-				fmt.Fprintf(os.Stderr, "%s: degraded\n%s", out.Name, rep)
-				if hcfg.Strict {
-					os.Exit(1)
+			if !out.Replayed {
+				if rep := out.Pipe.Report(); !rep.Ok() {
+					fmt.Fprintf(os.Stderr, "%s: degraded\n%s", out.Name, rep)
+					if hcfg.Strict {
+						os.Exit(1)
+					}
 				}
 			}
 			emit(i, out)
 		})
+	if err != nil {
+		if stateDirName != "" {
+			driver.Resumable("artifact", completed, len(items), stateDirName)
+			fmt.Fprintf(os.Stderr, "artifact: phase %s checkpointed\n", phase)
+		} else {
+			fmt.Fprintf(os.Stderr, "artifact: interrupted in phase %s at %d/%d; rerun with -state DIR to make runs resumable\n",
+				phase, completed, len(items))
+		}
+		os.Exit(driver.ExitInterrupted)
+	}
 }
 
 func corpusItems(progs []corpus.Program) []harness.BatchItem {
@@ -71,6 +126,18 @@ func corpusItems(progs []corpus.Program) []harness.BatchItem {
 	return items
 }
 
+// decodeInto builds a decode callback that unmarshals a journal
+// record into a fresh T.
+func decodeInto[T any]() func([]byte) (any, error) {
+	return func(data []byte) (any, error) {
+		var v T
+		if err := json.Unmarshal(data, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+}
+
 func main() {
 	out := flag.String("out", "results", "output directory for CSV files")
 	timeout := flag.Duration("timeout", 0, "per-stage analysis deadline per program (0 = unlimited); exhausted stages degrade soundly")
@@ -78,24 +145,44 @@ func main() {
 	strict := flag.Bool("strict", false, "abort on the first contained failure instead of degrading")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "programs analyzed concurrently per phase (results are identical at any value)")
 	useCache := flag.Bool("cache", true, "share a content-addressed memo cache across all phases; stats go to stderr")
+	cacheDir := flag.String("persist-cache", "", "durable memo store directory; solves persist across artifact runs")
+	stateDir := flag.String("state", "", "checkpoint directory: journal per-program results so a killed run can resume")
+	resume := flag.Bool("resume", false, "with -state: reuse the existing journal, skipping completed work")
 	flag.Parse()
 	hcfg = harness.Config{Timeout: *timeout, MaxSteps: *maxIters, Strict: *strict}
-	if *useCache {
-		hcfg.Cache = harness.NewCache()
-	}
-	batchJobs = *jobs
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
-	}
-	summary, err := os.Create(filepath.Join(*out, "summary.txt"))
+	cache, err := driver.OpenCache(*useCache, *cacheDir)
 	if err != nil {
 		fatal(err)
 	}
-	defer summary.Close()
+	hcfg.Cache = cache
+	batchJobs = *jobs
+	sigCtx, stop := driver.SignalContext()
+	defer stop()
+	runCtx = sigCtx
+	if *stateDir != "" {
+		stateDirName = *stateDir
+		c, err := driver.OpenState(*stateDir, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		state = c
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	// The summary and every CSV are buffered and written atomically:
+	// readers never observe a torn results directory.
+	var summary bytes.Buffer
+	writeOut := func(name string, data []byte) {
+		if err := persist.AtomicWriteFile(filepath.Join(*out, name), data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
 	note := func(format string, args ...any) {
 		line := fmt.Sprintf(format, args...)
 		fmt.Println(line)
-		fmt.Fprintln(summary, line)
+		fmt.Fprintln(&summary, line)
 	}
 
 	start := time.Now()
@@ -103,108 +190,116 @@ func main() {
 
 	// --- Figures 9 and 10: the SPEC table with CF. ---
 	note("\n[1/4] SPEC suite (Figures 9 and 10)...")
-	f9, err := os.Create(filepath.Join(*out, "fig9_fig10_spec.csv"))
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintln(f9, "benchmark,queries,ba_pct,lt_pct,balt_pct,bacf_pct")
+	var f9 bytes.Buffer
+	fmt.Fprintln(&f9, "benchmark,queries,ba_pct,lt_pct,balt_pct,bacf_pct")
 	type specRow struct {
-		name               string
-		queries            int
-		ba, lt, balt, bacf float64
+		Name               string `json:"name,omitempty"`
+		Queries            int
+		BA, LT, BALT, BACF float64
 	}
 	var specRows []specRow
-	batchAnalyze(corpusItems(corpus.Spec()), true,
+	batchAnalyze("spec", corpusItems(corpus.Spec()), true,
 		func(res *harness.Result) any {
 			ba := alias.NewBasic(res.Module)
 			lt := alias.NewSRAA(res.LT)
-			return res.Evaluate(ba, lt,
+			rep := res.Evaluate(ba, lt,
 				alias.NewChain(ba, lt), alias.NewChain(ba, res.CF))
-		},
-		func(i int, out *harness.BatchOutcome) {
-			rep := out.Value.(*alias.Report)
-			r := specRow{
-				name:    out.Name,
-				queries: rep.PerAnalysis["BA"].Queries,
-				ba:      rep.PerAnalysis["BA"].NoAliasPercent(),
-				lt:      rep.PerAnalysis["LT"].NoAliasPercent(),
-				balt:    rep.PerAnalysis["BA+LT"].NoAliasPercent(),
-				bacf:    rep.PerAnalysis["BA+CF"].NoAliasPercent(),
+			return specRow{
+				Queries: rep.PerAnalysis["BA"].Queries,
+				BA:      rep.PerAnalysis["BA"].NoAliasPercent(),
+				LT:      rep.PerAnalysis["LT"].NoAliasPercent(),
+				BALT:    rep.PerAnalysis["BA+LT"].NoAliasPercent(),
+				BACF:    rep.PerAnalysis["BA+CF"].NoAliasPercent(),
 			}
+		},
+		decodeInto[specRow](),
+		func(i int, out *harness.BatchOutcome) {
+			r := out.Value.(specRow)
+			r.Name = out.Name
 			specRows = append(specRows, r)
-			fmt.Fprintf(f9, "%s,%d,%.2f,%.2f,%.2f,%.2f\n",
-				r.name, r.queries, r.ba, r.lt, r.balt, r.bacf)
+			fmt.Fprintf(&f9, "%s,%d,%.2f,%.2f,%.2f,%.2f\n",
+				r.Name, r.Queries, r.BA, r.LT, r.BALT, r.BACF)
 		})
-	f9.Close()
+	writeOut("fig9_fig10_spec.csv", f9.Bytes())
 	for _, r := range specRows {
-		switch r.name {
+		switch r.Name {
 		case "lbm":
-			note("  lbm: LT %.1f%% > BA %.1f%% (paper: 10.15 > 5.90)", r.lt, r.ba)
+			note("  lbm: LT %.1f%% > BA %.1f%% (paper: 10.15 > 5.90)", r.LT, r.BA)
 		case "gobmk":
-			note("  gobmk: BA+LT %.1f%% vs BA %.1f%% (paper: 63.33 vs 48.49)", r.balt, r.ba)
+			note("  gobmk: BA+LT %.1f%% vs BA %.1f%% (paper: 63.33 vs 48.49)", r.BALT, r.BA)
 		case "omnetpp":
-			note("  omnetpp: BA+CF %.1f%% vs BA+LT %.1f%% (paper: ~3x)", r.bacf, r.balt)
+			note("  omnetpp: BA+CF %.1f%% vs BA+LT %.1f%% (paper: ~3x)", r.BACF, r.BALT)
 		}
 	}
 
 	// --- Figure 8: the test-suite sweep. ---
 	note("\n[2/4] test-suite sweep (Figure 8)...")
-	f8, err := os.Create(filepath.Join(*out, "fig8_testsuite.csv"))
-	if err != nil {
-		fatal(err)
+	var f8 bytes.Buffer
+	fmt.Fprintln(&f8, "benchmark,queries,ba_no,lt_no,balt_no")
+	type tsRow struct {
+		Queries      int
+		BA, LT, Both int
 	}
-	fmt.Fprintln(f8, "benchmark,queries,ba_no,lt_no,balt_no")
 	var totBA, totLT, totBoth int
-	batchAnalyze(corpusItems(corpus.TestSuite(100)), false,
+	batchAnalyze("testsuite", corpusItems(corpus.TestSuite(100)), false,
 		func(res *harness.Result) any {
 			ba := alias.NewBasic(res.Module)
 			lt := alias.NewSRAA(res.LT)
-			return res.Evaluate(ba, lt, alias.NewChain(ba, lt))
-		},
-		func(i int, out *harness.BatchOutcome) {
-			rep := out.Value.(*alias.Report)
+			rep := res.Evaluate(ba, lt, alias.NewChain(ba, lt))
 			cb, cl, cc := rep.PerAnalysis["BA"], rep.PerAnalysis["LT"], rep.PerAnalysis["BA+LT"]
-			totBA += cb.No
-			totLT += cl.No
-			totBoth += cc.No
-			fmt.Fprintf(f8, "%s,%d,%d,%d,%d\n", out.Name, cb.Queries, cb.No, cl.No, cc.No)
+			return tsRow{Queries: cb.Queries, BA: cb.No, LT: cl.No, Both: cc.No}
+		},
+		decodeInto[tsRow](),
+		func(i int, out *harness.BatchOutcome) {
+			r := out.Value.(tsRow)
+			totBA += r.BA
+			totLT += r.LT
+			totBoth += r.Both
+			fmt.Fprintf(&f8, "%s,%d,%d,%d,%d\n", out.Name, r.Queries, r.BA, r.LT, r.Both)
 		})
-	f8.Close()
+	writeOut("fig8_testsuite.csv", f8.Bytes())
+	_ = totLT
 	note("  suite-wide: LT lifts BA by %.2f%% (paper: 9.49%%)",
 		100*float64(totBoth-totBA)/float64(totBA))
 
 	// --- Figure 11 + Section 4.2. ---
 	note("\n[3/4] scalability (Figure 11)...")
-	f11, err := os.Create(filepath.Join(*out, "fig11_scalability.csv"))
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintln(f11, "benchmark,instructions,constraints,pops,vars")
+	var f11 bytes.Buffer
+	fmt.Fprintln(&f11, "benchmark,instructions,constraints,pops,vars")
 	type sample struct {
-		name                      string
-		instrs, cons, pops, nvars int
+		Name                      string `json:"name,omitempty"`
+		Instrs, Cons, Pops, Nvars int
+		SetSizes                  map[int]int `json:",omitempty"`
 	}
 	var samples []sample
 	sizeDist := map[int]int{}
 	// This phase re-analyzes the corpus of the previous two; with the
-	// shared cache the solves are mostly artifact rebinds.
-	batchAnalyze(corpusItems(append(corpus.TestSuite(100), corpus.Spec()...)), false, nil,
+	// shared cache the solves are mostly artifact rebinds. The solver
+	// statistics move to the worker so they can be journaled.
+	batchAnalyze("scalability", corpusItems(append(corpus.TestSuite(100), corpus.Spec()...)), false,
+		func(res *harness.Result) any {
+			st := res.LT.Stats
+			return sample{Instrs: st.Instrs, Cons: st.Constraints,
+				Pops: st.Pops, Nvars: st.Vars, SetSizes: st.SetSizes}
+		},
+		decodeInto[sample](),
 		func(i int, out *harness.BatchOutcome) {
-			st := out.Res.LT.Stats
-			samples = append(samples, sample{out.Name, st.Instrs, st.Constraints, st.Pops, st.Vars})
-			for k, v := range st.SetSizes {
+			s := out.Value.(sample)
+			s.Name = out.Name
+			samples = append(samples, s)
+			for k, v := range s.SetSizes {
 				sizeDist[k] += v
 			}
 		})
-	sort.Slice(samples, func(i, j int) bool { return samples[i].instrs > samples[j].instrs })
+	sort.SliceStable(samples, func(i, j int) bool { return samples[i].Instrs > samples[j].Instrs })
 	samples = samples[:50]
 	var xs, ys []float64
 	for _, s := range samples {
-		fmt.Fprintf(f11, "%s,%d,%d,%d,%d\n", s.name, s.instrs, s.cons, s.pops, s.nvars)
-		xs = append(xs, float64(s.instrs))
-		ys = append(ys, float64(s.cons))
+		fmt.Fprintf(&f11, "%s,%d,%d,%d,%d\n", s.Name, s.Instrs, s.Cons, s.Pops, s.Nvars)
+		xs = append(xs, float64(s.Instrs))
+		ys = append(ys, float64(s.Cons))
 	}
-	f11.Close()
+	writeOut("fig11_scalability.csv", f11.Bytes())
 	fit, err := stats.LinearFit(xs, ys)
 	if err != nil {
 		fatal(err)
@@ -222,11 +317,12 @@ func main() {
 
 	// --- Figure 12. ---
 	note("\n[4/4] PDG memory nodes (Figure 12)...")
-	f12, err := os.Create(filepath.Join(*out, "fig12_pdg.csv"))
-	if err != nil {
-		fatal(err)
+	var f12 bytes.Buffer
+	fmt.Fprintln(&f12, "program,depth,ba_nodes,balt_nodes")
+	type pdgRow struct {
+		Ok       bool
+		BA, Both int
 	}
-	fmt.Fprintln(f12, "program,depth,ba_nodes,balt_nodes")
 	pdgBA, pdgBoth := 0, 0
 	var pdgItems []harness.BatchItem
 	var pdgDepths []int
@@ -241,7 +337,7 @@ func main() {
 			pdgDepths = append(pdgDepths, depth)
 		}
 	}
-	batchAnalyze(pdgItems, false,
+	batchAnalyze("pdg", pdgItems, false,
 		func(res *harness.Result) any {
 			ba := alias.NewBasic(res.Module)
 			ba.UnknownSizes = true
@@ -250,21 +346,22 @@ func main() {
 			gBA, errA := res.PDG(ba)
 			gBoth, errB := res.PDG(both)
 			if errA != nil || errB != nil {
-				return nil
+				return pdgRow{}
 			}
-			return [2]int{gBA.MemNodes, gBoth.MemNodes}
+			return pdgRow{Ok: true, BA: gBA.MemNodes, Both: gBoth.MemNodes}
 		},
+		decodeInto[pdgRow](),
 		func(i int, out *harness.BatchOutcome) {
-			nodes, ok := out.Value.([2]int)
-			if !ok {
+			r := out.Value.(pdgRow)
+			if !r.Ok {
 				fmt.Fprintf(os.Stderr, "%s: pdg construction degraded, program skipped\n", out.Name)
 				return
 			}
-			pdgBA += nodes[0]
-			pdgBoth += nodes[1]
-			fmt.Fprintf(f12, "%s,%d,%d,%d\n", out.Name, pdgDepths[i], nodes[0], nodes[1])
+			pdgBA += r.BA
+			pdgBoth += r.Both
+			fmt.Fprintf(&f12, "%s,%d,%d,%d\n", out.Name, pdgDepths[i], r.BA, r.Both)
 		})
-	f12.Close()
+	writeOut("fig12_pdg.csv", f12.Bytes())
 	note("  memory nodes: BA %d, BA+LT %d (%.2fx; paper: 6.23x)",
 		pdgBA, pdgBoth, float64(pdgBoth)/float64(pdgBA))
 
@@ -272,6 +369,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cache: %s\n", hcfg.Cache.Stats())
 	}
 	note("\ndone in %s; CSVs in %s/", time.Since(start).Round(time.Millisecond), *out)
+	writeOut("summary.txt", summary.Bytes())
 }
 
 func fatal(err error) {

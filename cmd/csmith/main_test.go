@@ -30,7 +30,8 @@ func TestPersistCrashCorpusFormat(t *testing.T) {
 	}
 
 	gcfg := csmith.Config{Seed: 42, MaxPtrDepth: 3, Stmts: 60}
-	if err := persistCrash(dir, "crash_seed42", 42, gcfg, src, nil, rep); err != nil {
+	v := verdict{Failed: true, Signature: rep.Failures[0].Signature(), Note: rep.Summary()}
+	if err := persistCrash(dir, "crash_seed42", 42, gcfg, src, v); err != nil {
 		t.Fatal(err)
 	}
 

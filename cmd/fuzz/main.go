@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/budget"
+	"repro/internal/driver"
 	"repro/internal/fuzz"
 )
 
@@ -46,9 +47,20 @@ func run() int {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-stage pipeline deadline")
 	maxSteps := flag.Int("max-steps", 2_000_000, "per-solve worklist step cap (0 = unlimited)")
 	reduceTimeout := flag.Duration("reduce-timeout", 2*time.Minute, "wall-clock cap per minimization")
+	stateDir := flag.String("state", "", "checkpoint directory: journal per-program outcomes so a killed run can resume")
+	resume := flag.Bool("resume", false, "with -state: reuse the existing journal, skipping programs it already covers")
+	cacheDir := flag.String("persist-cache", "", "durable per-function memo store directory (engages only with -timeout 0 -max-steps 0)")
 	flag.Parse()
 
-	opt := fuzz.Options{Timeout: *timeout, MaxSteps: *maxSteps}
+	cache, err := driver.OpenCache(false, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if cache != nil && (*timeout != 0 || *maxSteps != 0) {
+		fmt.Fprintln(os.Stderr, "fuzz: note: -persist-cache is bypassed on budgeted runs; add -timeout 0 -max-steps 0 to engage it")
+	}
+	opt := fuzz.Options{Timeout: *timeout, MaxSteps: *maxSteps, Cache: cache}
 
 	if *replay {
 		entries, err := fuzz.ReadCorpus(*corpus)
@@ -68,6 +80,9 @@ func run() int {
 		return 0
 	}
 
+	ctx, stop := driver.SignalContext()
+	defer stop()
+
 	loopOpt := fuzz.LoopOptions{
 		N:            *n,
 		Duration:     *duration,
@@ -79,10 +94,37 @@ func run() int {
 		Check:        opt,
 		Log:          os.Stderr,
 	}
-	res, err := fuzz.Loop(loopOpt)
+	if *stateDir != "" {
+		ck, err := driver.OpenState(*stateDir, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer ck.Close()
+		loopOpt.State = ck
+	}
+	res, err := fuzz.LoopCtx(ctx, loopOpt)
+	if res != nil && res.Interrupted {
+		// The journal is flushed record by record; everything counted
+		// in Completed survives the exit.
+		if *stateDir != "" {
+			driver.Resumable("fuzz", res.Completed, *n, *stateDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "fuzz: interrupted at %d/%d; rerun with -state DIR to make runs resumable\n",
+				res.Completed, *n)
+		}
+		return driver.ExitInterrupted
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "cache: %s\n", cache.Stats())
+	}
+	if res.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, "fuzz: resumed; %d of %d program(s) replayed from the journal\n",
+			res.Replayed, res.Ran)
 	}
 	fmt.Printf("fuzz: %d programs, %d oracle checks, %d planted bugs detected, %d failure bucket(s)\n",
 		res.Ran, res.Checks, res.Detections, len(res.Buckets))

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/driver"
 	"repro/internal/harness"
 	"repro/internal/stats"
 )
@@ -30,6 +31,7 @@ func main() {
 	strict := flag.Bool("strict", false, "abort on the first contained failure instead of degrading")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "programs analyzed concurrently (statistics are identical at any value; per-program timings include scheduling noise when > 1)")
 	useCache := flag.Bool("cache", false, "share a content-addressed memo cache across all programs; stats go to stderr")
+	cacheDir := flag.String("persist-cache", "", "durable memo store directory; solves persist across runs")
 	flag.Parse()
 
 	progs := append(corpus.TestSuite(100), corpus.Spec()...)
@@ -42,9 +44,10 @@ func main() {
 	}
 	var rows []row
 	sizeDist := map[int]int{}
-	var cache *harness.Cache
-	if *useCache {
-		cache = harness.NewCache()
+	cache, err := driver.OpenCache(*useCache, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	items := make([]harness.BatchItem, len(progs))
 	for i, p := range progs {

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/alias"
+	"repro/internal/driver"
 	"repro/internal/harness"
 	"repro/internal/ir"
 	"repro/internal/opt"
@@ -43,6 +44,7 @@ func main() {
 	strict := flag.Bool("strict", false, "abort on the first contained failure instead of degrading")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "worker count for the per-function pipeline stages (results are identical at any value)")
 	useCache := flag.Bool("cache", false, "memoize per-function less-than solves by content hash; stats go to stderr")
+	cacheDir := flag.String("persist-cache", "", "durable memo store directory: per-function solves persist across sraa runs; stats go to stderr")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -58,9 +60,10 @@ func main() {
 	}
 	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 
-	var cache *harness.Cache
-	if *useCache {
-		cache = harness.NewCache()
+	cache, err := driver.OpenCache(*useCache, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	p := harness.New(harness.Config{
 		Timeout:         *timeout,

@@ -20,6 +20,22 @@ import (
 // classify exhaustion with errors.Is regardless of which limit fired.
 var ErrExceeded = errors.New("analysis budget exceeded")
 
+// ErrCanceled is additionally wrapped when the limit that fired was
+// the run's context — a user interrupt or an upstream deadline —
+// rather than the spec's own step or wall-clock allowance. The
+// distinction matters to callers: budget exhaustion is a property of
+// the input (a pathological function that degrades on every run and
+// belongs in quarantine statistics), while cancellation is a property
+// of this run (the work is fine and should simply be redone later),
+// so checkpointing drivers must never journal a canceled result as
+// completed. Errors carrying ErrCanceled still wrap ErrExceeded, so
+// existing exhaustion checks keep matching.
+var ErrCanceled = errors.New("analysis canceled")
+
+// Canceled reports whether err records a context cancellation rather
+// than genuine budget exhaustion.
+func Canceled(err error) bool { return errors.Is(err, ErrCanceled) }
+
 // Spec declares the limits of one analysis run. The zero value is
 // unlimited.
 type Spec struct {
@@ -99,7 +115,7 @@ func (b *B) Check() error {
 	}
 	if b.ctx != nil {
 		if err := b.ctx.Err(); err != nil {
-			b.err = fmt.Errorf("%w: %v", ErrExceeded, err)
+			b.err = fmt.Errorf("%w: %w: %w", ErrExceeded, ErrCanceled, err)
 			return b.err
 		}
 	}

@@ -64,6 +64,59 @@ func TestContextCancellation(t *testing.T) {
 	}
 }
 
+// TestCancelClassification: a context cancellation is exhaustion
+// (ErrExceeded, so every degradation path engages) AND cancellation
+// (ErrCanceled, so callers can tell a user interrupt from a
+// pathological input); the spec's own limits are exhaustion only.
+func TestCancelClassification(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := Spec{}.Start(ctx)
+	cancel()
+	err := b.Tick()
+	if !errors.Is(err, ErrExceeded) || !Canceled(err) {
+		t.Fatalf("cancel must wrap both sentinels: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("the concrete context error must survive wrapping: %v", err)
+	}
+	if b.Err() == nil || !Canceled(b.Err()) {
+		t.Fatalf("Err() must report the sticky cancellation: %v", b.Err())
+	}
+
+	if err := (Spec{MaxSteps: 1}).Start(context.Background()).tickTwice(); Canceled(err) {
+		t.Fatalf("step-limit exhaustion misclassified as cancel: %v", err)
+	}
+	if err := (Spec{Timeout: -time.Second}).Start(context.Background()).Tick(); Canceled(err) {
+		t.Fatalf("deadline exhaustion misclassified as cancel: %v", err)
+	}
+}
+
+// tickTwice drives a tracker past a MaxSteps of 1.
+func (b *B) tickTwice() error {
+	b.Tick()
+	return b.Tick()
+}
+
+// TestCancelCaughtMidRun: cancellation that happens while ticks are in
+// flight is caught at the next throttled poll, not just on step one.
+func TestCancelCaughtMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := Spec{}.Start(ctx)
+	for i := 0; i < 100; i++ {
+		if err := b.Tick(); err != nil {
+			t.Fatalf("tick %d before cancel: %v", i, err)
+		}
+	}
+	cancel()
+	var err error
+	for i := 0; i < 2*timeCheckMask+2 && err == nil; i++ {
+		err = b.Tick()
+	}
+	if !Canceled(err) {
+		t.Fatalf("cancellation not observed within a poll window: %v", err)
+	}
+}
+
 func TestStepsAccounting(t *testing.T) {
 	b := Spec{MaxSteps: 100}.Start(context.Background())
 	for i := 0; i < 42; i++ {

@@ -1,0 +1,88 @@
+// Package driver holds the durability plumbing shared by the
+// command-line drivers: the interrupt-aware run context, the on-disk
+// state directory layout (checkpoint journal + artifact store), and
+// the conventional exit status for an interrupted-but-resumable run.
+//
+// Layout of a -state directory:
+//
+//	<dir>/checkpoint.wal   append-only completion journal
+//
+// Layout of a -persist-cache directory:
+//
+//	<dir>/<key>.art        one content-addressed artifact per solve
+//	<dir>/quarantine/      records that failed validation at open
+package driver
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/harness"
+	"repro/internal/persist"
+	"repro/internal/persist/journal"
+)
+
+// ExitInterrupted is the exit status of a run cut short by SIGINT or
+// SIGTERM after checkpointing its progress: 128+SIGINT, the shell
+// convention, so wrappers distinguish "rerun with -resume" from
+// genuine failure.
+const ExitInterrupted = 130
+
+// SignalContext returns a context canceled by SIGINT or SIGTERM. The
+// first signal starts a graceful drain (in-flight work finishes and
+// is journaled); a second signal restores default handling, so it
+// kills the process the traditional way.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// CheckpointPath is where OpenState puts the journal inside a state
+// directory.
+func CheckpointPath(dir string) string { return filepath.Join(dir, "checkpoint.wal") }
+
+// OpenState opens dir's checkpoint journal, creating the directory if
+// needed. With resume false any previous journal is discarded first —
+// a fresh run must not replay another run's completions; with resume
+// true the journal's records carry over and completed work is
+// skipped.
+func OpenState(dir string, resume bool) (*journal.Checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := CheckpointPath(dir)
+	if !resume {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	return journal.OpenCheckpoint(path)
+}
+
+// OpenCache builds the memo cache the -cache/-persist-cache flags ask
+// for: nil when neither is set, in-memory for plain -cache, and
+// store-backed when a directory is given (the store is opened or
+// created, corrupt records quarantined).
+func OpenCache(inMemory bool, dir string) (*harness.Cache, error) {
+	if dir == "" {
+		if !inMemory {
+			return nil, nil
+		}
+		return harness.NewCache(), nil
+	}
+	st, err := persist.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return harness.NewCacheWithStore(st), nil
+}
+
+// Resumable prints the canonical interrupted-run epilogue: how much
+// work is durable and the exact flags that continue it.
+func Resumable(prog string, completed, total int, stateDir string) {
+	fmt.Fprintf(os.Stderr, "%s: interrupted; resumable at %d/%d (rerun with -state %s -resume)\n",
+		prog, completed, total, stateDir)
+}

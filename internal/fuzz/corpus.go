@@ -32,6 +32,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/persist"
 )
 
 // Entry is one corpus repro.
@@ -154,13 +156,15 @@ func ParseEntry(data []byte) (*Entry, error) {
 }
 
 // WriteEntry persists e under dir as <name>.repro, creating dir if
-// needed. Returns the file path.
+// needed. The write is atomic (tmp file + rename), so a kill mid-write
+// can never leave a torn repro that poisons later replays. Returns the
+// file path.
 func WriteEntry(dir string, e *Entry) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
 	path := filepath.Join(dir, sanitizeName(e.Name)+".repro")
-	if err := os.WriteFile(path, e.Marshal(), 0o644); err != nil {
+	if err := persist.AtomicWriteFile(path, e.Marshal(), 0o644); err != nil {
 		return "", err
 	}
 	return path, nil

@@ -2,13 +2,17 @@
 package fuzz
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/budget"
 	"repro/internal/csmith"
+	"repro/internal/persist/journal"
 	"repro/internal/reduce"
 )
 
@@ -37,6 +41,13 @@ type LoopOptions struct {
 	Check Options
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// State, when non-nil, journals each input's oracle outcome as it
+	// completes, and replays journaled inputs on a later run instead
+	// of re-checking them. Because witnesses regenerate
+	// deterministically from (Seed, i), the journal needs only the
+	// outcome — a resumed run's final result is identical to an
+	// uninterrupted one's.
+	State *journal.Checkpoint
 }
 
 // Bucket is one distinct failure: every input whose outcome contains
@@ -69,6 +80,23 @@ type LoopResult struct {
 	Checks int
 	// Detections counts planted bugs that were caught as expected.
 	Detections int
+	// Replayed counts programs served from the checkpoint journal
+	// instead of re-checked.
+	Replayed int
+	// Interrupted reports that the run was canceled before finishing;
+	// Completed is then the number of programs whose outcomes are
+	// durable in the journal — the point a resumed run continues from.
+	Interrupted bool
+	Completed   int
+}
+
+// ckOutcome is the journaled residue of one input's oracle run:
+// exactly the fields the merge phase reads. The witness itself is not
+// stored — it regenerates from (Seed, i).
+type ckOutcome struct {
+	Checks     int       `json:"checks"`
+	Detections []string  `json:"detections,omitempty"`
+	Failures   []Failure `json:"failures,omitempty"`
 }
 
 // genInput builds the i-th generated program of a run starting at
@@ -99,8 +127,24 @@ func genInput(seed int64, i int) Input {
 
 // Loop runs the fuzzing loop.
 func Loop(opt LoopOptions) (*LoopResult, error) {
+	return LoopCtx(context.Background(), opt)
+}
+
+// LoopCtx is Loop with cooperative cancellation and, when
+// LoopOptions.State is set, durable per-input checkpointing. Once ctx
+// is done, in-flight oracle runs degrade quickly (their pipelines
+// observe the same ctx), no further inputs are dispatched, and
+// bucketing, reduction, and corpus persistence are skipped — the
+// result reports Interrupted with Completed counting the journaled
+// prefix. Re-running with the same (Seed, N) and the same state
+// journal replays the completed inputs and finishes the rest,
+// producing the same result as an uninterrupted run.
+func LoopCtx(ctx context.Context, opt LoopOptions) (*LoopResult, error) {
 	if opt.N <= 0 && opt.Duration <= 0 {
 		return nil, fmt.Errorf("fuzz: need N or Duration")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	logf := func(format string, args ...any) {
 		if opt.Log != nil {
@@ -115,12 +159,21 @@ func Loop(opt LoopOptions) (*LoopResult, error) {
 	if jobs < 1 {
 		jobs = 1
 	}
+	// opt is a copy; threading ctx here also makes the reduction
+	// predicates cancelable.
+	opt.Check.Ctx = ctx
+	checkOpt := opt.Check
 
 	res := &LoopResult{}
 	bySig := map[string]*Bucket{}
 	batch := jobs * 8
+	var durable int64 // inputs whose outcomes are safe in the journal
 
 	for i := 0; opt.N <= 0 || i < opt.N; i += batch {
+		if ctx.Err() != nil {
+			res.Interrupted = true
+			break
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			logf("fuzz: deadline reached after %d programs", res.Ran)
 			break
@@ -134,9 +187,46 @@ func Loop(opt LoopOptions) (*LoopResult, error) {
 		for j := range ins {
 			ins[j] = genInput(opt.Seed, i+j)
 		}
-		runSlots(n, jobs, func(j int) {
-			outs[j] = Check(ins[j], opt.Check)
+		// Replay inputs the journal already holds; only the rest run.
+		var pend []int
+		replayed := 0
+		for j := range ins {
+			if opt.State != nil {
+				if data, ok := opt.State.Done(ins[j].Name); ok {
+					var rec ckOutcome
+					if err := json.Unmarshal(data, &rec); err == nil {
+						outs[j] = &Outcome{Checks: rec.Checks,
+							Detections: rec.Detections, Failures: rec.Failures}
+						replayed++
+						atomic.AddInt64(&durable, 1)
+						continue
+					}
+				}
+			}
+			pend = append(pend, j)
+		}
+		runSlots(len(pend), jobs, func(k int) {
+			j := pend[k]
+			out := Check(ins[j], checkOpt)
+			outs[j] = out
+			// Journal only outcomes an uninterrupted run would also
+			// have produced; canceled checks are recomputed on resume.
+			if ctx.Err() == nil && !out.Interrupted {
+				atomic.AddInt64(&durable, 1)
+				if opt.State != nil {
+					opt.State.Record(ins[j].Name, ckOutcome{Checks: out.Checks,
+						Detections: out.Detections, Failures: out.Failures})
+				}
+			}
 		})
+		if ctx.Err() != nil {
+			// The batch is tainted: some outcomes may be degraded by
+			// the cancellation. Discard it from this run's merge — the
+			// journaled subset is durable and will be replayed.
+			res.Interrupted = true
+			break
+		}
+		res.Replayed += replayed
 		// Merge serially in seed order so bucket witnesses are
 		// deterministic for a fixed (Seed, N).
 		for j, out := range outs {
@@ -154,6 +244,15 @@ func Loop(opt LoopOptions) (*LoopResult, error) {
 				b.Count++
 			}
 		}
+	}
+	res.Completed = int(atomic.LoadInt64(&durable))
+
+	if res.Interrupted {
+		// No bucketing, reduction, or persistence on a canceled run:
+		// partial batches must never shape the corpus. Everything
+		// durable is in the journal; resuming finishes the job.
+		logf("fuzz: interrupted; %d program outcome(s) durable", res.Completed)
+		return res, ctx.Err()
 	}
 
 	for _, b := range bySig {

@@ -22,6 +22,7 @@
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -71,6 +72,12 @@ type Outcome struct {
 	Detections []string
 	// Checks counts individual oracle comparisons performed.
 	Checks int
+	// Interrupted marks an outcome poisoned by context cancellation:
+	// the pipeline degraded because the run was aborted, not because
+	// the input is interesting. Interrupted outcomes must never be
+	// bucketed, journaled, or persisted — a resumed run recomputes
+	// them.
+	Interrupted bool
 }
 
 // Signatures returns the failure signatures in order.
@@ -110,6 +117,14 @@ type Options struct {
 	MaxSteps int
 	// Fault injects one deliberate pipeline failure (tests only).
 	Fault *harness.FaultConfig
+	// Ctx, when non-nil, cancels the pipeline's solver budgets: a
+	// canceled check degrades quickly to conservative answers and
+	// marks its Outcome Interrupted.
+	Ctx context.Context
+	// Cache, when non-nil, memoizes per-function solves across
+	// inputs. Note harness skips the cache on budgeted runs (Timeout
+	// or MaxSteps set), so a persistent fuzz cache needs both at 0.
+	Cache *harness.Cache
 }
 
 // Check runs in through the pipeline and all three oracles. It never
@@ -117,13 +132,23 @@ type Options struct {
 // Jobs:1 — the fuzz loop parallelizes across inputs, not within one.
 func Check(in Input, opt Options) *Outcome {
 	out := &Outcome{}
-	p := harness.New(harness.Config{
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := harness.NewCtx(ctx, harness.Config{
 		Timeout:  opt.Timeout,
 		MaxSteps: opt.MaxSteps,
 		WithCF:   true,
 		Jobs:     1,
 		Fault:    opt.Fault,
+		Cache:    opt.Cache,
 	})
+	defer func() {
+		if p.Report().Canceled() || ctx.Err() != nil {
+			out.Interrupted = true
+		}
+	}()
 	var m *ir.Module
 	var err error
 	if in.Lang == "ir" {

@@ -1,0 +1,178 @@
+package fuzz
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/harness"
+	"repro/internal/persist/journal"
+)
+
+// loopFingerprint distills everything deterministic about a loop
+// result for equality checks across checkpointed/resumed runs.
+func loopFingerprint(t *testing.T, res *LoopResult) string {
+	t.Helper()
+	s := ""
+	for _, b := range res.Buckets {
+		s += fmt.Sprintf("%s|%s|%s|%d|%s\n", b.Signature, b.Oracle, b.Witness.Name, b.Count, b.Reduced)
+	}
+	s += fmt.Sprintf("ran=%d checks=%d det=%d", res.Ran, res.Checks, res.Detections)
+	return s
+}
+
+// TestLoopResumeEquality: a checkpointed run equals an uncheckpointed
+// one, and a second run over the complete journal replays every input
+// without re-checking and still produces the identical result.
+func TestLoopResumeEquality(t *testing.T) {
+	base := LoopOptions{
+		N:    8,
+		Seed: 300,
+		Jobs: 2,
+		Check: Options{Fault: &harness.FaultConfig{
+			Stage: harness.StageLessThan, Func: "main"}},
+		Reduce:       true,
+		ReduceBudget: budget.Spec{Timeout: 30 * time.Second},
+	}
+	plain, err := Loop(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := loopFingerprint(t, plain)
+
+	path := filepath.Join(t.TempDir(), "fuzz.wal")
+	ck, err := journal.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := base
+	opt.State = ck
+	first, err := LoopCtx(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Replayed != 0 || first.Completed != base.N {
+		t.Fatalf("fresh journal: replayed=%d completed=%d", first.Replayed, first.Completed)
+	}
+	if got := loopFingerprint(t, first); got != want {
+		t.Fatalf("checkpointed run differs from plain run:\n%s\nvs\n%s", got, want)
+	}
+	ck.Close()
+
+	ck2, err := journal.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	opt.State = ck2
+	second, err := LoopCtx(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Replayed != base.N {
+		t.Fatalf("complete journal: replayed %d/%d", second.Replayed, base.N)
+	}
+	if got := loopFingerprint(t, second); got != want {
+		t.Fatalf("replayed run differs from plain run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// cancelOnWrite cancels a context the first time the loop logs — which
+// with a universal fault happens while merging the first batch, so the
+// second batch is never dispatched.
+type cancelOnWrite struct{ cancel context.CancelFunc }
+
+func (w *cancelOnWrite) Write(p []byte) (int, error) {
+	w.cancel()
+	return len(p), nil
+}
+
+// TestLoopCancelThenResume: canceling mid-run journals only clean
+// outcomes, reports Interrupted without touching the corpus, and a
+// resumed run over the same journal reproduces the uninterrupted
+// result exactly.
+func TestLoopCancelThenResume(t *testing.T) {
+	corpusDir := t.TempDir()
+	base := LoopOptions{
+		N:    24,
+		Seed: 300,
+		Jobs: 2,
+		Check: Options{Fault: &harness.FaultConfig{
+			Stage: harness.StageLessThan, Func: "main"}},
+		Reduce:       true,
+		ReduceBudget: budget.Spec{Timeout: 30 * time.Second},
+	}
+	plain, err := Loop(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := loopFingerprint(t, plain)
+
+	path := filepath.Join(t.TempDir(), "fuzz.wal")
+	ck, err := journal.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := base
+	opt.State = ck
+	opt.CorpusDir = corpusDir
+	opt.Log = &cancelOnWrite{cancel: cancel}
+	res, err := LoopCtx(ctx, opt)
+	if err == nil || !res.Interrupted {
+		t.Fatalf("canceled run not reported interrupted: err=%v res=%+v", err, res)
+	}
+	if res.Completed == 0 || res.Completed >= base.N {
+		t.Fatalf("canceled run journaled %d/%d, want a proper prefix", res.Completed, base.N)
+	}
+	if len(res.Buckets) != 0 {
+		t.Fatal("interrupted run must not publish buckets")
+	}
+	if entries, _ := ReadCorpus(corpusDir); len(entries) != 0 {
+		t.Fatalf("interrupted run wrote %d corpus entries", len(entries))
+	}
+	ck.Close()
+
+	ck2, err := journal.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if n := ck2.Count(); n != res.Completed {
+		t.Fatalf("journal holds %d records, canceled run claimed %d", n, res.Completed)
+	}
+	opt.State = ck2
+	opt.Log = nil
+	resumed, err := LoopCtx(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Replayed != res.Completed {
+		t.Fatalf("resume replayed %d, want %d", resumed.Replayed, res.Completed)
+	}
+	if got := loopFingerprint(t, resumed); got != want {
+		t.Fatalf("resumed run differs from uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+	if entries, _ := ReadCorpus(corpusDir); len(entries) != len(plain.Buckets) {
+		t.Fatalf("resumed run persisted %d entries, want %d", len(entries), len(plain.Buckets))
+	}
+}
+
+// TestCheckInterruptedFlag: an already-canceled context marks the
+// outcome Interrupted so no caller can mistake its degraded answers
+// for findings about the input.
+func TestCheckInterruptedFlag(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := Check(genInput(300, 0), Options{Ctx: ctx})
+	if !out.Interrupted {
+		t.Fatalf("canceled check not marked interrupted: %+v", out)
+	}
+	if out2 := Check(genInput(300, 0), Options{}); out2.Interrupted {
+		t.Fatalf("clean check marked interrupted: %+v", out2)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/persist"
 	"repro/internal/rangeanal"
 )
 
@@ -33,11 +34,28 @@ type Cache struct {
 	entries map[string]*core.FuncArtifact
 	hits    int64
 	misses  int64
+	// disk, when non-nil, is the durable artifact store behind the
+	// in-memory map: lookups fall back to it (a hit promotes the
+	// artifact into memory) and stores write through to it, so the
+	// cache survives the process. See internal/persist.
+	disk     *persist.Store
+	diskHits int64
 }
 
-// NewCache returns an empty cache.
+// NewCache returns an empty in-memory cache.
 func NewCache() *Cache {
 	return &Cache{entries: map[string]*core.FuncArtifact{}}
+}
+
+// NewCacheWithStore returns a cache backed by the durable artifact
+// store: every artifact the store already holds is visible to Lookup,
+// and every Store writes through to disk atomically, so a second
+// process pointed at the same directory reuses every per-function
+// solve of the first. Write failures (full disk, permissions) degrade
+// the cache to in-memory operation for the failed entry and are
+// counted in the store's stats — they never fail the analysis.
+func NewCacheWithStore(st *persist.Store) *Cache {
+	return &Cache{entries: map[string]*core.FuncArtifact{}, disk: st}
 }
 
 // Lookup implements core.Memo.
@@ -45,6 +63,12 @@ func (c *Cache) Lookup(key string) (*core.FuncArtifact, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	a, ok := c.entries[key]
+	if !ok && c.disk != nil {
+		if a, ok = c.disk.Get(key); ok {
+			c.entries[key] = a
+			c.diskHits++
+		}
+	}
 	if ok {
 		c.hits++
 	} else {
@@ -56,8 +80,23 @@ func (c *Cache) Lookup(key string) (*core.FuncArtifact, bool) {
 // Store implements core.Memo.
 func (c *Cache) Store(key string, a *core.FuncArtifact) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.entries[key] = a
+	disk := c.disk
+	c.mu.Unlock()
+	if disk != nil {
+		// Write-through outside the cache lock: the atomic file write
+		// does disk I/O and must not serialize the worker pool. Errors
+		// are counted in the store's stats.
+		disk.Put(key, a)
+	}
+}
+
+// Flush makes every cached artifact durable. With write-through
+// stores this is already true record by record; Flush exists so
+// shutdown paths have one call that asserts it.
+func (c *Cache) Flush() {
+	// Write-through: nothing buffered. Kept as the explicit shutdown
+	// hook so a future buffered implementation has a place to drain.
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
@@ -65,6 +104,11 @@ type CacheStats struct {
 	Entries int
 	Hits    int64
 	Misses  int64
+	// DiskHits counts hits served from the durable store (a subset of
+	// Hits); Persistent and Store describe the backing store.
+	DiskHits   int64
+	Persistent bool
+	Store      persist.StoreStats
 }
 
 // HitRate is hits over lookups, 0 when the cache was never consulted.
@@ -77,15 +121,24 @@ func (s CacheStats) HitRate() float64 {
 }
 
 func (s CacheStats) String() string {
-	return fmt.Sprintf("entries=%d hits=%d misses=%d hit-rate=%.1f%%",
+	base := fmt.Sprintf("entries=%d hits=%d misses=%d hit-rate=%.1f%%",
 		s.Entries, s.Hits, s.Misses, 100*s.HitRate())
+	if s.Persistent {
+		base += fmt.Sprintf(" disk-hits=%d store[%s]", s.DiskHits, s.Store)
+	}
+	return base
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+	st := CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits}
+	if c.disk != nil {
+		st.Persistent = true
+		st.Store = c.disk.Stats()
+	}
+	return st
 }
 
 // funcKey fingerprints one function's solve inputs. Section order is

@@ -208,6 +208,18 @@ func (p *Pipeline) fail(stage, fn, cause string, err error) *StageFailure {
 	return f
 }
 
+// budgetCause classifies a solver exhaustion error: a context
+// cancellation (user interrupt, upstream deadline) is recorded as
+// "canceled", genuine budget exhaustion as "budget". Checkpointing
+// drivers must not journal canceled runs, and quarantine statistics
+// must not count them as degradations of the input.
+func budgetCause(err error) string {
+	if budget.Canceled(err) {
+		return "canceled"
+	}
+	return "budget"
+}
+
 // timeStage appends a timing entry; callers defer it at stage start.
 func (p *Pipeline) timeStage(stage string) func() {
 	start := time.Now()
@@ -363,7 +375,7 @@ func (p *Pipeline) runRanges(stage string, m *ir.Module) (*rangeanal.Result, err
 		})
 	})
 	if fail == nil && r.Err() != nil {
-		fail = p.fail(stage, "", "budget", r.Err())
+		fail = p.fail(stage, "", budgetCause(r.Err()), r.Err())
 	}
 	if r == nil {
 		r = rangeanal.Empty()
@@ -439,7 +451,7 @@ func (p *Pipeline) runAndersen(m *ir.Module) (*andersen.Analysis, error) {
 		})
 	})
 	if fail == nil && cf.Degraded() != nil {
-		fail = p.fail(StageAndersen, "", "budget", cf.Degraded())
+		fail = p.fail(StageAndersen, "", budgetCause(cf.Degraded()), cf.Degraded())
 	}
 	if cf == nil {
 		cf = andersen.Unanalyzed(fail)

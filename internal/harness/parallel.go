@@ -26,10 +26,14 @@
 package harness
 
 import (
+	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ir"
+	"repro/internal/persist/journal"
 )
 
 // jobs resolves the effective function-level worker count; 0 and 1
@@ -127,6 +131,45 @@ type BatchOutcome struct {
 	// workers is included.
 	AnalyzeTime time.Duration
 	Value       any
+	// Replayed marks an outcome restored from a checkpoint journal
+	// rather than computed this run. Pipe and Res are nil on replayed
+	// outcomes; only Name and whatever Decode reconstructed (typically
+	// Value) are populated.
+	Replayed bool
+}
+
+// BatchCheckpoint journals per-item completion so a killed batch run
+// can resume without redoing finished work. Encode runs on the worker
+// goroutine immediately after an item completes — it must distill the
+// outcome into a JSON-able value that Decode can later turn back into
+// an equivalent outcome. Items whose pipeline observed a context
+// cancellation, or whose work errored, are never journaled: a resumed
+// run recomputes them, which is what keeps the final report
+// byte-identical to an uninterrupted run.
+type BatchCheckpoint struct {
+	C *journal.Checkpoint
+	// Prefix namespaces item names inside a shared journal, so
+	// multi-phase drivers that reuse program names across phases
+	// (cmd/artifact) can checkpoint each phase independently.
+	Prefix string
+	// Encode distills a completed outcome for the journal. Returning
+	// an error skips journaling that item (it will be recomputed on
+	// resume) without failing the run.
+	Encode func(i int, out *BatchOutcome) (any, error)
+	// Decode reconstructs a previously journaled outcome. The outcome
+	// arrives with Name set and Replayed true; Decode typically fills
+	// Value. An error discards the journal entry and recomputes the
+	// item.
+	Decode func(i int, data []byte, out *BatchOutcome) error
+}
+
+func (ck *BatchCheckpoint) key(name string) string { return ck.Prefix + name }
+
+// interrupted reports whether an outcome was poisoned by context
+// cancellation and therefore describes this (aborted) run rather than
+// the input.
+func interrupted(out *BatchOutcome) bool {
+	return out.Pipe != nil && out.Pipe.Report().Canceled()
 }
 
 // RunBatch shards a corpus of independent programs across jobs
@@ -143,7 +186,38 @@ type BatchOutcome struct {
 func RunBatch(cfg Config, jobs int, items []BatchItem,
 	work func(i int, out *BatchOutcome),
 	post func(i int, out *BatchOutcome)) []*BatchOutcome {
+	outs, _, _ := RunBatchCtx(context.Background(), cfg, jobs, items, nil, work, post)
+	return outs
+}
 
+// RunBatchCtx is RunBatch with cooperative cancellation and optional
+// checkpointing. It returns the outcomes (input order), the number of
+// items that completed this run or were replayed from the checkpoint,
+// and ctx.Err() if the run was cut short.
+//
+// Cancellation semantics: once ctx is done, no new items are
+// dispatched and in-flight workers drain — each one finishes quickly
+// because the per-item pipelines observe the same ctx through their
+// solver budgets and degrade to sound conservative answers. Outcomes
+// of undispatched items are nil; outcomes poisoned by the
+// cancellation stay in the returned slice (their reports say
+// "canceled") but are never journaled, and post is skipped entirely,
+// so an interrupted run can never publish or checkpoint results that
+// an uninterrupted run would not have produced.
+//
+// Checkpointing semantics: with ck non-nil, items found in ck.C are
+// replayed via ck.Decode without recomputation, and each item that
+// completes cleanly — ctx still live, no work error, no cancellation
+// recorded in its report — is journaled from the worker immediately,
+// so a SIGKILL loses at most the in-flight items.
+func RunBatchCtx(ctx context.Context, cfg Config, jobs int, items []BatchItem,
+	ck *BatchCheckpoint,
+	work func(i int, out *BatchOutcome),
+	post func(i int, out *BatchOutcome)) ([]*BatchOutcome, int, error) {
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if jobs < 1 {
 		jobs = 1
 	}
@@ -154,10 +228,32 @@ func RunBatch(cfg Config, jobs int, items []BatchItem,
 	if jobs > 1 {
 		inner.Jobs = 1
 	}
+
 	outs := make([]*BatchOutcome, len(items))
+
+	// Replay checkpointed items first so the dispatch loop only sees
+	// genuinely pending work.
+	var pending []int
+	for i := range items {
+		if ck != nil && ck.C != nil {
+			if data, ok := ck.C.Done(ck.key(items[i].Name)); ok {
+				out := &BatchOutcome{Name: items[i].Name, Replayed: true}
+				if err := ck.Decode(i, data, out); err == nil {
+					outs[i] = out
+					continue
+				}
+				// Undecodable entry (schema drift, hand-edited state
+				// dir): recompute rather than trust it.
+				outs[i] = nil
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	var completed int64 = int64(len(items) - len(pending))
 	run := func(i int) {
 		it := items[i]
-		out := &BatchOutcome{Name: it.Name, Pipe: New(inner)}
+		out := &BatchOutcome{Name: it.Name, Pipe: NewCtx(ctx, inner)}
 		m, err := out.Pipe.Compile(it.Name, it.Src)
 		if err != nil {
 			out.Err = err
@@ -170,9 +266,26 @@ func RunBatch(cfg Config, jobs int, items []BatchItem,
 			work(i, out)
 		}
 		outs[i] = out
+		// Journal only results an uninterrupted run would also have
+		// produced: the ctx must still be live (a cancellation racing
+		// with completion could have degraded any stage), the report
+		// must record no cancellation, and the work must have
+		// succeeded. Anything else is recomputed on resume.
+		if ctx.Err() == nil && !interrupted(out) && out.Err == nil {
+			atomic.AddInt64(&completed, 1)
+			if ck != nil && ck.C != nil && ck.Encode != nil {
+				if v, err := ck.Encode(i, out); err == nil {
+					ck.C.Record(ck.key(it.Name), v)
+				}
+			}
+		}
 	}
+
 	if jobs <= 1 {
-		for i := range items {
+		for _, i := range pending {
+			if ctx.Err() != nil {
+				break
+			}
 			run(i)
 		}
 	} else {
@@ -187,16 +300,25 @@ func RunBatch(cfg Config, jobs int, items []BatchItem,
 				}
 			}()
 		}
-		for i := range items {
-			ch <- i
+	dispatch:
+		for _, i := range pending {
+			select {
+			case ch <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 		close(ch)
 		wg.Wait()
+	}
+
+	if err := ctx.Err(); err != nil {
+		return outs, int(atomic.LoadInt64(&completed)), fmt.Errorf("batch interrupted: %w", err)
 	}
 	if post != nil {
 		for i := range outs {
 			post(i, outs[i])
 		}
 	}
-	return outs
+	return outs, int(atomic.LoadInt64(&completed)), nil
 }

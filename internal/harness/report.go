@@ -17,8 +17,10 @@ type StageFailure struct {
 	// Func is the affected function's name; empty for module-scope
 	// failures.
 	Func string
-	// Cause is "panic", "budget", or "error" (a transform reported an
-	// invalid result without panicking).
+	// Cause is "panic", "budget", "canceled" (the run's context was
+	// canceled — the input is fine, the run was interrupted), or
+	// "error" (a transform reported an invalid result without
+	// panicking).
 	Cause string
 	// Value is the recovered panic value, the budget error text, or
 	// the reported error.
@@ -58,6 +60,19 @@ type Report struct {
 // Ok reports whether the whole pipeline ran without a single
 // contained failure.
 func (r *Report) Ok() bool { return len(r.Failures) == 0 }
+
+// Canceled reports whether any contained failure was a context
+// cancellation: the run was interrupted, so its degraded answers —
+// while still sound — describe this run, not the input. Resumable
+// drivers re-run such items instead of checkpointing them.
+func (r *Report) Canceled() bool {
+	for i := range r.Failures {
+		if r.Failures[i].Cause == "canceled" {
+			return true
+		}
+	}
+	return false
+}
 
 // DegradedFuncs returns the names of functions whose answers are
 // conservative, sorted.

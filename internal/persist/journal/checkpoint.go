@@ -1,0 +1,94 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Checkpoint is the item-level layer over the WAL that batch drivers
+// use: one record per completed work item, keyed by the item's name
+// and carrying whatever JSON payload the driver needs to rebuild the
+// item's contribution to the final report without redoing the work.
+// Duplicate names are allowed (a record appended just before a kill
+// may be re-appended by the resumed run); the last record wins.
+type Checkpoint struct {
+	w *W
+
+	mu   sync.Mutex
+	done map[string]json.RawMessage
+}
+
+// ckptRecord is the WAL payload of one checkpoint record.
+type ckptRecord struct {
+	Name string          `json:"name"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// OpenCheckpoint opens (or creates) the checkpoint journal at path and
+// replays it. Records whose payload does not parse are skipped — they
+// count as not-done, so the worst damage is redone work.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	w, rec, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	c := &Checkpoint{w: w, done: map[string]json.RawMessage{}}
+	for _, payload := range rec.Records {
+		var r ckptRecord
+		if json.Unmarshal(payload, &r) == nil && r.Name != "" {
+			c.done[r.Name] = r.Data
+		}
+	}
+	return c, nil
+}
+
+// Done reports whether name was journaled as completed, and returns
+// its recorded payload.
+func (c *Checkpoint) Done(name string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, ok := c.done[name]
+	return data, ok
+}
+
+// Count returns the number of distinct completed items.
+func (c *Checkpoint) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Record durably marks name as completed with the given payload
+// (JSON-marshaled; may be nil). When Record returns nil the item will
+// be skipped by every future resumed run.
+func (c *Checkpoint) Record(name string, v any) error {
+	if name == "" {
+		return fmt.Errorf("journal: checkpoint record needs a name")
+	}
+	var data json.RawMessage
+	if v != nil {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("journal: checkpoint %s: %w", name, err)
+		}
+		data = b
+	}
+	payload, err := json.Marshal(ckptRecord{Name: name, Data: data})
+	if err != nil {
+		return fmt.Errorf("journal: checkpoint %s: %w", name, err)
+	}
+	if err := c.w.Append(payload); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.done[name] = data
+	c.mu.Unlock()
+	return nil
+}
+
+// Close closes the underlying journal.
+func (c *Checkpoint) Close() error { return c.w.Close() }
+
+// Path returns the underlying journal's file path.
+func (c *Checkpoint) Path() string { return c.w.Path() }

@@ -1,0 +1,203 @@
+// Package journal is an append-only write-ahead log for checkpointing
+// long batch runs. Drivers append one small record per completed work
+// item; after a crash, OOM-kill, or Ctrl-C the journal is replayed and
+// every journaled item is skipped, so a resumed sweep redoes only the
+// work that was in flight when the process died.
+//
+// File layout:
+//
+//	offset  size  field
+//	0       8     magic "sraa-wal"
+//	8       2     format version (little endian, currently 1)
+//	10      ...   records
+//
+// Each record is length-prefixed and CRC-guarded:
+//
+//	4  payload length (little endian)
+//	4  CRC-32 (IEEE) of the payload
+//	n  payload
+//
+// A process killed mid-append leaves a torn tail: a partial length
+// prefix, a partial payload, or a payload whose CRC does not match.
+// Open tolerates all of these — replay stops at the first invalid
+// record, the file is truncated back to the last valid boundary, and
+// appending resumes there. Records before the tear are never lost;
+// the (at most one) item whose append was torn is simply redone.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+const (
+	walMagic   = "sraa-wal"
+	walVersion = 1
+	headerLen  = 10
+	recHdrLen  = 8
+	// maxRecord bounds a single record so a corrupt length prefix
+	// cannot drive a multi-gigabyte allocation during replay.
+	maxRecord = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// W is an open journal positioned to append. It is safe for
+// concurrent use; every append is fsynced before it returns, so a
+// record that was handed to Append survives any later kill.
+type W struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Recovery describes what Open found in an existing journal.
+type Recovery struct {
+	// Records are the valid payloads, in append order.
+	Records [][]byte
+	// TornBytes is how much invalid tail data was discarded. Zero for
+	// a journal that was closed (or killed) on a record boundary.
+	TornBytes int64
+}
+
+// Open opens or creates the journal at path, replays its records, and
+// truncates any torn tail. The returned writer appends after the last
+// valid record.
+func Open(path string) (*W, *Recovery, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	rec, end, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	return &W{f: f, path: path}, rec, nil
+}
+
+// replay validates the header and reads records until the end of the
+// file or the first invalid record, returning the valid payloads and
+// the offset appending must continue from. A missing or damaged
+// header restarts the journal from scratch (end offset covers a fresh
+// header, which is rewritten by the caller's truncate+append path via
+// ensureHeader).
+func replay(f *os.File) (*Recovery, int64, error) {
+	rec := &Recovery{}
+	info, err := f.Stat()
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	size := info.Size()
+	if size == 0 {
+		// Fresh journal: write the header now so the file is
+		// well-formed from its first byte on disk.
+		if err := writeHeader(f); err != nil {
+			return nil, 0, err
+		}
+		return rec, headerLen, nil
+	}
+	hdr := make([]byte, headerLen)
+	if _, err := f.ReadAt(hdr, 0); err != nil ||
+		string(hdr[:8]) != walMagic ||
+		binary.LittleEndian.Uint16(hdr[8:]) != walVersion {
+		// Unrecognizable header: treat the whole file as a torn tail
+		// and start over rather than guessing at record boundaries.
+		rec.TornBytes = size
+		if err := f.Truncate(0); err != nil {
+			return nil, 0, fmt.Errorf("journal: reset damaged header: %w", err)
+		}
+		if err := writeHeader(f); err != nil {
+			return nil, 0, err
+		}
+		return rec, headerLen, nil
+	}
+	off := int64(headerLen)
+	hdrBuf := make([]byte, recHdrLen)
+	for off < size {
+		if size-off < recHdrLen {
+			break // torn length prefix
+		}
+		if _, err := f.ReadAt(hdrBuf, off); err != nil {
+			break
+		}
+		n := binary.LittleEndian.Uint32(hdrBuf[0:])
+		sum := binary.LittleEndian.Uint32(hdrBuf[4:])
+		if n > maxRecord || size-off-recHdrLen < int64(n) {
+			break // absurd or torn payload
+		}
+		payload := make([]byte, n)
+		if _, err := f.ReadAt(payload, off+recHdrLen); err != nil {
+			break
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			break // torn or bit-flipped payload
+		}
+		rec.Records = append(rec.Records, payload)
+		off += recHdrLen + int64(n)
+	}
+	rec.TornBytes = size - off
+	return rec, off, nil
+}
+
+func writeHeader(f *os.File) error {
+	hdr := make([]byte, headerLen)
+	copy(hdr, walMagic)
+	binary.LittleEndian.PutUint16(hdr[8:], walVersion)
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("journal: write header: %w", err)
+	}
+	return nil
+}
+
+// Append durably appends one record: when Append returns nil the
+// record is on disk (write + fsync) and will be replayed by every
+// future Open.
+func (w *W) Append(payload []byte) error {
+	if len(payload) > maxRecord {
+		return fmt.Errorf("journal: record of %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, recHdrLen+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, crcTable))
+	copy(buf[recHdrLen:], payload)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the journal.
+func (w *W) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// Path returns the journal's file path.
+func (w *W) Path() string { return w.path }

@@ -1,0 +1,206 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, path string) (*W, *Recovery) {
+	t.Helper()
+	w, rec, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, rec
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	w, rec := openT(t, path)
+	if len(rec.Records) != 0 || rec.TornBytes != 0 {
+		t.Fatalf("fresh journal recovered %+v", rec)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("item-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	w2, rec2 := openT(t, path)
+	defer w2.Close()
+	if len(rec2.Records) != 10 || rec2.TornBytes != 0 {
+		t.Fatalf("recovered %d records, %d torn bytes; want 10, 0", len(rec2.Records), rec2.TornBytes)
+	}
+	for i, r := range rec2.Records {
+		if want := fmt.Sprintf("item-%d", i); string(r) != want {
+			t.Fatalf("record %d = %q, want %q", i, r, want)
+		}
+	}
+}
+
+// TestJournalTornTail: every way an append can be cut short — partial
+// length prefix, partial payload, corrupted payload — must recover the
+// prefix, truncate the tear, and keep appending.
+func TestJournalTornTail(t *testing.T) {
+	tears := []struct {
+		name string
+		tail []byte
+	}{
+		{"partial-prefix", []byte{0x05, 0x00}},
+		{"partial-payload", []byte{0x10, 0x00, 0x00, 0x00, 0xaa, 0xbb, 0xcc, 0xdd, 'x', 'y'}},
+		{"huge-length", []byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}},
+	}
+	for _, tc := range tears {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "j.wal")
+			w, _ := openT(t, path)
+			w.Append([]byte("one"))
+			w.Append([]byte("two"))
+			w.Close()
+			f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write(tc.tail)
+			f.Close()
+
+			w2, rec := openT(t, path)
+			if len(rec.Records) != 2 || rec.TornBytes != int64(len(tc.tail)) {
+				t.Fatalf("recovered %d records, %d torn bytes; want 2, %d",
+					len(rec.Records), rec.TornBytes, len(tc.tail))
+			}
+			// The tear is gone: appending continues on a clean boundary.
+			if err := w2.Append([]byte("three")); err != nil {
+				t.Fatal(err)
+			}
+			w2.Close()
+			_, rec3 := openT(t, path)
+			if len(rec3.Records) != 3 || string(rec3.Records[2]) != "three" {
+				t.Fatalf("after heal: %d records %q", len(rec3.Records), rec3.Records)
+			}
+		})
+	}
+}
+
+// TestJournalMidFileCorruption: a bit flip in an interior record stops
+// replay there — everything after the damage is conservatively
+// discarded and redone, never trusted.
+func TestJournalMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	w, _ := openT(t, path)
+	for i := 0; i < 5; i++ {
+		w.Append([]byte(fmt.Sprintf("item-%d", i)))
+	}
+	w.Close()
+	data, _ := os.ReadFile(path)
+	// Flip a byte inside record 2's payload.
+	i := bytes.Index(data, []byte("item-2"))
+	data[i+3] ^= 0x20
+	os.WriteFile(path, data, 0o644)
+
+	w2, rec := openT(t, path)
+	defer w2.Close()
+	if len(rec.Records) != 2 || rec.TornBytes == 0 {
+		t.Fatalf("recovered %d records (torn %d); want 2 with a torn tail", len(rec.Records), rec.TornBytes)
+	}
+}
+
+// TestJournalForeignFile: a file that is not a journal at all restarts
+// from scratch instead of erroring or misparsing.
+func TestJournalForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	os.WriteFile(path, []byte("this is not a journal, definitely"), 0o644)
+	w, rec := openT(t, path)
+	if len(rec.Records) != 0 || rec.TornBytes == 0 {
+		t.Fatalf("foreign file recovered %+v", rec)
+	}
+	if err := w.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, rec2 := openT(t, path)
+	if len(rec2.Records) != 1 || string(rec2.Records[0]) != "fresh" {
+		t.Fatalf("restart failed: %+v", rec2)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.wal")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type payload struct {
+		Crashed bool   `json:"crashed"`
+		Msg     string `json:"msg"`
+	}
+	if err := c.Record("seed1", payload{false, "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Record("seed2", payload{true, "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	// Last record wins for a duplicate name (a kill between append and
+	// resume can replay one item).
+	if err := c.Record("seed2", payload{true, "boom-final"}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	c2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Count() != 2 {
+		t.Fatalf("count = %d, want 2", c2.Count())
+	}
+	if _, ok := c2.Done("seed3"); ok {
+		t.Fatal("unjournaled item reported done")
+	}
+	data, ok := c2.Done("seed2")
+	if !ok {
+		t.Fatal("seed2 lost")
+	}
+	if want := `{"crashed":true,"msg":"boom-final"}`; string(data) != want {
+		t.Fatalf("seed2 payload = %s, want %s", data, want)
+	}
+}
+
+// TestCheckpointConcurrentRecord: workers journal completions
+// concurrently (the batch runner does exactly this). Run under -race.
+func TestCheckpointConcurrentRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.wal")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := c.Record(fmt.Sprintf("w%d-i%d", w, i), i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Close()
+	c2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Count() != 100 {
+		t.Fatalf("count = %d, want 100", c2.Count())
+	}
+}

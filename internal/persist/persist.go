@@ -1,0 +1,70 @@
+// Package persist is the durability layer of the toolchain: crash-safe
+// file writes, an on-disk content-addressed artifact store backing the
+// harness memo cache, and (in the journal subpackage) an append-only
+// checkpoint WAL for resumable batch runs.
+//
+// Every write in this package follows the same discipline: data lands
+// in a temporary file in the destination directory, is fsynced, and is
+// renamed into place, so a crash or kill at any instant leaves either
+// the old file or the new one — never a torn hybrid. Every record
+// carries a version and a CRC, and every reader treats a record that
+// fails validation as damage to contain (quarantine, truncate, count)
+// rather than an error to die on: a process that was SIGKILLed
+// mid-write must be able to reopen its own state.
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile writes data to path so that a crash at any point
+// leaves either the previous file content or the complete new content:
+// the data goes to a temporary file in path's directory, is fsynced,
+// and is renamed over path. The containing directory is fsynced too
+// (best effort) so the rename itself survives a power cut.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	// On any failure, remove the temporary so aborted writes cannot
+	// accumulate (or be mistaken for real files).
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-completed rename is durable.
+// Errors are ignored: some filesystems (and all of Windows) refuse
+// directory fsync, and the rename is already atomic — durability of
+// the directory entry is best effort.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,239 @@
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// The on-disk artifact store: one file per memoized per-function
+// solve, named <key>.art under the store directory, where key is the
+// content hash the harness cache computes (see harness.funcKey). Each
+// file is a self-validating record:
+//
+//	offset  size  field
+//	0       8     magic "sraa-art"
+//	8       2     format version (little endian, currently 1)
+//	10      4     payload length (little endian)
+//	14      4     CRC-32 (IEEE) of the payload
+//	18      n     payload: JSON {"key": ..., "artifact": ...}
+//
+// The payload names its own key, so a file that was renamed, swapped,
+// or half-copied can never be served under the wrong hash. Writes go
+// through AtomicWriteFile; a kill mid-Put leaves either no file or a
+// complete record. Open scans the directory once and loads every valid
+// record; anything that fails validation — bad magic, unknown version,
+// short file, CRC mismatch, malformed JSON, key/filename mismatch — is
+// moved to the quarantine/ subdirectory and counted, never trusted and
+// never fatal. A quarantined entry simply misses: the solver recomputes
+// it and the next Put heals the store.
+
+const (
+	storeMagic   = "sraa-art"
+	storeVersion = 1
+	storeExt     = ".art"
+	// QuarantineDir is the store subdirectory damaged records are
+	// moved to at open time.
+	QuarantineDir = "quarantine"
+)
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// StoreStats counts what the store has seen. Quarantined > 0 means
+// corrupt or torn records were found (and contained) at open time.
+type StoreStats struct {
+	// Loaded is the number of valid records read at open time.
+	Loaded int
+	// Quarantined is the number of invalid records moved aside at
+	// open time.
+	Quarantined int
+	// Puts and PutErrors count writes since open.
+	Puts, PutErrors int
+}
+
+func (s StoreStats) String() string {
+	return fmt.Sprintf("loaded=%d quarantined=%d puts=%d put-errors=%d",
+		s.Loaded, s.Quarantined, s.Puts, s.PutErrors)
+}
+
+// Store is the on-disk artifact store. All records are loaded into
+// memory at open time, so Get never touches the disk; Put writes
+// through atomically. Store is safe for concurrent use, and two
+// processes may share one directory: records are content-addressed and
+// renames are atomic, so concurrent writers can only ever install
+// identical bytes under the same name.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	mem   map[string]*core.FuncArtifact
+	stats StoreStats
+}
+
+// storePayload is the JSON body of one record.
+type storePayload struct {
+	Key      string             `json:"key"`
+	Artifact *core.FuncArtifact `json:"artifact"`
+}
+
+// OpenStore opens (creating if needed) the artifact store under dir
+// and scans it: valid records load, invalid ones are quarantined and
+// counted. The error is non-nil only when the directory itself is
+// unusable — damaged records never fail the open.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: open store: %w", err)
+	}
+	s := &Store{dir: dir, mem: map[string]*core.FuncArtifact{}}
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+storeExt))
+	if err != nil {
+		return nil, fmt.Errorf("persist: open store: %w", err)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		key, art, err := readRecord(p)
+		if err != nil {
+			s.quarantine(p)
+			continue
+		}
+		s.mem[key] = art
+		s.stats.Loaded++
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Get returns the artifact stored under key, if any.
+func (s *Store) Get(key string) (*core.FuncArtifact, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.mem[key]
+	return a, ok
+}
+
+// Len returns the number of loaded entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// Put durably records the artifact under key. Write failures are
+// counted in the stats and reported, but the in-memory entry is kept
+// either way — a full disk degrades the store to a warm in-process
+// cache instead of losing the result.
+func (s *Store) Put(key string, a *core.FuncArtifact) error {
+	s.mu.Lock()
+	s.mem[key] = a
+	s.stats.Puts++
+	s.mu.Unlock()
+
+	data, err := encodeRecord(key, a)
+	if err == nil {
+		err = AtomicWriteFile(filepath.Join(s.dir, fileNameOf(key)), data, 0o644)
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.stats.PutErrors++
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// quarantine moves a damaged record out of the scan set. If the move
+// fails (e.g. a sibling process already moved it), the file is removed
+// instead; either way it stops being load-bearing.
+func (s *Store) quarantine(path string) {
+	qdir := filepath.Join(s.dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(path, filepath.Join(qdir, filepath.Base(path))) == nil {
+			s.stats.Quarantined++
+			return
+		}
+	}
+	os.Remove(path)
+	s.stats.Quarantined++
+}
+
+// fileNameOf maps a key to its record filename. Keys are hex hashes in
+// practice, but any key is made filesystem-safe here rather than
+// trusted.
+func fileNameOf(key string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, key)
+	return safe + storeExt
+}
+
+// encodeRecord renders one record file.
+func encodeRecord(key string, a *core.FuncArtifact) ([]byte, error) {
+	payload, err := json.Marshal(storePayload{Key: key, Artifact: a})
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 18+len(payload))
+	copy(buf, storeMagic)
+	binary.LittleEndian.PutUint16(buf[8:], storeVersion)
+	binary.LittleEndian.PutUint32(buf[10:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[14:], crc32.Checksum(payload, crcTable))
+	copy(buf[18:], payload)
+	return buf, nil
+}
+
+// readRecord reads and validates one record file, returning its key
+// and artifact. Any deviation from the format is an error; the caller
+// quarantines.
+func readRecord(path string) (string, *core.FuncArtifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(data) < 18 || string(data[:8]) != storeMagic {
+		return "", nil, fmt.Errorf("persist: %s: bad magic", path)
+	}
+	if v := binary.LittleEndian.Uint16(data[8:]); v != storeVersion {
+		return "", nil, fmt.Errorf("persist: %s: unsupported version %d", path, v)
+	}
+	n := binary.LittleEndian.Uint32(data[10:])
+	if int(n) != len(data)-18 {
+		return "", nil, fmt.Errorf("persist: %s: truncated record", path)
+	}
+	payload := data[18:]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[14:]) {
+		return "", nil, fmt.Errorf("persist: %s: checksum mismatch", path)
+	}
+	var p storePayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return "", nil, fmt.Errorf("persist: %s: %w", path, err)
+	}
+	if p.Key == "" || p.Artifact == nil {
+		return "", nil, fmt.Errorf("persist: %s: incomplete payload", path)
+	}
+	if fileNameOf(p.Key) != filepath.Base(path) {
+		return "", nil, fmt.Errorf("persist: %s: key does not match filename", path)
+	}
+	return p.Key, p.Artifact, nil
+}

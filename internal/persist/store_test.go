@@ -1,0 +1,231 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testArtifact(i int) *core.FuncArtifact {
+	return &core.FuncArtifact{
+		Vars: []string{fmt.Sprintf("%%p%d", i), "%t1"},
+		Sets: [][]int32{{1}, {}},
+		Stats: core.FuncStats{
+			Instrs: 10 + i, Vars: 2, Constraints: 3, Pops: 7,
+			SetSizes: map[int]int{0: 1, 1: 1},
+		},
+	}
+}
+
+func key(i int) string { return fmt.Sprintf("%064x", i) }
+
+// fill opens a store under dir and writes n artifacts.
+func fill(t *testing.T, dir string, n int) *Store {
+	t.Helper()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Put(key(i), testArtifact(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fill(t, dir, 5)
+
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.Loaded != 5 || st.Quarantined != 0 {
+		t.Fatalf("reopen stats = %v, want 5 loaded, 0 quarantined", st)
+	}
+	for i := 0; i < 5; i++ {
+		got, ok := s2.Get(key(i))
+		if !ok {
+			t.Fatalf("entry %d missing after reopen", i)
+		}
+		if !reflect.DeepEqual(got, testArtifact(i)) {
+			t.Fatalf("entry %d mutated across reopen:\ngot  %+v\nwant %+v", i, got, testArtifact(i))
+		}
+	}
+}
+
+// corrupt applies fn to entry i's record file.
+func corrupt(t *testing.T, dir string, i int, fn func(data []byte) []byte) string {
+	t.Helper()
+	path := filepath.Join(dir, fileNameOf(key(i)))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, fn(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestStoreCorruptionQuarantine is the injection suite: a bit flip in
+// the payload, a truncated record, a version from the future, garbage,
+// and a record served under the wrong name must each be quarantined at
+// open — counted, moved aside, and never returned — while intact
+// siblings keep loading.
+func TestStoreCorruptionQuarantine(t *testing.T) {
+	const n = 8
+	dir := t.TempDir()
+	fill(t, dir, n)
+
+	// Entry 0: flip one bit in the payload.
+	corrupt(t, dir, 0, func(d []byte) []byte { d[len(d)-2] ^= 0x40; return d })
+	// Entry 1: truncate mid-payload (torn write without the tmp+rename
+	// discipline).
+	corrupt(t, dir, 1, func(d []byte) []byte { return d[:len(d)/2] })
+	// Entry 2: version skew.
+	corrupt(t, dir, 2, func(d []byte) []byte { binary.LittleEndian.PutUint16(d[8:], 99); return d })
+	// Entry 3: not a record at all.
+	corrupt(t, dir, 3, func(d []byte) []byte { return []byte("junk") })
+	// Entry 4: empty file.
+	corrupt(t, dir, 4, func(d []byte) []byte { return nil })
+	// Entry 5: a valid record copied under the wrong key's filename.
+	{
+		data, err := os.ReadFile(filepath.Join(dir, fileNameOf(key(6))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, fileNameOf(key(5))), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("open over corrupt records must not fail: %v", err)
+	}
+	st := s.Stats()
+	if st.Quarantined != 6 {
+		t.Fatalf("quarantined = %d, want 6 (%+v)", st.Quarantined, st)
+	}
+	if st.Loaded != n-6 {
+		t.Fatalf("loaded = %d, want %d", st.Loaded, n-6)
+	}
+	for i := 0; i < 6; i++ {
+		if _, ok := s.Get(key(i)); ok {
+			t.Fatalf("corrupt entry %d was served", i)
+		}
+	}
+	for i := 6; i < n; i++ {
+		if a, ok := s.Get(key(i)); !ok || !reflect.DeepEqual(a, testArtifact(i)) {
+			t.Fatalf("intact entry %d lost or mutated", i)
+		}
+	}
+	// The damage was moved, not deleted: quarantine/ holds it for
+	// post-mortems (minus the overwritten copy, which replaced entry
+	// 5's original file).
+	q, _ := filepath.Glob(filepath.Join(dir, QuarantineDir, "*"))
+	if len(q) != 6 {
+		t.Fatalf("quarantine dir holds %d files, want 6: %v", len(q), q)
+	}
+}
+
+// TestStoreSelfHeals: a quarantined key is recomputed and re-Put, and
+// the next open loads it cleanly again.
+func TestStoreSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	fill(t, dir, 2)
+	corrupt(t, dir, 0, func(d []byte) []byte { d[20] ^= 0xff; return d })
+
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if err := s.Put(key(0), testArtifact(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Loaded != 2 || st.Quarantined != 0 {
+		t.Fatalf("store did not heal: %+v", st)
+	}
+}
+
+// TestStoreConcurrentOpen: two handles on one directory, used
+// concurrently, must stay consistent — the scenario of two driver
+// processes sharing a cache dir. Run under -race.
+func TestStoreConcurrentOpen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w, s := range []*Store{s1, s2} {
+		wg.Add(1)
+		go func(w int, s *Store) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := s.Put(key(i), testArtifact(i)); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				s.Get(key((i + 25) % 50))
+			}
+		}(w, s)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	s3, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s3.Stats(); st.Loaded != 50 || st.Quarantined != 0 {
+		t.Fatalf("after concurrent writers: %+v, want 50 loaded, 0 quarantined", st)
+	}
+}
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := AtomicWriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte("v2"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "v2" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	// No temporary droppings.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("directory not clean after atomic writes: %v", entries)
+	}
+	// Missing parent directory is an error, not a panic.
+	if err := AtomicWriteFile(filepath.Join(dir, "no/such/dir/x"), []byte("x"), 0o644); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+}

@@ -287,8 +287,12 @@ func checkFunc(ctx context.Context, f *ir.Func, ranges *rangeanal.Result, lt *co
 			opt.OnFunc(f)
 		}
 		s.diags = classify(f, ranges, lt, bgt)
-		if bgt.Err() != nil {
-			s.degraded = "budget"
+		if err := bgt.Err(); err != nil {
+			if budget.Canceled(err) {
+				s.degraded = "canceled"
+			} else {
+				s.degraded = "budget"
+			}
 		}
 	})
 	if panicked == nil {
