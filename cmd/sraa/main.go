@@ -15,8 +15,10 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/ir"
 	"repro/internal/opt"
+	"repro/internal/persist"
 )
 
 func main() {
@@ -45,6 +48,7 @@ func main() {
 	jobs := flag.Int("jobs", runtime.NumCPU(), "worker count for the per-function pipeline stages (results are identical at any value)")
 	useCache := flag.Bool("cache", false, "memoize per-function less-than solves by content hash; stats go to stderr")
 	cacheDir := flag.String("persist-cache", "", "durable memo store directory: per-function solves persist across sraa runs; stats go to stderr")
+	outPath := flag.String("o", "", "write the report to this file instead of stdout (atomic: complete file or no file, never a torn one)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -59,6 +63,15 @@ func main() {
 		os.Exit(1)
 	}
 	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+
+	// All report output funnels through one writer: stdout normally,
+	// a buffer flushed atomically to -o so a crash or signal mid-run
+	// can never leave a torn report behind.
+	var out io.Writer = os.Stdout
+	var buf bytes.Buffer
+	if *outPath != "" {
+		out = &buf
+	}
 
 	cache, err := driver.OpenCache(*useCache, *cacheDir)
 	if err != nil {
@@ -90,7 +103,7 @@ func main() {
 		for _, f := range m.Funcs {
 			folded += opt.FoldConstants(f)
 		}
-		fmt.Printf("constant folding removed %d instructions\n", folded)
+		fmt.Fprintf(out, "constant folding removed %d instructions\n", folded)
 	}
 
 	res, err := p.Analyze(m)
@@ -107,15 +120,15 @@ func main() {
 			loads += opt.EliminateRedundantLoads(f, aa)
 			stores += opt.EliminateDeadStores(f, aa)
 		}
-		fmt.Printf("BA+LT enabled removal of %d redundant loads, %d dead stores\n",
+		fmt.Fprintf(out, "BA+LT enabled removal of %d redundant loads, %d dead stores\n",
 			loads, stores)
 	}
 
 	if *dumpIR {
-		fmt.Println(m)
+		fmt.Fprintln(out, m)
 	}
 	if *dumpRanges {
-		fmt.Println("integer ranges:")
+		fmt.Fprintln(out, "integer ranges:")
 		for _, f := range m.Funcs {
 			for _, v := range f.Values() {
 				if !ir.IsInt(v.Type()) {
@@ -125,12 +138,12 @@ func main() {
 				if iv.IsTop() {
 					continue
 				}
-				fmt.Printf("  @%s: R(%s) = %s\n", f.FName, v.Ref(), iv)
+				fmt.Fprintf(out, "  @%s: R(%s) = %s\n", f.FName, v.Ref(), iv)
 			}
 		}
 	}
 	if *dumpLT {
-		fmt.Println("less-than sets (non-empty):")
+		fmt.Fprintln(out, "less-than sets (non-empty):")
 		for _, f := range m.Funcs {
 			for _, v := range prep.LT.VarsOf(f) {
 				set := prep.LT.LT(v)
@@ -141,14 +154,14 @@ func main() {
 				for _, w := range set {
 					names = append(names, w.Ref())
 				}
-				fmt.Printf("  @%s: LT(%s) = {%s}\n",
+				fmt.Fprintf(out, "  @%s: LT(%s) = {%s}\n",
 					f.FName, v.Ref(), strings.Join(names, ", "))
 			}
 		}
 	}
 	if *dot {
 		for _, f := range m.Funcs {
-			fmt.Print(prep.LT.DotInequalityGraph(f, true))
+			fmt.Fprint(out, prep.LT.DotInequalityGraph(f, true))
 		}
 	}
 	if !*noReport {
@@ -158,7 +171,13 @@ func main() {
 		if *withCF {
 			analyses = append(analyses, prep.CF, alias.NewChain(ba, prep.CF))
 		}
-		fmt.Print(res.Evaluate(analyses...))
+		fmt.Fprint(out, res.Evaluate(analyses...))
+	}
+	if *outPath != "" {
+		if err := persist.AtomicWriteFile(*outPath, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if cache != nil {
 		fmt.Fprintf(os.Stderr, "cache: %s\n", cache.Stats())

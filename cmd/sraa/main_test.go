@@ -100,3 +100,32 @@ func TestJobsEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestOutputFileMatchesStdout: -o routes the identical report through
+// the atomic writer instead of stdout.
+func TestOutputFileMatchesStdout(t *testing.T) {
+	src := filepath.Join("testdata", "sort.c")
+	want := runSraa(t, "-lt", "-ranges", src)
+	path := filepath.Join(t.TempDir(), "nested", "report.txt")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if got := runSraa(t, "-lt", "-ranges", "-o", path, src); got != "" {
+		t.Errorf("-o run still wrote to stdout:\n%s", got)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != want {
+		t.Errorf("-o file differs from stdout run:\n--- file ---\n%s\n--- stdout ---\n%s", data, want)
+	}
+	// No temp droppings next to the report.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("expected only report.txt in output dir, got %d entries", len(entries))
+	}
+}

@@ -1,0 +1,305 @@
+// Command sraabench drives a running sraad daemon with a concurrent
+// burst of analysis requests and reports outcome counts, latency
+// percentiles, and the server-side cache hit rate over the run.
+//
+// Usage:
+//
+//	sraabench -addr http://127.0.0.1:8177 -n 200 -c 16
+//
+// Shed responses (429) are retried with jittered exponential backoff
+// that honors the server's Retry-After hint; a request that is still
+// shed after -retries attempts counts as "shed", not as a failure.
+// Exit status: 0 on success (sheds included), 1 if any request got no
+// answer at all (transport failure after retries), 2 if the server
+// ever returned a 5xx — the daemon promises never to.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/corpus"
+	"repro/internal/persist"
+	"repro/internal/serve"
+)
+
+type outcome int
+
+const (
+	outOK outcome = iota
+	outDegraded
+	outShed      // 429 after all retries
+	outBad       // 4xx other than 429
+	outServerErr // 5xx: the daemon broke its contract
+	outFailed    // no HTTP answer at all
+)
+
+type result struct {
+	outcome outcome
+	latency time.Duration // successful attempt only
+	retries int
+	sheds   int // per-attempt 429s, including retried ones
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8177", "sraad base URL")
+	n := flag.Int("n", 200, "total requests")
+	c := flag.Int("c", 16, "concurrent workers")
+	programs := flag.Int("programs", 8, "distinct corpus programs to cycle through")
+	queries := flag.String("queries", "alias", "comma-separated queries: lt,alias,sanitize")
+	interproc := flag.Bool("interproc", false, "request interprocedural analysis")
+	budgetTimeout := flag.Duration("budget-timeout", 0, "per-request budget wall clock (0 = server default)")
+	budgetSteps := flag.Int("budget-steps", 0, "per-request budget solver steps (0 = server default)")
+	retries := flag.Int("retries", 3, "retry attempts after a shed or transport error")
+	backoff := flag.Duration("backoff", 50*time.Millisecond, "base backoff, doubled per retry with jitter")
+	attemptTimeout := flag.Duration("attempt-timeout", 10*time.Second, "HTTP timeout per attempt")
+	seed := flag.Int64("seed", 1, "jitter seed")
+	out := flag.String("o", "", "also write the report to this file (atomic)")
+	flag.Parse()
+
+	if *n <= 0 || *c <= 0 || *programs <= 0 {
+		fmt.Fprintln(os.Stderr, "sraabench: -n, -c, and -programs must be positive")
+		os.Exit(1)
+	}
+
+	suite := corpus.TestSuite(*programs)
+	if len(suite) == 0 {
+		fmt.Fprintln(os.Stderr, "sraabench: empty corpus")
+		os.Exit(1)
+	}
+	var qs []string
+	for _, q := range strings.Split(*queries, ",") {
+		if q = strings.TrimSpace(q); q != "" {
+			qs = append(qs, q)
+		}
+	}
+	var spec *budget.Spec
+	if *budgetTimeout > 0 || *budgetSteps > 0 {
+		spec = &budget.Spec{Timeout: *budgetTimeout, MaxSteps: *budgetSteps}
+	}
+
+	client := &http.Client{}
+	before := fetchStats(client, *addr)
+
+	results := make([]result, *n)
+	var next int64
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(worker)))
+			for {
+				mu.Lock()
+				i := int(next)
+				next++
+				mu.Unlock()
+				if i >= *n {
+					return
+				}
+				prog := suite[i%len(suite)]
+				req := serve.Request{
+					Name:      prog.Name,
+					Lang:      serve.LangMiniC,
+					Source:    prog.Source,
+					Queries:   qs,
+					Interproc: *interproc,
+					Budget:    spec,
+				}
+				results[i] = oneRequest(client, *addr, req, *retries, *backoff, *attemptTimeout, rng)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	after := fetchStats(client, *addr)
+
+	report := render(results, elapsed, *c, before, after)
+	fmt.Print(report)
+	if *out != "" {
+		if err := persist.AtomicWriteFile(*out, []byte(report), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sraabench:", err)
+			os.Exit(1)
+		}
+	}
+
+	var code int
+	for _, r := range results {
+		switch r.outcome {
+		case outServerErr:
+			code = 2
+		case outFailed:
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+// oneRequest runs one logical request through the retry loop.
+func oneRequest(client *http.Client, addr string, req serve.Request, retries int, base, attemptTimeout time.Duration, rng *rand.Rand) result {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return result{outcome: outFailed}
+	}
+	var res result
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		status, resp, retryAfter, err := postAnalyze(client, addr, body, attemptTimeout)
+		switch {
+		case err == nil && status == http.StatusOK:
+			res.latency = time.Since(t0)
+			if resp != nil && resp.Degraded {
+				res.outcome = outDegraded
+			} else {
+				res.outcome = outOK
+			}
+			return res
+		case err == nil && status == http.StatusTooManyRequests:
+			res.sheds++
+			res.outcome = outShed
+		case err == nil && status >= 500:
+			res.outcome = outServerErr
+			return res
+		case err == nil:
+			res.outcome = outBad
+			return res
+		default:
+			res.outcome = outFailed
+		}
+		if attempt >= retries {
+			return res
+		}
+		res.retries++
+		// Exponential backoff with full jitter, floored at the
+		// server's Retry-After hint when one was given.
+		d := base << uint(attempt)
+		d = d/2 + time.Duration(rng.Int63n(int64(d)/2+1))
+		if retryAfter > d {
+			d = retryAfter
+		}
+		time.Sleep(d)
+	}
+}
+
+// postAnalyze performs one attempt. A non-nil error means no usable
+// HTTP response arrived.
+func postAnalyze(client *http.Client, addr string, body []byte, timeout time.Duration) (status int, resp *serve.Response, retryAfter time.Duration, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/analyze", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := client.Do(hreq)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	defer hres.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hres.Body, 16<<20))
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if hres.StatusCode == http.StatusOK {
+		var r serve.Response
+		if jerr := json.Unmarshal(data, &r); jerr == nil {
+			resp = &r
+		}
+	}
+	if ra := hres.Header.Get("Retry-After"); ra != "" {
+		if sec, aerr := strconv.Atoi(ra); aerr == nil && sec > 0 {
+			retryAfter = time.Duration(sec) * time.Second
+		}
+	}
+	return hres.StatusCode, resp, retryAfter, nil
+}
+
+func fetchStats(client *http.Client, addr string) *serve.Snapshot {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/stats", nil)
+	if err != nil {
+		return nil
+	}
+	res, err := client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer res.Body.Close()
+	var snap serve.Snapshot
+	if json.NewDecoder(res.Body).Decode(&snap) != nil {
+		return nil
+	}
+	return &snap
+}
+
+func render(results []result, elapsed time.Duration, workers int, before, after *serve.Snapshot) string {
+	var counts [6]int
+	var lats []time.Duration
+	var retries, sheds int
+	for _, r := range results {
+		counts[r.outcome]++
+		retries += r.retries
+		sheds += r.sheds
+		if r.outcome == outOK || r.outcome == outDegraded {
+			lats = append(lats, r.latency)
+		}
+	}
+	var sb strings.Builder
+	n := len(results)
+	fmt.Fprintf(&sb, "sraabench: %d requests, concurrency %d in %s (%.1f req/s)\n",
+		n, workers, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	fmt.Fprintf(&sb, "outcomes: ok=%d degraded=%d shed=%d bad=%d 5xx=%d failed=%d\n",
+		counts[outOK], counts[outDegraded], counts[outShed], counts[outBad], counts[outServerErr], counts[outFailed])
+	fmt.Fprintf(&sb, "retries: %d (shed attempts seen: %d)\n", retries, sheds)
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Fprintf(&sb, "latency: p50=%s p90=%s p99=%s max=%s\n",
+			pct(lats, 0.50), pct(lats, 0.90), pct(lats, 0.99), lats[len(lats)-1].Round(time.Microsecond))
+	} else {
+		sb.WriteString("latency: no successful requests\n")
+	}
+	if before != nil && after != nil && after.Cache != nil {
+		var h0, m0 int64
+		if before.Cache != nil {
+			h0, m0 = before.Cache.Hits, before.Cache.Misses
+		}
+		dh := after.Cache.Hits - h0
+		dm := after.Cache.Misses - m0
+		rate := 0.0
+		if dh+dm > 0 {
+			rate = float64(dh) / float64(dh+dm)
+		}
+		fmt.Fprintf(&sb, "cache window: hits=%d misses=%d window-hit-rate=%.4f\n", dh, dm, rate)
+	}
+	return sb.String()
+}
+
+// pct returns the q-th percentile of sorted latencies.
+func pct(sorted []time.Duration, q float64) time.Duration {
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Round(time.Microsecond)
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync/atomic"
+	"testing"
+)
+
+// The bench binary is tested against stub servers so its retry,
+// accounting, and exit-code behavior can be asserted exactly; the
+// integration against a real sraad lives in cmd/sraad's E2E tests.
+
+var benchBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "sraabench-e2e")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	benchBin = filepath.Join(dir, "sraabench")
+	if out, err := exec.Command("go", "build", "-o", benchBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building sraabench: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// stubServer answers /analyze by policy and serves /stats snapshots
+// whose cache counters advance per call, so the window arithmetic is
+// checkable.
+func stubServer(analyze http.HandlerFunc) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /analyze", analyze)
+	var statsCalls atomic.Int64
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		// First call (before): 10 hits / 10 misses. Second (after):
+		// +30 hits / +10 misses → window rate 0.75.
+		n := statsCalls.Add(1)
+		fmt.Fprintf(w, `{"requests":0,"cache":{"entries":1,"hits":%d,"misses":%d,"hit_rate":0.5,"persistent":false}}`,
+			10+30*(n-1), 10+10*(n-1))
+	})
+	return httptest.NewServer(mux)
+}
+
+func runBench(t *testing.T, args ...string) (stdout string, exitCode int) {
+	t.Helper()
+	cmd := exec.Command(benchBin, args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("sraabench: %v\nstderr:\n%s", err, errb.String())
+		}
+		exitCode = ee.ExitCode()
+	}
+	return out.String(), exitCode
+}
+
+var outcomesRe = regexp.MustCompile(`outcomes: ok=(\d+) degraded=(\d+) shed=(\d+) bad=(\d+) 5xx=(\d+) failed=(\d+)`)
+
+func parseOutcomes(t *testing.T, out string) (ok, degraded, shed, bad, serverErr, failed int) {
+	t.Helper()
+	m := outcomesRe.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no outcomes line in output:\n%s", out)
+	}
+	vals := make([]int, 6)
+	for i := range vals {
+		vals[i], _ = strconv.Atoi(m[i+1])
+	}
+	return vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]
+}
+
+// TestRetriesRecoverFromSheds: every 3rd attempt is shed without a
+// Retry-After header; the client's backoff retries must convert all
+// of them into eventual 200s. Exit 0, full accounting.
+func TestRetriesRecoverFromSheds(t *testing.T) {
+	var attempts atomic.Int64
+	srv := stubServer(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1)%3 == 0 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]any{"error": "shed"})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"name": "x", "degraded": false})
+	})
+	defer srv.Close()
+
+	out, code := runBench(t, "-addr", srv.URL, "-n", "20", "-c", "4",
+		"-programs", "2", "-retries", "5", "-backoff", "5ms")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	ok, degraded, shed, bad, serverErr, failed := parseOutcomes(t, out)
+	if ok != 20 || degraded+shed+bad+serverErr+failed != 0 {
+		t.Errorf("outcomes ok=%d deg=%d shed=%d bad=%d 5xx=%d failed=%d, want 20 ok only\n%s",
+			ok, degraded, shed, bad, serverErr, failed, out)
+	}
+	// Window arithmetic from the stub's /stats: (40-10)/(40-10+20-10).
+	if !bytes.Contains([]byte(out), []byte("window-hit-rate=0.7500")) {
+		t.Errorf("missing window-hit-rate=0.7500:\n%s", out)
+	}
+	if !regexp.MustCompile(`retries: [1-9]\d*`).MatchString(out) {
+		t.Errorf("expected nonzero retries:\n%s", out)
+	}
+}
+
+// TestServerErrorExitsTwo: any 5xx is a contract violation and must
+// surface as exit code 2 without retrying forever.
+func TestServerErrorExitsTwo(t *testing.T) {
+	srv := stubServer(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	defer srv.Close()
+
+	out, code := runBench(t, "-addr", srv.URL, "-n", "4", "-c", "2", "-programs", "1")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\n%s", code, out)
+	}
+	_, _, _, _, serverErr, _ := parseOutcomes(t, out)
+	if serverErr != 4 {
+		t.Errorf("5xx count %d, want 4\n%s", serverErr, out)
+	}
+}
+
+// TestPersistentShedCountsAsShedNotFailure: a server that always
+// sheds yields outcome shed for every request and still exits 0 —
+// load shedding is the contract working, not an error.
+func TestPersistentShedCountsAsShedNotFailure(t *testing.T) {
+	srv := stubServer(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	defer srv.Close()
+
+	out, code := runBench(t, "-addr", srv.URL, "-n", "6", "-c", "3",
+		"-programs", "1", "-retries", "1", "-backoff", "1ms")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (sheds are not failures)\n%s", code, out)
+	}
+	ok, _, shed, _, _, failed := parseOutcomes(t, out)
+	if ok != 0 || shed != 6 || failed != 0 {
+		t.Errorf("ok=%d shed=%d failed=%d, want 0/6/0\n%s", ok, shed, failed, out)
+	}
+}
+
+// TestTransportFailureExitsOne: nothing listening → every request
+// fails at the transport layer → exit 1.
+func TestTransportFailureExitsOne(t *testing.T) {
+	// Reserve a port and close it so the address is dead.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	addr := srv.URL
+	srv.Close()
+
+	out, code := runBench(t, "-addr", addr, "-n", "2", "-c", "1",
+		"-programs", "1", "-retries", "0", "-attempt-timeout", "2s")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	_, _, _, _, _, failed := parseOutcomes(t, out)
+	if failed != 2 {
+		t.Errorf("failed=%d, want 2\n%s", failed, out)
+	}
+}
+
+// TestReportFileMatchesStdout: -o writes the exact report atomically.
+func TestReportFileMatchesStdout(t *testing.T) {
+	srv := stubServer(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"name": "x"})
+	})
+	defer srv.Close()
+
+	path := filepath.Join(t.TempDir(), "report.txt")
+	out, code := runBench(t, "-addr", srv.URL, "-n", "5", "-c", "2",
+		"-programs", "1", "-o", path)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != out {
+		t.Errorf("report file differs from stdout:\n--- file ---\n%s\n--- stdout ---\n%s", data, out)
+	}
+}

@@ -1,0 +1,227 @@
+// Command sraad is the analysis-as-a-service daemon: it serves the
+// strict-inequalities pipeline over HTTP/JSON (POST /analyze, GET
+// /healthz, GET /stats) with per-request budgets, bounded admission
+// with load shedding, per-request containment, a shared warm memo
+// cache (optionally persisted across restarts), and graceful drain.
+//
+// Usage:
+//
+//	sraad [flags]
+//	sraad -config sraad.json
+//
+// Config file and flags describe the same knobs; an explicitly set
+// flag wins over the config file. Budgets use the shared wire form
+// of budget.Spec: {"timeout":"5s","max_steps":2000000}.
+//
+// Shutdown: the first SIGINT/SIGTERM stops accepting, drains
+// in-flight requests within -drain, flushes the cache store, prints
+// the final stats, and exits 0. A second signal exits 130
+// immediately.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/driver"
+	"repro/internal/harness"
+	"repro/internal/serve"
+)
+
+// fileConfig is the JSON shape of -config. Durations are Go duration
+// strings; budgets are budget.Spec wire forms.
+type fileConfig struct {
+	Addr          string      `json:"addr,omitempty"`
+	InFlight      int         `json:"inflight,omitempty"`
+	Queue         int         `json:"queue,omitempty"`
+	QueueWait     string      `json:"queue_wait,omitempty"`
+	DefaultBudget budget.Spec `json:"default_budget,omitempty"`
+	MaxBudget     budget.Spec `json:"max_budget,omitempty"`
+	MaxSource     int         `json:"max_source,omitempty"`
+	Jobs          int         `json:"jobs,omitempty"`
+	Drain         string      `json:"drain,omitempty"`
+	RetryAfter    string      `json:"retry_after,omitempty"`
+	Cache         *bool       `json:"cache,omitempty"`
+	PersistCache  string      `json:"persist_cache,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8177", "listen address (host:port; port 0 picks a free port)")
+	configPath := flag.String("config", "", "JSON config file; explicitly set flags override it")
+	inflight := flag.Int("inflight", 0, "max concurrently analyzed requests (0 = NumCPU)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4×inflight, negative = no queue)")
+	queueWait := flag.Duration("queue-wait", time.Second, "max time a queued request waits for a slot before being shed")
+	timeout := flag.Duration("timeout", 5*time.Second, "default per-request budget: wall clock per stage")
+	maxIters := flag.Int("max-iters", 2_000_000, "default per-request budget: solver worklist steps")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "ceiling client budgets are clamped to: wall clock")
+	maxItersCap := flag.Int("max-iters-cap", 20_000_000, "ceiling client budgets are clamped to: steps")
+	maxSource := flag.Int("max-source", 1<<20, "max request source size in bytes")
+	jobs := flag.Int("jobs", 1, "function-level workers per request (server parallelizes across requests)")
+	useCache := flag.Bool("cache", true, "share one warm memo cache across requests; stats on /stats")
+	cacheDir := flag.String("persist-cache", "", "durable memo store directory: the warm cache survives restarts")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-drain deadline after SIGINT/SIGTERM")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed (429) responses")
+	injectFault := flag.String("inject-fault", "", "testing only: stage[:func[:afterSteps]] fault injected into every request")
+	flag.Parse()
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	cfg := serve.Config{
+		InFlight:      *inflight,
+		Queue:         *queue,
+		QueueWait:     *queueWait,
+		DefaultBudget: budget.Spec{Timeout: *timeout, MaxSteps: *maxIters},
+		MaxBudget:     budget.Spec{Timeout: *maxTimeout, MaxSteps: *maxItersCap},
+		MaxSource:     *maxSource,
+		Jobs:          *jobs,
+		RetryAfter:    *retryAfter,
+	}
+	listen, drainD, cacheOn, cacheDirV := *addr, *drain, *useCache, *cacheDir
+
+	if *configPath != "" {
+		fc, err := loadConfig(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		// The config file fills every knob whose flag was not
+		// explicitly set on the command line.
+		if fc.Addr != "" && !explicit["addr"] {
+			listen = fc.Addr
+		}
+		if fc.InFlight != 0 && !explicit["inflight"] {
+			cfg.InFlight = fc.InFlight
+		}
+		if fc.Queue != 0 && !explicit["queue"] {
+			cfg.Queue = fc.Queue
+		}
+		if err := applyDur(&cfg.QueueWait, fc.QueueWait, explicit["queue-wait"]); err != nil {
+			fatal(err)
+		}
+		if fc.DefaultBudget.Limited() && !explicit["timeout"] && !explicit["max-iters"] {
+			cfg.DefaultBudget = fc.DefaultBudget
+		}
+		if fc.MaxBudget.Limited() && !explicit["max-timeout"] && !explicit["max-iters-cap"] {
+			cfg.MaxBudget = fc.MaxBudget
+		}
+		if fc.MaxSource != 0 && !explicit["max-source"] {
+			cfg.MaxSource = fc.MaxSource
+		}
+		if fc.Jobs != 0 && !explicit["jobs"] {
+			cfg.Jobs = fc.Jobs
+		}
+		if err := applyDur(&drainD, fc.Drain, explicit["drain"]); err != nil {
+			fatal(err)
+		}
+		if err := applyDur(&cfg.RetryAfter, fc.RetryAfter, explicit["retry-after"]); err != nil {
+			fatal(err)
+		}
+		if fc.Cache != nil && !explicit["cache"] {
+			cacheOn = *fc.Cache
+		}
+		if fc.PersistCache != "" && !explicit["persist-cache"] {
+			cacheDirV = fc.PersistCache
+		}
+	}
+
+	if *injectFault != "" {
+		fault, err := parseFault(*injectFault)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Fault = fault
+		fmt.Fprintf(os.Stderr, "sraad: FAULT INJECTION ACTIVE: %+v\n", *fault)
+	}
+
+	cache, err := driver.OpenCache(cacheOn, cacheDirV)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Cache = cache
+
+	ctx, stop := driver.SignalContext()
+	defer stop()
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	srv := serve.New(cfg)
+	// The "listening on" line carries the resolved port for wrappers
+	// that pass port 0.
+	fmt.Fprintf(os.Stderr, "sraad: listening on %s\n", ln.Addr())
+
+	err = srv.Serve(ctx, ln, drainD)
+
+	// Epilogue: final counters on stderr, machine-readable, so a
+	// supervisor can tell a clean drain flushed its state.
+	snap := srv.Snapshot()
+	if data, jerr := json.Marshal(snap); jerr == nil {
+		fmt.Fprintf(os.Stderr, "sraad: final stats %s\n", data)
+	}
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "sraad: cache %s\n", cache.Stats())
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sraad: drained cleanly (%d requests, %d shed, %d quarantined)\n",
+		snap.Requests, snap.Shed, snap.Quarantined)
+}
+
+func loadConfig(path string) (*fileConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var fc fileConfig
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fc); err != nil {
+		return nil, fmt.Errorf("config %s: %w", path, err)
+	}
+	return &fc, nil
+}
+
+// applyDur overwrites *dst with the config value unless the matching
+// flag was explicitly set.
+func applyDur(dst *time.Duration, v string, flagSet bool) error {
+	if v == "" || flagSet {
+		return nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return fmt.Errorf("config duration %q: %w", v, err)
+	}
+	*dst = d
+	return nil
+}
+
+// parseFault parses "stage[:func[:afterSteps]]".
+func parseFault(s string) (*harness.FaultConfig, error) {
+	parts := strings.SplitN(s, ":", 3)
+	fc := &harness.FaultConfig{Stage: parts[0]}
+	if len(parts) > 1 {
+		fc.Func = parts[1]
+	}
+	if len(parts) > 2 {
+		n, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("inject-fault steps %q: %w", parts[2], err)
+		}
+		fc.AfterSteps = n
+	}
+	return fc, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sraad:", err)
+	os.Exit(1)
+}

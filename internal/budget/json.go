@@ -1,0 +1,103 @@
+// JSON wire form of a Spec. The daemon (internal/serve) accepts a
+// per-request budget in its request body and reads the same shape
+// from its config file, and flag-driven drivers build Specs directly
+// — one parsed representation for all three, so a budget means the
+// same thing wherever it is written down.
+//
+// The wire form spells the timeout as a Go duration string:
+//
+//	{"timeout":"250ms","max_steps":100000}
+//
+// Both fields are optional; an absent field means "unlimited", like
+// the zero Spec. Unknown fields are rejected — a misspelled
+// "max_step" in a config file must fail loudly, not silently lift a
+// limit.
+package budget
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// specWire is the JSON shape of a Spec.
+type specWire struct {
+	Timeout  string `json:"timeout,omitempty"`
+	MaxSteps int    `json:"max_steps,omitempty"`
+}
+
+// MarshalJSON renders s in the wire form. The zero Spec marshals to
+// {} so configs that leave budgets unlimited stay visibly empty.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	w := specWire{MaxSteps: s.MaxSteps}
+	if s.Timeout != 0 {
+		w.Timeout = s.Timeout.String()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON parses the wire form, rejecting unknown fields,
+// malformed durations, and negative limits. On error *s is left
+// unchanged, so a half-parsed budget can never leak into a request.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var w specWire
+	if err := dec.Decode(&w); err != nil {
+		return fmt.Errorf("budget spec: %w", err)
+	}
+	out := Spec{MaxSteps: w.MaxSteps}
+	if w.Timeout != "" {
+		d, err := time.ParseDuration(w.Timeout)
+		if err != nil {
+			return fmt.Errorf("budget spec: %w", err)
+		}
+		out.Timeout = d
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*s = out
+	return nil
+}
+
+// Validate rejects limits that cannot describe an intended budget: a
+// negative timeout (Limited treats it as an already-passed deadline,
+// which no one writes in a config on purpose) or a negative step cap.
+func (s Spec) Validate() error {
+	if s.Timeout < 0 {
+		return fmt.Errorf("budget spec: negative timeout %s", s.Timeout)
+	}
+	if s.MaxSteps < 0 {
+		return fmt.Errorf("budget spec: negative max_steps %d", s.MaxSteps)
+	}
+	return nil
+}
+
+// Clamp returns the tighter of s and max, limit by limit: a zero
+// (unlimited) limit on either side defers to the other. Servers use
+// it to cap client-supplied budgets by their configured ceiling.
+func (s Spec) Clamp(max Spec) Spec {
+	out := s
+	if max.Timeout > 0 && (out.Timeout == 0 || out.Timeout > max.Timeout) {
+		out.Timeout = max.Timeout
+	}
+	if max.MaxSteps > 0 && (out.MaxSteps == 0 || out.MaxSteps > max.MaxSteps) {
+		out.MaxSteps = max.MaxSteps
+	}
+	return out
+}
+
+// ParseSpec parses the wire form from a byte slice, a convenience
+// for config loaders.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,137 @@
+package budget
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpecJSONRoundTrip: marshal → unmarshal is the identity on every
+// valid spec, including the zero one.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{},
+		{Timeout: 250 * time.Millisecond},
+		{MaxSteps: 100000},
+		{Timeout: 2 * time.Second, MaxSteps: 1},
+		{Timeout: time.Hour + 30*time.Minute, MaxSteps: 1 << 30},
+	}
+	for _, want := range specs {
+		data, err := json.Marshal(want)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", want, err)
+		}
+		var got Spec
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if got != want {
+			t.Errorf("round trip %s: got %+v, want %+v", data, got, want)
+		}
+	}
+}
+
+// TestSpecJSONWireForm pins the wire shape: duration strings, zero
+// spec as {}.
+func TestSpecJSONWireForm(t *testing.T) {
+	data, err := json.Marshal(Spec{Timeout: 1500 * time.Millisecond, MaxSteps: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"timeout":"1.5s","max_steps":42}`; string(data) != want {
+		t.Errorf("wire form = %s, want %s", data, want)
+	}
+	data, err = json.Marshal(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{}`; string(data) != want {
+		t.Errorf("zero spec wire form = %s, want %s", data, want)
+	}
+}
+
+// TestSpecJSONRejects: malformed input must error and leave the
+// target spec untouched.
+func TestSpecJSONRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"bad duration", `{"timeout":"5 parsecs"}`, "duration"},
+		{"numeric timeout", `{"timeout":250}`, "cannot unmarshal"},
+		{"negative steps", `{"max_steps":-1}`, "negative max_steps"},
+		{"negative timeout", `{"timeout":"-3s"}`, "negative timeout"},
+		{"unknown field", `{"max_step":7}`, "unknown field"},
+		{"not an object", `["5s"]`, "cannot unmarshal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Spec{Timeout: time.Second, MaxSteps: 9}
+			err := json.Unmarshal([]byte(tc.in), &s)
+			if err == nil {
+				t.Fatalf("unmarshal %s: want error, got %+v", tc.in, s)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("unmarshal %s: error %q, want mention of %q", tc.in, err, tc.wantErr)
+			}
+			if (s != Spec{Timeout: time.Second, MaxSteps: 9}) {
+				t.Errorf("unmarshal %s: spec mutated on error: %+v", tc.in, s)
+			}
+		})
+	}
+}
+
+// TestSpecValidate: negative limits are rejected, everything else is
+// allowed (zero means unlimited).
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{}).Validate(); err != nil {
+		t.Errorf("zero spec: %v", err)
+	}
+	if err := (Spec{Timeout: -time.Second}).Validate(); err == nil {
+		t.Error("negative timeout passed validation")
+	}
+	if err := (Spec{MaxSteps: -5}).Validate(); err == nil {
+		t.Error("negative max_steps passed validation")
+	}
+	if _, err := json.Marshal(Spec{Timeout: -time.Second}); err == nil {
+		t.Error("marshal of invalid spec succeeded")
+	}
+}
+
+// TestSpecClamp: limit-by-limit minimum with zero meaning unlimited.
+func TestSpecClamp(t *testing.T) {
+	max := Spec{Timeout: time.Second, MaxSteps: 100}
+	cases := []struct {
+		in, want Spec
+	}{
+		{Spec{}, max}, // unlimited request takes the ceiling
+		{Spec{Timeout: 10 * time.Second}, Spec{Timeout: time.Second, MaxSteps: 100}},
+		{Spec{Timeout: 10 * time.Millisecond, MaxSteps: 7}, Spec{Timeout: 10 * time.Millisecond, MaxSteps: 7}},
+		{Spec{MaxSteps: 1000}, Spec{Timeout: time.Second, MaxSteps: 100}},
+	}
+	for _, tc := range cases {
+		if got := tc.in.Clamp(max); got != tc.want {
+			t.Errorf("%+v.Clamp(%+v) = %+v, want %+v", tc.in, max, got, tc.want)
+		}
+	}
+	// A zero ceiling clamps nothing.
+	free := Spec{Timeout: time.Minute, MaxSteps: 3}
+	if got := free.Clamp(Spec{}); got != free {
+		t.Errorf("Clamp(zero) = %+v, want %+v", got, free)
+	}
+}
+
+// TestParseSpec: the config-loader convenience accepts the same wire
+// form.
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"timeout":"30ms","max_steps":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (Spec{Timeout: 30 * time.Millisecond, MaxSteps: 3}); s != want {
+		t.Errorf("ParseSpec = %+v, want %+v", s, want)
+	}
+	if _, err := ParseSpec([]byte(`{"timeout":7}`)); err == nil {
+		t.Error("ParseSpec accepted numeric timeout")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
 
 	"repro/internal/harness"
@@ -32,12 +33,70 @@ import (
 // genuine failure.
 const ExitInterrupted = 130
 
+var (
+	sigMu     sync.Mutex
+	sigCtx    context.Context
+	sigCancel context.CancelFunc
+)
+
 // SignalContext returns a context canceled by SIGINT or SIGTERM. The
-// first signal starts a graceful drain (in-flight work finishes and
-// is journaled); a second signal restores default handling, so it
-// kills the process the traditional way.
+// first signal starts a graceful drain: the context is canceled,
+// in-flight work finishes and is journaled, the process exits on its
+// own. A second signal is the operator insisting: the process exits
+// ExitInterrupted immediately, without waiting on the drain.
+//
+// SignalContext is idempotent: every call returns the same context
+// and cancel function, so a daemon and the batch drivers embedded in
+// it share one drain signal instead of racing separate handlers. The
+// cancel function releases the signal handler (restoring default
+// delivery) and cancels the context; callers defer it as before.
 func SignalContext() (context.Context, context.CancelFunc) {
-	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	sigMu.Lock()
+	defer sigMu.Unlock()
+	if sigCtx == nil {
+		sigCtx, sigCancel = signalContext(notifySignals, os.Exit)
+	}
+	return sigCtx, sigCancel
+}
+
+// notifySignals subscribes ch to the interrupt signals and returns
+// the unsubscribe function. Split out so tests can inject their own
+// delivery channel.
+func notifySignals(ch chan os.Signal) func() {
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	return func() { signal.Stop(ch) }
+}
+
+// signalContext implements SignalContext with injectable signal
+// delivery and exit, the testable core. The returned cancel is safe
+// to call any number of times.
+func signalContext(notify func(chan os.Signal) func(), exit func(int)) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	stop := notify(ch)
+	quit := make(chan struct{})
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			stop()
+			close(quit)
+			cancel()
+		})
+	}
+	go func() {
+		select {
+		case <-ch: // first signal: begin graceful drain
+		case <-quit: // caller finished without a signal
+			return
+		}
+		cancel()
+		select {
+		case <-ch: // second signal: the operator wants out now
+			exit(ExitInterrupted)
+		case <-quit:
+		}
+	}()
+	return ctx, release
 }
 
 // CheckpointPath is where OpenState puts the journal inside a state

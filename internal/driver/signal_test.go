@@ -1,0 +1,132 @@
+package driver
+
+import (
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// fakeNotify returns a notify function for signalContext that hands
+// the delivery channel to the test instead of subscribing to real OS
+// signals, plus the channels to drive and observe it.
+func fakeNotify() (notify func(chan os.Signal) func(), deliver func(os.Signal) bool, stopped chan struct{}) {
+	var ch chan os.Signal
+	stopped = make(chan struct{}, 1)
+	notify = func(c chan os.Signal) func() {
+		ch = c
+		return func() { stopped <- struct{}{} }
+	}
+	deliver = func(s os.Signal) bool {
+		select {
+		case ch <- s:
+			return true
+		case <-time.After(50 * time.Millisecond):
+			return false
+		}
+	}
+	return notify, deliver, stopped
+}
+
+// TestSignalContextFirstCancelsSecondExits: signal one → context
+// canceled, no exit; signal two → hard exit with ExitInterrupted.
+func TestSignalContextFirstCancelsSecondExits(t *testing.T) {
+	notify, deliver, _ := fakeNotify()
+	exited := make(chan int, 1)
+	ctx, cancel := signalContext(notify, func(code int) { exited <- code })
+	defer cancel()
+
+	select {
+	case <-ctx.Done():
+		t.Fatal("context canceled before any signal")
+	default:
+	}
+
+	deliver(syscall.SIGTERM)
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("first signal did not cancel the context")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("first signal exited the process (code %d)", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	deliver(syscall.SIGINT)
+	select {
+	case code := <-exited:
+		if code != ExitInterrupted {
+			t.Fatalf("second signal exited %d, want %d", code, ExitInterrupted)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second signal did not force an exit")
+	}
+}
+
+// TestSignalContextCancelReleases: canceling before any signal
+// unsubscribes and stops the watcher; a signal delivered afterwards
+// must not exit the process. Cancel is safe to call repeatedly.
+func TestSignalContextCancelReleases(t *testing.T) {
+	notify, deliver, stopped := fakeNotify()
+	exited := make(chan int, 1)
+	ctx, cancel := signalContext(notify, func(code int) { exited <- code })
+
+	cancel()
+	cancel() // idempotent: second call is a no-op, not a double-release
+	select {
+	case <-stopped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancel did not release the signal subscription")
+	}
+	if ctx.Err() == nil {
+		t.Fatal("cancel did not cancel the context")
+	}
+	// Delivery is stopped: a late signal may or may not be buffered,
+	// but it must never reach exit.
+	deliver(syscall.SIGTERM)
+	select {
+	case code := <-exited:
+		t.Fatalf("signal after cancel exited the process (code %d)", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestSignalContextDrainThenCancelNoExit: after the first signal a
+// clean drain calls cancel; a stale second signal arriving after that
+// release must not kill the (already exiting) process via exit.
+func TestSignalContextDrainThenCancelNoExit(t *testing.T) {
+	notify, deliver, _ := fakeNotify()
+	exited := make(chan int, 1)
+	ctx, cancel := signalContext(notify, func(code int) { exited <- code })
+
+	deliver(syscall.SIGTERM)
+	<-ctx.Done()
+	cancel() // drain complete
+	deliver(syscall.SIGTERM)
+	select {
+	case code := <-exited:
+		t.Fatalf("signal after completed drain exited the process (code %d)", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestSignalContextIdempotent: every call shares one context, so a
+// daemon and the batch drivers embedded in it observe the same drain
+// signal instead of racing separate handlers.
+func TestSignalContextIdempotent(t *testing.T) {
+	ctx1, cancel1 := SignalContext()
+	defer cancel1()
+	ctx2, cancel2 := SignalContext()
+	defer cancel2()
+	if ctx1 != ctx2 {
+		t.Error("SignalContext returned distinct contexts")
+	}
+	// Releasing through either handle cancels both views — they are
+	// the same context.
+	cancel2()
+	if ctx1.Err() == nil {
+		t.Error("shared context not canceled through second handle")
+	}
+}

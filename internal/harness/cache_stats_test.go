@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+)
+
+// The serving daemon shares one Cache across every in-flight request
+// and exports its counters on /stats, so the counters must stay
+// exact — not merely race-free — under heavy concurrent mixing of
+// hits, misses, disk promotions, and stores. These tests pin the
+// arithmetic: every Lookup is counted exactly once as a hit or a
+// miss, and every distinct disk promotion exactly once.
+
+func statsArtifact(i int) *core.FuncArtifact {
+	return &core.FuncArtifact{
+		Vars: []string{fmt.Sprintf("%%v%d", i)},
+		Sets: [][]int32{{}},
+		Stats: core.FuncStats{
+			Instrs: i, Vars: 1, SetSizes: map[int]int{0: 1},
+		},
+	}
+}
+
+func statsKey(i int) string { return fmt.Sprintf("%064x", i) }
+
+// TestCacheStatsConcurrentExact hammers a store-backed cache from
+// many goroutines and checks the totals add up exactly.
+func TestCacheStatsConcurrentExact(t *testing.T) {
+	dir := t.TempDir()
+
+	// Prepopulate the durable store with diskKeys artifacts through a
+	// throwaway cache, then reopen so the second cache starts cold in
+	// memory but warm on disk.
+	const diskKeys = 8
+	st, err := persist.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewCacheWithStore(st)
+	for i := 0; i < diskKeys; i++ {
+		warm.Store(statsKey(i), statsArtifact(i))
+	}
+
+	st2, err := persist.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCacheWithStore(st2)
+
+	const (
+		workers = 16
+		rounds  = 50
+		// Each worker round touches: diskKeys prepopulated keys,
+		// memKeys keys stored during the run, missKeys never-stored
+		// keys.
+		memKeys  = 4
+		missKeys = 4
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < diskKeys; i++ {
+					if _, ok := c.Lookup(statsKey(i)); !ok {
+						t.Errorf("disk-backed key %d missed", i)
+					}
+				}
+				for i := 0; i < memKeys; i++ {
+					k := statsKey(100 + i)
+					if _, ok := c.Lookup(k); !ok {
+						c.Store(k, statsArtifact(100+i))
+					}
+				}
+				for i := 0; i < missKeys; i++ {
+					c.Lookup(statsKey(1000 + 10*w + i)) // per-worker, never stored
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st3 := c.Stats()
+	totalLookups := int64(workers * rounds * (diskKeys + memKeys + missKeys))
+	if st3.Hits+st3.Misses != totalLookups {
+		t.Errorf("hits %d + misses %d = %d, want exactly %d lookups",
+			st3.Hits, st3.Misses, st3.Hits+st3.Misses, totalLookups)
+	}
+	// Disk-backed keys are promoted into memory at most once each;
+	// every other lookup of them is a memory hit.
+	if st3.DiskHits != diskKeys {
+		t.Errorf("disk hits = %d, want exactly %d (one promotion per stored key)", st3.DiskHits, diskKeys)
+	}
+	// Misses: never-stored keys always miss; each mem key misses at
+	// least once (before the first Store) and each disk key never
+	// misses. The miss count is bounded, not fixed — the Lookup/Store
+	// pair is not atomic — but the floor and ceiling are exact.
+	minMisses := int64(workers * rounds * missKeys)
+	maxMisses := minMisses + int64(workers*memKeys) // every worker can lose the race once per key
+	if st3.Misses < minMisses || st3.Misses > maxMisses {
+		t.Errorf("misses = %d, want in [%d, %d]", st3.Misses, minMisses, maxMisses)
+	}
+	if st3.Entries != diskKeys+memKeys {
+		t.Errorf("entries = %d, want %d", st3.Entries, diskKeys+memKeys)
+	}
+	if !st3.Persistent {
+		t.Error("store-backed cache not marked persistent")
+	}
+	if st3.Store.Loaded != diskKeys {
+		t.Errorf("store loaded = %d, want %d", st3.Store.Loaded, diskKeys)
+	}
+	if st3.Store.PutErrors != 0 {
+		t.Errorf("store put errors = %d", st3.Store.PutErrors)
+	}
+
+	// The snapshot rate agrees with its own counters.
+	if got, want := st3.HitRate(), float64(st3.Hits)/float64(st3.Hits+st3.Misses); got != want {
+		t.Errorf("HitRate() = %f, want %f", got, want)
+	}
+}
+
+// TestCacheStatsInMemoryConcurrent is the pure in-memory variant: no
+// store, so DiskHits must stay zero and Persistent false.
+func TestCacheStatsInMemoryConcurrent(t *testing.T) {
+	c := NewCache()
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				k := statsKey(i % 5)
+				if _, ok := c.Lookup(k); !ok {
+					c.Store(k, statsArtifact(i%5))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != workers*perWorker {
+		t.Errorf("hits %d + misses %d != %d lookups", st.Hits, st.Misses, workers*perWorker)
+	}
+	if st.DiskHits != 0 || st.Persistent {
+		t.Errorf("in-memory cache reports disk: diskHits=%d persistent=%t", st.DiskHits, st.Persistent)
+	}
+	if st.Entries != 5 {
+		t.Errorf("entries = %d, want 5", st.Entries)
+	}
+}

@@ -106,8 +106,19 @@ type Config struct {
 	Jobs int
 	// Cache, when non-nil, memoizes per-function less-than solves by
 	// content hash (see cache.go). It may be shared across pipelines.
-	// Budgeted and fault-injected runs bypass it.
+	// Budgeted and fault-injected runs bypass it unless CacheBudgeted
+	// is set.
 	Cache *Cache
+	// CacheBudgeted lets a budgeted run consult the cache. Stores are
+	// safe either way — core only exports artifacts of solves that
+	// completed without exhaustion — but a lookup may serve a complete
+	// artifact where this run's budget would have degraded, so the
+	// answer can be strictly more precise than an uncached run's
+	// (never less sound). Long-running servers want exactly that:
+	// per-request budgets and a shared warm cache. Batch drivers that
+	// prove byte-identical serial/parallel/cached reports leave it
+	// unset. Fault-injected runs always bypass the cache.
+	CacheBudgeted bool
 
 	// Fault injects one deliberate failure (tests only).
 	Fault *FaultConfig

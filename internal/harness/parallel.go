@@ -46,11 +46,19 @@ func (p *Pipeline) jobs() int {
 }
 
 // cacheEnabled reports whether the memo cache participates in this
-// run. Budgeted and fault-injected runs bypass it: their outcomes
-// depend on wall clock and injected state, so memoizing them would
-// let one run's degradation leak into another's answers.
+// run. Budgeted runs bypass it by default — a cached artifact could
+// answer where this run's budget would have degraded, which breaks
+// the byte-identical determinism the differential suite pins — but
+// Config.CacheBudgeted opts in for servers, where that extra
+// precision is welcome and sound (degraded solves are never stored;
+// see core/memo.go). Fault-injected runs always bypass: their
+// outcomes depend on injected state, so memoizing them would let one
+// run's degradation leak into another's answers.
 func (p *Pipeline) cacheEnabled() bool {
-	return p.cfg.Cache != nil && p.cfg.Timeout == 0 && p.cfg.MaxSteps == 0 && p.cfg.Fault == nil
+	if p.cfg.Cache == nil || p.cfg.Fault != nil {
+		return false
+	}
+	return p.cfg.CacheBudgeted || (p.cfg.Timeout == 0 && p.cfg.MaxSteps == 0)
 }
 
 // runFuncStage applies one per-function stage body to every

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrShed is returned by Gate.Acquire when the request cannot be
+// admitted: the in-flight limit is reached and the waiting queue is
+// full (or the caller's queue wait expired). Handlers translate it
+// to 429 + Retry-After.
+var ErrShed = errors.New("overloaded: request shed")
+
+// Gate is the admission controller: a hard cap on concurrently
+// served requests plus a bounded waiting room in front of it. Under
+// overload it fails fast — a full queue sheds immediately, and a
+// queued request waits at most its configured patience — so latency
+// stays bounded and the process never accumulates unbounded work.
+type Gate struct {
+	slots    chan struct{} // in-flight tokens, capacity = limit
+	maxQueue int64
+	wait     time.Duration
+
+	queued   atomic.Int64
+	admitted atomic.Int64
+	shed     atomic.Int64
+}
+
+// NewGate builds a gate admitting at most inflight concurrent
+// requests with at most queue waiters; a waiter is shed after wait
+// (0 means "do not wait at all": no slot now → shed, even when the
+// queue has room).
+func NewGate(inflight, queue int, wait time.Duration) *Gate {
+	if inflight < 1 {
+		inflight = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Gate{
+		slots:    make(chan struct{}, inflight),
+		maxQueue: int64(queue),
+		wait:     wait,
+	}
+}
+
+// Acquire claims an in-flight slot, queueing within the gate's
+// bounds. It returns the release function on admission, ErrShed when
+// load must be shed, or ctx.Err() when the caller gave up first. The
+// release function must be called exactly once.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot, no queueing.
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return g.release, nil
+	default:
+	}
+	// Join the bounded queue, or shed on the spot.
+	if g.queued.Add(1) > g.maxQueue || g.wait <= 0 {
+		g.queued.Add(-1)
+		g.shed.Add(1)
+		return nil, ErrShed
+	}
+	defer g.queued.Add(-1)
+	timer := time.NewTimer(g.wait)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return g.release, nil
+	case <-timer.C:
+		g.shed.Add(1)
+		return nil, ErrShed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (g *Gate) release() { <-g.slots }
+
+// InFlight is the number of requests currently holding a slot.
+func (g *Gate) InFlight() int { return len(g.slots) }
+
+// Queued is the number of requests currently waiting for a slot.
+func (g *Gate) Queued() int { return int(g.queued.Load()) }
+
+// Admitted and Shed are cumulative counters since construction.
+func (g *Gate) Admitted() int64 { return g.admitted.Load() }
+func (g *Gate) Shed() int64     { return g.shed.Load() }

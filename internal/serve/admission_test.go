@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestGateFastPath: free slots admit immediately and release returns
+// them.
+func TestGateFastPath(t *testing.T) {
+	g := NewGate(2, 0, 0)
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	r1()
+	r2()
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", got)
+	}
+	if g.Admitted() != 2 || g.Shed() != 0 {
+		t.Fatalf("admitted=%d shed=%d, want 2/0", g.Admitted(), g.Shed())
+	}
+}
+
+// TestGateShedsWhenFull: no slot and no queue room → immediate
+// ErrShed, counted.
+func TestGateShedsWhenFull(t *testing.T) {
+	g := NewGate(1, 0, time.Second)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("second acquire: %v, want ErrShed", err)
+	}
+	if g.Shed() != 1 {
+		t.Fatalf("shed = %d, want 1", g.Shed())
+	}
+}
+
+// TestGateQueueAdmitsOnRelease: a queued waiter gets the slot the
+// moment it frees up.
+func TestGateQueueAdmitsOnRelease(t *testing.T) {
+	g := NewGate(1, 1, 5*time.Second)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r, err := g.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		got <- err
+	}()
+	// Wait for the goroutine to join the queue, then release.
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if g.Queued() != 1 {
+		t.Fatal("waiter never queued")
+	}
+	release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("queued acquire: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued waiter never admitted")
+	}
+}
+
+// TestGateQueueWaitExpires: a waiter is shed once its patience runs
+// out, keeping worst-case latency bounded.
+func TestGateQueueWaitExpires(t *testing.T) {
+	g := NewGate(1, 4, 30*time.Millisecond)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("acquire: %v, want ErrShed", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("shed took %s, want ~30ms", d)
+	}
+	if g.Queued() != 0 {
+		t.Fatalf("queued = %d after shed, want 0", g.Queued())
+	}
+}
+
+// TestGateQueueOverflowSheds: the queue itself is bounded; waiter
+// N+1 is shed immediately while the queue is full.
+func TestGateQueueOverflowSheds(t *testing.T) {
+	g := NewGate(1, 1, 5*time.Second)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		r, err := g.Acquire(context.Background())
+		if err == nil {
+			defer r()
+		}
+		queued <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Queue full: this one sheds on the spot.
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("overflow acquire: %v, want ErrShed", err)
+	}
+	release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+}
+
+// TestGateCtxCancelWhileQueued: a caller that gives up gets its
+// context error, not ErrShed, and leaves the queue.
+func TestGateCtxCancelWhileQueued(t *testing.T) {
+	g := NewGate(1, 2, 5*time.Second)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx)
+		got <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("acquire after cancel: %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled waiter never returned")
+	}
+	if g.Queued() != 0 {
+		t.Fatalf("queued = %d after cancel, want 0", g.Queued())
+	}
+}

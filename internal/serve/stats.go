@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// stats aggregates the server's lifetime counters. All fields are
+// monotonic atomics; the snapshot is advisory (counters are read
+// independently), which is fine for an observability endpoint.
+type stats struct {
+	start       time.Time
+	requests    atomic.Int64 // analyze requests received
+	ok          atomic.Int64 // 200 with degraded=false
+	degraded    atomic.Int64 // 200 with degraded=true
+	badRequest  atomic.Int64 // 400
+	shed        atomic.Int64 // 429
+	canceled    atomic.Int64 // client went away before an answer
+	quarantined atomic.Int64 // panics contained at the serve layer
+	draining    atomic.Bool
+}
+
+// Snapshot is the JSON body of /stats (and the tail of /healthz).
+type Snapshot struct {
+	UptimeSec float64 `json:"uptime_sec"`
+	Draining  bool    `json:"draining"`
+
+	Requests    int64 `json:"requests"`
+	OK          int64 `json:"ok"`
+	Degraded    int64 `json:"degraded"`
+	BadRequest  int64 `json:"bad_request"`
+	Shed        int64 `json:"shed"`
+	Canceled    int64 `json:"canceled"`
+	Quarantined int64 `json:"quarantined"`
+
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
+
+	// Cache describes the shared memo cache; absent when the server
+	// runs uncached.
+	Cache *CacheSnapshot `json:"cache,omitempty"`
+}
+
+// CacheSnapshot is the serving view of harness.CacheStats.
+type CacheSnapshot struct {
+	Entries  int     `json:"entries"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+	DiskHits int64   `json:"disk_hits,omitempty"`
+	// Store mirrors the durable store's counters when the cache is
+	// persistent.
+	StoreLoaded      int  `json:"store_loaded,omitempty"`
+	StoreQuarantined int  `json:"store_quarantined,omitempty"`
+	StorePuts        int  `json:"store_puts,omitempty"`
+	StorePutErrors   int  `json:"store_put_errors,omitempty"`
+	Persistent       bool `json:"persistent"`
+}
+
+func cacheSnapshot(c *harness.Cache) *CacheSnapshot {
+	if c == nil {
+		return nil
+	}
+	st := c.Stats()
+	return &CacheSnapshot{
+		Entries:          st.Entries,
+		Hits:             st.Hits,
+		Misses:           st.Misses,
+		HitRate:          st.HitRate(),
+		DiskHits:         st.DiskHits,
+		StoreLoaded:      st.Store.Loaded,
+		StoreQuarantined: st.Store.Quarantined,
+		StorePuts:        st.Store.Puts,
+		StorePutErrors:   st.Store.PutErrors,
+		Persistent:       st.Persistent,
+	}
+}
