@@ -3,7 +3,8 @@
 // 2006 stand-in, 16 workloads), and Figure 10 (adding the Andersen-
 // style CF analysis). For every benchmark it runs the aa-eval
 // protocol — all pairs of pointers per function — against BA, LT,
-// BA+LT, and optionally BA+CF, and prints one row per benchmark.
+// BA+LT, and optionally ST (-steens) and BA+CF (-cf), and prints one
+// row per benchmark.
 //
 // With -state DIR each benchmark's row is journaled as it completes;
 // a run killed mid-suite and restarted with -resume skips the
@@ -45,6 +46,7 @@ func run() int {
 	suite := flag.String("suite", "spec", "benchmark suite: spec | testsuite")
 	n := flag.Int("n", 100, "number of programs for -suite testsuite")
 	withCF := flag.Bool("cf", false, "also evaluate the Andersen-style CF analysis (Figure 10)")
+	withST := flag.Bool("steens", false, "also evaluate the Steensgaard-style unification analysis (ST)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	timeout := flag.Duration("timeout", 0, "per-stage analysis deadline per benchmark (0 = unlimited); exhausted stages degrade soundly")
 	maxIters := flag.Int("max-iters", 0, "per-solve worklist step cap (0 = unlimited)")
@@ -110,6 +112,7 @@ func run() int {
 		MaxSteps: *maxIters,
 		Strict:   *strict,
 		WithCF:   *withCF,
+		WithST:   *withST,
 		Cache:    cache,
 	}
 	exit := 0
@@ -124,6 +127,9 @@ func run() int {
 			ba := alias.NewBasic(m)
 			lt := alias.NewSRAA(out.Res.LT)
 			analyses := []alias.Analysis{ba, lt, alias.NewChain(ba, lt)}
+			if *withST {
+				analyses = append(analyses, out.Res.ST)
+			}
 			if *withCF {
 				analyses = append(analyses, alias.NewChain(ba, out.Res.CF))
 			}

@@ -4,7 +4,7 @@
 // file), runs the e-SSA construction, range analysis and the
 // less-than analysis, and reports whatever combination of outputs is
 // requested — the transformed IR, the LT sets, and an aa-eval style
-// alias report comparing BA, LT and BA+LT.
+// alias report comparing BA, LT and BA+LT (plus ST and CF on request).
 //
 // Usage:
 //
@@ -38,6 +38,7 @@ func main() {
 	dumpLT := flag.Bool("lt", false, "print the non-empty LT sets")
 	dumpRanges := flag.Bool("ranges", false, "print the non-trivial integer ranges")
 	withCF := flag.Bool("cf", false, "include the Andersen-style CF analysis in the report")
+	withST := flag.Bool("steens", false, "include the Steensgaard-style unification analysis (ST) in the report")
 	dot := flag.Bool("dot", false, "print the inequality graph in Graphviz syntax (transitively reduced)")
 	optimize := flag.Bool("O", false, "run the alias-driven optimizations (constant folding, redundant-load and dead-store elimination) and report what they removed")
 	interproc := flag.Bool("interproc", false, "enable the inter-procedural parameter facts of Section 4")
@@ -84,6 +85,7 @@ func main() {
 		Strict:          *strict,
 		Interprocedural: *interproc,
 		WithCF:          *withCF,
+		WithST:          *withST,
 		Jobs:            *jobs,
 		Cache:           cache,
 	})
@@ -168,6 +170,9 @@ func main() {
 		ba := alias.NewBasic(m)
 		lt := alias.NewSRAA(prep.LT)
 		analyses := []alias.Analysis{ba, lt, alias.NewChain(ba, lt)}
+		if *withST {
+			analyses = append(analyses, prep.ST)
+		}
 		if *withCF {
 			analyses = append(analyses, prep.CF, alias.NewChain(ba, prep.CF))
 		}

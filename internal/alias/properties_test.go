@@ -1,6 +1,7 @@
 package alias_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/alias"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/csmith"
 	"repro/internal/minic"
+	"repro/internal/steens"
 )
 
 // TestAliasSymmetry: Alias(a, b) must equal Alias(b, a) for every
@@ -81,6 +83,60 @@ int f(int *v, int i) {
 				}
 			}
 		}
+	}
+}
+
+// TestSteensgaardOverApproximatesAndersen: unification is a coarsening
+// of inclusion — for every pair where Andersen answers MayAlias,
+// Steensgaard must too (equivalently: Steensgaard may answer NoAlias
+// only where Andersen does). The sweep covers the corpus plus ≥200
+// csmith programs, sharded across parallel subtests so the race
+// detector exercises the analyses' concurrent use.
+func TestSteensgaardOverApproximatesAndersen(t *testing.T) {
+	const shards = 8
+	perShard := int64(25) // 8 × 25 = 200 generated programs
+	if testing.Short() {
+		perShard = 3
+	}
+	check := func(t *testing.T, tag string, src string) {
+		t.Helper()
+		m := minic.MustCompile("t", src)
+		cf := andersen.Analyze(m)
+		st := steens.Analyze(m)
+		for _, f := range m.Funcs {
+			ptrs := alias.PointerValues(f)
+			if len(ptrs) > 40 {
+				ptrs = ptrs[:40] // bound the quadratic sweep
+			}
+			for i := 0; i < len(ptrs); i++ {
+				for j := i; j < len(ptrs); j++ {
+					la, lb := alias.Loc(ptrs[i]), alias.Loc(ptrs[j])
+					if st.Alias(la, lb) == alias.NoAlias && cf.Alias(la, lb) == alias.MayAlias {
+						t.Errorf("%s @%s: Steensgaard NoAlias but Andersen MayAlias on (%s, %s)",
+							tag, f.FName, ptrs[i].Ref(), ptrs[j].Ref())
+					}
+				}
+			}
+		}
+	}
+	t.Run("corpus", func(t *testing.T) {
+		t.Parallel()
+		for _, p := range corpus.Spec() {
+			check(t, p.Name, p.Source)
+		}
+	})
+	for shard := int64(0); shard < shards; shard++ {
+		shard := shard
+		t.Run(fmt.Sprintf("csmith-%d", shard), func(t *testing.T) {
+			t.Parallel()
+			for i := int64(0); i < perShard; i++ {
+				seed := 3000 + shard*perShard + i
+				src := csmith.Generate(csmith.Config{
+					Seed: seed, MaxPtrDepth: 3 + int(seed%3), Stmts: 30,
+				})
+				check(t, fmt.Sprintf("seed%d", seed), src)
+			}
+		})
 	}
 }
 

@@ -16,12 +16,27 @@
 //
 // plus parameter/argument and return-value copies for calls, solved
 // with a worklist to the least fixed point.
+//
+// The solver works on a dense constraint graph: every pointer value
+// and every abstract object's contents gets an integer node, points-to
+// sets are sparse bitmaps (internal/bitvec), and propagation is by
+// difference — a node forwards only the objects its set gained since
+// its last visit, not the whole set. Copy cycles (which force every
+// node on the cycle to the same fixed point) are collapsed online with
+// a union-find: periodic Tarjan passes over the copy edges merge
+// strongly connected components mid-solve, so a cycle discovered
+// through a load or store edge stops costing quadratic re-propagation.
+// Final sets are hash-consed, so the many values that end with equal
+// points-to sets share one allocation. The fixed point — and therefore
+// every PointsTo and Alias answer — is identical to the reference
+// solver's (see reference.go); only the route there differs.
 package andersen
 
 import (
 	"context"
 
 	"repro/internal/alias"
+	"repro/internal/bitvec"
 	"repro/internal/budget"
 	"repro/internal/ir"
 )
@@ -30,11 +45,13 @@ import (
 // unknown object.
 const unknownObj = 0
 
-// Analysis holds the solved points-to sets.
+// Analysis holds the solved points-to sets in resolved form: one
+// hash-consed sparse bitmap of object ids per pointer value.
 type Analysis struct {
 	// pts maps each pointer value to the set of object ids it may
-	// point to.
-	pts map[ir.Value]map[int]bool
+	// point to. Sets are interned: equal sets share one instance and
+	// must not be mutated.
+	pts map[ir.Value]*bitvec.Set
 	// objOf maps allocation sites to their object id.
 	objOf map[ir.Value]int
 	// objs[i] is the allocation site of object i (nil for unknown).
@@ -73,7 +90,7 @@ type Opts struct {
 // harness substitutes it when the whole stage fails.
 func Unanalyzed(cause error) *Analysis {
 	return &Analysis{
-		pts:      map[ir.Value]map[int]bool{},
+		pts:      map[ir.Value]*bitvec.Set{},
 		objOf:    map[ir.Value]int{},
 		objs:     []ir.Value{nil},
 		degraded: cause,
@@ -88,35 +105,27 @@ func Analyze(m *ir.Module) *Analysis {
 // AnalyzeCtx is Analyze under a context, budget and skip set.
 func AnalyzeCtx(ctx context.Context, m *ir.Module, opt Opts) *Analysis {
 	a := &Analysis{
-		pts:   map[ir.Value]map[int]bool{},
+		pts:   map[ir.Value]*bitvec.Set{},
 		objOf: map[ir.Value]int{},
 		objs:  []ir.Value{nil}, // unknown
 	}
-	solver := &solver{a: a, copies: map[ir.Value][]ir.Value{}}
+	s := newSolver(a, nodeHint(m))
+	applyConstraints(m, opt, s)
+	bgt := opt.Budget.Start(ctx)
+	s.run(bgt)
+	a.degraded = bgt.Err()
+	s.resolve()
+	return a
+}
 
-	newObj := func(site ir.Value) int {
-		id := len(a.objs)
-		a.objs = append(a.objs, site)
-		a.objOf[site] = id
-		return id
-	}
-	// objMem[o] is the representative "contents" node of object o:
-	// what pointers stored inside o may point to.
-	solver.objMem = map[int]*memNode{}
-	memOf := func(o int) *memNode {
-		if n, ok := solver.objMem[o]; ok {
-			return n
-		}
-		n := &memNode{}
-		solver.objMem[o] = n
-		return n
-	}
-	solver.memOf = memOf
-
+// applyConstraints walks the module once and feeds every constraint to
+// gen. The traversal (and therefore node numbering and seeding order)
+// is deterministic: globals, then functions in module order, then
+// instructions in block order.
+func applyConstraints(m *ir.Module, opt Opts, gen constraintSink) {
 	// Seed address-of constraints.
 	for _, g := range m.Globals {
-		newObj(g)
-		solver.addPoints(g, a.objOf[g])
+		gen.addPoints(g, gen.newObj(g))
 	}
 	callers := map[*ir.Func]bool{}
 	for _, f := range m.Funcs {
@@ -126,8 +135,7 @@ func AnalyzeCtx(ctx context.Context, m *ir.Module, opt Opts) *Analysis {
 		f.Instrs(func(in *ir.Instr) bool {
 			switch in.Op {
 			case ir.OpAlloca, ir.OpMalloc:
-				newObj(in)
-				solver.addPoints(in, a.objOf[in])
+				gen.addPoints(in, gen.newObj(in))
 			case ir.OpCall:
 				if in.Callee != nil && !opt.Skip[in.Callee] {
 					callers[in.Callee] = true
@@ -137,7 +145,7 @@ func AnalyzeCtx(ctx context.Context, m *ir.Module, opt Opts) *Analysis {
 		})
 	}
 	// The unknown object's contents point to unknown.
-	memOf(unknownObj).addObj(unknownObj, solver)
+	gen.seedUnknownContents()
 
 	// Structural constraints.
 	for _, f := range m.Funcs {
@@ -149,32 +157,32 @@ func AnalyzeCtx(ctx context.Context, m *ir.Module, opt Opts) *Analysis {
 			case ir.OpGEP:
 				// Field-insensitive: derived pointer inherits the
 				// base's objects.
-				solver.addCopy(in.Args[0], in)
+				gen.addCopy(in.Args[0], in)
 			case ir.OpCopy, ir.OpSigma:
-				solver.addCopy(in.Args[0], in)
+				gen.addCopy(in.Args[0], in)
 			case ir.OpPhi:
 				for _, v := range in.Args {
-					solver.addCopy(v, in)
+					gen.addCopy(v, in)
 				}
 			case ir.OpLoad:
 				if ir.IsPtr(in.Typ) {
-					solver.addLoad(in.Args[0], in)
+					gen.addLoad(in.Args[0], in)
 				}
 			case ir.OpStore:
 				if ir.IsPtr(in.Args[0].Type()) {
-					solver.addStore(in.Args[0], in.Args[1])
+					gen.addStore(in.Args[0], in.Args[1])
 				}
 			case ir.OpCall:
 				if in.Callee != nil && !opt.Skip[in.Callee] {
 					for i, arg := range in.Args {
 						if i < len(in.Callee.Params) && ir.IsPtr(in.Callee.Params[i].Typ) {
-							solver.addCopy(arg, in.Callee.Params[i])
+							gen.addCopy(arg, in.Callee.Params[i])
 						}
 					}
 					if ir.IsPtr(in.Typ) {
 						in.Callee.Instrs(func(r *ir.Instr) bool {
 							if r.Op == ir.OpRet && len(r.Args) == 1 {
-								solver.addCopy(r.Args[0], in)
+								gen.addCopy(r.Args[0], in)
 							}
 							return true
 						})
@@ -185,11 +193,11 @@ func AnalyzeCtx(ctx context.Context, m *ir.Module, opt Opts) *Analysis {
 					// unknown.
 					for _, arg := range in.Args {
 						if ir.IsPtr(arg.Type()) {
-							solver.addStoreUnknown(arg)
+							gen.addStoreUnknown(arg)
 						}
 					}
 					if ir.IsPtr(in.Typ) {
-						solver.addPoints(in, unknownObj)
+						gen.addPoints(in, unknownObj)
 					}
 				}
 			}
@@ -204,110 +212,23 @@ func AnalyzeCtx(ctx context.Context, m *ir.Module, opt Opts) *Analysis {
 		}
 		for _, p := range f.Params {
 			if ir.IsPtr(p.Typ) {
-				solver.addPoints(p, unknownObj)
+				gen.addPoints(p, unknownObj)
 			}
 		}
 	}
-	bgt := opt.Budget.Start(ctx)
-	solver.run(bgt)
-	a.degraded = bgt.Err()
-	return a
 }
 
-// memNode tracks the points-to set of an abstract object's contents.
-type memNode struct {
-	pts map[int]bool
-	// outs are value nodes that load from this object.
-	outs   []ir.Value
-	outSet map[ir.Value]bool
-}
-
-func (n *memNode) addOut(dst ir.Value) bool {
-	if n.outSet == nil {
-		n.outSet = map[ir.Value]bool{}
-	}
-	if n.outSet[dst] {
-		return false
-	}
-	n.outSet[dst] = true
-	n.outs = append(n.outs, dst)
-	return true
-}
-
-func (n *memNode) addObj(o int, s *solver) bool {
-	if n.pts == nil {
-		n.pts = map[int]bool{}
-	}
-	if n.pts[o] {
-		return false
-	}
-	n.pts[o] = true
-	for _, dst := range n.outs {
-		s.propagate(dst, o)
-	}
-	return true
-}
-
-type solver struct {
-	a      *Analysis
-	copies map[ir.Value][]ir.Value // src -> dsts
-	// loads[p] lists destinations of x = *p.
-	loads map[ir.Value][]ir.Value
-	// stores[p] lists sources of *p = x.
-	stores map[ir.Value][]ir.Value
-	// storeUnknown marks pointers whose contents escape entirely.
-	storeUnknownSet map[ir.Value]bool
-	// memStores links stored values to the memory nodes they flow
-	// into, so later points-to growth keeps propagating.
-	memStores map[ir.Value][]*memNode
-	objMem    map[int]*memNode
-	memOf     func(int) *memNode
-
-	work []ir.Value
-	in   map[ir.Value]bool
-}
-
-func (s *solver) pts(v ir.Value) map[int]bool {
-	m := s.a.pts[v]
-	if m == nil {
-		m = map[int]bool{}
-		s.a.pts[v] = m
-	}
-	return m
-}
-
-func (s *solver) enqueue(v ir.Value) {
-	if s.in == nil {
-		s.in = map[ir.Value]bool{}
-	}
-	if !s.in[v] {
-		s.in[v] = true
-		s.work = append(s.work, v)
-	}
-}
-
-func (s *solver) addPoints(v ir.Value, obj int) {
-	if !s.pts(v)[obj] {
-		s.pts(v)[obj] = true
-		s.enqueue(v)
-	}
-}
-
-func (s *solver) propagate(dst ir.Value, obj int) {
-	if !s.pts(dst)[obj] {
-		s.pts(dst)[obj] = true
-		s.enqueue(dst)
-	}
-}
-
-func (s *solver) addCopy(src, dst ir.Value) {
-	if !ir.IsPtr(src.Type()) && !isPtrLike(src) {
-		return
-	}
-	s.copies[src] = append(s.copies[src], dst)
-	for o := range s.pts(src) {
-		s.propagate(dst, o)
-	}
+// constraintSink receives the module's constraints; the sparse solver
+// and the reference solver both implement it, which is what lets the
+// differential test drive them off one traversal.
+type constraintSink interface {
+	newObj(site ir.Value) int
+	seedUnknownContents()
+	addPoints(v ir.Value, obj int)
+	addCopy(src, dst ir.Value)
+	addLoad(p, dst ir.Value)
+	addStore(val, p ir.Value)
+	addStoreUnknown(p ir.Value)
 }
 
 func isPtrLike(v ir.Value) bool {
@@ -317,30 +238,271 @@ func isPtrLike(v ir.Value) bool {
 	return !isConst
 }
 
-func (s *solver) addLoad(p, dst ir.Value) {
-	if s.loads == nil {
-		s.loads = map[ir.Value][]ir.Value{}
+// solver is the sparse constraint-graph solver.
+type solver struct {
+	a *Analysis
+	// nodeOf maps a value to its (initial) node id; query time
+	// resolves through the union-find.
+	nodeOf map[ir.Value]int32
+	// vals records node creation order for the final resolve.
+	vals []ir.Value
+	// memNode[o] is the node holding the contents of object o, created
+	// lazily (most objects never have pointers stored into them).
+	memNode map[int]int32
+
+	// Per-node state, indexed by node id. Only representatives carry
+	// meaningful sets after a collapse.
+	parent []int32
+	rank   []uint8
+	pts    []*bitvec.Set // current points-to set
+	delta  []*bitvec.Set // gained objects not yet propagated
+	succ   []*bitvec.Set // copy edges out of this node (node ids)
+	// loadsTo / storesFrom are the complex constraints: targets of
+	// x = *p and sources of *p = x.
+	loadsTo    [][]int32
+	storesFrom [][]int32
+	storeUnk   []bool
+
+	work   []int32
+	inWork []bool
+	// setChunk backs allocSet's bulk allocation.
+	setChunk []bitvec.Set
+	// edgesSinceSCC triggers the periodic online collapse pass.
+	edgesSinceSCC int
+	sccThreshold  int
+}
+
+// nodeHint upper-bounds the solver's node count: one node per value
+// (instruction results, params, globals) plus one lazy contents node
+// per potential object (allocation sites, globals, unknown). Sizing
+// the per-node slices and maps once up front keeps the build phase
+// out of append-doubling and incremental map rehashes, which dominate
+// constraint generation on multi-million-instruction modules.
+func nodeHint(m *ir.Module) int {
+	n := 2*len(m.Globals) + 2
+	for _, f := range m.Funcs {
+		for _, p := range f.Params {
+			if ir.IsPtr(p.Typ) {
+				n++
+			}
+		}
+		f.Instrs(func(in *ir.Instr) bool {
+			if in.HasResult() && ir.IsPtr(in.Typ) {
+				n++
+			}
+			if in.Op == ir.OpAlloca || in.Op == ir.OpMalloc {
+				n++
+			}
+			return true
+		})
 	}
-	s.loads[p] = append(s.loads[p], dst)
-	s.enqueue(p)
+	return n
+}
+
+func newSolver(a *Analysis, hint int) *solver {
+	return &solver{
+		a:          a,
+		nodeOf:     make(map[ir.Value]int32, hint),
+		memNode:    map[int]int32{},
+		parent:     make([]int32, 0, hint),
+		rank:       make([]uint8, 0, hint),
+		pts:        make([]*bitvec.Set, 0, hint),
+		delta:      make([]*bitvec.Set, 0, hint),
+		succ:       make([]*bitvec.Set, 0, hint),
+		loadsTo:    make([][]int32, 0, hint),
+		storesFrom: make([][]int32, 0, hint),
+		storeUnk:   make([]bool, 0, hint),
+		inWork:     make([]bool, 0, hint),
+
+		sccThreshold: 256,
+	}
+}
+
+// allocSet hands out zero-value sets from a chunk, two per node:
+// individual &bitvec.Set{} allocations are the single largest
+// constraint-generation cost at scale. Chunks are only ever re-sliced,
+// never regrown, so handed-out pointers stay valid.
+func (s *solver) allocSet() *bitvec.Set {
+	if len(s.setChunk) == 0 {
+		s.setChunk = make([]bitvec.Set, 4096)
+	}
+	p := &s.setChunk[0]
+	s.setChunk = s.setChunk[1:]
+	return p
+}
+
+func (s *solver) newNode() int32 {
+	id := int32(len(s.parent))
+	s.parent = append(s.parent, id)
+	s.rank = append(s.rank, 0)
+	s.pts = append(s.pts, s.allocSet())
+	s.delta = append(s.delta, nil)
+	s.succ = append(s.succ, s.allocSet())
+	s.loadsTo = append(s.loadsTo, nil)
+	s.storesFrom = append(s.storesFrom, nil)
+	s.storeUnk = append(s.storeUnk, false)
+	s.inWork = append(s.inWork, false)
+	return id
+}
+
+func (s *solver) node(v ir.Value) int32 {
+	if n, ok := s.nodeOf[v]; ok {
+		return n
+	}
+	n := s.newNode()
+	s.nodeOf[v] = n
+	s.vals = append(s.vals, v)
+	return n
+}
+
+func (s *solver) mem(o int) int32 {
+	if n, ok := s.memNode[o]; ok {
+		return n
+	}
+	n := s.newNode()
+	s.memNode[o] = n
+	return n
+}
+
+// find resolves a node to its representative with path halving.
+func (s *solver) find(n int32) int32 {
+	for s.parent[n] != n {
+		s.parent[n] = s.parent[s.parent[n]]
+		n = s.parent[n]
+	}
+	return n
+}
+
+// union merges two representatives and returns the surviving one. The
+// loser's sets, edges and pending delta fold into the winner.
+func (s *solver) union(a, b int32) int32 {
+	a, b = s.find(a), s.find(b)
+	if a == b {
+		return a
+	}
+	if s.rank[a] < s.rank[b] {
+		a, b = b, a
+	} else if s.rank[a] == s.rank[b] {
+		s.rank[a]++
+	}
+	s.parent[b] = a
+	// Fold b's state into a.
+	s.pts[a].UnionWith(s.pts[b])
+	s.succ[a].UnionWith(s.succ[b])
+	s.loadsTo[a] = append(s.loadsTo[a], s.loadsTo[b]...)
+	s.storesFrom[a] = append(s.storesFrom[a], s.storesFrom[b]...)
+	s.storeUnk[a] = s.storeUnk[a] || s.storeUnk[b]
+	s.pts[b], s.delta[b], s.succ[b] = nil, nil, nil
+	s.loadsTo[b], s.storesFrom[b] = nil, nil
+	// Each side's edges and complex constraints have only seen that
+	// side's objects, so the merged node must re-propagate its whole
+	// set; everything downstream deduplicates, so this is idempotent.
+	s.requeueAll(a)
+	return a
+}
+
+func (s *solver) enqueue(n int32) {
+	if !s.inWork[n] {
+		s.inWork[n] = true
+		s.work = append(s.work, n)
+	}
+}
+
+// queueDelta registers d (already folded into pts[n]) for propagation.
+func (s *solver) queueDelta(n int32, d *bitvec.Set) {
+	if d == nil || d.Empty() {
+		return
+	}
+	if s.delta[n] == nil {
+		s.delta[n] = d.Clone()
+	} else {
+		s.delta[n].UnionWith(d)
+	}
+	s.enqueue(n)
+}
+
+// --- constraintSink ---
+
+func (s *solver) newObj(site ir.Value) int {
+	id := len(s.a.objs)
+	s.a.objs = append(s.a.objs, site)
+	s.a.objOf[site] = id
+	return id
+}
+
+func (s *solver) seedUnknownContents() {
+	s.addObj(s.mem(unknownObj), unknownObj)
+}
+
+func (s *solver) addPoints(v ir.Value, obj int) {
+	s.addObj(s.node(v), obj)
+}
+
+func (s *solver) addObj(n int32, obj int) {
+	n = s.find(n)
+	if s.pts[n].Add(obj) {
+		d := &bitvec.Set{}
+		d.Add(obj)
+		s.queueDelta(n, d)
+	}
+}
+
+func (s *solver) addCopy(src, dst ir.Value) {
+	if !ir.IsPtr(src.Type()) && !isPtrLike(src) {
+		return
+	}
+	s.addEdge(s.node(src), s.node(dst))
+}
+
+// addEdge inserts the copy edge u→v and pushes u's current set across
+// it.
+func (s *solver) addEdge(u, v int32) {
+	u, v = s.find(u), s.find(v)
+	if u == v {
+		return
+	}
+	if !s.succ[u].Add(int(v)) {
+		return
+	}
+	s.edgesSinceSCC++
+	if d := s.pts[v].UnionDelta(s.pts[u]); d != nil {
+		s.queueDelta(v, d)
+	}
+}
+
+func (s *solver) addLoad(p, dst ir.Value) {
+	pn, dn := s.find(s.node(p)), s.node(dst)
+	s.loadsTo[pn] = append(s.loadsTo[pn], dn)
+	// Objects already in pts(p) must be wired now; re-queue the full
+	// set as delta so run() adds the contents edges.
+	s.requeueAll(pn)
 }
 
 func (s *solver) addStore(val, p ir.Value) {
-	if s.stores == nil {
-		s.stores = map[ir.Value][]ir.Value{}
-	}
-	s.stores[p] = append(s.stores[p], val)
-	s.enqueue(p)
+	pn, vn := s.find(s.node(p)), s.node(val)
+	s.storesFrom[pn] = append(s.storesFrom[pn], vn)
+	s.requeueAll(pn)
 }
 
 func (s *solver) addStoreUnknown(p ir.Value) {
-	if s.storeUnknownSet == nil {
-		s.storeUnknownSet = map[ir.Value]bool{}
-	}
-	s.storeUnknownSet[p] = true
-	s.enqueue(p)
+	pn := s.find(s.node(p))
+	s.storeUnk[pn] = true
+	s.requeueAll(pn)
 }
 
+// requeueAll marks n's whole current set as unpropagated, so a newly
+// attached complex constraint sees every object already present.
+func (s *solver) requeueAll(n int32) {
+	n = s.find(n)
+	if !s.pts[n].Empty() {
+		s.queueDelta(n, s.pts[n])
+	} else {
+		s.enqueue(n)
+	}
+}
+
+// run drains the worklist to the least fixed point, collapsing copy
+// cycles as they appear.
 func (s *solver) run(bgt *budget.B) {
 	for len(s.work) > 0 {
 		if bgt.Tick() != nil {
@@ -349,64 +511,188 @@ func (s *solver) run(bgt *budget.B) {
 			// caller records bgt.Err() as Analysis.degraded.
 			return
 		}
-		v := s.work[0]
+		if s.edgesSinceSCC >= s.sccThreshold {
+			s.collapseCycles()
+			s.edgesSinceSCC = 0
+			// Back off geometrically, with a floor proportional to the
+			// graph, so huge modules are not dominated by repeated
+			// full-graph SCC passes: each pass costs O(nodes+edges), so
+			// it must not recur until a comparable amount of new edges
+			// could have formed new cycles.
+			s.sccThreshold *= 2
+			if min := len(s.parent) / 4; s.sccThreshold < min {
+				s.sccThreshold = min
+			}
+			continue
+		}
+		n := s.work[0]
 		s.work = s.work[1:]
-		s.in[v] = false
-		vp := s.pts(v)
-		// Copy edges.
-		for _, dst := range s.copies[v] {
-			for o := range vp {
-				s.propagate(dst, o)
-			}
+		s.inWork[n] = false
+		if s.parent[n] != n {
+			// Collapsed into another node; its delta moved there.
+			continue
 		}
-		// Load edges: dst ⊇ contents(o) for each pointee o.
-		for _, dst := range s.loads[v] {
-			for o := range vp {
-				n := s.memOf(o)
-				n.addOut(dst)
-				for po := range n.pts {
-					s.propagate(dst, po)
+		d := s.delta[n]
+		s.delta[n] = nil
+		if d == nil || d.Empty() {
+			continue
+		}
+		// Complex constraints over the gained objects.
+		if loads := s.loadsTo[n]; len(loads) > 0 {
+			d.ForEach(func(o int) bool {
+				mn := s.mem(o)
+				for _, dst := range loads {
+					s.addEdge(mn, dst)
+				}
+				return true
+			})
+		}
+		if stores := s.storesFrom[n]; len(stores) > 0 {
+			d.ForEach(func(o int) bool {
+				mn := s.mem(o)
+				for _, val := range stores {
+					s.addEdge(val, mn)
+				}
+				return true
+			})
+		}
+		if s.storeUnk[n] {
+			d.ForEach(func(o int) bool {
+				s.addObj(s.mem(o), unknownObj)
+				return true
+			})
+		}
+		// Difference propagation along copy edges: forward only the
+		// gained objects.
+		s.succ[n].ForEach(func(m int) bool {
+			mr := s.find(int32(m))
+			if mr == n {
+				return true
+			}
+			if nd := s.pts[mr].UnionDelta(d); nd != nil {
+				s.queueDelta(mr, nd)
+			}
+			return true
+		})
+	}
+}
+
+// collapseCycles runs Tarjan's SCC algorithm over the copy edges of
+// the current representatives and unions every non-trivial component:
+// all nodes on a copy cycle share one fixed point, so solving them as
+// one node removes the cycle's re-propagation cost. Components are
+// collected first and unioned only after the DFS completes — merging
+// mid-DFS would invalidate Tarjan's on-stack bookkeeping. Safe
+// mid-solve because union() re-queues anything that still needs
+// forwarding.
+func (s *solver) collapseCycles() {
+	var components [][]int32
+	n := int32(len(s.parent))
+	index := make([]int32, n) // 0 = unvisited; else order+1
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	var stack []int32
+	var order int32
+
+	// Iterative Tarjan: frame carries the node and its progress
+	// through the successor list.
+	type frame struct {
+		v     int32
+		succs []int32
+		i     int
+	}
+	succsOf := func(v int32) []int32 {
+		var out []int32
+		s.succ[v].ForEach(func(m int) bool {
+			mr := s.find(int32(m))
+			if mr != v {
+				out = append(out, mr)
+			}
+			return true
+		})
+		return out
+	}
+	var frames []frame
+	for root := int32(0); root < n; root++ {
+		if s.parent[root] != root || index[root] != 0 {
+			continue
+		}
+		frames = append(frames[:0], frame{v: root, succs: succsOf(root)})
+		order++
+		index[root], lowlink[root] = order, order
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				w := f.succs[f.i]
+				f.i++
+				if index[w] == 0 {
+					order++
+					index[w], lowlink[w] = order, order
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w, succs: succsOf(w)})
+				} else if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+				continue
+			}
+			// f.v done: pop component if root.
+			if lowlink[f.v] == index[f.v] {
+				var comp []int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				if len(comp) > 1 {
+					components = append(components, comp)
+				}
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if lowlink[v] < lowlink[p.v] {
+					lowlink[p.v] = lowlink[v]
 				}
 			}
 		}
-		// Store edges: contents(o) ⊇ pts(val), now and as pts(val)
-		// grows later (via memStores).
-		for _, val := range s.stores[v] {
-			for o := range vp {
-				n := s.memOf(o)
-				s.linkValToMem(val, n)
-				for po := range s.pts(val) {
-					n.addObj(po, s)
-				}
-			}
-		}
-		if s.storeUnknownSet[v] {
-			for o := range vp {
-				s.memOf(o).addObj(unknownObj, s)
-			}
-		}
-		// If v is itself the source of earlier store links, push its
-		// full set into the linked memory nodes.
-		for _, n := range s.memStores[v] {
-			for o := range vp {
-				n.addObj(o, s)
-			}
+	}
+	for _, comp := range components {
+		rep := comp[0]
+		for _, w := range comp[1:] {
+			rep = s.union(rep, w)
 		}
 	}
 }
 
-// linkValToMem records that every object in pts(val) must flow into
-// memory node n, including objects discovered later.
-func (s *solver) linkValToMem(val ir.Value, n *memNode) {
-	if s.memStores == nil {
-		s.memStores = map[ir.Value][]*memNode{}
-	}
-	for _, existing := range s.memStores[val] {
-		if existing == n {
-			return
+// resolve snapshots the solved graph into Analysis.pts, hash-consing
+// the final sets so equal points-to sets share one allocation.
+func (s *solver) resolve() {
+	in := bitvec.NewInterner()
+	empty := in.Intern(&bitvec.Set{})
+	cache := map[int32]*bitvec.Set{}
+	for _, v := range s.vals {
+		rep := s.find(s.nodeOf[v])
+		set, ok := cache[rep]
+		if !ok {
+			if s.pts[rep].Empty() {
+				set = empty
+			} else {
+				set = in.Intern(s.pts[rep])
+			}
+			cache[rep] = set
+		}
+		if set != empty {
+			s.a.pts[v] = set
 		}
 	}
-	s.memStores[val] = append(s.memStores[val], n)
 }
 
 // PointsTo returns the allocation sites v may point to; a nil slice
@@ -415,13 +701,18 @@ func (a *Analysis) PointsTo(v ir.Value) (sites []ir.Value, unknown bool) {
 	if a.degraded != nil {
 		return nil, true
 	}
-	for o := range a.pts[v] {
+	set := a.pts[v]
+	if set == nil {
+		return nil, false
+	}
+	set.ForEach(func(o int) bool {
 		if o == unknownObj {
 			unknown = true
-			continue
+		} else {
+			sites = append(sites, a.objs[o])
 		}
-		sites = append(sites, a.objs[o])
-	}
+		return true
+	})
 	return sites, unknown
 }
 
@@ -431,22 +722,16 @@ func (a *Analysis) Alias(la, lb alias.Location) alias.Result {
 	if a.degraded != nil {
 		return alias.MayAlias
 	}
-	pa := a.pts[stripToBase(la.Ptr)]
-	pb := a.pts[stripToBase(lb.Ptr)]
-	if len(pa) == 0 || len(pb) == 0 {
+	pa := a.pts[la.Ptr]
+	pb := a.pts[lb.Ptr]
+	if pa == nil || pb == nil || pa.Empty() || pb.Empty() {
 		return alias.MayAlias
 	}
-	if pa[unknownObj] || pb[unknownObj] {
+	if pa.Has(unknownObj) || pb.Has(unknownObj) {
 		return alias.MayAlias
 	}
-	for o := range pa {
-		if pb[o] {
-			return alias.MayAlias
-		}
+	if pa.Intersects(pb) {
+		return alias.MayAlias
 	}
 	return alias.NoAlias
 }
-
-// stripToBase looks through copies and sigmas (the analysis stores
-// sets for them too, but the base is always populated first).
-func stripToBase(v ir.Value) ir.Value { return v }

@@ -151,3 +151,44 @@ func (s *ltSet) clone() *ltSet {
 	}
 	return &ltSet{bits: append([]uint64(nil), s.bits...)}
 }
+
+// fingerprint hashes the set's content, ignoring trailing zero words
+// so that content-equal sets with different capacities hash alike
+// (the same tolerance equal has).
+func (s *ltSet) fingerprint() uint64 {
+	h := uint64(1469598103934665603)
+	if s.top {
+		return ^h
+	}
+	end := len(s.bits)
+	for end > 0 && s.bits[end-1] == 0 {
+		end--
+	}
+	for i := 0; i < end; i++ {
+		h = (h ^ s.bits[i]) * 1099511628211
+	}
+	return h
+}
+
+// ltInterner hash-conses solver sets: equal sets share one canonical
+// instance, so most fixed-point re-evaluations compare by pointer and
+// the many variables that converge to equal LT sets share storage.
+// Interned sets must never be mutated in place; the solver only ever
+// replaces fr.sets entries, and post-processing clones before editing.
+type ltInterner struct {
+	table map[uint64][]*ltSet
+}
+
+func newLTInterner() *ltInterner { return &ltInterner{table: map[uint64][]*ltSet{}} }
+
+// intern returns the canonical instance equal to s.
+func (t *ltInterner) intern(s *ltSet) *ltSet {
+	fp := s.fingerprint()
+	for _, cand := range t.table[fp] {
+		if cand.equal(s) {
+			return cand
+		}
+	}
+	t.table[fp] = append(t.table[fp], s)
+	return s
+}

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/minic"
+	"repro/internal/rangeanal"
+)
+
+// pinProgram is a fixed input covering every section of the key:
+// canonical text, a referenced global, integer ranges, and options.
+const pinProgram = `
+int gbl;
+
+int pin(int n) {
+  int i;
+  int s = 0;
+  for (i = 0; i < n; i++) {
+    s = s + i;
+  }
+  gbl = s;
+  return s;
+}
+`
+
+// TestFuncKeyPinned pins the memo key derivation to literal digests.
+// The key is the address of persisted artifacts (internal/persist
+// stores solves under it across runs), so any drift — IR printing,
+// variable enumeration order, the options encoding — silently
+// invalidates every on-disk cache and, worse, could alias two
+// different solves to one slot. A derivation change that is actually
+// intended must bump these literals consciously.
+func TestFuncKeyPinned(t *testing.T) {
+	m := minic.MustCompile("pin", pinProgram)
+	f := m.FuncByName("pin")
+	if f == nil {
+		t.Fatal("pin function missing")
+	}
+	ranges := rangeanal.Analyze(m)
+
+	got := map[string]string{
+		"default":   funcKey(f, ranges, core.Options{}),
+		"noranges":  funcKey(f, ranges, core.Options{NoRanges: true}),
+		"smallsets": funcKey(f, ranges, core.Options{SmallSets: true}),
+	}
+	want := map[string]string{
+		"default":   "b60659a132bf1d5a8580e855a9c7eb58249cf76ced9f331dee17eae5399568b7",
+		"noranges":  "b59b86c51e558aec1a75ca473af3e8d13685614a9ec39b04c859fa01f7667dfd",
+		"smallsets": "e426efa5b5fca1d0cf75b87fe7393757a538ff42b582e5eeda4ea330e1b888a6",
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s key drifted:\n  got  %s\n  want %s", name, got[name], w)
+		}
+	}
+	if got["default"] == got["noranges"] || got["default"] == got["smallsets"] {
+		t.Error("option variants must not collide")
+	}
+}

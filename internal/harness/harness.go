@@ -38,6 +38,7 @@ import (
 	"repro/internal/minic"
 	"repro/internal/rangeanal"
 	"repro/internal/ssa"
+	"repro/internal/steens"
 )
 
 // Stage names, in pipeline order.
@@ -51,6 +52,7 @@ const (
 	StageRanges    = "ranges"
 	StageLessThan  = "lessthan"
 	StageAndersen  = "andersen"
+	StageSteens    = "steens"
 	StageAliasEval = "aliaseval"
 	StagePDG       = "pdg"
 	StageSanitize  = "sanitize"
@@ -98,6 +100,10 @@ type Config struct {
 
 	// WithCF additionally runs the Andersen-style CF analysis.
 	WithCF bool
+
+	// WithST additionally runs the Steensgaard-style unification
+	// analysis.
+	WithST bool
 
 	// Jobs fans the per-function stages out across a bounded worker
 	// pool; 0 or 1 runs them serially. Results and reports are merged
@@ -369,6 +375,14 @@ func (p *Pipeline) Analyze(m *ir.Module) (*Result, error) {
 		}
 		res.CF = cf
 	}
+
+	if p.cfg.WithST {
+		st, err := p.runSteens(m)
+		if p.cfg.Strict && err != nil {
+			return res, err
+		}
+		res.ST = st
+	}
 	return res, nil
 }
 
@@ -468,6 +482,27 @@ func (p *Pipeline) runAndersen(m *ir.Module) (*andersen.Analysis, error) {
 		cf = andersen.Unanalyzed(fail)
 	}
 	return cf, p.strictErr(fail)
+}
+
+// runSteens is the ST stage. A panic degrades to the Unanalyzed
+// (MayAlias-everywhere) result; budget exhaustion is detected by the
+// unifier itself, which flags the Analysis degraded.
+func (p *Pipeline) runSteens(m *ir.Module) (*steens.Analysis, error) {
+	defer p.timeStage(StageSteens)()
+	var st *steens.Analysis
+	fail := p.guard(StageSteens, "", func() {
+		st = steens.AnalyzeCtx(p.ctx, m, steens.Opts{
+			Budget: p.spec(StageSteens, ""),
+			Skip:   p.skip,
+		})
+	})
+	if fail == nil && st.Degraded() != nil {
+		fail = p.fail(StageSteens, "", budgetCause(st.Degraded()), st.Degraded())
+	}
+	if st == nil {
+		st = steens.Unanalyzed(fail)
+	}
+	return st, p.strictErr(fail)
 }
 
 // CompileAndAnalyze is the one-call convenience the drivers use.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/pdg"
 	"repro/internal/rangeanal"
 	"repro/internal/sanitize"
+	"repro/internal/steens"
 )
 
 // Result bundles the hardened pipeline's outputs. Unlike
@@ -23,6 +24,8 @@ type Result struct {
 	LT     *core.Result
 	// CF is the Andersen analysis; nil unless Config.WithCF.
 	CF *andersen.Analysis
+	// ST is the Steensgaard analysis; nil unless Config.WithST.
+	ST *steens.Analysis
 
 	p *Pipeline
 }

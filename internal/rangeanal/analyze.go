@@ -64,6 +64,19 @@ const widenThreshold = 4
 // point using sigma constraints.
 const narrowPasses = 3
 
+// shrinkCap bounds how often one node may shrink during the ascending
+// phase. eval is monotone, so a shrink only happens when widening
+// overshot and the node's inputs have since stabilized below it —
+// normally that corrects once and stays put. But on cyclic
+// inter-procedural dependency structures (long call chains feeding
+// parameters) the correction can re-enable growth upstream and the
+// ascent oscillates: widen to infinity, shrink back, re-grow, re-widen,
+// without ever reaching a fixed point. Past the cap a node keeps its
+// over-approximation, which is still sound (every post-fixed point
+// contains the least fixed point) and restores guaranteed termination;
+// the descending phase then narrows it like any other widened value.
+const shrinkCap = 8
+
 // Analyze computes ranges for every integer SSA value in m,
 // inter-procedurally: parameters union the actual arguments of all
 // call sites (functions with no in-module caller, such as entry
@@ -166,19 +179,21 @@ type analysis struct {
 	// rets[f] lists the values returned by f.
 	rets map[*ir.Func][]ir.Value
 	// external marks parameters with no analyzable call sites.
-	external map[ir.Value]bool
-	nodes    []ir.Value
-	widenCnt map[ir.Value]int
+	external  map[ir.Value]bool
+	nodes     []ir.Value
+	widenCnt  map[ir.Value]int
+	shrinkCnt map[ir.Value]int
 }
 
 func newAnalysis() *analysis {
 	return &analysis{
-		env:      map[ir.Value]Interval{},
-		deps:     map[ir.Value][]ir.Value{},
-		callArgs: map[*ir.Param][]ir.Value{},
-		rets:     map[*ir.Func][]ir.Value{},
-		external: map[ir.Value]bool{},
-		widenCnt: map[ir.Value]int{},
+		env:       map[ir.Value]Interval{},
+		deps:      map[ir.Value][]ir.Value{},
+		callArgs:  map[*ir.Param][]ir.Value{},
+		rets:      map[*ir.Func][]ir.Value{},
+		external:  map[ir.Value]bool{},
+		widenCnt:  map[ir.Value]int{},
+		shrinkCnt: map[ir.Value]int{},
 	}
 }
 
@@ -379,6 +394,14 @@ func (a *analysis) solve(bgt *budget.B) (aborted bool) {
 			} else {
 				next = grew
 			}
+		} else {
+			// next ⊆ cur: widening overshot. Accept the correction a
+			// bounded number of times, then hold the over-approximation
+			// so oscillating cycles cannot stall the ascent.
+			if a.shrinkCnt[n] >= shrinkCap {
+				continue
+			}
+			a.shrinkCnt[n]++
 		}
 		if next.Eq(cur) {
 			continue

@@ -53,6 +53,9 @@ type Request struct {
 	Queries []string `json:"queries,omitempty"`
 	// Interproc enables the inter-procedural parameter facts.
 	Interproc bool `json:"interproc,omitempty"`
+	// Steens adds the Steensgaard-style unification analysis (ST) to
+	// the "alias" query's rows.
+	Steens bool `json:"steens,omitempty"`
 	// Budget caps this request's solver work. It is clamped to the
 	// server's ceiling; absent means "server default".
 	Budget *budget.Spec `json:"budget,omitempty"`

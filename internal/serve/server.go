@@ -259,6 +259,7 @@ func (s *Server) analyze(ctx context.Context, req *Request) (resp *Response, bad
 		Timeout:         spec.Timeout,
 		MaxSteps:        spec.MaxSteps,
 		Interprocedural: req.Interproc,
+		WithST:          req.Steens,
 		Jobs:            s.cfg.Jobs,
 		Cache:           s.cfg.Cache,
 		CacheBudgeted:   true,
@@ -336,7 +337,11 @@ func ltSets(res *harness.Result) map[string][]string {
 func aliasCounts(m *ir.Module, res *harness.Result) map[string]AliasCounts {
 	ba := alias.NewBasic(m)
 	lt := alias.NewSRAA(res.LT)
-	rep := res.Evaluate(ba, lt, alias.NewChain(ba, lt))
+	analyses := []alias.Analysis{ba, lt, alias.NewChain(ba, lt)}
+	if res.ST != nil {
+		analyses = append(analyses, res.ST)
+	}
+	rep := res.Evaluate(analyses...)
 	out := map[string]AliasCounts{}
 	for name, c := range rep.PerAnalysis {
 		out[name] = AliasCounts{Queries: c.Queries, NoAlias: c.No, May: c.May, Must: c.Must}

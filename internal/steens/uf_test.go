@@ -1,0 +1,126 @@
+package steens
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestUnionFindBasics: reflexivity, union symmetry, transitivity.
+func TestUnionFindBasics(t *testing.T) {
+	var u uf
+	n := make([]int32, 8)
+	for i := range n {
+		n[i] = u.makeNode()
+	}
+	for _, x := range n {
+		if u.find(x) != x {
+			t.Fatalf("fresh node %d not its own rep", x)
+		}
+	}
+	u.union(n[0], n[1])
+	u.union(n[2], n[3])
+	if u.find(n[0]) != u.find(n[1]) || u.find(n[2]) != u.find(n[3]) {
+		t.Fatal("union did not merge")
+	}
+	if u.find(n[0]) == u.find(n[2]) {
+		t.Fatal("disjoint unions merged")
+	}
+	u.union(n[1], n[2])
+	for _, x := range n[:4] {
+		if u.find(x) != u.find(n[0]) {
+			t.Fatal("transitive union incomplete")
+		}
+	}
+	if u.find(n[4]) == u.find(n[0]) {
+		t.Fatal("untouched node joined a class")
+	}
+}
+
+// TestUnionReturnsWinnerLoser: the winner must be the rep of both
+// inputs afterwards; self-union returns winner == loser.
+func TestUnionReturnsWinnerLoser(t *testing.T) {
+	var u uf
+	a, b := u.makeNode(), u.makeNode()
+	w, l := u.union(a, b)
+	if w == l {
+		t.Fatal("distinct union reported self-union")
+	}
+	if u.find(a) != w || u.find(b) != w {
+		t.Fatal("winner is not the representative")
+	}
+	if w2, l2 := u.union(a, b); w2 != l2 {
+		t.Fatal("repeat union did not report self-union")
+	}
+}
+
+// TestPathCompression: after a find through a long chain, every node
+// on the chain must point (transitively, with halved paths) much
+// closer to the root — a second find must touch a short path. We
+// check the structural effect directly: path lengths strictly shrink
+// and end at the representative.
+func TestPathCompression(t *testing.T) {
+	var u uf
+	const n = 64
+	nodes := make([]int32, n)
+	for i := range nodes {
+		nodes[i] = u.makeNode()
+	}
+	// Build a deliberate chain parent[i] = i+1 (bypassing union's
+	// balancing) to exercise compression.
+	for i := 0; i < n-1; i++ {
+		u.parent[nodes[i]] = nodes[i+1]
+	}
+	root := nodes[n-1]
+	pathLen := func(x int32) int {
+		l := 0
+		for u.parent[x] != x {
+			x = u.parent[x]
+			l++
+		}
+		return l
+	}
+	before := pathLen(nodes[0])
+	if got := u.find(nodes[0]); got != root {
+		t.Fatalf("find = %d, want root %d", got, root)
+	}
+	after := pathLen(nodes[0])
+	if after >= before {
+		t.Fatalf("path not compressed: %d -> %d", before, after)
+	}
+	// Iterated finds converge to a direct link.
+	for i := 0; i < 8; i++ {
+		u.find(nodes[0])
+	}
+	if pathLen(nodes[0]) > 1 {
+		t.Fatalf("path still %d after repeated finds", pathLen(nodes[0]))
+	}
+}
+
+// TestUnionByRankBoundsDepth: random unions must keep every find path
+// logarithmic (rank balancing), even without intervening finds.
+func TestUnionByRankBoundsDepth(t *testing.T) {
+	var u uf
+	const n = 1 << 12
+	for i := 0; i < n; i++ {
+		u.makeNode()
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < n-1; i++ {
+		u.union(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	maxDepth := 0
+	for i := int32(0); i < n; i++ {
+		d := 0
+		for x := i; u.parent[x] != x; x = u.parent[x] {
+			d++
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	// Rank bound: depth ≤ log2(n) = 12 even before compression kicks
+	// in (find-halving during union keeps it lower in practice).
+	if maxDepth > 12 {
+		t.Fatalf("max depth %d exceeds rank bound", maxDepth)
+	}
+}

@@ -1,0 +1,50 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic"
+)
+
+// TestDeterministic: identical arguments must yield byte-identical
+// source — the property baseline comparisons depend on.
+func TestDeterministic(t *testing.T) {
+	a := Module(100, 7)
+	b := Module(100, 7)
+	if a != b {
+		t.Fatal("Module is not deterministic")
+	}
+	if c := Module(100, 8); c == a {
+		t.Fatal("seed does not vary the module")
+	}
+}
+
+// TestCompilesAtSeveralSizes: generated modules must lower cleanly and
+// carry the requested function count (plus main).
+func TestCompilesAtSeveralSizes(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 500} {
+		src := Module(n, 1)
+		m := minic.MustCompile("synth", src)
+		if got := len(m.Funcs); got != n+1 {
+			t.Errorf("funcs=%d: compiled %d functions, want %d", n, got, n+1)
+		}
+	}
+}
+
+// TestChainCalls: chain interiors call their successor, chain heads
+// are called from main up to the fanout bound.
+func TestChainCalls(t *testing.T) {
+	src := Module(20, 1)
+	if !strings.Contains(src, "w1(b, x - 1)") {
+		t.Error("w0 does not call w1")
+	}
+	if strings.Contains(src, "w8(b, x - 1)") {
+		t.Error("chain boundary w7->w8 should not exist")
+	}
+	for _, head := range []string{"acc = acc + w0(", "acc = acc + w8(", "acc = acc + w16("} {
+		if !strings.Contains(src, head) {
+			t.Errorf("main does not call chain head: %s", head)
+		}
+	}
+}
