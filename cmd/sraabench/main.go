@@ -121,7 +121,18 @@ func main() {
 					Interproc: *interproc,
 					Budget:    spec,
 				}
-				results[i] = oneRequest(client, *addr, req, *retries, *backoff, *attemptTimeout, rng)
+				func() {
+					// Containment: a panic in the request path must
+					// not kill the other workers mid-run; the slot
+					// counts as a transport failure and the bench
+					// exits non-zero through the normal tally.
+					defer func() {
+						if r := recover(); r != nil {
+							results[i] = result{outcome: outFailed}
+						}
+					}()
+					results[i] = oneRequest(client, *addr, req, *retries, *backoff, *attemptTimeout, rng)
+				}()
 			}
 		}(w)
 	}

@@ -1,0 +1,87 @@
+// Command sraalint machine-enforces the repository's invariants:
+// determinism (maporder, wallclock, ptrformat), soundness visibility
+// (degraded), crash containment (goroutine), and durable writes
+// (atomicwrite). It is stdlib-only and self-hosted — the tree it
+// guards includes its own source.
+//
+// Usage:
+//
+//	sraalint [-dir d] [-json] [packages ...]   (default ./...)
+//	sraalint -checks                           list the check suite
+//
+// Exit codes: 0 clean, 1 findings, 2 load/type error. Suppression is
+// //lint:ignore <check> <reason> on the offending line or the line
+// above; the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("sraalint", flag.ExitOnError)
+	dir := fs.String("dir", ".", "directory to resolve package patterns in")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	listChecks := fs.Bool("checks", false, "list checks and their contracts, then exit")
+	fs.Parse(args)
+
+	if *listChecks {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	pkgs, err := lint.Load(*dir, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "sraalint: %v\n", err)
+		return 2
+	}
+	findings := lint.Run(pkgs)
+
+	// Report paths relative to the analyzed directory: stable across
+	// checkouts, so the output diffs cleanly and goldens don't embed
+	// absolute paths.
+	if absDir, aerr := filepath.Abs(*dir); aerr == nil {
+		for i := range findings {
+			rel, rerr := filepath.Rel(absDir, findings[i].File)
+			if rerr == nil && !strings.HasPrefix(rel, "..") {
+				findings[i].File = rel
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "sraalint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "sraalint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,163 @@
+package main
+
+// End-to-end tests for the sraalint binary: TestMain builds it once,
+// the tests run it over fixture modules with planted violations and
+// golden-compare the findings, assert the exit-code contract
+// (0 clean / 1 findings / 2 load error), and — the self-test — run it
+// over this repository itself, which must stay clean.
+// Regenerate the golden with: go test ./cmd/sraalint -run Golden -update
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+var lintBin string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	dir, err := os.MkdirTemp("", "sraalint-e2e")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	lintBin = filepath.Join(dir, "sraalint")
+	if out, err := exec.Command("go", "build", "-o", lintBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building sraalint: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// runLint executes the built binary and returns stdout, stderr, and
+// the exit code.
+func runLint(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(lintBin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("sraalint %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func TestFixtureModuleGolden(t *testing.T) {
+	got, _, code := runLint(t, "-dir", "testdata/fixturemod", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings)\n%s", code, got)
+	}
+	golden := filepath.Join("testdata", "fixturemod.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+func TestFixtureModuleJSON(t *testing.T) {
+	got, _, code := runLint(t, "-dir", "testdata/fixturemod", "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, got)
+	}
+	var findings []struct {
+		Check   string `json:"check"`
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Message string `json:"message"`
+		Fix     string `json:"fix"`
+	}
+	if err := json.Unmarshal([]byte(got), &findings); err != nil {
+		t.Fatalf("output is not a JSON findings array: %v\n%s", err, got)
+	}
+	// One planted violation per check, a second goroutine hit behind
+	// the reasonless directive, a second wallclock hit via the import
+	// chain, and the reasonless directive itself.
+	wantCounts := map[string]int{
+		"maporder": 1, "atomicwrite": 1, "degraded": 1,
+		"wallclock": 2, "goroutine": 2, "ptrformat": 1, "suppress": 1,
+	}
+	gotCounts := map[string]int{}
+	for _, f := range findings {
+		gotCounts[f.Check]++
+		if f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("finding missing position or message: %+v", f)
+		}
+	}
+	for check, n := range wantCounts {
+		if gotCounts[check] != n {
+			t.Errorf("check %s: %d finding(s), want %d", check, gotCounts[check], n)
+		}
+	}
+	for check := range gotCounts {
+		if _, ok := wantCounts[check]; !ok {
+			t.Errorf("unexpected check %s in findings", check)
+		}
+	}
+}
+
+func TestBrokenModuleLoadError(t *testing.T) {
+	got, stderr, code := runLint(t, "-dir", "testdata/brokenmod", "./...")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (load error)\nstdout:\n%s\nstderr:\n%s", code, got, stderr)
+	}
+	if !strings.Contains(stderr, "sraalint:") {
+		t.Errorf("stderr does not identify the load error:\n%s", stderr)
+	}
+}
+
+func TestChecksFlag(t *testing.T) {
+	got, _, code := runLint(t, "-checks")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, check := range []string{"maporder", "atomicwrite", "degraded", "wallclock", "goroutine", "ptrformat"} {
+		if !strings.Contains(got, check) {
+			t.Errorf("-checks output missing %s:\n%s", check, got)
+		}
+	}
+}
+
+// TestRepoTreeClean is the self-test the CI lint gate rests on: the
+// repository that ships sraalint — this one, its own source included —
+// must produce zero findings and zero unexplained suppressions.
+func TestRepoTreeClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stderr, code := runLint(t, "-dir", root, "./...")
+	if code != 0 {
+		t.Fatalf("sraalint over the repo tree: exit %d, want 0\n%s%s", code, got, stderr)
+	}
+	if got != "" {
+		t.Errorf("expected no output on a clean tree, got:\n%s", got)
+	}
+}

@@ -1,0 +1,5 @@
+// Package bad parses (so gofmt stays happy) but does not type-check:
+// the E2E suite asserts sraalint reports a load error with exit 2.
+package bad
+
+var X int = "definitely not an int"

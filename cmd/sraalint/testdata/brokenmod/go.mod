@@ -1,0 +1,3 @@
+module brokenmod
+
+go 1.22

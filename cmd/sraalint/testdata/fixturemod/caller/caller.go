@@ -1,0 +1,15 @@
+// Package caller discards a solver result in one place and consumes
+// it properly in another.
+package caller
+
+import "fixturemod/internal/core"
+
+// Run throws the result — and its Degraded record — away.
+func Run(n int) {
+	core.Analyze(n)
+}
+
+// Checked propagates the result to its caller.
+func Checked(n int) *core.Result {
+	return core.Analyze(n)
+}

@@ -1,0 +1,3 @@
+module fixturemod
+
+go 1.22

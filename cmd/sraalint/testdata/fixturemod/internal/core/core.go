@@ -1,0 +1,24 @@
+// Package core stands in for a pure solver package: its import path
+// suffix makes the wallclock rules apply, and its Analyze entry point
+// carries a degradation record the degraded check guards.
+package core
+
+import (
+	"math/rand"
+
+	"fixturemod/clock"
+)
+
+// Result carries the degradation record callers must not discard.
+type Result struct{ Degraded map[string]string }
+
+// Analyze is a solver entry point.
+func Analyze(n int) *Result { return &Result{} }
+
+// Shuffle draws from a PRNG inside a pure package.
+func Shuffle(r *rand.Rand, xs []int) {
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Tick reaches the wall clock through the impure helper.
+func Tick() int64 { return clock.Stamp().UnixNano() }

@@ -1,0 +1,34 @@
+// Package report violates the determinism contracts on purpose: the
+// E2E suite runs the real sraalint binary over this module and
+// golden-compares the findings.
+package report
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Keys leaks map iteration order into its result.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedKeys is the blessed collect-then-sort idiom and must stay
+// silent.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Render formats a machine address into the report.
+func Render(v *int) string {
+	return fmt.Sprintf("value at %p", v)
+}

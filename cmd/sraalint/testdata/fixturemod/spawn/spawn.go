@@ -1,0 +1,39 @@
+// Package spawn exercises the goroutine containment check and both
+// sides of the suppression contract.
+package spawn
+
+// Bare is an uncontained launch.
+func Bare(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+
+// Contained carries its own recover and must stay silent.
+func Contained(done chan any) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- r
+			}
+		}()
+		done <- nil
+	}()
+}
+
+// Waived is suppressed with a written reason and must stay silent.
+func Waived(done chan struct{}) {
+	//lint:ignore goroutine close of an unshared channel cannot panic, and this fixture proves reasoned waivers work
+	go func() {
+		close(done)
+	}()
+}
+
+// Unexplained has a reasonless directive: both the directive and the
+// launch are reported.
+func Unexplained(done chan struct{}) {
+	//lint:ignore goroutine
+	go func() {
+		close(done)
+	}()
+}

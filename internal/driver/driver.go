@@ -83,6 +83,7 @@ func signalContext(notify func(chan os.Signal) func(), exit func(int)) (context.
 			cancel()
 		})
 	}
+	//lint:ignore goroutine body is only channel selects, cancel, and exit — no user code runs here, and a recover would have nothing sound to record before the second-signal hard exit
 	go func() {
 		select {
 		case <-ch: // first signal: begin graceful drain

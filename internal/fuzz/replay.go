@@ -94,12 +94,26 @@ func runSlots(n, jobs int, fn func(i int)) {
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
+	// Containment of last resort: fn runs replays through the
+	// hardened pipeline, which converts expected failures into
+	// structured outcomes; anything that still escapes is captured
+	// per-slot and re-raised on the calling goroutine after the pool
+	// drains, so a worker panic can neither kill the process directly
+	// nor deadlock the senders.
+	escaped := make([]any, n)
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				func(i int) {
+					defer func() {
+						if r := recover(); r != nil {
+							escaped[i] = r
+						}
+					}()
+					fn(i)
+				}(i)
 			}
 		}()
 	}
@@ -108,4 +122,9 @@ func runSlots(n, jobs int, fn func(i int)) {
 	}
 	close(next)
 	wg.Wait()
+	for _, r := range escaped {
+		if r != nil {
+			panic(r)
+		}
+	}
 }

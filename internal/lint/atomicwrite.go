@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// atomicwrite — the crash-safety contract behind durable artifacts.
+//
+// HARDENING.md §7: every artifact, report, corpus entry, and
+// checkpoint reaches disk through persist.AtomicWriteFile
+// (tmp + fsync + rename), so a crash mid-write can never leave a
+// torn file that a later run trusts. A direct os.WriteFile or
+// os.Create in production code bypasses that guarantee silently —
+// the file appears, the content may be half there.
+//
+// The persist package itself (suffix internal/persist) is exempt: it
+// is the one place the raw primitives are allowed, because it is
+// where the atomic protocol is implemented.
+var analyzerAtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "file creation must route through persist.AtomicWriteFile (tmp+fsync+rename), not raw os.WriteFile/os.Create",
+	Fix:  "use persist.AtomicWriteFile (or a writer that flushes into it); raw writes are only legal inside internal/persist",
+	Run:  runAtomicWrite,
+}
+
+// rawWriteFuncs are the os entry points that create or truncate files
+// without the atomic protocol.
+var rawWriteFuncs = []string{"WriteFile", "Create"}
+
+func runAtomicWrite(p *Package) []Finding {
+	if pathHasSuffix(p.Path, "internal/persist") {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range rawWriteFuncs {
+				if isPkgCall(p.Info, call, "os", name) {
+					findings = append(findings, p.finding(call.Pos(),
+						"os."+name+" bypasses the atomic write protocol: a crash mid-write leaves a torn file"))
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}

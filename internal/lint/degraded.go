@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// degraded — the sound-or-degraded contract on solver output.
+//
+// Every solver entry point (core.Analyze*, andersen.Analyze*,
+// steens.Analyze*, rangeanal.Analyze*) returns a result that carries
+// its own degradation record: core.Result.Degraded, the Degraded()
+// error on the points-to analyses, budget-cancellation state. The
+// contract is that a degraded result is still sound — but only if
+// the caller can see it degraded. A call site that throws the result
+// away (`core.Analyze(...)` as a statement, `_ = andersen.Analyze`)
+// discards the only channel through which exhaustion or cancellation
+// is reported, so a quietly starved solve becomes indistinguishable
+// from a complete one.
+var analyzerDegraded = &Analyzer{
+	Name: "degraded",
+	Doc:  "solver results carrying the Degraded()/Canceled signal must not be discarded at the call site",
+	Fix:  "bind the result and consult Degraded()/Result.Degraded (or propagate it); if the call is only for side effects, say why with //lint:ignore degraded <reason>",
+	Run:  runDegraded,
+}
+
+// solverPkgs are the packages whose Analyze* entry points carry a
+// degradation signal in their result.
+var solverPkgs = []string{
+	"internal/core",
+	"internal/andersen",
+	"internal/steens",
+	"internal/rangeanal",
+}
+
+func runDegraded(p *Package) []Finding {
+	var findings []Finding
+	report := func(call *ast.CallExpr) {
+		fn := calleeFunc(p.Info, call)
+		findings = append(findings, p.finding(call.Pos(),
+			"result of "+fn.Pkg().Name()+"."+fn.Name()+" is discarded: the Degraded()/Canceled signal is lost"))
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok && isSolverEntry(p, call) {
+					report(call)
+				}
+			case *ast.GoStmt:
+				if isSolverEntry(p, stmt.Call) {
+					report(stmt.Call)
+				}
+			case *ast.DeferStmt:
+				if isSolverEntry(p, stmt.Call) {
+					report(stmt.Call)
+				}
+			case *ast.AssignStmt:
+				// Solver entry points are single-valued, so a blank
+				// LHS for the call's position is a full discard.
+				for i, rhs := range stmt.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isSolverEntry(p, call) || i >= len(stmt.Lhs) {
+						continue
+					}
+					if id, ok := stmt.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						report(call)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// isSolverEntry reports whether call invokes an exported Analyze*
+// function of one of the solver packages.
+func isSolverEntry(p *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil || !strings.HasPrefix(fn.Name(), "Analyze") {
+		return false
+	}
+	return pathHasAnySuffix(fn.Pkg().Path(), solverPkgs)
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// goroutine — the containment contract: no worker may crash the
+// process.
+//
+// The hardened pipeline's never-crash / never-5xx guarantees hold
+// because every stage runs inside a containment region that converts
+// panics into structured failures. A bare `go` statement punches
+// through all of it: a panic on an uncontained goroutine kills the
+// whole process no matter how careful every recover() below it was.
+//
+// The check accepts a launch when the goroutine's function literal
+// lexically carries its own containment — a deferred recover() — or
+// when the launch lives in internal/harness, the package that *is*
+// the containment layer (its worker pools wrap every unit of work in
+// contain()/guard()). Launching a named function (`go f()`) is
+// flagged too: the check cannot see into f from here, and the
+// containment-of-last-resort belongs at the launch site, where the
+// goroutine boundary is.
+var analyzerGoroutine = &Analyzer{
+	Name: "goroutine",
+	Doc:  "goroutine launches outside internal/harness must defer a recover() in the launched literal",
+	Fix:  "wrap the body: defer func() { if r := recover(); r != nil { record it } }(), or route the work through the harness worker helpers",
+	Run:  runGoroutine,
+}
+
+// containmentPkgs are packages whose own job is goroutine
+// containment; their launches are the mechanism, not a violation.
+var containmentPkgs = []string{"internal/harness"}
+
+func runGoroutine(p *Package) []Finding {
+	if pathHasAnySuffix(p.Path, containmentPkgs) {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				findings = append(findings, p.finding(gs.Pos(),
+					"goroutine launches a named function: containment cannot be verified at the launch site"))
+				return true
+			}
+			if !containsDeferredRecover(p.Info, lit.Body) {
+				findings = append(findings, p.finding(gs.Pos(),
+					"goroutine body has no deferred recover(): a panic here crashes the whole process"))
+			}
+			return true
+		})
+	}
+	return findings
+}

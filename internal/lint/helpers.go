@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// pathHasSuffix reports whether an import path matches a contract
+// path suffix: equal, or ending in "/"+suffix. Suffix matching is
+// what lets the analyzer run unchanged over this module and over the
+// fixture modules the test suite builds.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+func pathHasAnySuffix(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// finding builds a Finding at pos; the engine fills Check and the
+// default Fix afterwards.
+func (p *Package) finding(pos token.Pos, message string) Finding {
+	position := p.Fset.Position(pos)
+	return Finding{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: message,
+	}
+}
+
+// calleeFunc resolves a call expression to the *types.Func it
+// invokes, or nil for builtins, type conversions, and dynamic calls
+// through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgCall reports whether call invokes the package-level function
+// pkgPath.name, with pkgPath matched exactly (used for standard
+// library functions, whose paths are fixed).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isBuiltinCall reports whether call invokes the named builtin
+// (append, recover, ...), resolving through the type checker so a
+// local function shadowing the name does not match.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// rootObject resolves the variable at the base of an lvalue-ish
+// expression: x -> x, x.F.G -> x, x[i] -> x. Returns nil when the
+// base is not a simple identifier (call results, dereferences of
+// complex expressions).
+func rootObject(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return info.Uses[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// usesObject reports whether node references obj anywhere.
+func usesObject(info *types.Info, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// containsDeferredRecover reports whether body lexically contains a
+// `defer func() { ... recover() ... }()` (or a plain `defer
+// recover()`, which vet flags anyway) — the containment shape the
+// goroutine check accepts as proof a launch cannot crash the process.
+func containsDeferredRecover(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		if isBuiltinCall(info, d.Call, "recover") {
+			found = true
+			return false
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok && isBuiltinCall(info, c, "recover") {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// constString returns the compile-time constant string value of expr,
+// resolving named constants and concatenations through the type
+// checker; ok is false for anything not constant.
+func constString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerb is one conversion in a printf-style format string.
+type formatVerb struct {
+	verb     rune
+	flags    string
+	argIndex int // index into the variadic args consumed by this verb, -1 if none (%%)
+}
+
+// parseFormat extracts the conversions from a printf format string,
+// tracking which variadic argument each verb consumes, including '*'
+// width/precision arguments and '[n]' explicit indexes. It is the
+// same small subset of fmt's grammar go vet's printf check handles.
+func parseFormat(format string) []formatVerb {
+	var verbs []formatVerb
+	arg := 0
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		flagStart := i
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		flags := format[flagStart:i]
+		// width
+		if i < len(format) && format[i] == '*' {
+			arg++
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				arg++
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		// explicit argument index
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+				n = n*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := rune(format[i])
+		i++
+		if verb == '%' {
+			verbs = append(verbs, formatVerb{verb: verb, flags: flags, argIndex: -1})
+			continue
+		}
+		verbs = append(verbs, formatVerb{verb: verb, flags: flags, argIndex: arg})
+		arg++
+	}
+	return verbs
+}
+
+// isMapType reports whether t's underlying type (through one level of
+// pointer) is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

@@ -1,0 +1,228 @@
+// Package lint is sraalint's engine: a self-hosted static analyzer
+// that machine-enforces the invariants this codebase's guarantees
+// rest on. The platform promises byte-identical reports at any worker
+// count, sound-or-degraded solver output, and crash-safe artifact
+// writes; each promise is easy to break with one stray line — a map
+// iteration feeding a report, an os.WriteFile that skips the atomic
+// rename, a worker goroutine with no containment. The checks here
+// turn those conventions into diagnostics that gate CI.
+//
+// The engine is deliberately stdlib-only (go/ast, go/types, go/token,
+// go/importer): package enumeration and type information come from
+// `go list -deps -export -json`, whose compiled export data feeds the
+// gc importer, so the analyzer adds no dependencies to the module it
+// guards and cannot itself rot the go.mod zero-dependency contract.
+//
+// Contract paths are matched by import-path *suffix* (for example
+// "internal/persist"), not by full module path, so the same analyzer
+// binary runs unchanged over this repository and over the fixture
+// modules the test suite uses to prove each check fires.
+//
+// Suppression. A finding is silenced only by an explicit
+//
+//	//lint:ignore <check> <reason>
+//
+// comment on the offending line or the line directly above it, and
+// the reason must be non-empty: an unexplained suppression is itself
+// reported (check "suppress"). The suppression is thereby a reviewed,
+// grep-able record of every place an invariant is waived and why.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: where, which contract, what went wrong,
+// and how to fix it. The JSON form is what CI uploads as an artifact
+// when the lint gate fails.
+type Finding struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	Fix     string `json:"fix,omitempty"`
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Check, f.Message)
+	if f.Fix != "" {
+		s += " (fix: " + f.Fix + ")"
+	}
+	return s
+}
+
+// Package is one type-checked target package plus the dependency
+// graph context some analyzers (wallclock reachability) need.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// Graph maps every import path seen by the loader — targets and
+	// dependencies, standard library included — to its metadata. All
+	// target packages of one Load share the same graph.
+	Graph map[string]*PkgMeta
+}
+
+// PkgMeta is the loader's per-package metadata, enough to walk the
+// import graph without type-checking dependencies.
+type PkgMeta struct {
+	ImportPath string
+	Imports    []string
+	Standard   bool
+}
+
+// An Analyzer encodes one invariant. Run returns findings with
+// Message (and optionally Fix) set; the engine fills in Check and the
+// default Fix hint.
+type Analyzer struct {
+	Name string // the check name used in findings and suppressions
+	Doc  string // one-line contract statement, shown by sraalint -checks
+	Fix  string // default fix hint attached to findings
+	Run  func(p *Package) []Finding
+}
+
+// Analyzers returns the full check suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerMapOrder,
+		analyzerAtomicWrite,
+		analyzerDegraded,
+		analyzerWallclock,
+		analyzerGoroutine,
+		analyzerPtrFormat,
+	}
+}
+
+// checkNames returns the set of valid check names, for validating
+// suppression comments.
+func checkNames() map[string]bool {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// Run executes every analyzer over every package, applies
+// //lint:ignore suppressions, and returns the surviving findings
+// sorted by position — the order is deterministic by construction, a
+// linter enforcing determinism had better not randomize its own
+// output.
+func Run(pkgs []*Package) []Finding {
+	var all []Finding
+	for _, p := range pkgs {
+		var pkgFindings []Finding
+		for _, a := range Analyzers() {
+			fs := a.Run(p)
+			for i := range fs {
+				fs[i].Check = a.Name
+				if fs[i].Fix == "" {
+					fs[i].Fix = a.Fix
+				}
+			}
+			pkgFindings = append(pkgFindings, fs...)
+		}
+		all = append(all, applySuppressions(p, pkgFindings)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return all
+}
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	line   int
+	check  string
+	reason string
+	used   bool
+}
+
+// applySuppressions filters findings covered by a well-formed
+// //lint:ignore directive (same line or the line directly below the
+// comment) and reports malformed directives — unknown check names and
+// empty reasons — as findings in their own right, so a suppression
+// can never silently widen.
+func applySuppressions(p *Package, findings []Finding) []Finding {
+	valid := checkNames()
+	byFile := map[string][]*suppression{}
+	var bad []Finding
+	for _, file := range p.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				parts := strings.Fields(text)
+				if len(parts) == 0 || !valid[parts[0]] {
+					bad = append(bad, Finding{
+						Check: "suppress", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: fmt.Sprintf("lint:ignore with unknown check %q", strings.Join(parts, " ")),
+						Fix:     "name one of the sraalint checks: " + strings.Join(sortedNames(valid), ", "),
+					})
+					continue
+				}
+				if len(parts) < 2 {
+					bad = append(bad, Finding{
+						Check: "suppress", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: fmt.Sprintf("lint:ignore %s without a reason", parts[0]),
+						Fix:     "suppressions must carry a written justification: //lint:ignore " + parts[0] + " <reason>",
+					})
+					continue
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename], &suppression{
+					line:   pos.Line,
+					check:  parts[0],
+					reason: strings.Join(parts[1:], " "),
+				})
+			}
+		}
+	}
+
+	var kept []Finding
+	for _, f := range findings {
+		suppressed := false
+		for _, s := range byFile[f.File] {
+			if s.check == f.Check && (f.Line == s.line || f.Line == s.line+1) {
+				suppressed = true
+				s.used = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	return append(kept, bad...)
+}
+
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// LoadError marks failures to enumerate, parse, or type-check the
+// target — the exit-code-2 class, as opposed to findings (exit 1).
+type LoadError struct{ msg string }
+
+func (e *LoadError) Error() string { return e.msg }
+
+func loadErrorf(format string, args ...any) error {
+	return &LoadError{msg: fmt.Sprintf(format, args...)}
+}
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Export     string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+	DepsErrors []struct{ Err string }
+}
+
+// Load enumerates patterns (e.g. "./...") in dir via the go command,
+// type-checks every matched package from source against the compiled
+// export data of its dependencies, and returns the analyzable
+// packages. Only non-test GoFiles are loaded: the invariants sraalint
+// enforces are production contracts, and tests legitimately do things
+// (raw temp-file writes, bare goroutines around blocking calls) the
+// checks would otherwise drown in.
+//
+// Any go-list, parse, or type error is returned as *LoadError so the
+// CLI can distinguish "could not analyze" (exit 2) from "analyzed and
+// found violations" (exit 1).
+func Load(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	graph := map[string]*PkgMeta{}
+	exports := map[string]string{}
+	var targets []*listPkg
+	for _, lp := range listed {
+		graph[lp.ImportPath] = &PkgMeta{
+			ImportPath: lp.ImportPath,
+			Imports:    lp.Imports,
+			Standard:   lp.Standard,
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, loadErrorf("go list %v matched no packages", patterns)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		p, err := checkPackage(fset, imp, t, graph)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// goList enumerates patterns with `go list -deps -export -json`:
+// -deps -export makes the go command compile (or fetch from the build
+// cache) export data for the full dependency closure, standard
+// library included — that is what lets the type-checker run without a
+// single non-stdlib import in this package.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, loadErrorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var listed []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, loadErrorf("decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, loadErrorf("loading %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Incomplete {
+			msg := "dependency errors"
+			if len(lp.DepsErrors) > 0 {
+				msg = lp.DepsErrors[0].Err
+			}
+			return nil, loadErrorf("loading %s: %s", lp.ImportPath, msg)
+		}
+		cp := lp
+		listed = append(listed, &cp)
+	}
+	return listed, nil
+}
+
+// NewExportImporter returns a types.Importer that resolves imports
+// from compiled export data files, keyed by import path. Exposed for
+// the test harness, which type-checks fixture source under synthetic
+// import paths against the same dependency data the real loader uses.
+func NewExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// NewInfo returns a types.Info with every map analyzers consult
+// allocated. Shared with the test harness so fixtures and real loads
+// see identical type information.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, lp *listPkg, graph map[string]*PkgMeta) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, loadErrorf("parsing %s: %v", filepath.Join(lp.Dir, name), err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, loadErrorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:  lp.ImportPath,
+		Dir:   lp.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		Graph: graph,
+	}, nil
+}

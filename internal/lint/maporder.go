@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// maporder — the determinism contract behind byte-identical reports.
+//
+// Go randomizes map iteration order, so a `for k := range m` loop
+// whose body feeds anything order-sensitive — appends to a slice that
+// outlives the loop, writes to an io.Writer or strings.Builder,
+// printf output — produces a different byte stream on every run
+// unless the accumulated values are sorted before they matter. The
+// check flags such loops; the blessed idiom it accepts is "collect
+// keys, sort, then range over the sorted slice", detected as a
+// sort.* / slices.Sort* call on the accumulated slice anywhere after
+// the loop in the same function.
+//
+// Order-insensitive bodies (counters, sums, writes into other maps,
+// min/max folds over total orders) are not flagged.
+var analyzerMapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map-range loops must not feed order-sensitive sinks (slices, writers, reports) without sorting",
+	Fix:  "collect into a slice, sort it (sort.* / slices.Sort*), then iterate the slice; or sort the accumulated result before it is consumed",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Package) []Finding {
+	var findings []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := p.Info.Types[rs.X]
+				if !ok || !isMapType(tv.Type) {
+					return true
+				}
+				findings = append(findings, checkMapRange(p, fd.Body, rs)...)
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// checkMapRange inspects one map-range loop body for order-sensitive
+// sinks. fnBody is the enclosing function body, searched beyond the
+// loop for the sanctioned sort-afterwards idiom.
+func checkMapRange(p *Package, fnBody *ast.BlockStmt, rs *ast.RangeStmt) []Finding {
+	var findings []Finding
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isBuiltinCall(p.Info, call, "append"):
+			if f, bad := checkLoopAppend(p, fnBody, rs, call); bad {
+				findings = append(findings, f)
+			}
+		case isWriteSink(p, call):
+			findings = append(findings, p.finding(call.Pos(),
+				"write inside map-range loop: output order follows randomized map iteration"))
+		}
+		return true
+	})
+	return findings
+}
+
+// checkLoopAppend flags `x = append(x, ...)` inside a map-range loop
+// when x outlives the loop and is never sorted afterwards in the same
+// function.
+func checkLoopAppend(p *Package, fnBody *ast.BlockStmt, rs *ast.RangeStmt, call *ast.CallExpr) (Finding, bool) {
+	if len(call.Args) == 0 {
+		return Finding{}, false
+	}
+	obj := rootObject(p.Info, call.Args[0])
+	if obj == nil {
+		return Finding{}, false
+	}
+	// A slice declared inside the loop body dies with the iteration;
+	// its element order cannot leak out un-sorted through it.
+	if obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End() {
+		return Finding{}, false
+	}
+	// Accept a sort anywhere after the append — the collect-then-sort
+	// idiom after the loop, and also the nested shape where an outer
+	// loop sorts each inner accumulation before moving on.
+	if sortedAfter(p, fnBody, call.End(), obj) {
+		return Finding{}, false
+	}
+	return p.finding(call.Pos(), fmt.Sprintf(
+		"append to %q inside map-range loop without a later sort: element order follows randomized map iteration", obj.Name())), true
+}
+
+// sortedAfter reports whether any statement after pos in the function
+// body calls a sorting function on an expression referencing obj.
+func sortedAfter(p *Package, fnBody *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return !found
+		}
+		if !isSortCall(p, call) {
+			return !found
+		}
+		for _, arg := range call.Args {
+			if usesObject(p.Info, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall matches the standard sorting entry points: anything in
+// package sort, the slices.Sort* family, and a method literally named
+// Sort (sort.Interface implementations).
+func isSortCall(p *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		if pkg.Path() == "sort" {
+			return true
+		}
+		if pkg.Path() == "slices" && strings.HasPrefix(fn.Name(), "Sort") {
+			return true
+		}
+	}
+	return fn.Name() == "Sort"
+}
+
+// isWriteSink matches calls that emit bytes in call order: the
+// fmt.Print/Fprint families and Write* / Encode methods on writers,
+// builders, and encoders.
+func isWriteSink(p *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return true
+		}
+	}
+	return false
+}

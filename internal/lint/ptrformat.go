@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ptrformat — addresses and raw map renderings must not reach
+// reports.
+//
+// %p formats a machine address: different every run, different on
+// every worker, instant death for byte-identical goldens. Formatting
+// a map through %v/%+v/%#v is subtler — fmt sorts keys for most key
+// types, but interface and NaN-capable keys are not totally ordered,
+// and the repo's determinism contract is "sorted explicitly at the
+// boundary", not "fmt probably sorts". Both verbs are flagged on the
+// printf family; rendering code must convert to a sorted slice (or a
+// purpose-built summary) first.
+var analyzerPtrFormat = &Analyzer{
+	Name: "ptrformat",
+	Doc:  "no %p, and no map-valued %v/%+v/%#v, in printf-family formatting",
+	Fix:  "render an explicit, sorted representation: format field values individually, or convert the map to a sorted slice first",
+	Run:  runPtrFormat,
+}
+
+// printfFuncs maps printf-family functions to the index of their
+// format argument. Methods are matched by receiver-less package
+// functions only; *log.Logger methods are handled separately.
+var printfFuncs = map[[2]string]int{
+	{"fmt", "Printf"}:  0,
+	{"fmt", "Sprintf"}: 0,
+	{"fmt", "Fprintf"}: 1,
+	{"fmt", "Errorf"}:  0,
+	{"fmt", "Appendf"}: 1,
+	{"log", "Printf"}:  0,
+	{"log", "Fatalf"}:  0,
+	{"log", "Panicf"}:  0,
+}
+
+func runPtrFormat(p *Package) []Finding {
+	var findings []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			idx, ok := formatArgIndex(p, call)
+			if !ok || idx >= len(call.Args) {
+				return true
+			}
+			format, ok := constString(p.Info, call.Args[idx])
+			if !ok {
+				return true
+			}
+			args := call.Args[idx+1:]
+			for _, v := range parseFormat(format) {
+				switch v.verb {
+				case 'p':
+					findings = append(findings, p.finding(call.Pos(),
+						"%p formats a machine address: different bytes on every run"))
+				case 'v':
+					if v.argIndex < 0 || v.argIndex >= len(args) {
+						continue
+					}
+					tv, ok := p.Info.Types[args[v.argIndex]]
+					if ok && isMapType(tv.Type) {
+						findings = append(findings, p.finding(call.Pos(), fmt.Sprintf(
+							"%%%s%c formats a map value directly: key order is not contractually deterministic", v.flags, v.verb)))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// formatArgIndex returns the format-string argument index for
+// printf-family calls, covering the fmt/log package functions and
+// *log.Logger's Printf/Fatalf/Panicf methods.
+func formatArgIndex(p *Package, call *ast.CallExpr) (int, bool) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return 0, false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		idx, ok := printfFuncs[[2]string{fn.Pkg().Path(), fn.Name()}]
+		return idx, ok
+	}
+	if fn.Pkg().Path() == "log" {
+		switch fn.Name() {
+		case "Printf", "Fatalf", "Panicf":
+			return 0, true
+		}
+	}
+	return 0, false
+}

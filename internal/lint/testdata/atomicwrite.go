@@ -1,0 +1,28 @@
+// atomicwrite fixture: raw file creation outside internal/persist.
+package fixture
+
+import (
+	"os"
+
+	"repro/internal/persist"
+)
+
+// Positive: bypasses tmp+fsync+rename.
+func writeRaw(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want atomicwrite `os.WriteFile`
+}
+
+// Positive: creation without the atomic protocol.
+func createRaw(path string) (*os.File, error) {
+	return os.Create(path) // want atomicwrite `os.Create`
+}
+
+// Negative: the blessed route.
+func writeAtomic(path string, data []byte) error {
+	return persist.AtomicWriteFile(path, data, 0o644)
+}
+
+// Negative: reads are not writes.
+func readOnly(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,13 @@
+// atomicwrite fixture: the persist package itself implements the
+// atomic protocol, so raw primitives are legal here. No findings.
+package persist
+
+import "os"
+
+func writeTmp(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func create(path string) (*os.File, error) {
+	return os.Create(path)
+}

@@ -1,0 +1,37 @@
+// degraded fixture: solver entry points whose result — the only
+// carrier of the Degraded()/Canceled signal — is discarded.
+package fixture
+
+import (
+	"repro/internal/andersen"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/rangeanal"
+	"repro/internal/steens"
+)
+
+// Positive: statement call, result fully discarded.
+func discardStmt(m *ir.Module, r *rangeanal.Result) {
+	core.Analyze(m, r, core.Options{}) // want degraded `discarded`
+}
+
+// Positive: explicit blank assignment.
+func discardBlank(m *ir.Module) {
+	_ = andersen.Analyze(m) // want degraded `discarded`
+}
+
+// Positive: deferred for side effects only.
+func discardDefer(m *ir.Module) {
+	defer steens.Analyze(m) // want degraded `discarded`
+}
+
+// Negative: result bound and its signal consulted.
+func used(m *ir.Module) error {
+	a := andersen.Analyze(m)
+	return a.Degraded()
+}
+
+// Negative: result propagated to the caller.
+func usedRange(m *ir.Module) *rangeanal.Result {
+	return rangeanal.Analyze(m)
+}

@@ -1,0 +1,49 @@
+// goroutine fixture: launches outside the containment layer.
+package fixture
+
+import "sync"
+
+// Positive: nothing stands between a panic here and process death.
+func bare(done chan struct{}) {
+	go func() { // want goroutine `no deferred recover`
+		close(done)
+	}()
+}
+
+// Positive: containment cannot be verified through a named function.
+func named(wg *sync.WaitGroup) {
+	go wg.Done() // want goroutine `named function`
+}
+
+// Negative: the launch carries its own containment of last resort.
+func contained(done chan any) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- r
+			}
+		}()
+		done <- nil
+	}()
+}
+
+// Negative: the worker-pool shape — recover sits in a nested per-item
+// region inside the literal, as internal/core's workers do.
+func pool(ch chan int, slots []any) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range ch {
+			func(i int) {
+				defer func() {
+					if r := recover(); r != nil {
+						slots[i] = r
+					}
+				}()
+				slots[i] = i * i
+			}(i)
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,14 @@
+// goroutine fixture: checked under the internal/harness import path,
+// the containment layer itself — its worker launches are the
+// mechanism, not a violation. No findings.
+package harness
+
+func workers(ch chan int, out []int) {
+	for w := 0; w < 4; w++ {
+		go func() {
+			for i := range ch {
+				out[i] = i
+			}
+		}()
+	}
+}

@@ -1,0 +1,86 @@
+// maporder fixture: map-range loops feeding order-sensitive sinks.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Positive: the slice outlives the loop and is never sorted.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want maporder `append to "keys"`
+	}
+	return keys
+}
+
+// Negative: the blessed collect-then-sort idiom.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Positive: bytes leave in iteration order; no later sort can help.
+func printUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want maporder `write inside map-range`
+	}
+}
+
+// Negative: counting is order-insensitive.
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Negative: the scratch slice dies inside the iteration.
+func innerScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var scratch []int
+		scratch = append(scratch, vs...)
+		total += len(scratch)
+	}
+	return total
+}
+
+// Negative: nested accumulation sorted per outer iteration, the
+// analyzeWithSeeds shape from internal/core.
+func nestedPerKeySort(m map[string]map[int]bool) map[string][]int {
+	out := map[string][]int{}
+	for k, inner := range m {
+		for v := range inner {
+			out[k] = append(out[k], v)
+		}
+		sort.Ints(out[k])
+	}
+	return out
+}
+
+// Negative: writing into another map is order-insensitive.
+func intoOtherMap(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Positive: a field append through a receiver-like struct still
+// escapes the loop unsorted.
+type report struct{ lines []string }
+
+func (r *report) fill(m map[string]bool) {
+	for k := range m {
+		r.lines = append(r.lines, k) // want maporder `append to "r"`
+	}
+}

@@ -1,0 +1,55 @@
+// ptrformat fixture: addresses and raw map renderings in
+// printf-family output.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"log"
+)
+
+// Positive: a machine address in the output.
+func addr(p *int) string {
+	return fmt.Sprintf("%p", p) // want ptrformat `%p`
+}
+
+// Positive: map rendered directly.
+func mapValue(m map[string]int) string {
+	return fmt.Sprintf("%v", m) // want ptrformat `map value`
+}
+
+// Positive: %+v is the same hazard.
+func mapPlus(w io.Writer, m map[string]int) {
+	fmt.Fprintf(w, "state: %+v\n", m) // want ptrformat `map value`
+}
+
+// Positive: the log package is an output path too.
+func logMap(m map[int]bool) {
+	log.Printf("m=%v", m) // want ptrformat `map value`
+}
+
+// Positive: explicit argument indexes are followed.
+func indexed(m map[string]int) string {
+	return fmt.Sprintf("%[2]v %[1]d", 1, m) // want ptrformat `map value`
+}
+
+// Positive: '*' width consumes an argument before the map arrives.
+func starWidth(n int, m map[string]int) string {
+	return fmt.Sprintf("%*d %v", n, 7, m) // want ptrformat `map value`
+}
+
+// Positive: errors end up in reports as well.
+func errf(p *byte) error {
+	return fmt.Errorf("at %p", p) // want ptrformat `%p`
+}
+
+// Negative: lengths, strings, and structs are deterministic.
+func fine(m map[string]int, s fmt.Stringer) string {
+	return fmt.Sprintf("%d %s %v", len(m), s, struct{ A int }{1})
+}
+
+// Negative: a non-constant format cannot be analyzed — and is not
+// guessed at.
+func dynamic(f string, m map[string]int) string {
+	return fmt.Sprintf(f, m)
+}

@@ -1,0 +1,39 @@
+// suppression fixture: the //lint:ignore contract — a named check
+// plus a non-empty reason silences exactly one line; anything less is
+// itself a finding.
+package fixture
+
+import "os"
+
+// Silenced: directive on the offending line, with a reason.
+func suppressedSameLine(path string) error {
+	return os.WriteFile(path, nil, 0o644) //lint:ignore atomicwrite fixture demonstrates a reviewed waiver
+}
+
+// Silenced: directive on the line above, with a reason.
+func suppressedLineAbove(path string) (*os.File, error) {
+	//lint:ignore atomicwrite the file is ephemeral scratch, never read back after a crash
+	return os.Create(path)
+}
+
+// Rejected: no reason given — the directive is reported and the
+// underlying finding stays.
+func missingReason(path string) error {
+	// want+1 suppress `without a reason`
+	//lint:ignore atomicwrite
+	return os.WriteFile(path, nil, 0o644) // want atomicwrite `torn file`
+}
+
+// Rejected: unknown check name.
+func unknownCheck(path string) error {
+	// want+1 suppress `unknown check`
+	//lint:ignore notacheck it does not matter how good the reason is
+	return os.WriteFile(path, nil, 0o644) // want atomicwrite `torn file`
+}
+
+// A directive for one check does not silence another: the reasoned
+// goroutine waiver below leaves the atomicwrite finding alone.
+func wrongCheck(path string) error {
+	//lint:ignore goroutine reasons about goroutines do not cover writes
+	return os.WriteFile(path, nil, 0o644) // want atomicwrite `torn file`
+}

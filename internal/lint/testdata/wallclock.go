@@ -1,0 +1,29 @@
+// wallclock fixture: checked under a pure-solver import path
+// (internal/core), where wall-clock reads and PRNG use are findings.
+package core
+
+import (
+	"math/rand" // want wallclock `imports "math/rand"`
+	"time"
+)
+
+// Positive: wall-clock read inside a pure package.
+func stamp() int64 {
+	return time.Now().UnixNano() // want wallclock `reads the wall clock`
+}
+
+// Positive: Since is a clock read too.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want wallclock `reads the wall clock`
+}
+
+// The import finding above is the PRNG diagnostic; drawing from an
+// injected source adds no second finding.
+func draw(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// Negative: duration arithmetic is pure.
+func double(d time.Duration) time.Duration {
+	return 2 * d
+}

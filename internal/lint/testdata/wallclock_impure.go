@@ -1,0 +1,13 @@
+// wallclock fixture: the same clock reads checked under a non-pure
+// import path (internal/serve) are legitimate. No findings.
+package serve
+
+import "time"
+
+func deadline() time.Time {
+	return time.Now().Add(10 * time.Second)
+}
+
+func waited(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}

@@ -1,0 +1,7 @@
+// wallclock fixture for the reachability rule: the package source
+// never mentions time — the violation (or its sanctioned absence
+// through internal/budget) lives in the loader metadata the tests
+// synthesize, so the expectations live in the tests too.
+package core
+
+func pure(x int) int { return x + 1 }

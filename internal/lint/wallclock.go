@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// wallclock — solver purity: same input, same bytes, forever.
+//
+// The solver packages compute fixed points that feed memo keys
+// (sha256 over canonical IR + options) and golden-compared reports.
+// A wall-clock read or PRNG draw inside that computation — even one
+// that only perturbs iteration order — silently breaks cache
+// stability and byte-identical replay. The check enforces purity two
+// ways:
+//
+//   - directly: no time.Now/Since/Until/After/Tick/NewTimer/NewTicker
+//     call and no math/rand import inside a pure package;
+//   - transitively: no pure package may depend (through any chain of
+//     module-internal imports) on a package that imports "time" or
+//     "math/rand", because a helper that timestamps or shuffles is one
+//     refactor away from leaking into solver output.
+//
+// internal/budget is the sanctioned exemption: it exists precisely to
+// be the wall-clock boundary, and its design guarantees exhaustion
+// degrades soundly (empty LT sets, ⊤ ranges, MayAlias) rather than
+// changing computed values.
+var analyzerWallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "pure solver packages must not reach time.Now/math/rand, directly or via module-internal deps (budget excepted)",
+	Fix:  "move the timing/randomness behind internal/budget or out of the solver; solver output must be a function of its input alone",
+	Run:  runWallclock,
+}
+
+// purePkgs are the solver and solver-substrate packages whose output
+// feeds memo keys and byte-compared reports.
+var purePkgs = []string{
+	"internal/core",
+	"internal/andersen",
+	"internal/steens",
+	"internal/rangeanal",
+	"internal/pentagon",
+	"internal/abcd",
+	"internal/essa",
+	"internal/bitvec",
+}
+
+// wallclockExempt are module-internal packages allowed to touch the
+// wall clock even when reachable from pure packages.
+var wallclockExempt = []string{"internal/budget"}
+
+// clockFuncs are the time package entry points that observe the wall
+// clock or schedule against it.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+func runWallclock(p *Package) []Finding {
+	if !pathHasAnySuffix(p.Path, purePkgs) {
+		return nil
+	}
+	var findings []Finding
+
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				findings = append(findings, p.finding(imp.Pos(),
+					fmt.Sprintf("pure solver package imports %q: PRNG draws make solver output input-dependent no more", path)))
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && clockFuncs[fn.Name()] {
+				findings = append(findings, p.finding(call.Pos(),
+					"pure solver package reads the wall clock (time."+fn.Name()+"): values can leak into memo keys or artifacts"))
+			}
+			return true
+		})
+	}
+
+	findings = append(findings, wallclockReachable(p)...)
+	return findings
+}
+
+// wallclockReachable walks the module-internal import closure of a
+// pure package and reports any dependency that imports "time" or
+// "math/rand", anchored at the import declaration that begins the
+// offending chain.
+func wallclockReachable(p *Package) []Finding {
+	meta := p.Graph[p.Path]
+	if meta == nil {
+		return nil
+	}
+	var findings []Finding
+	for _, first := range sortedStrings(meta.Imports) {
+		chain := findClockChain(p, first, map[string]bool{p.Path: true})
+		if chain == nil {
+			continue
+		}
+		pos := importPos(p, first)
+		findings = append(findings, Finding{
+			File: pos.File, Line: pos.Line, Col: pos.Col,
+			Message: fmt.Sprintf("pure solver package reaches %q via %s",
+				chain[len(chain)-1], strings.Join(append([]string{p.Path}, chain...), " -> ")),
+		})
+	}
+	return findings
+}
+
+// findClockChain does a depth-first search from import path `from`
+// through module-internal, non-exempt packages, returning the import
+// chain ending in "time" or "math/rand", or nil. Deterministic: edges
+// are explored in sorted order.
+func findClockChain(p *Package, from string, seen map[string]bool) []string {
+	if seen[from] {
+		return nil
+	}
+	seen[from] = true
+	meta := p.Graph[from]
+	if meta == nil || meta.Standard || pathHasAnySuffix(from, wallclockExempt) {
+		return nil
+	}
+	for _, next := range sortedStrings(meta.Imports) {
+		if next == "time" || next == "math/rand" || next == "math/rand/v2" {
+			return []string{from, next}
+		}
+	}
+	for _, next := range sortedStrings(meta.Imports) {
+		if chain := findClockChain(p, next, seen); chain != nil {
+			return append([]string{from}, chain...)
+		}
+	}
+	return nil
+}
+
+// importPos locates the ImportSpec for path in the package's files;
+// findings about the import graph anchor there.
+func importPos(p *Package, path string) Finding {
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			if v, err := strconv.Unquote(imp.Path.Value); err == nil && v == path {
+				return p.finding(imp.Pos(), "")
+			}
+		}
+	}
+	return p.finding(p.Files[0].Pos(), "")
+}
+
+func sortedStrings(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}

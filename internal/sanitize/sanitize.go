@@ -217,6 +217,11 @@ type slot struct {
 	// panicked re-raises on the calling goroutine when Recover is
 	// unset, preserving the serial contract deterministically.
 	panicked any
+	// escaped carries a panic that got past checkFunc's own
+	// containment on a worker goroutine; it always re-raises on the
+	// calling goroutine, Recover or not, because the recovery
+	// machinery itself can no longer be trusted.
+	escaped any
 }
 
 // AnalyzeCtx is Analyze under a context: cancellation is observed by
@@ -249,7 +254,20 @@ func AnalyzeCtx(ctx context.Context, m *ir.Module, ranges *rangeanal.Result, lt 
 			go func() {
 				defer wg.Done()
 				for i := range ch {
-					run(i)
+					func(i int) {
+						// Containment of last resort: checkFunc
+						// converts recover-mode panics into slot
+						// failures one level down, but a panic in
+						// that machinery itself would otherwise kill
+						// the process from a worker goroutine. The
+						// slot re-raises on the calling goroutine.
+						defer func() {
+							if r := recover(); r != nil {
+								slots[i].escaped = r
+							}
+						}()
+						run(i)
+					}(i)
 				}
 			}()
 		}
@@ -263,6 +281,9 @@ func AnalyzeCtx(ctx context.Context, m *ir.Module, ranges *rangeanal.Result, lt 
 	rep := &Report{Degraded: map[*ir.Func]string{}}
 	for i, f := range m.Funcs {
 		s := &slots[i]
+		if s.escaped != nil {
+			panic(s.escaped)
+		}
 		if s.panicked != nil && !opt.Recover {
 			panic(s.panicked)
 		}

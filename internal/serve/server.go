@@ -366,7 +366,18 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.D
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
+	go func() {
+		// Containment: net/http recovers handler panics itself, but a
+		// panic in the accept loop's own machinery would otherwise
+		// take down the daemon from this goroutine. It surfaces as a
+		// listener error and flows into the normal drain path.
+		defer func() {
+			if r := recover(); r != nil {
+				errc <- fmt.Errorf("serve: accept loop panicked: %v", r)
+			}
+		}()
+		errc <- srv.Serve(ln)
+	}()
 
 	select {
 	case err := <-errc:

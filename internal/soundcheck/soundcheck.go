@@ -17,6 +17,7 @@ package soundcheck
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/alias"
 	"repro/internal/cfg"
@@ -95,6 +96,10 @@ func buildLTPairs(f *ir.Func, lt LessThanOracle) *ltPairs {
 		for v := range lv.LiveInSet(b) {
 			live = append(live, v)
 		}
+		// Map iteration filled live in arbitrary order; the pair list
+		// below inherits its order, and violation reports inherit the
+		// pair list's — sort so reported violations are deterministic.
+		sort.Slice(live, func(i, j int) bool { return live[i].Name() < live[j].Name() })
 		for i := 0; i < len(live); i++ {
 			for j := 0; j < len(live); j++ {
 				if i == j {
@@ -176,6 +181,10 @@ func buildAliasPairs(f *ir.Func, aa alias.Analysis) map[*ir.Block][]aliasPair {
 				ptrs = append(ptrs, v)
 			}
 		}
+		// Same determinism argument as buildLTPairs: alias violations
+		// are reported in pair order, so the pointer list must not
+		// inherit map iteration order.
+		sort.Slice(ptrs, func(i, j int) bool { return ptrs[i].Name() < ptrs[j].Name() })
 		for i := 0; i < len(ptrs); i++ {
 			for j := i + 1; j < len(ptrs); j++ {
 				v := aa.Alias(alias.Loc(ptrs[i]), alias.Loc(ptrs[j]))

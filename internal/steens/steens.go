@@ -320,6 +320,7 @@ func (s *unifier) propagateGrounded() {
 	}
 	var work []ir.Value
 	for v := range s.a.grounded {
+		//lint:ignore maporder worklist seeding for a monotone closure: the final grounded set is the same for every visit order, and nothing on this path reaches a report
 		work = append(work, v)
 	}
 	for len(work) > 0 {
