@@ -6,12 +6,20 @@
 //
 //	sraabench -addr http://127.0.0.1:8177 -n 200 -c 16
 //
+// With -store the target is an artifact store (sraastore) instead:
+// the bench walks the store's key list with batched multi-gets and
+// CRC-revalidates every returned record, so it doubles as a wire
+// integrity check:
+//
+//	sraabench -store -addr http://127.0.0.1:8178 -n 200 -c 16 -batch 64
+//
 // Shed responses (429) are retried with jittered exponential backoff
 // that honors the server's Retry-After hint; a request that is still
 // shed after -retries attempts counts as "shed", not as a failure.
 // Exit status: 0 on success (sheds included), 1 if any request got no
 // answer at all (transport failure after retries), 2 if the server
-// ever returned a 5xx — the daemon promises never to.
+// ever returned a 5xx — the daemon promises never to — and, with
+// -store, 3 if any returned record failed validation.
 package main
 
 import (
@@ -68,11 +76,20 @@ func main() {
 	attemptTimeout := flag.Duration("attempt-timeout", 10*time.Second, "HTTP timeout per attempt")
 	seed := flag.Int64("seed", 1, "jitter seed")
 	out := flag.String("o", "", "also write the report to this file (atomic)")
+	store := flag.Bool("store", false, "bench an artifact store (sraastore) with batched gets instead of an analysis daemon")
+	batch := flag.Int("batch", 64, "with -store: keys per batched get")
 	flag.Parse()
 
 	if *n <= 0 || *c <= 0 || *programs <= 0 {
 		fmt.Fprintln(os.Stderr, "sraabench: -n, -c, and -programs must be positive")
 		os.Exit(1)
+	}
+	if *store {
+		if *batch <= 0 {
+			fmt.Fprintln(os.Stderr, "sraabench: -batch must be positive")
+			os.Exit(1)
+		}
+		os.Exit(runStoreBench(*addr, *n, *c, *batch, *retries, *backoff, *attemptTimeout, *seed, *out))
 	}
 
 	suite := corpus.TestSuite(*programs)

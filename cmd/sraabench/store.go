@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// -store mode: load-generate batched multi-gets against a running
+// sraastore instead of analysis requests against sraad. The retry,
+// backoff, Retry-After, and percentile machinery is the same; the
+// payload is POST /art/batch over the store's own key list, and every
+// returned record is CRC-revalidated so the bench doubles as a wire
+// integrity check (a store run with -inject-fault should shed and
+// slow the bench, never hand it a record that validates incorrectly).
+
+// storeBatch is one logical bench request: a batched get of `size`
+// keys starting at a rotating offset in the store's key list.
+type storeBatch struct {
+	keys []string
+}
+
+// runStoreBench drives the store and returns the process exit code:
+// 0 on success, 1 if any batch got no answer after retries, 2 on any
+// 5xx, 3 if a returned record failed validation (the store or the
+// wire is corrupting data — the one outcome the contract forbids).
+func runStoreBench(addr string, n, c, batchSize, retries int, base, attemptTimeout time.Duration, seed int64, out string) int {
+	client := &http.Client{}
+	keys, err := fetchKeys(client, addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sraabench:", err)
+		return 1
+	}
+	if len(keys) == 0 {
+		fmt.Fprintln(os.Stderr, "sraabench: store has no records; seed it with a sweep first (-store mode benches reads)")
+		return 1
+	}
+
+	batches := make([]storeBatch, n)
+	for i := range batches {
+		b := make([]string, 0, batchSize)
+		for k := 0; k < batchSize; k++ {
+			b = append(b, keys[(i*batchSize+k)%len(keys)])
+		}
+		batches[i] = storeBatch{keys: b}
+	}
+
+	before := fetchStoreStats(client, addr)
+	results := make([]result, n)
+	var corrupt int64
+	var next int64
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(worker)))
+			for {
+				mu.Lock()
+				i := int(next)
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				func() {
+					// Containment: one batch's panic is that batch's
+					// failure, not the bench's.
+					defer func() {
+						if r := recover(); r != nil {
+							results[i] = result{outcome: outFailed}
+						}
+					}()
+					var bad int
+					results[i], bad = oneBatch(client, addr, batches[i], retries, base, attemptTimeout, rng)
+					if bad > 0 {
+						mu.Lock()
+						corrupt += int64(bad)
+						mu.Unlock()
+					}
+				}()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	after := fetchStoreStats(client, addr)
+
+	report := renderStore(results, elapsed, c, batchSize, corrupt, before, after)
+	fmt.Print(report)
+	if out != "" {
+		if err := persist.AtomicWriteFile(out, []byte(report), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sraabench:", err)
+			return 1
+		}
+	}
+
+	code := 0
+	for _, r := range results {
+		switch r.outcome {
+		case outServerErr:
+			code = 2
+		case outFailed:
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	if corrupt > 0 && code < 3 {
+		code = 3
+	}
+	return code
+}
+
+// oneBatch runs one batched get through the shared retry loop and
+// revalidates every returned record. bad counts records that failed
+// validation — always 0 against a healthy store.
+func oneBatch(client *http.Client, addr string, b storeBatch, retries int, base, attemptTimeout time.Duration, rng *rand.Rand) (result, int) {
+	body, err := json.Marshal(map[string][]string{"keys": b.keys})
+	if err != nil {
+		return result{outcome: outFailed}, 0
+	}
+	var res result
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		status, records, retryAfter, err := postBatch(client, addr, body, attemptTimeout)
+		switch {
+		case err == nil && status == http.StatusOK:
+			res.latency = time.Since(t0)
+			res.outcome = outOK
+			bad := 0
+			for k, b64 := range records {
+				data, derr := base64.StdEncoding.DecodeString(b64)
+				if derr != nil {
+					bad++
+					continue
+				}
+				if gotKey, _, derr := persist.DecodeRecord(data); derr != nil || gotKey != k {
+					bad++
+				}
+			}
+			return res, bad
+		case err == nil && status == http.StatusTooManyRequests:
+			res.sheds++
+			res.outcome = outShed
+		case err == nil && status >= 500:
+			res.outcome = outServerErr
+			return res, 0
+		case err == nil:
+			res.outcome = outBad
+			return res, 0
+		default:
+			res.outcome = outFailed
+		}
+		if attempt >= retries {
+			return res, 0
+		}
+		res.retries++
+		d := base << uint(attempt)
+		d = d/2 + time.Duration(rng.Int63n(int64(d)/2+1))
+		if retryAfter > d {
+			d = retryAfter
+		}
+		time.Sleep(d)
+	}
+}
+
+// postBatch performs one POST /art/batch attempt.
+func postBatch(client *http.Client, addr string, body []byte, timeout time.Duration) (status int, records map[string]string, retryAfter time.Duration, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/art/batch", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		var envelope struct {
+			Records map[string]string `json:"records"`
+		}
+		if json.Unmarshal(data, &envelope) == nil {
+			records = envelope.Records
+		}
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if sec, aerr := strconv.Atoi(ra); aerr == nil && sec > 0 {
+			retryAfter = time.Duration(sec) * time.Second
+		}
+	}
+	return resp.StatusCode, records, retryAfter, nil
+}
+
+// fetchKeys lists the store's key space via GET /keys.
+func fetchKeys(client *http.Client, addr string) ([]string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/keys", nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("store unreachable: %w", err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /keys: status %d", res.StatusCode)
+	}
+	var envelope struct {
+		Keys []string `json:"keys"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&envelope); err != nil {
+		return nil, fmt.Errorf("GET /keys: %w", err)
+	}
+	return envelope.Keys, nil
+}
+
+// storeSnap is the subset of sraastore's /stats the bench windows.
+type storeSnap struct {
+	Requests int64 `json:"requests"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Shed     int64 `json:"shed"`
+}
+
+func fetchStoreStats(client *http.Client, addr string) *storeSnap {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/stats", nil)
+	if err != nil {
+		return nil
+	}
+	res, err := client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer res.Body.Close()
+	var snap storeSnap
+	if json.NewDecoder(res.Body).Decode(&snap) != nil {
+		return nil
+	}
+	return &snap
+}
+
+func renderStore(results []result, elapsed time.Duration, workers, batchSize int, corrupt int64, before, after *storeSnap) string {
+	var counts [6]int
+	var lats []time.Duration
+	var retries, sheds int
+	for _, r := range results {
+		counts[r.outcome]++
+		retries += r.retries
+		sheds += r.sheds
+		if r.outcome == outOK {
+			lats = append(lats, r.latency)
+		}
+	}
+	var sb strings.Builder
+	n := len(results)
+	fmt.Fprintf(&sb, "sraabench -store: %d batches x %d keys, concurrency %d in %s (%.1f batch/s)\n",
+		n, batchSize, workers, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	fmt.Fprintf(&sb, "outcomes: ok=%d shed=%d bad=%d 5xx=%d failed=%d corrupt-records=%d\n",
+		counts[outOK], counts[outShed], counts[outBad], counts[outServerErr], counts[outFailed], corrupt)
+	fmt.Fprintf(&sb, "retries: %d (shed attempts seen: %d)\n", retries, sheds)
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Fprintf(&sb, "latency: p50=%s p90=%s p99=%s max=%s\n",
+			pct(lats, 0.50), pct(lats, 0.90), pct(lats, 0.99), lats[len(lats)-1].Round(time.Microsecond))
+	} else {
+		sb.WriteString("latency: no successful batches\n")
+	}
+	if before != nil && after != nil {
+		fmt.Fprintf(&sb, "store window: requests=%d hits=%d misses=%d shed=%d\n",
+			after.Requests-before.Requests, after.Hits-before.Hits,
+			after.Misses-before.Misses, after.Shed-before.Shed)
+	}
+	return sb.String()
+}

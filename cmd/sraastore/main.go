@@ -1,0 +1,101 @@
+// Command sraastore serves a content-addressed artifact store over
+// HTTP: the shared durable memo tier of a distributed sweep. Workers
+// point their remote cache client (-remote-store on the sweep
+// drivers) at it; records travel in the same self-validating wire
+// format they live in on disk, so clients CRC-check every fetch end
+// to end.
+//
+// Endpoints:
+//
+//	GET  /art/{key}   one record, raw bytes (404 on miss)
+//	POST /art/batch   {"keys":[...]} -> {"records":{key: base64}}
+//	PUT  /art/{key}   conditional install (validated, idempotent)
+//	GET  /keys        sorted key list
+//	GET  /healthz     liveness + load
+//	GET  /stats       counters incl. quarantines and disk errors
+//
+// Admission mirrors sraad: overload sheds with 429 + Retry-After,
+// never a 5xx. -inject-fault arms the deterministic chaos middleware
+// (drops, delays, truncated bodies, bit flips, 429/500 storms) for
+// fault drills — never set it in production.
+//
+// Shutdown: first SIGINT/SIGTERM drains within -drain and exits 0;
+// a second signal exits 130 immediately.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/persist"
+	"repro/internal/persist/remote"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8178", "listen address (host:port; port 0 picks a free port)")
+	dir := flag.String("dir", "artifacts", "artifact store directory (created if missing; corrupt records quarantined at open)")
+	inflight := flag.Int("inflight", 64, "max concurrently served requests")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4×inflight, negative = no queue)")
+	queueWait := flag.Duration("queue-wait", time.Second, "max time a queued request waits for a slot before being shed")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed (429) responses")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-drain deadline after SIGINT/SIGTERM")
+	injectFault := flag.String("inject-fault", "", "testing only: chaos spec, e.g. drop=0.1,delay=50ms:0.2,truncate=0.05,flip=0.05,429=0.2,500=0.1,seed=7")
+	flag.Parse()
+
+	fault, err := remote.ParseFaultSpec(*injectFault)
+	if err != nil {
+		fatal(err)
+	}
+	if fault != nil {
+		fmt.Fprintf(os.Stderr, "sraastore: FAULT INJECTION ACTIVE: %s\n", fault)
+	}
+
+	st, err := persist.OpenStore(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if qs := st.Stats(); qs.Quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "sraastore: quarantined %d corrupt record(s) at open\n", qs.Quarantined)
+	}
+
+	srv := remote.NewStoreServer(st, remote.ServerConfig{
+		InFlight:   *inflight,
+		Queue:      *queue,
+		QueueWait:  *queueWait,
+		RetryAfter: *retryAfter,
+		Fault:      fault,
+	})
+
+	ctx, stop := driver.SignalContext()
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The "listening on" line carries the resolved port for wrappers
+	// that pass port 0.
+	fmt.Fprintf(os.Stderr, "sraastore: listening on %s (%d records)\n", ln.Addr(), st.Len())
+
+	err = srv.Serve(ctx, ln, *drain)
+
+	snap := srv.Snapshot()
+	if data, jerr := json.Marshal(snap); jerr == nil {
+		fmt.Fprintf(os.Stderr, "sraastore: final stats %s\n", data)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sraastore: drained cleanly (%d requests, %d hits, %d installs, %d shed)\n",
+		snap.Requests, snap.Hits, snap.Installs, snap.Shed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sraastore:", err)
+	os.Exit(1)
+}

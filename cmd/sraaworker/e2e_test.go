@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// End-to-end proofs of the distribution contract, against the real
+// binaries: a multi-process sweep produces the same report bytes as a
+// single-process run; SIGKILLing a worker mid-sweep costs duplicated
+// work, never a changed report; and a fault-injected artifact store
+// can slow the sweep down but not corrupt it.
+
+var (
+	workerBin string
+	storeBin  string
+)
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "sraaworker-e2e")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	workerBin = filepath.Join(dir, "sraaworker")
+	storeBin = filepath.Join(dir, "sraastore")
+	if out, err := exec.Command("go", "build", "-o", workerBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building sraaworker: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	if out, err := exec.Command("go", "build", "-o", storeBin, "../sraastore").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building sraastore: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+const (
+	e2eSeed   = "9000"
+	e2eRuns   = "24"
+	e2eShards = "4"
+)
+
+func sweepArgs(stateDir string, extra ...string) []string {
+	args := []string{"-state", stateDir, "-shards", e2eShards,
+		"-seed", e2eSeed, "-runs", e2eRuns, "-jobs", "2", "-stmts", "40"}
+	return append(args, extra...)
+}
+
+func runWorker(t *testing.T, wantCode int, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(workerBin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("sraaworker %v: %v\nstderr:\n%s", args, err, stderr.String())
+	}
+	if code != wantCode {
+		t.Fatalf("sraaworker %v exited %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			args, code, wantCode, stdout.String(), stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+// serialReport runs the whole sweep in one process and returns the
+// report — the byte-compared baseline for every distributed variant.
+func serialReport(t *testing.T, extra ...string) string {
+	t.Helper()
+	stateDir := t.TempDir()
+	runWorker(t, 0, sweepArgs(stateDir, extra...)...)
+	out, _ := runWorker(t, 0, sweepArgs(stateDir, "-report")...)
+	return out
+}
+
+// waitForShardJournal blocks until some shard WAL holds at least one
+// record, so a kill sent afterwards provably lands mid-sweep.
+func waitForShardJournal(t *testing.T, stateDir string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		wals, _ := filepath.Glob(filepath.Join(stateDir, "shards", "*.wal"))
+		for _, w := range wals {
+			if fi, err := os.Stat(w); err == nil && fi.Size() > 64 {
+				return
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("no shard journal accumulated a record; cannot test mid-sweep failure")
+}
+
+// TestMultiProcessMatchesSerial: two concurrent worker processes over
+// one state directory produce the serial run's report byte for byte.
+func TestMultiProcessMatchesSerial(t *testing.T) {
+	want := serialReport(t)
+
+	stateDir := t.TempDir()
+	w1 := exec.Command(workerBin, sweepArgs(stateDir, "-owner", "w1")...)
+	w2 := exec.Command(workerBin, sweepArgs(stateDir, "-owner", "w2")...)
+	var e1, e2 bytes.Buffer
+	w1.Stderr, w2.Stderr = &e1, &e2
+	if err := w1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Wait(); err != nil {
+		t.Fatalf("worker 1: %v\n%s", err, e1.String())
+	}
+	if err := w2.Wait(); err != nil {
+		t.Fatalf("worker 2: %v\n%s", err, e2.String())
+	}
+
+	got, _ := runWorker(t, 0, sweepArgs(stateDir, "-report")...)
+	if got != want {
+		t.Fatalf("multi-process report differs from serial:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+// TestKillWorkerMidSweep is the headline chaos drill: SIGKILL one of
+// two workers mid-sweep (no cleanup, flock dropped by the kernel,
+// lease left to expire), let the survivor steal and finish the dead
+// worker's shards, and require the merged report to be byte-identical
+// to the single-process run.
+func TestKillWorkerMidSweep(t *testing.T) {
+	want := serialReport(t)
+
+	stateDir := t.TempDir()
+	// Short TTL so the survivor reclaims quickly after the kill.
+	victim := exec.Command(workerBin, sweepArgs(stateDir, "-owner", "victim", "-lease-ttl", "500ms")...)
+	var ve bytes.Buffer
+	victim.Stderr = &ve
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitForShardJournal(t, stateDir)
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait() // SIGKILL: exit status is meaningless, the journals are the contract
+
+	// The survivor starts after the kill — the worst case, where no
+	// second worker was even running yet when the first died.
+	_, stderr := runWorker(t, 0, sweepArgs(stateDir, "-owner", "survivor", "-lease-ttl", "500ms")...)
+	if !strings.Contains(stderr, "all 4 shard(s) done") {
+		t.Fatalf("survivor did not finish the sweep:\n%s", stderr)
+	}
+
+	got, _ := runWorker(t, 0, sweepArgs(stateDir, "-report")...)
+	if got != want {
+		t.Fatalf("post-kill report differs from uninterrupted serial run:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+// TestReportRefusesIncompleteSweep: the coordinator must not print a
+// report while shards are unfinished — a partial run can never
+// masquerade as a finished one.
+func TestReportRefusesIncompleteSweep(t *testing.T) {
+	stateDir := t.TempDir()
+	victim := exec.Command(workerBin, sweepArgs(stateDir, "-lease-ttl", "500ms")...)
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitForShardJournal(t, stateDir)
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait()
+
+	_, stderr := runWorker(t, 3, sweepArgs(stateDir, "-report")...)
+	if !strings.Contains(stderr, "incomplete") {
+		t.Fatalf("no incompleteness diagnostic:\n%s", stderr)
+	}
+}
+
+// startStore boots sraastore with the given fault spec on a free port
+// and returns its base URL. The store is killed at test end.
+func startStore(t *testing.T, dir, faultSpec string) string {
+	t.Helper()
+	args := []string{"-addr", "127.0.0.1:0", "-dir", dir}
+	if faultSpec != "" {
+		args = append(args, "-inject-fault", faultSpec)
+	}
+	cmd := exec.Command(storeBin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	// The boot line carries the resolved port.
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr := strings.Fields(line[i+len("listening on "):])[0]
+			go func() { // drain the rest so the store never blocks on stderr
+				for sc.Scan() {
+				}
+			}()
+			return "http://" + addr
+		}
+	}
+	t.Fatal("sraastore never reported its address")
+	return ""
+}
+
+// TestSweepThroughFaultyStore: the full distributed stack — two
+// workers sharing a fault-injected artifact store, client-side chaos
+// on one of them — still converges to the serial report. The store
+// may cost hits; it cannot change bytes.
+func TestSweepThroughFaultyStore(t *testing.T) {
+	want := serialReport(t)
+
+	url := startStore(t, t.TempDir(), "truncate=0.1,flip=0.1,429=0.1,500=0.05,seed=5")
+	stateDir := t.TempDir()
+	w1 := exec.Command(workerBin, sweepArgs(stateDir, "-owner", "w1",
+		"-remote-store", url, "-persist-cache", filepath.Join(t.TempDir(), "local1"))...)
+	w2 := exec.Command(workerBin, sweepArgs(stateDir, "-owner", "w2",
+		"-remote-store", url, "-chaos", "drop=0.1,seed=9")...)
+	var e1, e2 bytes.Buffer
+	w1.Stderr, w2.Stderr = &e1, &e2
+	if err := w1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Wait(); err != nil {
+		t.Fatalf("worker 1: %v\n%s", err, e1.String())
+	}
+	if err := w2.Wait(); err != nil {
+		t.Fatalf("worker 2: %v\n%s", err, e2.String())
+	}
+
+	got, _ := runWorker(t, 0, sweepArgs(stateDir, "-report")...)
+	if got != want {
+		t.Fatalf("chaos-store report differs from serial run:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/persist"
 	"repro/internal/persist/journal"
+	"repro/internal/persist/remote"
 )
 
 // ExitInterrupted is the exit status of a run cut short by SIGINT or
@@ -138,6 +139,35 @@ func OpenCache(inMemory bool, dir string) (*harness.Cache, error) {
 		return nil, err
 	}
 	return harness.NewCacheWithStore(st), nil
+}
+
+// OpenCacheRemote builds a memo cache whose durable tier is the
+// artifact store served at baseURL (see cmd/sraastore), with localDir
+// (optional, "" to skip) as the local tier consulted first, promoted
+// into on remote hits, and fallen back to while the store is down.
+// faultSpec, when non-empty, injects deterministic client-side
+// network chaos (see remote.ParseFaultSpec) — test plumbing only.
+// The returned client is also the cache's backend; drivers keep it to
+// print its stats epilogue.
+func OpenCacheRemote(baseURL, localDir, faultSpec string) (*harness.Cache, *remote.Client, error) {
+	var local *persist.Store
+	if localDir != "" {
+		st, err := persist.OpenStore(localDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		local = st
+	}
+	fault, err := remote.ParseFaultSpec(faultSpec)
+	if err != nil {
+		return nil, nil, err
+	}
+	client := remote.NewClient(remote.Options{
+		BaseURL:   baseURL,
+		Local:     local,
+		Transport: fault.Transport(nil),
+	})
+	return harness.NewCacheWithBackend(client), client, nil
 }
 
 // Resumable prints the canonical interrupted-run epilogue: how much

@@ -1,0 +1,295 @@
+package driver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/persist"
+	"repro/internal/persist/journal"
+)
+
+// Multi-process sweep coordination. A sweep's items are partitioned
+// into shards; each shard owns one checkpoint WAL and one lease file
+// under <state>/shards/. Worker processes claim shards through leases
+// (heartbeat-renewed, stealable after expiry — see journal.Lease),
+// journal per-item completions into the shard WAL exactly as a
+// single-process run would, and mark the shard done when every item
+// is durable. A coordinator merges the shard WALs read-only.
+//
+// Crash semantics, layer by layer:
+//
+//   - SIGKILL a worker: its flock on the shard WAL dies with it, its
+//     lease expires within the TTL, and any surviving worker steals
+//     the shard, replays the WAL, and finishes the remaining items.
+//     At most the in-flight items are recomputed.
+//   - Pause (not kill) a worker: its lease may expire and be stolen,
+//     but its flock survives, so the thief cannot open the WAL and
+//     backs off; the paused worker's own heartbeat then reports
+//     ErrLeaseLost and it abandons the shard. Two appenders never
+//     interleave.
+//   - Double-processed items: every item is a deterministic function
+//     of its name and the merge is last-wins over identical values,
+//     so duplicated work costs wall-clock, never a changed report.
+type shardPaths struct{ dir string }
+
+// ShardStateDir is where a state directory keeps its per-shard files.
+func ShardStateDir(dir string) string { return filepath.Join(dir, "shards") }
+
+// ShardWALPath is shard i's checkpoint journal.
+func ShardWALPath(dir string, shard int) string {
+	return filepath.Join(ShardStateDir(dir), fmt.Sprintf("shard-%04d.wal", shard))
+}
+
+// ShardLeasePath is shard i's claim file.
+func ShardLeasePath(dir string, shard int) string {
+	return filepath.Join(ShardStateDir(dir), fmt.Sprintf("shard-%04d.lease", shard))
+}
+
+// shardDonePath marks shard i fully journaled. The marker is written
+// after the WAL holds every item, so a kill between the last append
+// and the marker just means the next claimer replays a complete WAL
+// and re-marks it.
+func shardDonePath(dir string, shard int) string {
+	return filepath.Join(ShardStateDir(dir), fmt.Sprintf("shard-%04d.done", shard))
+}
+
+// ShardOf assigns item i to a shard. Round-robin keeps shard sizes
+// within one of each other; the merged report never depends on the
+// assignment because it is keyed by item name.
+func ShardOf(i, shards int) int {
+	if shards < 1 {
+		return 0
+	}
+	return i % shards
+}
+
+// ShardDone reports whether shard i has been marked complete.
+func ShardDone(dir string, shard int) bool {
+	_, err := os.Stat(shardDonePath(dir, shard))
+	return err == nil
+}
+
+// ShardRunner processes one claimed shard: journal every outstanding
+// item into ck and return nil only when the shard is fully durable.
+// The context is canceled when the shard's lease is lost or the run
+// is draining; a runner must stop journaling promptly then (the batch
+// layer already refuses to journal cancellation-poisoned outcomes).
+type ShardRunner func(ctx context.Context, shard int, ck *journal.Checkpoint) error
+
+// ShardWorkerReport summarizes one worker's pass over the shard set.
+type ShardWorkerReport struct {
+	Owner     string
+	Completed []int // shards this worker drove to done
+	Claims    int   // leases acquired (fresh or stolen)
+	Steals    int   // subset of Claims taken from an expired holder
+	LeaseLost int   // shards abandoned because the lease was stolen
+	Blocked   int   // claims abandoned because the WAL was still flocked
+}
+
+// RunShardWorker claims and processes shards until every shard in
+// [0, shards) is done or ctx is canceled. It is the worker half of a
+// multi-process sweep: run one per process, all pointed at the same
+// state directory. Returns ctx.Err() when the run was cut short (the
+// caller prints the resume hint), nil when all shards are done.
+func RunShardWorker(ctx context.Context, dir, owner string, shards int, ttl time.Duration, run ShardRunner) (ShardWorkerReport, error) {
+	rep := ShardWorkerReport{Owner: owner}
+	if err := os.MkdirAll(ShardStateDir(dir), 0o755); err != nil {
+		return rep, err
+	}
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	poll := ttl / 4
+	if poll < 25*time.Millisecond {
+		poll = 25 * time.Millisecond
+	}
+	if poll > time.Second {
+		poll = time.Second
+	}
+
+	remaining := map[int]bool{}
+	for i := 0; i < shards; i++ {
+		remaining[i] = true
+	}
+	for len(remaining) > 0 {
+		if ctx.Err() != nil {
+			return rep, ctx.Err()
+		}
+		progress := false
+		// Deterministic claim order, offset by a stable hash of the
+		// owner name so workers start on different shards instead of
+		// stampeding shard 0.
+		for _, shard := range claimOrder(remaining, owner) {
+			if ctx.Err() != nil {
+				return rep, ctx.Err()
+			}
+			if ShardDone(dir, shard) {
+				delete(remaining, shard)
+				progress = true
+				continue
+			}
+			done, err := workShard(ctx, dir, owner, shard, ttl, run, &rep)
+			if err != nil {
+				return rep, err
+			}
+			if done {
+				delete(remaining, shard)
+				progress = true
+			}
+		}
+		if !progress && len(remaining) > 0 {
+			// Every remaining shard is held by someone else (or its WAL
+			// is still flocked by a paused holder). Wait for leases to
+			// expire or markers to appear — bounded by ctx.
+			select {
+			case <-ctx.Done():
+				return rep, ctx.Err()
+			case <-time.After(poll):
+			}
+		}
+	}
+	return rep, nil
+}
+
+// workShard makes one attempt at one shard: claim, process, mark.
+// done=true means the shard is finished (by us or by whoever wrote
+// the marker); false means it is unavailable this round.
+func workShard(ctx context.Context, dir, owner string, shard int, ttl time.Duration, run ShardRunner, rep *ShardWorkerReport) (done bool, err error) {
+	lease, err := journal.AcquireLease(ShardLeasePath(dir, shard), shard, owner, ttl)
+	if err != nil {
+		return false, err
+	}
+	if lease == nil {
+		return false, nil // validly held elsewhere
+	}
+	rep.Claims++
+	if lease.Epoch > 1 {
+		rep.Steals++
+	}
+	ck, err := journal.OpenCheckpoint(ShardWALPath(dir, shard))
+	if errors.Is(err, journal.ErrLocked) {
+		// The previous holder is paused, not dead: its flock outlived
+		// its lease. Back off — the flock is the safety layer and it
+		// says the WAL is still owned.
+		rep.Blocked++
+		lease.Release()
+		return false, nil
+	}
+	if err != nil {
+		lease.Release()
+		return false, err
+	}
+
+	// Heartbeat: renew at a third of the TTL; a lost lease cancels the
+	// shard context so the runner stops journaling promptly.
+	shardCtx, cancel := context.WithCancel(ctx)
+	lost := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		// Containment: a heartbeat panic must abandon the shard (safe:
+		// the lease just expires) rather than crash the worker.
+		defer func() {
+			recover()
+			close(hbDone)
+		}()
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-shardCtx.Done():
+				return
+			case <-t.C:
+				if rerr := lease.Renew(); rerr != nil {
+					close(lost)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	runErr := run(shardCtx, shard, ck)
+	cancel()
+	<-hbDone
+	ck.Close()
+
+	select {
+	case <-lost:
+		rep.LeaseLost++
+		return false, nil // the thief owns the shard now
+	default:
+	}
+	if runErr != nil || ctx.Err() != nil {
+		lease.Release()
+		return false, nil
+	}
+	// Fully journaled: publish the marker, then drop the claim. The
+	// marker body names the finisher for postmortems; nothing reads it.
+	if err := persist.AtomicWriteFile(shardDonePath(dir, shard), []byte(owner+"\n"), 0o644); err != nil {
+		lease.Release()
+		return false, err
+	}
+	lease.Release()
+	rep.Completed = append(rep.Completed, shard)
+	return true, nil
+}
+
+// claimOrder returns the remaining shards rotated by a stable hash of
+// owner, so concurrent workers spread across the shard space.
+func claimOrder(remaining map[int]bool, owner string) []int {
+	out := make([]int, 0, len(remaining))
+	for s := range remaining {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	if len(out) > 1 {
+		var h uint32
+		for i := 0; i < len(owner); i++ {
+			h = h*31 + uint32(owner[i])
+		}
+		r := int(h) % len(out)
+		if r < 0 {
+			r += len(out)
+		}
+		out = append(out[r:], out[:r]...)
+	}
+	return out
+}
+
+// MergeShardCheckpoints reads every shard WAL read-only and merges
+// their records into one map. Shard WALs partition the item space, so
+// the union is conflict-free; a key double-journaled by a lease race
+// carries identical bytes by determinism, and last-wins replay inside
+// each WAL already resolved per-shard duplicates. The coordinator
+// calls this with no locks held — it works while workers still run
+// (yielding a partial view) and after a crash (yielding everything
+// durable).
+func MergeShardCheckpoints(dir string, shards int) (map[string]json.RawMessage, error) {
+	merged := map[string]json.RawMessage{}
+	for s := 0; s < shards; s++ {
+		m, err := journal.ReadCheckpoint(ShardWALPath(dir, s))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		for k, v := range m {
+			merged[k] = v
+		}
+	}
+	return merged, nil
+}
+
+// AllShardsDone reports whether every shard has its completion marker.
+func AllShardsDone(dir string, shards int) bool {
+	for s := 0; s < shards; s++ {
+		if !ShardDone(dir, s) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,205 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/persist/journal"
+)
+
+// shardItems is the deterministic per-shard work both test workers
+// share: every shard journals its own key set, values a pure function
+// of the key.
+func shardItems(shard int) []string {
+	out := make([]string, 3)
+	for k := range out {
+		out[k] = fmt.Sprintf("item-%d-%d", shard, k)
+	}
+	return out
+}
+
+func journalShard(ck *journal.Checkpoint, shard int) error {
+	for _, name := range shardItems(shard) {
+		if _, done := ck.Done(name); done {
+			continue
+		}
+		if err := ck.Record(name, map[string]int{"shard": shard}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestShardWorkersPartitionAndMerge: two concurrent workers over six
+// shards must finish them all exactly once and the merge must hold
+// every item.
+func TestShardWorkersPartitionAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	const shards = 6
+	run := func(ctx context.Context, shard int, ck *journal.Checkpoint) error {
+		time.Sleep(10 * time.Millisecond) // let the workers interleave
+		return journalShard(ck, shard)
+	}
+
+	var wg sync.WaitGroup
+	reps := make([]ShardWorkerReport, 2)
+	errs := make([]error, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			reps[w], errs[w] = RunShardWorker(context.Background(), dir,
+				fmt.Sprintf("worker-%d", w), shards, time.Second, run)
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if !AllShardsDone(dir, shards) {
+		t.Fatal("shards incomplete after both workers returned")
+	}
+	if got := len(reps[0].Completed) + len(reps[1].Completed); got != shards {
+		t.Fatalf("%d shard completions across workers, want %d", got, shards)
+	}
+
+	merged, err := MergeShardCheckpoints(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < shards; s++ {
+		for _, name := range shardItems(s) {
+			if _, ok := merged[name]; !ok {
+				t.Fatalf("merge missing %s", name)
+			}
+		}
+	}
+}
+
+// TestShardWorkerStealsExpiredLease: a shard whose holder went silent
+// (lease expired, WAL unlocked — i.e. the process died) must be
+// stolen and finished by the next worker.
+func TestShardWorkerStealsExpiredLease(t *testing.T) {
+	dir := t.TempDir()
+	const shards = 2
+
+	// Simulate the dead worker: it claimed shard 0 with a tiny TTL,
+	// journaled one item, and died without renewing or releasing.
+	if err := os.MkdirAll(ShardStateDir(dir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dead, err := journal.AcquireLease(ShardLeasePath(dir, 0), 0, "dead-worker", 10*time.Millisecond)
+	if err != nil || dead == nil {
+		t.Fatalf("dead worker claim: %v %v", dead, err)
+	}
+	ck, err := journal.OpenCheckpoint(ShardWALPath(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Record(shardItems(0)[0], map[string]int{"shard": 0}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close() // the kernel would drop the flock on SIGKILL
+	time.Sleep(30 * time.Millisecond)
+
+	var recomputed int
+	rep, err := RunShardWorker(context.Background(), dir, "survivor", shards, 200*time.Millisecond,
+		func(ctx context.Context, shard int, ck *journal.Checkpoint) error {
+			for _, name := range shardItems(shard) {
+				if _, done := ck.Done(name); done {
+					continue // replayed from the dead worker's WAL
+				}
+				recomputed++
+				if err := ck.Record(name, map[string]int{"shard": shard}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steals != 1 {
+		t.Fatalf("steals = %d, want 1", rep.Steals)
+	}
+	// The dead worker's journaled item must have been replayed, not
+	// redone: shard 0 recomputes 2 of 3, shard 1 all 3.
+	if recomputed != 5 {
+		t.Fatalf("recomputed %d items, want 5 (one survived in the stolen WAL)", recomputed)
+	}
+	if !AllShardsDone(dir, shards) {
+		t.Fatal("shards incomplete")
+	}
+}
+
+// TestShardWorkerBacksOffFromFlockedWAL: an expired lease whose WAL
+// is still flocked marks a paused (not dead) holder — the thief must
+// back off, not break in.
+func TestShardWorkerBacksOffFromFlockedWAL(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(ShardStateDir(dir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	paused, err := journal.AcquireLease(ShardLeasePath(dir, 0), 0, "paused-worker", 10*time.Millisecond)
+	if err != nil || paused == nil {
+		t.Fatal(err)
+	}
+	ck, err := journal.OpenCheckpoint(ShardWALPath(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close() // held open for the whole test: the holder is paused, not dead
+	time.Sleep(30 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	rep, err := RunShardWorker(ctx, dir, "thief", 1, 100*time.Millisecond,
+		func(ctx context.Context, shard int, ck *journal.Checkpoint) error {
+			t.Error("runner reached a flocked shard")
+			return nil
+		})
+	if err == nil {
+		t.Fatal("worker finished a shard whose WAL is held elsewhere")
+	}
+	if rep.Blocked == 0 {
+		t.Fatalf("no blocked claims recorded: %+v", rep)
+	}
+	if ShardDone(dir, 0) {
+		t.Fatal("flocked shard marked done")
+	}
+}
+
+// TestMergeWhileIncomplete: the coordinator's merge is read-only and
+// partial-safe — it returns whatever is durable without touching the
+// in-progress WALs.
+func TestMergeWhileIncomplete(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(ShardStateDir(dir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := journal.OpenCheckpoint(ShardWALPath(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if err := ck.Record("only-item", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := MergeShardCheckpoints(dir, 3) // shards 1,2 have no WAL yet
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 1 {
+		t.Fatalf("partial merge = %d entries, want 1", len(merged))
+	}
+	if AllShardsDone(dir, 3) {
+		t.Fatal("incomplete sweep reported done")
+	}
+}

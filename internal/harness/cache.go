@@ -34,12 +34,36 @@ type Cache struct {
 	entries map[string]*core.FuncArtifact
 	hits    int64
 	misses  int64
-	// disk, when non-nil, is the durable artifact store behind the
-	// in-memory map: lookups fall back to it (a hit promotes the
-	// artifact into memory) and stores write through to it, so the
-	// cache survives the process. See internal/persist.
-	disk     *persist.Store
+	// disk, when non-nil, is the durable tier behind the in-memory
+	// map: lookups fall back to it (a hit promotes the artifact into
+	// memory) and stores write through to it, so the cache survives
+	// the process. Usually a *persist.Store; a remote.Client slots in
+	// for sweeps sharing a network store. See internal/persist.
+	disk     CacheBackend
 	diskHits int64
+}
+
+// CacheBackend is the durable tier under the in-memory map. The
+// contract mirrors the rest of the cache: Get answers only with
+// validated artifacts (a corrupt or unreachable backend reads as a
+// miss, never an error), and a Put failure degrades durability for
+// that entry without failing the analysis. *persist.Store is the
+// local implementation; remote.Client the networked one.
+type CacheBackend interface {
+	Get(key string) (*core.FuncArtifact, bool)
+	Put(key string, a *core.FuncArtifact) error
+}
+
+// backendStats is the optional stats hook a backend may implement
+// (persist.Store does); the snapshot surfaces it when present.
+type backendStats interface {
+	Stats() persist.StoreStats
+}
+
+// backendStatsLine is the free-form fallback for backends whose
+// counters do not fit StoreStats (the remote client).
+type backendStatsLine interface {
+	StatsLine() string
 }
 
 // NewCache returns an empty in-memory cache.
@@ -56,6 +80,13 @@ func NewCache() *Cache {
 // counted in the store's stats — they never fail the analysis.
 func NewCacheWithStore(st *persist.Store) *Cache {
 	return &Cache{entries: map[string]*core.FuncArtifact{}, disk: st}
+}
+
+// NewCacheWithBackend returns a cache over an arbitrary durable tier —
+// the hook the distributed sweep uses to put the remote store client
+// under the memo cache. A nil backend yields a plain in-memory cache.
+func NewCacheWithBackend(b CacheBackend) *Cache {
+	return &Cache{entries: map[string]*core.FuncArtifact{}, disk: b}
 }
 
 // Lookup implements core.Memo.
@@ -104,11 +135,14 @@ type CacheStats struct {
 	Entries int
 	Hits    int64
 	Misses  int64
-	// DiskHits counts hits served from the durable store (a subset of
+	// DiskHits counts hits served from the durable tier (a subset of
 	// Hits); Persistent and Store describe the backing store.
 	DiskHits   int64
 	Persistent bool
 	Store      persist.StoreStats
+	// Backend is the backing tier's own stats line when it reports one
+	// outside the StoreStats shape (e.g. the remote store client).
+	Backend string
 }
 
 // HitRate is hits over lookups, 0 when the cache was never consulted.
@@ -124,7 +158,12 @@ func (s CacheStats) String() string {
 	base := fmt.Sprintf("entries=%d hits=%d misses=%d hit-rate=%.1f%%",
 		s.Entries, s.Hits, s.Misses, 100*s.HitRate())
 	if s.Persistent {
-		base += fmt.Sprintf(" disk-hits=%d store[%s]", s.DiskHits, s.Store)
+		base += fmt.Sprintf(" disk-hits=%d", s.DiskHits)
+		if s.Backend != "" {
+			base += " " + s.Backend
+		} else {
+			base += fmt.Sprintf(" store[%s]", s.Store)
+		}
 	}
 	return base
 }
@@ -136,7 +175,11 @@ func (c *Cache) Stats() CacheStats {
 	st := CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits}
 	if c.disk != nil {
 		st.Persistent = true
-		st.Store = c.disk.Stats()
+		if bs, ok := c.disk.(backendStats); ok {
+			st.Store = bs.Stats()
+		} else if bl, ok := c.disk.(backendStatsLine); ok {
+			st.Backend = bl.StatsLine()
+		}
 	}
 	return st
 }

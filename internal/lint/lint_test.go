@@ -168,6 +168,14 @@ func TestAtomicWriteExemptInPersist(t *testing.T) {
 	checkFixture(t, "atomicwrite_persist.go", "fixturemod/internal/persist", nil)
 }
 
+func TestAtomicWriteAuditsPersistSubpackages(t *testing.T) {
+	// The persist exemption is exact-suffix: internal/persist/remote
+	// is a store client, not the protocol implementation, so its raw
+	// writes are flagged and the quarantine spill in the real client
+	// needs (and carries) a reasoned waiver.
+	checkFixture(t, "atomicwrite_remote.go", "fixturemod/internal/persist/remote", nil)
+}
+
 func TestDegraded(t *testing.T) {
 	checkFixture(t, "degraded.go", "fixturemod/caller", nil)
 }
@@ -180,6 +188,14 @@ func TestWallclockOutsidePureSet(t *testing.T) {
 	// Identical wall-clock usage is fine outside the pure solver
 	// packages — serving and harness code measures time on purpose.
 	checkFixture(t, "wallclock_impure.go", "fixturemod/internal/serve", nil)
+}
+
+func TestWallclockSilentInRemoteClient(t *testing.T) {
+	// Timeouts, backoff, and breaker cooldowns make the remote store
+	// client a deliberate clock consumer; it sits outside the pure
+	// solver set, so the same clock reads that would flag a solver
+	// stay silent here.
+	checkFixture(t, "wallclock_impure.go", "fixturemod/internal/persist/remote", nil)
 }
 
 func TestWallclockReachability(t *testing.T) {

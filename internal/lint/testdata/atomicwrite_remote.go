@@ -1,0 +1,30 @@
+// atomicwrite fixture: internal/persist/remote is a *client* of the
+// store, not the package that implements the atomic protocol — the
+// parent exemption is exact-suffix and does not extend to
+// subpackages. Raw writes here are audited and need a reviewed
+// waiver, exactly like any other consumer.
+package remote
+
+import (
+	"os"
+
+	"repro/internal/persist"
+)
+
+// Positive: the subpackage gets no free pass from its parent.
+func spillRaw(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want atomicwrite `os.WriteFile`
+}
+
+// Negative: the reasoned waiver the real client uses for quarantine
+// spills — write-only postmortem evidence where a torn file loses
+// nothing worth protecting.
+func spillQuarantine(path string, data []byte) error {
+	//lint:ignore atomicwrite quarantined evidence is write-only postmortem data; a torn file loses nothing
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Negative: the blessed route is available here like everywhere else.
+func writeAtomic(path string, data []byte) error {
+	return persist.AtomicWriteFile(path, data, 0o644)
+}

@@ -43,6 +43,26 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 	return c, nil
 }
 
+// ReadCheckpoint replays the checkpoint journal at path read-only —
+// no lock, no repair — and returns the completed name→payload map
+// (last record wins, matching OpenCheckpoint). The coordinator merges
+// per-shard checkpoints with it, possibly while their writers are
+// still alive. A missing file reads as an empty map.
+func ReadCheckpoint(path string) (map[string]json.RawMessage, error) {
+	rec, err := ReadRecords(path)
+	if err != nil {
+		return nil, err
+	}
+	done := map[string]json.RawMessage{}
+	for _, payload := range rec.Records {
+		var r ckptRecord
+		if json.Unmarshal(payload, &r) == nil && r.Name != "" {
+			done[r.Name] = r.Data
+		}
+	}
+	return done, nil
+}
+
 // Done reports whether name was journaled as completed, and returns
 // its recorded payload.
 func (c *Checkpoint) Done(name string) (json.RawMessage, bool) {

@@ -1,0 +1,319 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Contention and torn-tail coverage for the WAL, plus the shard lease
+// protocol: the multi-process sweep's correctness rests on "two
+// appenders can never interleave" and "a tail record cut mid-CRC is
+// truncated, never trusted".
+
+// TestSecondAppenderFailsCleanly: the WAL is single-writer. A second
+// Open of a journal that is still held must fail with ErrLocked —
+// cleanly, without disturbing the holder — and succeed after Close.
+func TestSecondAppenderFailsCleanly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w1, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Open(path); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open = %v, want ErrLocked", err)
+	}
+
+	// The refused opener must not have damaged the holder.
+	if err := w1.Append([]byte("second")); err != nil {
+		t.Fatalf("holder append after contention: %v", err)
+	}
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, rec, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	defer w2.Close()
+	if len(rec.Records) != 2 || string(rec.Records[0]) != "first" || string(rec.Records[1]) != "second" {
+		t.Fatalf("replay after contention = %q", rec.Records)
+	}
+}
+
+// TestConcurrentAppendsSerialize: many goroutines over one writer —
+// the in-process sharing mode — must produce a journal whose replay
+// holds every record intact, nothing interleaved or torn.
+func TestConcurrentAppendsSerialize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := w.Append(fmt.Appendf(nil, "g%d-i%d", g, i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := ReadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != writers*per {
+		t.Fatalf("replayed %d records, want %d", len(rec.Records), writers*per)
+	}
+	if rec.TornBytes != 0 {
+		t.Fatalf("torn bytes after clean close: %d", rec.TornBytes)
+	}
+	seen := map[string]bool{}
+	for _, r := range rec.Records {
+		seen[string(r)] = true
+	}
+	for g := 0; g < writers; g++ {
+		for i := 0; i < per; i++ {
+			if !seen[fmt.Sprintf("g%d-i%d", g, i)] {
+				t.Fatalf("record g%d-i%d missing or interleaved", g, i)
+			}
+		}
+	}
+}
+
+// TestTornTailMidCRC: a kill that lands while the record header's CRC
+// field is half-written leaves a tail that parses as neither a length
+// nor a checksum. Open must truncate exactly back to the last valid
+// boundary and keep appending from there.
+func TestTornTailMidCRC(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append a torn record by hand: full 4-byte length, then only 2 of
+	// the 4 CRC bytes — the cut lands mid-CRC, before any payload.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := make([]byte, 6)
+	binary.LittleEndian.PutUint32(torn, 7) // claims a 7-byte payload
+	torn[4], torn[5] = 0xde, 0xad          // half a CRC
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, rec, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 1 || string(rec.Records[0]) != "durable" {
+		t.Fatalf("records after torn-CRC tail = %q", rec.Records)
+	}
+	if rec.TornBytes != 6 {
+		t.Fatalf("TornBytes = %d, want 6", rec.TornBytes)
+	}
+	if err := w2.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec2, err := ReadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Records) != 2 || string(rec2.Records[1]) != "after" {
+		t.Fatalf("records after truncate+append = %q", rec2.Records)
+	}
+}
+
+// TestReadRecordsIsReadOnly: the coordinator's replay must not repair
+// the file — a torn tail stays on disk for the owner to truncate.
+func TestReadRecordsIsReadOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x01}) // torn length prefix
+	f.Close()
+	before, _ := os.Stat(path)
+
+	rec, err := ReadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 1 || rec.TornBytes != 1 {
+		t.Fatalf("read-only replay: records=%d torn=%d", len(rec.Records), rec.TornBytes)
+	}
+	after, _ := os.Stat(path)
+	if before.Size() != after.Size() {
+		t.Fatalf("ReadRecords changed the file size: %d -> %d", before.Size(), after.Size())
+	}
+
+	// And it must work while an appender holds the lock.
+	w2, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if _, err := ReadRecords(path); err != nil {
+		t.Fatalf("read-only replay under a held lock: %v", err)
+	}
+}
+
+// TestLeaseLifecycle: claim, contend, heartbeat, steal-after-expiry,
+// and the loser noticing via ErrLeaseLost.
+func TestLeaseLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-0.lease")
+
+	a, err := AcquireLease(path, 0, "worker-a", 200*time.Millisecond)
+	if err != nil || a == nil {
+		t.Fatalf("initial acquire: lease=%v err=%v", a, err)
+	}
+
+	// A live lease is unavailable to others — no error, just refusal.
+	if b, err := AcquireLease(path, 0, "worker-b", 200*time.Millisecond); err != nil || b != nil {
+		t.Fatalf("contended acquire: lease=%v err=%v, want nil,nil", b, err)
+	}
+
+	// Heartbeats keep it alive past the original deadline.
+	for i := 0; i < 3; i++ {
+		time.Sleep(80 * time.Millisecond)
+		if err := a.Renew(); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+	}
+	if b, _ := AcquireLease(path, 0, "worker-b", 200*time.Millisecond); b != nil {
+		t.Fatal("renewed lease was stolen")
+	}
+
+	// Let it expire; the steal must bump the epoch, and the old
+	// holder's next heartbeat must report the loss.
+	time.Sleep(250 * time.Millisecond)
+	b, err := AcquireLease(path, 0, "worker-b", 200*time.Millisecond)
+	if err != nil || b == nil {
+		t.Fatalf("steal after expiry: lease=%v err=%v", b, err)
+	}
+	if b.Epoch <= a.Epoch {
+		t.Fatalf("stolen epoch %d not above original %d", b.Epoch, a.Epoch)
+	}
+	if err := a.Renew(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale holder Renew = %v, want ErrLeaseLost", err)
+	}
+	if err := a.Release(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale holder Release = %v, want ErrLeaseLost", err)
+	}
+
+	// The thief's release frees the shard for a fresh claim.
+	if err := b.Release(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := AcquireLease(path, 0, "worker-c", 200*time.Millisecond)
+	if err != nil || c == nil {
+		t.Fatalf("acquire after release: lease=%v err=%v", c, err)
+	}
+}
+
+// TestLeaseStealRace: N workers race to steal one expired lease; at
+// most one may confirm the claim.
+func TestLeaseStealRace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-0.lease")
+	orig, err := AcquireLease(path, 0, "dead-worker", time.Millisecond)
+	if err != nil || orig == nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let it expire
+
+	const thieves = 8
+	winners := make([]*Lease, thieves)
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l, err := AcquireLease(path, 0, fmt.Sprintf("thief-%d", i), time.Minute)
+			if err != nil {
+				t.Errorf("thief %d: %v", i, err)
+				return
+			}
+			winners[i] = l
+		}(i)
+	}
+	wg.Wait()
+	var won []*Lease
+	for _, l := range winners {
+		if l != nil {
+			won = append(won, l)
+		}
+	}
+	if len(won) > 1 {
+		t.Fatalf("%d thieves confirmed the same lease", len(won))
+	}
+	// Zero winners is legal (mutual destruction); the retry loop in
+	// the worker handles it. But if one won, the file must name it.
+	if len(won) == 1 {
+		got, err := readLease(path)
+		if err != nil || got.Owner != won[0].Owner {
+			t.Fatalf("lease file owner %q does not match winner %q (err %v)", got.Owner, won[0].Owner, err)
+		}
+	}
+}
+
+// TestLeaseCorruptFileIsClaimable: a torn or garbage lease file is
+// damage, not a claim — the next worker removes it and takes over.
+func TestLeaseCorruptFileIsClaimable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-3.lease")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := AcquireLease(path, 3, "worker-a", time.Minute)
+	if err != nil || l == nil {
+		t.Fatalf("acquire over corrupt lease: lease=%v err=%v", l, err)
+	}
+	if l.Epoch != 1 {
+		t.Fatalf("epoch over corrupt lease = %d, want 1", l.Epoch)
+	}
+}

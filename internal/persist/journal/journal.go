@@ -27,6 +27,7 @@ package journal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -45,6 +46,14 @@ const (
 )
 
 var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// ErrLocked is returned by Open when another live appender holds the
+// journal. The WAL is a single-writer structure: two interleaved
+// appenders could tear each other's records, so the second opener
+// fails cleanly here instead — callers treat it as "the owner is
+// still alive" and back off (the shard workers skip the shard; a
+// stale lease is retried after its expiry).
+var ErrLocked = errors.New("journal: locked by another appender")
 
 // W is an open journal positioned to append. It is safe for
 // concurrent use; every append is fsynced before it returns, so a
@@ -66,11 +75,21 @@ type Recovery struct {
 
 // Open opens or creates the journal at path, replays its records, and
 // truncates any torn tail. The returned writer appends after the last
-// valid record.
+// valid record. The journal is locked exclusively for its lifetime:
+// a second Open of the same path fails with ErrLocked until the first
+// writer closes (or its process dies), so two appenders can never
+// interleave records.
 func Open(path string) (*W, *Recovery, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		if errors.Is(err, ErrLocked) {
+			return nil, nil, fmt.Errorf("journal: %s: %w", path, ErrLocked)
+		}
+		return nil, nil, fmt.Errorf("journal: lock %s: %w", path, err)
 	}
 	rec, end, err := replay(f)
 	if err != nil {
@@ -95,34 +114,66 @@ func Open(path string) (*W, *Recovery, error) {
 // header, which is rewritten by the caller's truncate+append path via
 // ensureHeader).
 func replay(f *os.File) (*Recovery, int64, error) {
-	rec := &Recovery{}
-	info, err := f.Stat()
+	rec, off, headerOK, err := scan(f)
 	if err != nil {
-		return nil, 0, fmt.Errorf("journal: %w", err)
+		return nil, 0, err
 	}
-	size := info.Size()
-	if size == 0 {
-		// Fresh journal: write the header now so the file is
-		// well-formed from its first byte on disk.
+	if !headerOK {
+		// Fresh file, or an unrecognizable header: (re)write the
+		// header so the file is well-formed from its first byte, and
+		// treat whatever was there as a torn tail rather than guessing
+		// at record boundaries.
+		if rec.TornBytes > 0 {
+			if err := f.Truncate(0); err != nil {
+				return nil, 0, fmt.Errorf("journal: reset damaged header: %w", err)
+			}
+		}
 		if err := writeHeader(f); err != nil {
 			return nil, 0, err
 		}
 		return rec, headerLen, nil
+	}
+	return rec, off, nil
+}
+
+// ReadRecords replays the journal at path without opening it for
+// appending: no lock is taken, no torn tail is truncated, no header
+// is repaired. This is the coordinator's view — it merges shard
+// journals that live workers may still be appending to, so it must
+// observe without mutating. A missing file reads as an empty journal.
+func ReadRecords(path string) (*Recovery, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &Recovery{}, nil
+		}
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	rec, _, _, err := scan(f)
+	return rec, err
+}
+
+// scan is the shared read-only replay: it validates the header and
+// walks records to the first invalid one. headerOK false means the
+// file is empty or its header is unrecognizable (TornBytes then
+// covers the whole file); the caller decides whether to repair.
+func scan(f *os.File) (rec *Recovery, end int64, headerOK bool, err error) {
+	rec = &Recovery{}
+	info, err := f.Stat()
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("journal: %w", err)
+	}
+	size := info.Size()
+	if size == 0 {
+		return rec, 0, false, nil
 	}
 	hdr := make([]byte, headerLen)
 	if _, err := f.ReadAt(hdr, 0); err != nil ||
 		string(hdr[:8]) != walMagic ||
 		binary.LittleEndian.Uint16(hdr[8:]) != walVersion {
-		// Unrecognizable header: treat the whole file as a torn tail
-		// and start over rather than guessing at record boundaries.
 		rec.TornBytes = size
-		if err := f.Truncate(0); err != nil {
-			return nil, 0, fmt.Errorf("journal: reset damaged header: %w", err)
-		}
-		if err := writeHeader(f); err != nil {
-			return nil, 0, err
-		}
-		return rec, headerLen, nil
+		return rec, 0, false, nil
 	}
 	off := int64(headerLen)
 	hdrBuf := make([]byte, recHdrLen)
@@ -149,7 +200,7 @@ func replay(f *os.File) (*Recovery, int64, error) {
 		off += recHdrLen + int64(n)
 	}
 	rec.TornBytes = size - off
-	return rec, off, nil
+	return rec, off, true, nil
 }
 
 func writeHeader(f *os.File) error {

@@ -1,0 +1,183 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// Shard leases: the claim layer of the multi-process sweep. One lease
+// file per shard names the worker that owns it and the wall-clock
+// instant its claim expires; the owner heartbeats by rewriting the
+// file with a pushed-out deadline, and a worker that finds an expired
+// lease steals it with a bumped epoch (work-stealing after a crash).
+//
+// The lease is a liveness heuristic, not the safety argument. Safety
+// rests on two properties beneath it:
+//
+//   - the shard's checkpoint WAL is flock-guarded (see Open), so on
+//     one machine a stale owner that is merely paused still blocks a
+//     stealer from appending to the same journal;
+//   - every work item is a deterministic function of its name, and
+//     checkpoint replay is last-wins over identical values, so even a
+//     doubly-processed shard merges to byte-identical output. A lost
+//     lease costs duplicated wall-clock, never a wrong report.
+//
+// Acquisition is an atomic create: the lease JSON is written to a
+// unique temp file and hard-linked into place — link(2) fails if the
+// path exists, which is the compare-and-swap. A steal removes the
+// expired file first and then verifies ownership by re-reading, so
+// two racing stealers resolve to at most one confirmed winner (and,
+// in the worst interleaving, zero — both back off and retry).
+
+// leaseRecord is the JSON body of a lease file.
+type leaseRecord struct {
+	Shard   int    `json:"shard"`
+	Owner   string `json:"owner"`
+	Epoch   int64  `json:"epoch"`
+	Expires int64  `json:"expires_unix_ms"`
+}
+
+func (r leaseRecord) expired(now time.Time) bool {
+	return now.UnixMilli() > r.Expires
+}
+
+// Lease is a held shard claim. Renew it more often than its TTL; a
+// renewal that discovers the lease was stolen returns ErrLeaseLost
+// and the holder must abandon the shard.
+type Lease struct {
+	path  string
+	ttl   time.Duration
+	Shard int
+	Owner string
+	Epoch int64
+}
+
+// ErrLeaseLost is returned by Renew and Release when the lease file
+// no longer names this holder: the claim expired and another worker
+// stole it. The holder must stop journaling for the shard.
+var ErrLeaseLost = fmt.Errorf("journal: lease lost to another worker")
+
+// AcquireLease claims the shard lease at path for owner with the
+// given ttl. It returns (nil, nil) when the shard is validly held by
+// someone else — not an error, just unavailable; the worker moves on.
+// An expired lease is stolen with a bumped epoch.
+func AcquireLease(path string, shard int, owner string, ttl time.Duration) (*Lease, error) {
+	if ttl <= 0 {
+		return nil, fmt.Errorf("journal: lease ttl must be positive")
+	}
+	now := time.Now()
+	epoch := int64(1)
+	cur, err := readLease(path)
+	switch {
+	case err == nil:
+		if cur.Owner == owner && !cur.expired(now) {
+			// Our own live claim (e.g. a retry after a partial
+			// failure): keep it, same epoch.
+			return &Lease{path: path, ttl: ttl, Shard: shard, Owner: owner, Epoch: cur.Epoch}, nil
+		}
+		if !cur.expired(now) {
+			return nil, nil // validly held elsewhere
+		}
+		// Expired: steal. Remove the stale file; a racing stealer may
+		// have removed it (or replaced it) already, which the verify
+		// below resolves.
+		epoch = cur.Epoch + 1
+		os.Remove(path)
+	case os.IsNotExist(err):
+		// Unclaimed.
+	default:
+		// Unreadable lease file (torn write, corrupt bytes): treat as
+		// expired damage — remove and claim over it.
+		os.Remove(path)
+	}
+
+	rec := leaseRecord{Shard: shard, Owner: owner, Epoch: epoch, Expires: now.Add(ttl).UnixMilli()}
+	if err := linkLease(path, rec); err != nil {
+		return nil, nil // lost the race; unavailable this round
+	}
+	// Verify: in a steal race our link may have landed after another
+	// stealer's remove+link cycle removed ours. Only a confirmed read
+	// of our own record makes the claim real.
+	got, err := readLease(path)
+	if err != nil || got.Owner != owner || got.Epoch != epoch {
+		return nil, nil
+	}
+	return &Lease{path: path, ttl: ttl, Shard: shard, Owner: owner, Epoch: epoch}, nil
+}
+
+// Renew pushes the lease deadline out by its TTL. ErrLeaseLost means
+// another worker stole the claim after it expired; the holder must
+// abandon the shard immediately.
+func (l *Lease) Renew() error {
+	cur, err := readLease(l.path)
+	if err != nil || cur.Owner != l.Owner || cur.Epoch != l.Epoch {
+		return ErrLeaseLost
+	}
+	rec := leaseRecord{Shard: l.Shard, Owner: l.Owner, Epoch: l.Epoch,
+		Expires: time.Now().Add(l.ttl).UnixMilli()}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return persist.AtomicWriteFile(l.path, data, 0o644)
+}
+
+// Release drops the claim by removing the lease file, but only while
+// it still names this holder — releasing a stolen lease would free a
+// shard another worker is processing.
+func (l *Lease) Release() error {
+	cur, err := readLease(l.path)
+	if err != nil || cur.Owner != l.Owner || cur.Epoch != l.Epoch {
+		return ErrLeaseLost
+	}
+	return os.Remove(l.path)
+}
+
+// readLease parses the lease file at path.
+func readLease(path string) (leaseRecord, error) {
+	var rec leaseRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("journal: lease %s: %w", path, err)
+	}
+	if rec.Owner == "" {
+		return rec, fmt.Errorf("journal: lease %s: no owner", path)
+	}
+	return rec, nil
+}
+
+// linkLease writes rec to a unique temp file and hard-links it into
+// place — the atomic create-if-absent that makes claims race-safe.
+func linkLease(path string, rec leaseRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".claim*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Link(tmpName, path)
+}

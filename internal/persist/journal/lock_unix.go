@@ -1,0 +1,22 @@
+//go:build unix
+
+package journal
+
+import (
+	"errors"
+	"syscall"
+)
+
+// lockFile takes an exclusive advisory lock on the open journal file,
+// failing fast with ErrLocked when another process (or another handle
+// in this process) already holds it. The lock lives with the file
+// descriptor: a SIGKILLed holder releases it the instant the kernel
+// reaps the process, which is exactly the liveness property the lease
+// layer's expiry heuristic cannot provide on its own.
+func lockFile(f interface{ Fd() uintptr }) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return ErrLocked
+	}
+	return err
+}

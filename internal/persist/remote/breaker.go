@@ -1,0 +1,98 @@
+package remote
+
+import (
+	"sync"
+	"time"
+)
+
+// Circuit breaker states. The breaker exists so a store that stays
+// down costs one failed probe per cooldown window instead of a full
+// timeout+retry cycle on every cache miss: availability machinery,
+// with zero influence on what the analysis computes.
+const (
+	breakerClosed   = iota // store believed healthy; requests flow
+	breakerOpen            // store believed down; requests short-circuit to miss
+	breakerHalfOpen        // cooldown elapsed; exactly one probe in flight
+)
+
+// breaker is a consecutive-failure circuit breaker. Closed until
+// `threshold` consecutive operations fail; open for `cooldown`, during
+// which every operation short-circuits (the client degrades to its
+// local tier, or to miss-and-resolve); then half-open, letting one
+// probe through — success recloses, failure reopens.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	state       int
+	consecutive int
+	openedAt    time.Time
+	opens       int64 // cumulative closed/half-open -> open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether an operation may reach the network now. In
+// the open state it flips to half-open once the cooldown elapses and
+// admits exactly that caller as the probe.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: the probe is already out
+		return false
+	}
+}
+
+// success records a completed operation and recloses the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.consecutive = 0
+}
+
+// failure records a failed operation. A half-open probe failing, or
+// the threshold-th consecutive failure while closed, opens the
+// breaker.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.consecutive >= b.threshold) {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.opens++
+	}
+}
+
+// snapshot returns the state name and cumulative open count.
+func (b *breaker) snapshot() (string, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open", b.opens
+	case breakerHalfOpen:
+		return "half-open", b.opens
+	default:
+		return "closed", b.opens
+	}
+}

@@ -1,0 +1,314 @@
+package remote
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Network fault injection. One FaultSpec drives both ends of the
+// wire: Transport wraps the client's http.RoundTripper, Middleware
+// wraps the store server's handler, and both draw from the same
+// deterministic PRNG so a chaos run is reproducible from its seed.
+// Every failure mode the distribution contract promises to survive is
+// expressible here:
+//
+//	drop      the connection dies with no response at all
+//	delay     the response is late (probability-gated)
+//	truncate  the body is cut short mid-record
+//	flip      one bit of the body is inverted in flight
+//	429       the store sheds (with a Retry-After hint)
+//	500       the store errors
+//
+// Spec strings are comma-separated `fault=probability` pairs, with
+// `delay=<duration>:<probability>` and `seed=<n>` as the two special
+// forms, e.g.
+//
+//	drop=0.1,delay=50ms:0.2,truncate=0.05,flip=0.05,429=0.2,500=0.1,seed=7
+type FaultSpec struct {
+	Drop     float64       // P(connection dropped, no response)
+	Truncate float64       // P(response body cut short)
+	Flip     float64       // P(one body bit inverted)
+	Shed     float64       // P(synthetic 429 + Retry-After)
+	Fail     float64       // P(synthetic 500)
+	Delay    time.Duration // added latency when the delay fault fires
+	DelayP   float64       // P(delay applied); 1 when a delay is set without :p
+	Seed     int64         // PRNG seed; same spec + seed = same fault schedule
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// ParseFaultSpec parses the comma-separated spec form above. An empty
+// string yields nil (no injection).
+func ParseFaultSpec(s string) (*FaultSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	f := &FaultSpec{Seed: 1}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("fault spec %q: want fault=value", part)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault spec seed %q: %w", v, err)
+			}
+			f.Seed = n
+			continue
+		case "delay":
+			ds, ps, hasP := strings.Cut(v, ":")
+			d, err := time.ParseDuration(ds)
+			if err != nil {
+				return nil, fmt.Errorf("fault spec delay %q: %w", v, err)
+			}
+			f.Delay, f.DelayP = d, 1
+			if hasP {
+				p, err := parseProb(ps)
+				if err != nil {
+					return nil, err
+				}
+				f.DelayP = p
+			}
+			continue
+		}
+		p, err := parseProb(v)
+		if err != nil {
+			return nil, err
+		}
+		switch k {
+		case "drop":
+			f.Drop = p
+		case "truncate":
+			f.Truncate = p
+		case "flip":
+			f.Flip = p
+		case "429":
+			f.Shed = p
+		case "500":
+			f.Fail = p
+		default:
+			return nil, fmt.Errorf("fault spec: unknown fault %q", k)
+		}
+	}
+	return f, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("fault probability %q: want a number in [0,1]", s)
+	}
+	return p, nil
+}
+
+func (f *FaultSpec) String() string {
+	var parts []string
+	add := func(k string, p float64) {
+		if p > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, p))
+		}
+	}
+	add("drop", f.Drop)
+	if f.Delay > 0 && f.DelayP > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%s:%g", f.Delay, f.DelayP))
+	}
+	add("truncate", f.Truncate)
+	add("flip", f.Flip)
+	add("429", f.Shed)
+	add("500", f.Fail)
+	sort.Strings(parts)
+	parts = append(parts, fmt.Sprintf("seed=%d", f.Seed))
+	return strings.Join(parts, ",")
+}
+
+// roll draws one uniform variate from the spec's deterministic PRNG.
+func (f *FaultSpec) roll() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rng == nil {
+		f.rng = rand.New(rand.NewSource(f.Seed))
+	}
+	return f.rng.Float64()
+}
+
+// intn draws a bounded int (for picking which bit to flip).
+func (f *FaultSpec) intn(n int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rng == nil {
+		f.rng = rand.New(rand.NewSource(f.Seed))
+	}
+	return f.rng.Intn(n)
+}
+
+// errDropped is the transport-level "connection died" error.
+var errDropped = fmt.Errorf("chaos: connection dropped")
+
+// mangle applies truncation/bit-flip faults to a body copy, returning
+// the (possibly damaged) bytes and whether anything was done.
+func (f *FaultSpec) mangle(body []byte) ([]byte, bool) {
+	if len(body) == 0 {
+		return body, false
+	}
+	if f.Truncate > 0 && f.roll() < f.Truncate {
+		return body[:f.intn(len(body))], true
+	}
+	if f.Flip > 0 && f.roll() < f.Flip {
+		out := append([]byte(nil), body...)
+		i := f.intn(len(out))
+		out[i] ^= 1 << uint(f.intn(8))
+		return out, true
+	}
+	return body, false
+}
+
+// chaosTransport is the client-side injector.
+type chaosTransport struct {
+	spec  *FaultSpec
+	inner http.RoundTripper
+}
+
+// Transport wraps an http.RoundTripper with the spec's faults. A nil
+// spec returns inner unchanged.
+func (f *FaultSpec) Transport(inner http.RoundTripper) http.RoundTripper {
+	if f == nil {
+		return inner
+	}
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &chaosTransport{spec: f, inner: inner}
+}
+
+func (t *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := t.spec
+	if f.Delay > 0 && f.DelayP > 0 && f.roll() < f.DelayP {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(f.Delay):
+		}
+	}
+	if f.Drop > 0 && f.roll() < f.Drop {
+		return nil, errDropped
+	}
+	if f.Shed > 0 && f.roll() < f.Shed {
+		return synthResponse(req, http.StatusTooManyRequests, "chaos: shed"), nil
+	}
+	if f.Fail > 0 && f.roll() < f.Fail {
+		return synthResponse(req, http.StatusInternalServerError, "chaos: server error"), nil
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil || resp.Body == nil {
+		return resp, err
+	}
+	if f.Truncate == 0 && f.Flip == 0 {
+		return resp, nil
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if out, did := f.mangle(body); did {
+		body = out
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	return resp, nil
+}
+
+// synthResponse fabricates a minimal HTTP response for shed/fail
+// faults, Retry-After included so backoff paths are exercised.
+func synthResponse(req *http.Request, status int, msg string) *http.Response {
+	h := http.Header{}
+	if status == http.StatusTooManyRequests {
+		h.Set("Retry-After", "1")
+	}
+	return &http.Response{
+		StatusCode:    status,
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(msg)),
+		ContentLength: int64(len(msg)),
+		Request:       req,
+	}
+}
+
+// Middleware wraps an http.Handler with the spec's faults — the
+// store-side injector behind `sraastore -inject-fault`. A nil spec
+// returns next unchanged.
+func (f *FaultSpec) Middleware(next http.Handler) http.Handler {
+	if f == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f.Delay > 0 && f.DelayP > 0 && f.roll() < f.DelayP {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(f.Delay):
+			}
+		}
+		if f.Drop > 0 && f.roll() < f.Drop {
+			// ErrAbortHandler is net/http's sanctioned way to kill the
+			// connection without writing a response: the client sees a
+			// transport error, exactly what a dropped packet looks like.
+			panic(http.ErrAbortHandler)
+		}
+		if f.Shed > 0 && f.roll() < f.Shed {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "chaos: shed", http.StatusTooManyRequests)
+			return
+		}
+		if f.Fail > 0 && f.roll() < f.Fail {
+			http.Error(w, "chaos: server error", http.StatusInternalServerError)
+			return
+		}
+		if f.Truncate == 0 && f.Flip == 0 {
+			next.ServeHTTP(w, r)
+			return
+		}
+		rec := &bodyRecorder{header: http.Header{}, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		body, _ := f.mangle(rec.body.Bytes())
+		keys := make([]string, 0, len(rec.header))
+		for k := range rec.header {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			w.Header()[k] = rec.header[k]
+		}
+		w.Header().Del("Content-Length")
+		w.WriteHeader(rec.status)
+		w.Write(body)
+	})
+}
+
+// bodyRecorder buffers a handler's response so the middleware can
+// mangle the body before it reaches the wire.
+type bodyRecorder struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+}
+
+func (r *bodyRecorder) Header() http.Header         { return r.header }
+func (r *bodyRecorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+func (r *bodyRecorder) WriteHeader(status int)      { r.status = status }

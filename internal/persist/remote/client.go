@@ -1,0 +1,601 @@
+// Package remote lifts the on-disk artifact store into a network
+// protocol: an HTTP content-addressed store server (StoreServer,
+// fronted by cmd/sraastore) and a fault-tolerant client (Client) that
+// plugs into the harness memo cache.
+//
+// The robustness contract mirrors the rest of the stack: a store or
+// network failure may cost cache hits and wall-clock — never
+// soundness, never a wedged sweep. Concretely:
+//
+//   - every fetched record is revalidated end to end (magic, version,
+//     length, CRC, self-named key) with persist.DecodeRecord; a
+//     response that was truncated or bit-flipped in flight is
+//     quarantined exactly like a corrupt local file and NEVER
+//     returned as a hit;
+//   - every request carries its own timeout, retries with jittered
+//     exponential backoff, and honors the store's Retry-After hint,
+//     so a shedding store is waited out, not hammered;
+//   - concurrent gets of the same key coalesce into one in-flight
+//     fetch (singleflight), and multi-key fetches batch into chunked
+//     concurrent POSTs;
+//   - a circuit breaker trips after consecutive failures and degrades
+//     the client to its local tier (or to miss-and-resolve) while the
+//     store stays down, then recloses on recovery — an outage costs
+//     one probe per cooldown, not a timeout per lookup.
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+)
+
+// Protocol paths, shared by client and server.
+const (
+	pathArt    = "/art/"      // GET single record, PUT conditional install
+	pathBatch  = "/art/batch" // POST {"keys":[...]} -> {"records":{key:base64}}
+	pathKeys   = "/keys"
+	pathHealth = "/healthz"
+	pathStats  = "/stats"
+)
+
+// batchRequest and batchResponse are the wire forms of a multi-get.
+type batchRequest struct {
+	Keys []string `json:"keys"`
+}
+type batchResponse struct {
+	// Records maps key -> base64 of the full wire-format record.
+	// Missing keys are simply absent.
+	Records map[string]string `json:"records"`
+}
+
+// putResponse is the body of a successful conditional PUT.
+type putResponse struct {
+	Key       string `json:"key"`
+	Installed bool   `json:"installed"`
+}
+
+// maxRecordBytes bounds a single fetched record so a corrupt length
+// header (or a hostile server) cannot drive an unbounded read.
+const maxRecordBytes = 16 << 20
+
+// Options configures a Client. Zero values take the defaults noted.
+type Options struct {
+	// BaseURL is the store server root, e.g. "http://127.0.0.1:8178".
+	BaseURL string
+	// Local, when non-nil, is the local artifact-store tier: consulted
+	// before the network, promoted into on remote hits, and the sole
+	// backend while the circuit breaker is open.
+	Local *persist.Store
+	// RequestTimeout bounds each HTTP attempt; default 5s.
+	RequestTimeout time.Duration
+	// Retries is how many times a failed attempt is retried; default 3.
+	Retries int
+	// Backoff is the base retry delay, doubled per attempt with full
+	// jitter and floored at the server's Retry-After hint; default 50ms.
+	Backoff time.Duration
+	// BatchSize caps keys per batched POST; default 64.
+	BatchSize int
+	// BatchParallel caps concurrent batch chunks in flight; default 4.
+	BatchParallel int
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// circuit; default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before a
+	// half-open probe; default 5s.
+	BreakerCooldown time.Duration
+	// Seed seeds the backoff jitter PRNG; default 1.
+	Seed int64
+	// Transport overrides the HTTP transport (tests inject chaos
+	// here); default http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+func (o Options) filled() Options {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.Retries == 0 {
+		o.Retries = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	if o.BatchParallel <= 0 {
+		o.BatchParallel = 4
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Transport == nil {
+		o.Transport = http.DefaultTransport
+	}
+	return o
+}
+
+// Stats is a snapshot of the client's counters.
+type Stats struct {
+	Gets         int64 // logical Get calls
+	Hits         int64 // artifacts returned (either tier)
+	LocalHits    int64 // subset of Hits served by the local tier
+	RemoteHits   int64 // subset of Hits fetched over the network
+	Misses       int64 // Get calls that found nothing
+	Coalesced    int64 // gets absorbed by an in-flight fetch of the same key
+	BatchCalls   int64 // batched POSTs issued
+	Puts         int64 // logical Put calls
+	PutErrors    int64 // puts the remote tier ultimately refused
+	Retries      int64 // attempt retries across all operations
+	Sheds        int64 // 429 responses seen (before backoff)
+	Corrupt      int64 // responses quarantined by record revalidation
+	Errors       int64 // operations that exhausted their retries
+	ShortCircuit int64 // operations skipped by the open breaker
+	BreakerOpens int64
+	BreakerState string
+}
+
+// StatsLine renders the counters in the one-line key=value style the
+// cache stats epilogues use.
+func (s Stats) StatsLine() string {
+	return fmt.Sprintf("remote[gets=%d hits=%d local-hits=%d remote-hits=%d misses=%d coalesced=%d puts=%d put-errors=%d retries=%d sheds=%d corrupt=%d errors=%d short-circuit=%d breaker=%s opens=%d]",
+		s.Gets, s.Hits, s.LocalHits, s.RemoteHits, s.Misses, s.Coalesced,
+		s.Puts, s.PutErrors, s.Retries, s.Sheds, s.Corrupt, s.Errors,
+		s.ShortCircuit, s.BreakerState, s.BreakerOpens)
+}
+
+// Client is the fault-tolerant store client. It satisfies the harness
+// cache backend contract (Get/Put), so NewCacheWithBackend wires it
+// straight under the memo cache. Safe for concurrent use.
+type Client struct {
+	opt Options
+	hc  *http.Client
+	brk *breaker
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	flights map[string]*flight
+	spilled int
+
+	st struct {
+		gets, hits, localHits, remoteHits, misses int64
+		coalesced, batchCalls                     int64
+		puts, putErrors                           int64
+		retries, sheds, corrupt, errors, short    int64
+	}
+}
+
+// flight is one in-progress fetch that concurrent gets of the same
+// key wait on.
+type flight struct {
+	done chan struct{}
+	art  *core.FuncArtifact
+	ok   bool
+}
+
+// NewClient builds a Client over the given options.
+func NewClient(opt Options) *Client {
+	opt = opt.filled()
+	return &Client{
+		opt:     opt,
+		hc:      &http.Client{Transport: opt.Transport},
+		brk:     newBreaker(opt.BreakerThreshold, opt.BreakerCooldown),
+		rng:     rand.New(rand.NewSource(opt.Seed)),
+		flights: map[string]*flight{},
+	}
+}
+
+// Get returns the artifact stored under key, consulting the local
+// tier first and the network second. Every network answer is
+// revalidated; anything corrupt is quarantined and reads as a miss.
+// Get NEVER returns an error and NEVER blocks beyond its bounded
+// retry schedule: the worst a dead store can do is a miss, which the
+// caller resolves by recomputing.
+func (c *Client) Get(key string) (*core.FuncArtifact, bool) {
+	c.count(&c.st.gets)
+	if c.opt.Local != nil {
+		if a, ok := c.opt.Local.Get(key); ok {
+			c.count(&c.st.hits)
+			c.count(&c.st.localHits)
+			return a, true
+		}
+	}
+	if !c.brk.allow() {
+		c.count(&c.st.short)
+		c.count(&c.st.misses)
+		return nil, false
+	}
+
+	// Coalesce: one fetch per key in flight, latecomers wait on it.
+	c.mu.Lock()
+	if fl, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.count(&c.st.coalesced)
+		<-fl.done
+		if fl.ok {
+			c.count(&c.st.hits)
+			c.count(&c.st.remoteHits)
+		} else {
+			c.count(&c.st.misses)
+		}
+		return fl.art, fl.ok
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.mu.Unlock()
+
+	fl.art, fl.ok = c.fetchOne(key)
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(fl.done)
+
+	if fl.ok {
+		c.count(&c.st.hits)
+		c.count(&c.st.remoteHits)
+		if c.opt.Local != nil {
+			c.opt.Local.Put(key, fl.art) // promote; write errors are the store's stats
+		}
+	} else {
+		c.count(&c.st.misses)
+	}
+	return fl.art, fl.ok
+}
+
+// fetchOne runs the retry loop for a single-key GET. ok is true only
+// for a fully validated record.
+func (c *Client) fetchOne(key string) (*core.FuncArtifact, bool) {
+	var failed bool
+	defer c.settle(&failed)
+	for attempt := 0; ; attempt++ {
+		status, body, retryAfter, err := c.do(http.MethodGet, pathArt+key, nil, "")
+		switch {
+		case err == nil && status == http.StatusOK:
+			gotKey, art, derr := persist.DecodeRecord(body)
+			if derr == nil && gotKey == key {
+				return art, true
+			}
+			// Corrupt response: quarantine the evidence and retry — a
+			// flipped bit in flight is transient; the store's copy may
+			// be fine.
+			c.quarantine(key, body, derr)
+		case err == nil && status == http.StatusNotFound:
+			return nil, false // clean miss; the store is healthy
+		case err == nil && status == http.StatusTooManyRequests:
+			c.count(&c.st.sheds)
+		case err == nil && status < 500:
+			// Unexpected client error: our request is wrong; retrying
+			// the same bytes cannot help.
+			failed = true
+			return nil, false
+		}
+		if attempt >= c.opt.Retries {
+			failed = true
+			c.count(&c.st.errors)
+			return nil, false
+		}
+		c.count(&c.st.retries)
+		c.sleep(attempt, retryAfter)
+	}
+}
+
+// Put installs the artifact under key: always into the local tier
+// when one exists, and through a conditional PUT to the store unless
+// the breaker is open. Remote refusal degrades durability, never the
+// run — the error is counted and reported but callers may ignore it.
+func (c *Client) Put(key string, a *core.FuncArtifact) error {
+	c.count(&c.st.puts)
+	var localErr error
+	if c.opt.Local != nil {
+		localErr = c.opt.Local.Put(key, a)
+	}
+	if !c.brk.allow() {
+		c.count(&c.st.short)
+		return localErr
+	}
+	data, err := persist.EncodeRecord(key, a)
+	if err != nil {
+		c.count(&c.st.putErrors)
+		return err
+	}
+	var failed bool
+	defer c.settle(&failed)
+	for attempt := 0; ; attempt++ {
+		status, _, retryAfter, err := c.do(http.MethodPut, pathArt+key, data, "application/octet-stream")
+		switch {
+		case err == nil && status == http.StatusOK:
+			return localErr
+		case err == nil && status == http.StatusTooManyRequests:
+			c.count(&c.st.sheds)
+		case err == nil && status < 500:
+			failed = true
+			c.count(&c.st.putErrors)
+			return fmt.Errorf("remote: put %s: store refused with %d", key, status)
+		}
+		if attempt >= c.opt.Retries {
+			failed = true
+			c.count(&c.st.errors)
+			c.count(&c.st.putErrors)
+			return fmt.Errorf("remote: put %s: retries exhausted", key)
+		}
+		c.count(&c.st.retries)
+		c.sleep(attempt, retryAfter)
+	}
+}
+
+// GetBatch fetches many keys with chunked, concurrent batched POSTs,
+// returning whatever subset validated. Local-tier hits are included
+// and never refetched. Missing, corrupt, and failed keys are simply
+// absent — the caller recomputes them.
+func (c *Client) GetBatch(keys []string) map[string]*core.FuncArtifact {
+	out := map[string]*core.FuncArtifact{}
+	var need []string
+	for _, k := range keys {
+		if c.opt.Local != nil {
+			if a, ok := c.opt.Local.Get(k); ok {
+				out[k] = a
+				continue
+			}
+		}
+		need = append(need, k)
+	}
+	if len(need) == 0 {
+		return out
+	}
+	if !c.brk.allow() {
+		c.count(&c.st.short)
+		return out
+	}
+
+	var chunks [][]string
+	for len(need) > 0 {
+		n := min(c.opt.BatchSize, len(need))
+		chunks = append(chunks, need[:n])
+		need = need[n:]
+	}
+	results := make([]map[string]*core.FuncArtifact, len(chunks))
+	sem := make(chan struct{}, c.opt.BatchParallel)
+	var wg sync.WaitGroup
+	for i, chunk := range chunks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, chunk []string) {
+			// Containment: a panic in one chunk's fetch must not take
+			// the sweep down; the chunk just reads as missed.
+			defer func() {
+				recover()
+				<-sem
+				wg.Done()
+			}()
+			results[i] = c.fetchChunk(chunk)
+		}(i, chunk)
+	}
+	wg.Wait()
+	for _, m := range results {
+		for k, a := range m {
+			out[k] = a
+			if c.opt.Local != nil {
+				c.opt.Local.Put(k, a)
+			}
+		}
+	}
+	return out
+}
+
+// fetchChunk runs the retry loop for one batched POST and validates
+// every returned record.
+func (c *Client) fetchChunk(keys []string) map[string]*core.FuncArtifact {
+	reqBody, err := json.Marshal(batchRequest{Keys: keys})
+	if err != nil {
+		return nil
+	}
+	var failed bool
+	defer c.settle(&failed)
+	for attempt := 0; ; attempt++ {
+		c.count(&c.st.batchCalls)
+		status, body, retryAfter, derr := c.do(http.MethodPost, pathBatch, reqBody, "application/json")
+		if derr == nil && status == http.StatusOK {
+			var br batchResponse
+			if json.Unmarshal(body, &br) == nil {
+				return c.validateBatch(keys, br.Records)
+			}
+			// Mangled JSON envelope: retry like any damaged response.
+			c.quarantine("batch", body, fmt.Errorf("remote: batch envelope does not parse"))
+		}
+		if derr == nil && status == http.StatusTooManyRequests {
+			c.count(&c.st.sheds)
+		} else if derr == nil && status != http.StatusOK && status < 500 {
+			failed = true
+			return nil
+		}
+		if attempt >= c.opt.Retries {
+			failed = true
+			c.count(&c.st.errors)
+			return nil
+		}
+		c.count(&c.st.retries)
+		c.sleep(attempt, retryAfter)
+	}
+}
+
+// validateBatch decodes and revalidates each record of a batch
+// response; corrupt entries are quarantined and dropped.
+func (c *Client) validateBatch(keys []string, records map[string]string) map[string]*core.FuncArtifact {
+	out := map[string]*core.FuncArtifact{}
+	for _, k := range keys {
+		b64, ok := records[k]
+		if !ok {
+			continue
+		}
+		data, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			c.quarantine(k, nil, fmt.Errorf("remote: batch entry is not base64: %w", err))
+			continue
+		}
+		gotKey, art, err := persist.DecodeRecord(data)
+		if err != nil || gotKey != k {
+			c.quarantine(k, data, err)
+			continue
+		}
+		out[k] = art
+	}
+	return out
+}
+
+// do performs one bounded HTTP attempt. A non-nil error means no
+// usable response arrived (transport failure, timeout, drop).
+func (c *Client) do(method, path string, body []byte, contentType string) (status int, respBody []byte, retryAfter time.Duration, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opt.RequestTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.opt.BaseURL+path, rd)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRecordBytes+1))
+	if err != nil {
+		// A body cut mid-stream (chaos truncation at the TCP level)
+		// surfaces here; the caller retries.
+		return 0, nil, 0, err
+	}
+	if len(data) > maxRecordBytes {
+		return 0, nil, 0, fmt.Errorf("remote: response exceeds %d bytes", maxRecordBytes)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if sec, aerr := strconv.Atoi(ra); aerr == nil && sec > 0 {
+			retryAfter = time.Duration(sec) * time.Second
+		}
+	}
+	return resp.StatusCode, data, retryAfter, nil
+}
+
+// sleep applies jittered exponential backoff floored at the server's
+// Retry-After hint.
+func (c *Client) sleep(attempt int, retryAfter time.Duration) {
+	d := c.opt.Backoff << uint(min(attempt, 16))
+	c.mu.Lock()
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d)/2+1))
+	c.mu.Unlock()
+	if retryAfter > d {
+		d = retryAfter
+	}
+	time.Sleep(d)
+}
+
+// settle reports the operation's outcome to the breaker on the way
+// out; deferred so every return path is covered.
+func (c *Client) settle(failed *bool) {
+	if *failed {
+		c.brk.failure()
+	} else {
+		c.brk.success()
+	}
+}
+
+// maxQuarantineSpills bounds the postmortem evidence files one client
+// writes, so a long chaos run cannot fill the disk with them.
+const maxQuarantineSpills = 16
+
+// quarantine counts a corrupt response and, when a local store tier
+// exists, spills the damaged bytes beside its quarantine/ directory
+// for postmortem — best effort, bounded, and write-only: these files
+// are never read back as records.
+func (c *Client) quarantine(key string, data []byte, cause error) {
+	c.count(&c.st.corrupt)
+	if c.opt.Local == nil || len(data) == 0 {
+		return
+	}
+	c.mu.Lock()
+	n := c.spilled
+	if n < maxQuarantineSpills {
+		c.spilled++
+	}
+	c.mu.Unlock()
+	if n >= maxQuarantineSpills {
+		return
+	}
+	qdir := filepath.Join(c.opt.Local.Dir(), persist.QuarantineDir)
+	if os.MkdirAll(qdir, 0o755) != nil {
+		return
+	}
+	name := fmt.Sprintf("remote-%s-%d.bad", sanitize(key), n)
+	//lint:ignore atomicwrite quarantined evidence is write-only postmortem data: it is never read back as a record, so a torn spill file cannot be trusted by anyone — atomic replacement would buy nothing here
+	os.WriteFile(filepath.Join(qdir, name), data, 0o644)
+	_ = cause // the counter is the signal; the bytes are the evidence
+}
+
+// sanitize maps an arbitrary key to a filesystem-safe fragment.
+func sanitize(key string) string {
+	if len(key) > 32 {
+		key = key[:32]
+	}
+	out := []byte(key)
+	for i, b := range out {
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9', b == '-', b == '_':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// count bumps one stats counter under the client lock.
+func (c *Client) count(p *int64) {
+	c.mu.Lock()
+	*p++
+	c.mu.Unlock()
+}
+
+// Stats snapshots the counters.
+func (c *Client) Stats() Stats {
+	state, opens := c.brk.snapshot()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Gets: c.st.gets, Hits: c.st.hits, LocalHits: c.st.localHits,
+		RemoteHits: c.st.remoteHits, Misses: c.st.misses,
+		Coalesced: c.st.coalesced, BatchCalls: c.st.batchCalls,
+		Puts: c.st.puts, PutErrors: c.st.putErrors,
+		Retries: c.st.retries, Sheds: c.st.sheds, Corrupt: c.st.corrupt,
+		Errors: c.st.errors, ShortCircuit: c.st.short,
+		BreakerOpens: opens, BreakerState: state,
+	}
+}
+
+// StatsLine implements the harness cache's backend-stats hook.
+func (c *Client) StatsLine() string { return c.Stats().StatsLine() }

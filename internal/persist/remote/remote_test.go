@@ -1,0 +1,490 @@
+package remote
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+)
+
+// The chaos proofs for the distribution contract: under dropped
+// connections, delays, truncated bodies, bit flips, and 429/500
+// storms the client may miss, but it must NEVER return a corrupt
+// artifact, never wedge, and never poison its local tier.
+
+func testArtifact(i int) *core.FuncArtifact {
+	return &core.FuncArtifact{
+		Vars: []string{fmt.Sprintf("%%p%d", i), "%t1"},
+		Sets: [][]int32{{1}, {}},
+		Stats: core.FuncStats{
+			Instrs: 10 + i, Vars: 2, Constraints: 3, Pops: 7,
+			SetSizes: map[int]int{0: 1, 1: 1},
+		},
+	}
+}
+
+func key(i int) string { return fmt.Sprintf("%064x", i) }
+
+// newStore opens a persist.Store in a temp dir seeded with n records.
+func newStore(t *testing.T, n int) *persist.Store {
+	t.Helper()
+	s, err := persist.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Put(key(i), testArtifact(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// boot serves the store over real HTTP (httptest) with optional
+// server-side faults, returning a client built from opt.
+func boot(t *testing.T, st *persist.Store, fault *FaultSpec, opt Options) (*httptest.Server, *Client) {
+	t.Helper()
+	srv := NewStoreServer(st, ServerConfig{Fault: fault})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	opt.BaseURL = ts.URL
+	if opt.RequestTimeout == 0 {
+		opt.RequestTimeout = 2 * time.Second
+	}
+	if opt.Backoff == 0 {
+		opt.Backoff = time.Millisecond
+	}
+	return ts, NewClient(opt)
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	st := newStore(t, 3)
+	_, c := boot(t, st, nil, Options{})
+
+	for i := 0; i < 3; i++ {
+		got, ok := c.Get(key(i))
+		if !ok {
+			t.Fatalf("get %d: miss", i)
+		}
+		if !reflect.DeepEqual(got, testArtifact(i)) {
+			t.Fatalf("get %d mutated in transit:\ngot  %+v\nwant %+v", i, got, testArtifact(i))
+		}
+	}
+	if _, ok := c.Get(key(99)); ok {
+		t.Fatal("phantom hit for a key the store never held")
+	}
+
+	// Put a new record, then read it back over the wire.
+	if err := c.Put(key(7), testArtifact(7)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if got, ok := st.Get(key(7)); !ok || !reflect.DeepEqual(got, testArtifact(7)) {
+		t.Fatalf("server store after put: ok=%v got=%+v", ok, got)
+	}
+
+	s := c.Stats()
+	if s.RemoteHits != 3 || s.Misses != 1 || s.Puts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestClientLocalTierAndPromotion(t *testing.T) {
+	st := newStore(t, 2)
+	local, err := persist.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := boot(t, st, nil, Options{Local: local})
+
+	// First get goes remote and promotes into the local tier …
+	if _, ok := c.Get(key(0)); !ok {
+		t.Fatal("remote miss")
+	}
+	// … so the second is served locally.
+	if _, ok := c.Get(key(0)); !ok {
+		t.Fatal("local miss after promotion")
+	}
+	s := c.Stats()
+	if s.RemoteHits != 1 || s.LocalHits != 1 {
+		t.Fatalf("stats after promotion = %+v", s)
+	}
+	if _, ok := local.Get(key(0)); !ok {
+		t.Fatal("promoted record missing from local store")
+	}
+}
+
+func TestClientCoalescesConcurrentGets(t *testing.T) {
+	st := newStore(t, 1)
+	var upstream int64
+	var mu sync.Mutex
+	srv := NewStoreServer(st, ServerConfig{})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		upstream++
+		mu.Unlock()
+		time.Sleep(50 * time.Millisecond) // hold the flight open
+		srv.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(slow)
+	defer ts.Close()
+	c := NewClient(Options{BaseURL: ts.URL, Backoff: time.Millisecond})
+
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := c.Get(key(0)); !ok {
+				t.Error("coalesced get missed")
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	n := upstream
+	mu.Unlock()
+	if n >= callers {
+		t.Fatalf("%d upstream fetches for %d concurrent gets — no coalescing", n, callers)
+	}
+	if s := c.Stats(); s.Coalesced == 0 {
+		t.Fatalf("coalesced counter stayed zero: %+v", s)
+	}
+}
+
+func TestClientBatchGet(t *testing.T) {
+	st := newStore(t, 10)
+	_, c := boot(t, st, nil, Options{BatchSize: 3})
+
+	keys := make([]string, 12) // 10 present + 2 missing
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	got := c.GetBatch(keys)
+	if len(got) != 10 {
+		t.Fatalf("batch returned %d records, want 10", len(got))
+	}
+	for i := 0; i < 10; i++ {
+		if !reflect.DeepEqual(got[key(i)], testArtifact(i)) {
+			t.Fatalf("batch entry %d mutated", i)
+		}
+	}
+	if s := c.Stats(); s.BatchCalls < 4 {
+		t.Fatalf("expected chunked batch calls, got %+v", s)
+	}
+}
+
+// TestClientNeverReturnsCorruptArtifact is the headline chaos proof:
+// with truncation and bit flips mangling responses on the server side,
+// every successful Get must still round-trip to exactly the stored
+// artifact — damage converts hits to retries or misses, never to lies.
+func TestClientNeverReturnsCorruptArtifact(t *testing.T) {
+	const n = 24
+	st := newStore(t, n)
+	fault, err := ParseFaultSpec("truncate=0.3,flip=0.3,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := boot(t, st, fault, Options{Retries: 4})
+
+	hits := 0
+	for i := 0; i < n; i++ {
+		got, ok := c.Get(key(i))
+		if !ok {
+			continue // a miss under chaos is legal; recompute path covers it
+		}
+		hits++
+		if !reflect.DeepEqual(got, testArtifact(i)) {
+			t.Fatalf("CORRUPT ARTIFACT RETURNED for key %d:\ngot  %+v\nwant %+v", i, got, testArtifact(i))
+		}
+	}
+	s := c.Stats()
+	if s.Corrupt == 0 {
+		t.Fatalf("chaos run detected no corruption — injector not exercising the path: %+v", s)
+	}
+	if hits == 0 {
+		t.Fatal("chaos run produced zero hits — retry path not recovering")
+	}
+	t.Logf("chaos gets: %d/%d hits, stats %s", hits, n, s.StatsLine())
+}
+
+// TestClientBatchSurvivesChaos: the batched path under the full storm,
+// client-side this time (transport-level faults).
+func TestClientBatchSurvivesChaos(t *testing.T) {
+	const n = 24
+	st := newStore(t, n)
+	fault, err := ParseFaultSpec("drop=0.15,truncate=0.15,flip=0.15,429=0.1,500=0.1,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewStoreServer(st, ServerConfig{}).Handler())
+	defer ts.Close()
+	c := NewClient(Options{
+		BaseURL:   ts.URL,
+		Backoff:   time.Millisecond,
+		BatchSize: 4,
+		Retries:   5,
+		Transport: fault.Transport(nil),
+		// High threshold: this test exercises retries, not the breaker.
+		BreakerThreshold: 1000,
+	})
+
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	got := c.GetBatch(keys)
+	for i := 0; i < n; i++ {
+		a, ok := got[key(i)]
+		if !ok {
+			continue
+		}
+		if !reflect.DeepEqual(a, testArtifact(i)) {
+			t.Fatalf("CORRUPT ARTIFACT RETURNED for key %d under batch chaos", i)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("batch chaos returned nothing — retry path not recovering")
+	}
+	t.Logf("batch chaos: %d/%d recovered, stats %s", len(got), n, c.Stats().StatsLine())
+}
+
+// TestClientQuarantinesCorruptResponses: a mangled response leaves
+// evidence in the local tier's quarantine directory, mirroring how a
+// corrupt local file is handled.
+func TestClientQuarantinesCorruptResponses(t *testing.T) {
+	// A server that always returns garbage bytes with status 200.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("sraa-art garbage that will not validate"))
+	}))
+	defer ts.Close()
+	local, err := persist.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(Options{BaseURL: ts.URL, Local: local, Backoff: time.Millisecond, Retries: 1})
+
+	if _, ok := c.Get(key(0)); ok {
+		t.Fatal("garbage response returned as a hit")
+	}
+	if s := c.Stats(); s.Corrupt == 0 {
+		t.Fatalf("no corruption counted: %+v", s)
+	}
+	// The local tier must NOT have been poisoned by the garbage.
+	if _, ok := local.Get(key(0)); ok {
+		t.Fatal("garbage promoted into the local store")
+	}
+}
+
+// TestBreakerDegradesAndRecovers: a dead store opens the breaker
+// (gets short-circuit to the local tier instead of timing out), and a
+// recovered store recloses it.
+func TestBreakerDegradesAndRecovers(t *testing.T) {
+	st := newStore(t, 3)
+	srv := NewStoreServer(st, ServerConfig{})
+	var down sync.Map // "down" key present = fail everything
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, dead := down.Load("down"); dead {
+			panic(http.ErrAbortHandler) // connection dies, like a dead host
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	local, err := persist.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := local.Put(key(0), testArtifact(0)); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(Options{
+		BaseURL: ts.URL, Local: local,
+		RequestTimeout:   200 * time.Millisecond,
+		Backoff:          time.Millisecond,
+		Retries:          1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+
+	// Healthy: remote hits flow.
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("healthy get missed")
+	}
+
+	// Kill the store. Enough failures to trip the breaker …
+	down.Store("down", true)
+	for i := 0; i < 3; i++ {
+		c.Get(key(9)) // not in local: forces network attempts
+	}
+	if state, _ := c.brk.snapshot(); state != "open" {
+		t.Fatalf("breaker state after failures = %s, want open", state)
+	}
+	// … after which local-tier hits still work and network lookups
+	// short-circuit instantly instead of timing out.
+	startAt := time.Now()
+	if _, ok := c.Get(key(0)); !ok {
+		t.Fatal("local tier unavailable while breaker open")
+	}
+	if _, ok := c.Get(key(9)); ok {
+		t.Fatal("phantom hit while breaker open")
+	}
+	if d := time.Since(startAt); d > 100*time.Millisecond {
+		t.Fatalf("open-breaker lookups took %v — not short-circuiting", d)
+	}
+	before := c.Stats()
+	if before.ShortCircuit == 0 {
+		t.Fatalf("no short-circuits counted: %+v", before)
+	}
+
+	// Recovery: cooldown elapses, the half-open probe succeeds, and
+	// remote hits flow again. key(2) was never fetched, so it cannot
+	// be served by the promoted local tier — only a real network hit.
+	down.Delete("down")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := c.Get(key(2)); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never reclosed after recovery")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if state, _ := c.brk.snapshot(); state != "closed" {
+		t.Fatalf("breaker state after recovery = %s, want closed", state)
+	}
+}
+
+// TestClientHonorsRetryAfter: a shedding store's hint floors the
+// backoff, so the client waits instead of hammering.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var mu sync.Mutex
+	var times []time.Time
+	shedOnce := true
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		times = append(times, time.Now())
+		first := shedOnce
+		shedOnce = false
+		mu.Unlock()
+		if first {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		http.Error(w, "miss", http.StatusNotFound)
+	}))
+	defer ts.Close()
+	c := NewClient(Options{BaseURL: ts.URL, Backoff: time.Millisecond, Retries: 2})
+
+	if _, ok := c.Get(key(0)); ok {
+		t.Fatal("unexpected hit")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(times) < 2 {
+		t.Fatalf("%d attempts, want ≥2", len(times))
+	}
+	if gap := times[1].Sub(times[0]); gap < 900*time.Millisecond {
+		t.Fatalf("retry gap %v ignored Retry-After: 1", gap)
+	}
+	if s := c.Stats(); s.Sheds == 0 {
+		t.Fatalf("shed not counted: %+v", s)
+	}
+}
+
+// TestServerRejectsCorruptPut: a record damaged on its way up fails
+// validation server-side; the store never installs it.
+func TestServerRejectsCorruptPut(t *testing.T) {
+	st := newStore(t, 0)
+	ts := httptest.NewServer(NewStoreServer(st, ServerConfig{}).Handler())
+	defer ts.Close()
+
+	data, err := persist.EncodeRecord(key(0), testArtifact(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40 // flip a payload bit; CRC now wrong
+
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+pathArt+key(0), strings.NewReader(string(data)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt put status = %d, want 422", resp.StatusCode)
+	}
+	if st.Len() != 0 {
+		t.Fatal("corrupt record installed")
+	}
+	if s := st.Stats(); s.BadRecords != 1 {
+		t.Fatalf("BadRecords = %d, want 1", s.BadRecords)
+	}
+}
+
+// TestServerShedsWith429: an overloaded store sheds with Retry-After,
+// never a 5xx — same admission contract as the analysis daemon.
+func TestServerShedsWith429(t *testing.T) {
+	st := newStore(t, 1)
+	srv := NewStoreServer(st, ServerConfig{InFlight: 1, Queue: -1})
+	// Hold the only slot.
+	release, err := srv.gate.Acquire(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + pathArt + key(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After hint")
+	}
+}
+
+// TestFaultSpecRoundTrip: parse → String → parse is stable, and the
+// injector is deterministic per seed.
+func TestFaultSpecRoundTrip(t *testing.T) {
+	spec := "429=0.2,500=0.1,delay=50ms:0.2,drop=0.1,flip=0.05,truncate=0.05,seed=7"
+	f, err := ParseFaultSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.String(); got != spec {
+		t.Fatalf("String() = %q, want %q", got, spec)
+	}
+	if _, err := ParseFaultSpec("bogus=0.5"); err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+	if _, err := ParseFaultSpec("drop=1.5"); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	if f, err := ParseFaultSpec(""); err != nil || f != nil {
+		t.Fatalf("empty spec = %v, %v; want nil, nil", f, err)
+	}
+
+	// Determinism: same seed, same schedule.
+	a, _ := ParseFaultSpec("drop=0.5,seed=42")
+	b, _ := ParseFaultSpec("drop=0.5,seed=42")
+	for i := 0; i < 100; i++ {
+		if a.roll() != b.roll() {
+			t.Fatalf("fault schedule diverged at draw %d", i)
+		}
+	}
+}

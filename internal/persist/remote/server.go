@@ -1,0 +1,317 @@
+package remote
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/persist"
+	"repro/internal/serve"
+)
+
+// StoreServer is the HTTP face of a persist.Store: a content-addressed
+// artifact store served to sweep workers. It speaks the same record
+// framing as the disk format — a GET body IS the `.art` file bytes —
+// so clients revalidate CRCs end to end and a record corrupted
+// anywhere between the store's disk and the client's memory is caught.
+//
+// Admission reuses the daemon's gate: overload sheds with 429 +
+// Retry-After, never a 5xx and never an unbounded queue. A store
+// under pressure slows the sweep down; it cannot wedge it.
+type StoreServer struct {
+	store *persist.Store
+	gate  *serve.Gate
+	fault *FaultSpec
+
+	retryAfter time.Duration
+	start      time.Time
+	draining   atomic.Bool
+
+	requests atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	installs atomic.Int64
+	rejects  atomic.Int64
+	shed     atomic.Int64
+}
+
+// ServerConfig sizes a StoreServer. Zero values take defaults.
+type ServerConfig struct {
+	// InFlight caps concurrently served requests; default 64 (store
+	// requests are cheap reads, far lighter than analysis requests).
+	InFlight int
+	// Queue bounds the admission waiting room; default 4×InFlight.
+	Queue int
+	// QueueWait is the max time a queued request waits; default 1s.
+	QueueWait time.Duration
+	// RetryAfter is the backoff hint attached to 429s; default 1s.
+	RetryAfter time.Duration
+	// Fault, when non-nil, injects chaos into every response — the
+	// test harness behind `sraastore -inject-fault`. Never set it in
+	// production.
+	Fault *FaultSpec
+}
+
+func (c ServerConfig) filled() ServerConfig {
+	if c.InFlight < 1 {
+		c.InFlight = 64
+	}
+	if c.Queue == 0 {
+		c.Queue = 4 * c.InFlight
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// NewStoreServer serves the given store under cfg.
+func NewStoreServer(st *persist.Store, cfg ServerConfig) *StoreServer {
+	cfg = cfg.filled()
+	return &StoreServer{
+		store:      st,
+		gate:       serve.NewGate(cfg.InFlight, cfg.Queue, cfg.QueueWait),
+		fault:      cfg.Fault,
+		retryAfter: cfg.RetryAfter,
+		start:      time.Now(),
+	}
+}
+
+// maxBatchKeys bounds one batched multi-get, so a single request
+// cannot monopolize the store.
+const maxBatchKeys = 256
+
+// Handler returns the HTTP API:
+//
+//	GET  /art/{key}   one record, raw wire bytes (404 on miss)
+//	POST /art/batch   {"keys":[...]} -> {"records":{key: base64}}
+//	PUT  /art/{key}   conditional install of raw record bytes
+//	GET  /keys        sorted key list
+//	GET  /healthz     liveness + load
+//	GET  /stats       counters, including the store's own StoreStats
+//
+// Fault injection, when configured, wraps the whole mux.
+func (s *StoreServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+pathArt+"{key}", s.gated(s.handleGet))
+	mux.HandleFunc("POST "+pathBatch, s.gated(s.handleBatch))
+	mux.HandleFunc("PUT "+pathArt+"{key}", s.gated(s.handlePut))
+	mux.HandleFunc("GET "+pathKeys, s.gated(s.handleKeys))
+	mux.HandleFunc("GET "+pathHealth, s.handleHealthz)
+	mux.HandleFunc("GET "+pathStats, s.handleStats)
+	return s.fault.Middleware(mux)
+}
+
+// gated wraps a handler with admission control: shed → 429 +
+// Retry-After, exactly the contract sweep clients' backoff expects.
+func (s *StoreServer) gated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		release, err := s.gate.Acquire(r.Context())
+		if err != nil {
+			s.shed.Add(1)
+			secs := int(math.Ceil(s.retryAfter.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", fmt.Sprint(secs))
+			http.Error(w, "overloaded: request shed, retry later", http.StatusTooManyRequests)
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+func (s *StoreServer) handleGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, ok := s.store.GetRecord(key)
+	if !ok {
+		s.misses.Add(1)
+		http.Error(w, "no such artifact", http.StatusNotFound)
+		return
+	}
+	s.hits.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	w.Write(data)
+}
+
+func (s *StoreServer) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, "request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Keys) > maxBatchKeys {
+		http.Error(w, fmt.Sprintf("batch of %d keys exceeds limit %d", len(req.Keys), maxBatchKeys), http.StatusBadRequest)
+		return
+	}
+	resp := batchResponse{Records: map[string]string{}}
+	for _, k := range req.Keys {
+		if data, ok := s.store.GetRecord(k); ok {
+			s.hits.Add(1)
+			resp.Records[k] = base64.StdEncoding.EncodeToString(data)
+		} else {
+			s.misses.Add(1)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *StoreServer) handlePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRecordBytes))
+	if err != nil {
+		http.Error(w, "request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// PutRecord validates magic/CRC/self-naming and is idempotent over
+	// existing keys; a record damaged in flight is rejected here, so
+	// the store's on-disk state only ever holds records that verified.
+	gotKey, err := s.store.PutRecord(data)
+	if err != nil || gotKey != key {
+		s.rejects.Add(1)
+		http.Error(w, "record rejected: failed validation", http.StatusUnprocessableEntity)
+		return
+	}
+	s.installs.Add(1)
+	writeJSON(w, http.StatusOK, putResponse{Key: key, Installed: true})
+}
+
+func (s *StoreServer) handleKeys(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"keys": s.store.Keys()})
+}
+
+func (s *StoreServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    status,
+		"in_flight": s.gate.InFlight(),
+		"queued":    s.gate.Queued(),
+	})
+}
+
+// ServerSnapshot is the /stats wire form.
+type ServerSnapshot struct {
+	UptimeSec float64 `json:"uptime_sec"`
+	Draining  bool    `json:"draining"`
+	Requests  int64   `json:"requests"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Installs  int64   `json:"installs"`
+	Rejects   int64   `json:"rejects"`
+	Shed      int64   `json:"shed"`
+	InFlight  int     `json:"in_flight"`
+	Queued    int     `json:"queued"`
+
+	// The underlying store's own health counters, quarantines and
+	// disk errors included — the satellite contract that store-side
+	// damage is observable from the outside.
+	StoreLoaded      int    `json:"store_loaded"`
+	StoreQuarantined int    `json:"store_quarantined"`
+	StorePuts        int    `json:"store_puts"`
+	StorePutErrors   int    `json:"store_put_errors"`
+	StoreBadRecords  int    `json:"store_bad_records"`
+	StoreDiskErrors  int    `json:"store_disk_errors"`
+	StoreKeys        int    `json:"store_keys"`
+	Fault            string `json:"fault,omitempty"`
+}
+
+// Snapshot returns the current counters.
+func (s *StoreServer) Snapshot() ServerSnapshot {
+	st := s.store.Stats()
+	snap := ServerSnapshot{
+		UptimeSec:        time.Since(s.start).Seconds(),
+		Draining:         s.draining.Load(),
+		Requests:         s.requests.Load(),
+		Hits:             s.hits.Load(),
+		Misses:           s.misses.Load(),
+		Installs:         s.installs.Load(),
+		Rejects:          s.rejects.Load(),
+		Shed:             s.shed.Load(),
+		InFlight:         s.gate.InFlight(),
+		Queued:           s.gate.Queued(),
+		StoreLoaded:      st.Loaded,
+		StoreQuarantined: st.Quarantined,
+		StorePuts:        st.Puts,
+		StorePutErrors:   st.PutErrors,
+		StoreBadRecords:  st.BadRecords,
+		StoreDiskErrors:  st.DiskErrors,
+		StoreKeys:        s.store.Len(),
+	}
+	if s.fault != nil {
+		snap.Fault = s.fault.String()
+	}
+	return snap
+}
+
+func (s *StoreServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// writeJSON mirrors internal/serve: encode fully before touching the
+// connection so a marshalling failure can still change the status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		code = http.StatusInternalServerError
+		body = []byte(`{"error":"response encoding failed"}`)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+// Serve runs the store on ln until ctx is canceled, then drains:
+// the listener closes, in-flight requests finish within drainTimeout,
+// and the final snapshot is the caller's to print. Mirrors
+// serve.Server.Serve.
+func (s *StoreServer) Serve(ctx context.Context, ln net.Listener, drainTimeout time.Duration) error {
+	if drainTimeout <= 0 {
+		drainTimeout = 10 * time.Second
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		// Containment: a panic in the accept loop surfaces as a serve
+		// error instead of killing the process from a side goroutine.
+		defer func() {
+			if r := recover(); r != nil {
+				errc <- fmt.Errorf("sraastore: accept loop panicked: %v", r)
+			}
+		}()
+		errc <- srv.Serve(ln)
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	s.draining.Store(true)
+	shCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return nil
+}

@@ -48,7 +48,8 @@ const (
 var crcTable = crc32.MakeTable(crc32.IEEE)
 
 // StoreStats counts what the store has seen. Quarantined > 0 means
-// corrupt or torn records were found (and contained) at open time.
+// corrupt or torn records were found (and contained) at open time;
+// BadRecords > 0 means corrupt records were rejected after open.
 type StoreStats struct {
 	// Loaded is the number of valid records read at open time.
 	Loaded int
@@ -57,11 +58,20 @@ type StoreStats struct {
 	Quarantined int
 	// Puts and PutErrors count writes since open.
 	Puts, PutErrors int
+	// BadRecords counts records rejected by validation after open —
+	// a PutRecord whose bytes fail the magic/CRC/key checks (e.g. a
+	// truncated or bit-flipped upload to the store server). Rejected
+	// records are counted and refused, never trusted.
+	BadRecords int
+	// DiskErrors counts runtime filesystem failures outside the write
+	// path (PutErrors covers writes): quarantine moves that failed,
+	// records that could not be re-read.
+	DiskErrors int
 }
 
 func (s StoreStats) String() string {
-	return fmt.Sprintf("loaded=%d quarantined=%d puts=%d put-errors=%d",
-		s.Loaded, s.Quarantined, s.Puts, s.PutErrors)
+	return fmt.Sprintf("loaded=%d quarantined=%d puts=%d put-errors=%d bad-records=%d disk-errors=%d",
+		s.Loaded, s.Quarantined, s.Puts, s.PutErrors, s.BadRecords, s.DiskErrors)
 }
 
 // Store is the on-disk artifact store. All records are loaded into
@@ -138,7 +148,7 @@ func (s *Store) Put(key string, a *core.FuncArtifact) error {
 	s.stats.Puts++
 	s.mu.Unlock()
 
-	data, err := encodeRecord(key, a)
+	data, err := EncodeRecord(key, a)
 	if err == nil {
 		err = AtomicWriteFile(filepath.Join(s.dir, fileNameOf(key)), data, 0o644)
 	}
@@ -149,6 +159,61 @@ func (s *Store) Put(key string, a *core.FuncArtifact) error {
 		return err
 	}
 	return nil
+}
+
+// Keys returns every loaded key in sorted order. The store server's
+// /keys endpoint and the bench tool enumerate with it.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.mem))
+	for k := range s.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GetRecord returns the wire-format record bytes for key, re-encoded
+// from the in-memory artifact, so network peers receive the same
+// self-validating magic/version/CRC framing the disk uses and can
+// revalidate end to end.
+func (s *Store) GetRecord(key string) ([]byte, bool) {
+	a, ok := s.Get(key)
+	if !ok {
+		return nil, false
+	}
+	data, err := EncodeRecord(key, a)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.DiskErrors++
+		s.mu.Unlock()
+		return nil, false
+	}
+	return data, true
+}
+
+// PutRecord validates and installs one wire-format record, returning
+// its key. Invalid bytes — bad magic, CRC mismatch, truncation, a
+// payload that does not name a key — are counted in BadRecords and
+// refused: a corrupt upload can never poison the store. A record whose
+// key is already present is a no-op (content addressing: same key,
+// same bytes), which is what makes puts conditional and idempotent.
+func (s *Store) PutRecord(data []byte) (string, error) {
+	key, a, err := DecodeRecord(data)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.BadRecords++
+		s.mu.Unlock()
+		return "", err
+	}
+	s.mu.Lock()
+	_, exists := s.mem[key]
+	s.mu.Unlock()
+	if exists {
+		return key, nil
+	}
+	return key, s.Put(key, a)
 }
 
 // Stats returns a snapshot of the store counters.
@@ -169,7 +234,9 @@ func (s *Store) quarantine(path string) {
 			return
 		}
 	}
-	os.Remove(path)
+	if os.Remove(path) != nil {
+		s.stats.DiskErrors++
+	}
 	s.stats.Quarantined++
 }
 
@@ -188,8 +255,11 @@ func fileNameOf(key string) string {
 	return safe + storeExt
 }
 
-// encodeRecord renders one record file.
-func encodeRecord(key string, a *core.FuncArtifact) ([]byte, error) {
+// EncodeRecord renders one record in the store's wire-and-disk
+// format: the magic/version/length/CRC header followed by the
+// self-naming JSON payload. The same bytes serve as the on-disk file
+// and as the network body, so every consumer validates identically.
+func EncodeRecord(key string, a *core.FuncArtifact) ([]byte, error) {
 	payload, err := json.Marshal(storePayload{Key: key, Artifact: a})
 	if err != nil {
 		return nil, err
@@ -203,6 +273,37 @@ func encodeRecord(key string, a *core.FuncArtifact) ([]byte, error) {
 	return buf, nil
 }
 
+// DecodeRecord validates one record's bytes — magic, version, length,
+// CRC, payload shape — and returns its key and artifact. Any deviation
+// from the format is an error; callers quarantine, reject, or retry
+// as their layer demands. This is the check the remote client re-runs
+// on every fetched response, so a record that was truncated or
+// bit-flipped in flight is caught exactly like one damaged on disk.
+func DecodeRecord(data []byte) (string, *core.FuncArtifact, error) {
+	if len(data) < 18 || string(data[:8]) != storeMagic {
+		return "", nil, fmt.Errorf("persist: record: bad magic")
+	}
+	if v := binary.LittleEndian.Uint16(data[8:]); v != storeVersion {
+		return "", nil, fmt.Errorf("persist: record: unsupported version %d", v)
+	}
+	n := binary.LittleEndian.Uint32(data[10:])
+	if int(n) != len(data)-18 {
+		return "", nil, fmt.Errorf("persist: record: truncated (header says %d payload bytes, have %d)", n, len(data)-18)
+	}
+	payload := data[18:]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[14:]) {
+		return "", nil, fmt.Errorf("persist: record: checksum mismatch")
+	}
+	var p storePayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return "", nil, fmt.Errorf("persist: record: %w", err)
+	}
+	if p.Key == "" || p.Artifact == nil {
+		return "", nil, fmt.Errorf("persist: record: incomplete payload")
+	}
+	return p.Key, p.Artifact, nil
+}
+
 // readRecord reads and validates one record file, returning its key
 // and artifact. Any deviation from the format is an error; the caller
 // quarantines.
@@ -211,29 +312,12 @@ func readRecord(path string) (string, *core.FuncArtifact, error) {
 	if err != nil {
 		return "", nil, err
 	}
-	if len(data) < 18 || string(data[:8]) != storeMagic {
-		return "", nil, fmt.Errorf("persist: %s: bad magic", path)
+	key, art, err := DecodeRecord(data)
+	if err != nil {
+		return "", nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if v := binary.LittleEndian.Uint16(data[8:]); v != storeVersion {
-		return "", nil, fmt.Errorf("persist: %s: unsupported version %d", path, v)
-	}
-	n := binary.LittleEndian.Uint32(data[10:])
-	if int(n) != len(data)-18 {
-		return "", nil, fmt.Errorf("persist: %s: truncated record", path)
-	}
-	payload := data[18:]
-	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[14:]) {
-		return "", nil, fmt.Errorf("persist: %s: checksum mismatch", path)
-	}
-	var p storePayload
-	if err := json.Unmarshal(payload, &p); err != nil {
-		return "", nil, fmt.Errorf("persist: %s: %w", path, err)
-	}
-	if p.Key == "" || p.Artifact == nil {
-		return "", nil, fmt.Errorf("persist: %s: incomplete payload", path)
-	}
-	if fileNameOf(p.Key) != filepath.Base(path) {
+	if fileNameOf(key) != filepath.Base(path) {
 		return "", nil, fmt.Errorf("persist: %s: key does not match filename", path)
 	}
-	return p.Key, p.Artifact, nil
+	return key, art, nil
 }

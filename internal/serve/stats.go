@@ -51,12 +51,18 @@ type CacheSnapshot struct {
 	HitRate  float64 `json:"hit_rate"`
 	DiskHits int64   `json:"disk_hits,omitempty"`
 	// Store mirrors the durable store's counters when the cache is
-	// persistent.
+	// persistent: quarantines, rejected records, and disk errors are
+	// the early-warning signals a degrading store gives off.
 	StoreLoaded      int  `json:"store_loaded,omitempty"`
 	StoreQuarantined int  `json:"store_quarantined,omitempty"`
 	StorePuts        int  `json:"store_puts,omitempty"`
 	StorePutErrors   int  `json:"store_put_errors,omitempty"`
+	StoreBadRecords  int  `json:"store_bad_records,omitempty"`
+	StoreDiskErrors  int  `json:"store_disk_errors,omitempty"`
 	Persistent       bool `json:"persistent"`
+	// Backend carries a non-Store backing tier's stats line (e.g. a
+	// remote store client's counters).
+	Backend string `json:"backend,omitempty"`
 }
 
 func cacheSnapshot(c *harness.Cache) *CacheSnapshot {
@@ -74,6 +80,9 @@ func cacheSnapshot(c *harness.Cache) *CacheSnapshot {
 		StoreQuarantined: st.Store.Quarantined,
 		StorePuts:        st.Store.Puts,
 		StorePutErrors:   st.Store.PutErrors,
+		StoreBadRecords:  st.Store.BadRecords,
+		StoreDiskErrors:  st.Store.DiskErrors,
 		Persistent:       st.Persistent,
+		Backend:          st.Backend,
 	}
 }
