@@ -50,6 +50,7 @@ type fileConfig struct {
 	RetryAfter    string      `json:"retry_after,omitempty"`
 	Cache         *bool       `json:"cache,omitempty"`
 	PersistCache  string      `json:"persist_cache,omitempty"`
+	MemLimit      int64       `json:"mem_limit,omitempty"`
 }
 
 func main() {
@@ -69,6 +70,7 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-drain deadline after SIGINT/SIGTERM")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed (429) responses")
 	injectFault := flag.String("inject-fault", "", "testing only: stage[:func[:afterSteps]] fault injected into every request")
+	memLimit := flag.Int64("mem-limit", 0, "heap high-watermark in bytes: past it requests shed with 429 instead of courting the OOM killer (0 = disabled)")
 	flag.Parse()
 
 	explicit := map[string]bool{}
@@ -83,6 +85,7 @@ func main() {
 		MaxSource:     *maxSource,
 		Jobs:          *jobs,
 		RetryAfter:    *retryAfter,
+		MemLimit:      uint64(*memLimit),
 	}
 	listen, drainD, cacheOn, cacheDirV := *addr, *drain, *useCache, *cacheDir
 
@@ -128,6 +131,9 @@ func main() {
 		}
 		if fc.PersistCache != "" && !explicit["persist-cache"] {
 			cacheDirV = fc.PersistCache
+		}
+		if fc.MemLimit != 0 && !explicit["mem-limit"] {
+			cfg.MemLimit = uint64(fc.MemLimit)
 		}
 	}
 

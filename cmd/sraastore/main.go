@@ -15,9 +15,19 @@
 //	GET  /stats       counters incl. quarantines and disk errors
 //
 // Admission mirrors sraad: overload sheds with 429 + Retry-After,
-// never a 5xx. -inject-fault arms the deterministic chaos middleware
-// (drops, delays, truncated bodies, bit flips, 429/500 storms) for
-// fault drills — never set it in production.
+// never a 5xx; -mem-limit adds a heap high-watermark that sheds
+// before the OOM killer gets a vote. -inject-fault arms the
+// deterministic chaos middleware (drops, delays, truncated bodies,
+// bit flips, 429/500 storms) for fault drills — never set it in
+// production; -inject-diskfull likewise fakes ENOSPC to drill the
+// read-only degradation.
+//
+// Replication: give every node -self (its advertised URL), -peers
+// (the others), and -role primary on exactly one of them. Replicas
+// serve reads, answer puts with 421 + the primary's URL, pull missing
+// records continuously, and elect a replacement (smallest URL wins)
+// when the primary goes silent past -failover-after. See
+// internal/persist/replica.
 //
 // Shutdown: first SIGINT/SIGTERM drains within -drain and exits 0;
 // a second signal exits 130 immediately.
@@ -28,12 +38,15 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/driver"
 	"repro/internal/persist"
 	"repro/internal/persist/remote"
+	"repro/internal/persist/replica"
 )
 
 func main() {
@@ -44,7 +57,14 @@ func main() {
 	queueWait := flag.Duration("queue-wait", time.Second, "max time a queued request waits for a slot before being shed")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed (429) responses")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-drain deadline after SIGINT/SIGTERM")
+	memLimit := flag.Int64("mem-limit", 0, "heap high-watermark in bytes: past it requests shed with 429 (0 = disabled)")
+	role := flag.String("role", "", "replication role: primary or replica (empty = standalone, no replication)")
+	self := flag.String("self", "", "this node's advertised base URL, e.g. http://127.0.0.1:8178 (required with -role; must match peers' -peers spelling)")
+	peers := flag.String("peers", "", "comma-separated advertised URLs of the other replica-set nodes")
+	replicateEvery := flag.Duration("replicate-interval", 500*time.Millisecond, "pull-replication and role-poll cadence")
+	failoverAfter := flag.Duration("failover-after", 5*time.Second, "replica promotes itself after the primary is silent this long")
 	injectFault := flag.String("inject-fault", "", "testing only: chaos spec, e.g. drop=0.1,delay=50ms:0.2,truncate=0.05,flip=0.05,429=0.2,500=0.1,seed=7")
+	injectDiskFull := flag.Int("inject-diskfull", 0, "testing only: every put after the first N fails with a fake ENOSPC, flipping the store read-only")
 	flag.Parse()
 
 	fault, err := remote.ParseFaultSpec(*injectFault)
@@ -62,17 +82,59 @@ func main() {
 	if qs := st.Stats(); qs.Quarantined > 0 {
 		fmt.Fprintf(os.Stderr, "sraastore: quarantined %d corrupt record(s) at open\n", qs.Quarantined)
 	}
+	if *injectDiskFull > 0 {
+		st.InjectDiskFullAfter(*injectDiskFull)
+		fmt.Fprintf(os.Stderr, "sraastore: DISK-FULL INJECTION ACTIVE: puts fail after %d\n", *injectDiskFull)
+	}
 
 	srv := remote.NewStoreServer(st, remote.ServerConfig{
 		InFlight:   *inflight,
 		Queue:      *queue,
 		QueueWait:  *queueWait,
 		RetryAfter: *retryAfter,
+		MemLimit:   uint64(*memLimit),
 		Fault:      fault,
 	})
 
 	ctx, stop := driver.SignalContext()
 	defer stop()
+
+	handler := http.Handler(srv.Handler())
+	var node *replica.Node
+	if *role != "" {
+		if *role != string(replica.RolePrimary) && *role != string(replica.RoleReplica) {
+			fatal(fmt.Errorf("-role must be %q or %q, got %q", replica.RolePrimary, replica.RoleReplica, *role))
+		}
+		if *self == "" {
+			fatal(fmt.Errorf("-self is required with -role (peers redirect puts to this URL)"))
+		}
+		node, err = replica.Open(replica.Config{
+			Store:             st,
+			Self:              *self,
+			Peers:             splitList(*peers),
+			Role:              replica.Role(*role),
+			ReplicateInterval: *replicateEvery,
+			FailoverAfter:     *failoverAfter,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "sraastore: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		handler = node.Middleware(handler)
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					fmt.Fprintf(os.Stderr, "sraastore: replication loop panic contained: %v\n", r)
+				}
+			}()
+			node.Run(ctx)
+		}()
+		r, epoch := node.Role()
+		fmt.Fprintf(os.Stderr, "sraastore: replication on: %s at epoch %d, self %s, %d peer(s)\n",
+			r, epoch, *self, len(splitList(*peers)))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -82,17 +144,32 @@ func main() {
 	// that pass port 0.
 	fmt.Fprintf(os.Stderr, "sraastore: listening on %s (%d records)\n", ln.Addr(), st.Len())
 
-	err = srv.Serve(ctx, ln, *drain)
+	err = srv.ServeHandler(ctx, ln, *drain, handler)
 
 	snap := srv.Snapshot()
 	if data, jerr := json.Marshal(snap); jerr == nil {
 		fmt.Fprintf(os.Stderr, "sraastore: final stats %s\n", data)
+	}
+	if node != nil {
+		fmt.Fprintf(os.Stderr, "sraastore: replication %s\n", node.Stats().StatsLine())
 	}
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "sraastore: drained cleanly (%d requests, %d hits, %d installs, %d shed)\n",
 		snap.Requests, snap.Hits, snap.Installs, snap.Shed)
+}
+
+// splitList parses a comma-separated URL list, dropping empties so a
+// trailing comma or an unset flag is harmless.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

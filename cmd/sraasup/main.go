@@ -1,0 +1,350 @@
+// Command sraasup supervises a fleet of sraaworker processes so a
+// multi-process sweep survives worker crashes without a human in the
+// loop. It spawns N copies of the worker command, restarts any that
+// die with jittered exponential backoff, and — when a slot crashes
+// too many times inside the crash window — quarantines it: the slot
+// stops restarting, its shard leases are broken so surviving workers
+// steal the work immediately, and the rest of the fleet keeps going.
+//
+//	sraasup -workers 3 -state s -shards 8 -- ./sraaworker -runs 200 -remote-store http://127.0.0.1:8178
+//
+// Everything after the worker command name is passed through
+// verbatim; sraasup appends -state, -shards, and a per-slot -owner
+// (flag packages resolve duplicates last-wins, so the supervisor's
+// values govern). The owner names let quarantine know exactly whose
+// leases to break.
+//
+// Shutdown: SIGINT/SIGTERM starts a fleet-wide graceful drain — every
+// child gets SIGTERM and up to -drain to checkpoint and exit; holdouts
+// are SIGKILLed. A second signal exits immediately (see
+// driver.SignalContext).
+//
+// Exit status: 0 when the sweep's shards are all done (even if some
+// slots were quarantined — the survivors finished the work); 130 when
+// interrupted before completion (resumable: rerun the same command);
+// 1 when the fleet stopped with the sweep incomplete.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/driver"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// supConfig is the parsed supervisor configuration; split from main
+// so tests drive supervise() directly with fake worker commands.
+type supConfig struct {
+	workers     int
+	state       string
+	shards      int
+	maxCrashes  int
+	crashWindow time.Duration
+	backoff     time.Duration
+	backoffMax  time.Duration
+	drain       time.Duration
+	logDir      string
+	ownerPrefix string
+	seed        int64
+	argv        []string
+	logf        func(format string, args ...any)
+}
+
+// slotOutcome is the terminal state of one supervised slot.
+type slotOutcome int
+
+const (
+	slotDone        slotOutcome = iota // worker exited 0: its shards are done
+	slotQuarantined                    // crash-looped; leases broken, not restarted
+	slotInterrupted                    // drained by signal before finishing
+	slotFailed                         // could not be started at all
+)
+
+func (o slotOutcome) String() string {
+	switch o {
+	case slotDone:
+		return "done"
+	case slotQuarantined:
+		return "quarantined"
+	case slotInterrupted:
+		return "interrupted"
+	default:
+		return "failed"
+	}
+}
+
+func run() int {
+	workers := flag.Int("workers", 2, "number of worker processes to keep running")
+	state := flag.String("state", "", "shared state directory (required; appended to each worker's argv)")
+	shards := flag.Int("shards", 4, "shard count of the sweep (appended to each worker's argv; used for lease release and the completion check)")
+	maxCrashes := flag.Int("max-crashes", 3, "crashes within -crash-window before a slot is quarantined")
+	crashWindow := flag.Duration("crash-window", time.Minute, "sliding window for crash-loop detection")
+	backoff := flag.Duration("backoff", 250*time.Millisecond, "base restart backoff (doubles per recent crash, jittered)")
+	backoffMax := flag.Duration("backoff-max", 5*time.Second, "restart backoff ceiling")
+	drain := flag.Duration("drain", 15*time.Second, "per-child grace after SIGTERM before SIGKILL during shutdown")
+	logDir := flag.String("log-dir", "", "directory for per-attempt worker logs (default: children inherit stderr/stdout)")
+	seed := flag.Int64("seed", 0, "seed for backoff jitter (0 = time-derived); fix it for reproducible schedules in tests")
+	flag.Parse()
+
+	if *state == "" {
+		fmt.Fprintln(os.Stderr, "sraasup: -state is required")
+		return 1
+	}
+	if *workers < 1 || *shards < 1 {
+		fmt.Fprintln(os.Stderr, "sraasup: -workers and -shards must be positive")
+		return 1
+	}
+	argv := flag.Args()
+	if len(argv) == 0 {
+		fmt.Fprintln(os.Stderr, "sraasup: no worker command given (usage: sraasup [flags] -- <worker> [worker flags])")
+		return 1
+	}
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+
+	cfg := supConfig{
+		workers:     *workers,
+		state:       *state,
+		shards:      *shards,
+		maxCrashes:  *maxCrashes,
+		crashWindow: *crashWindow,
+		backoff:     *backoff,
+		backoffMax:  *backoffMax,
+		drain:       *drain,
+		logDir:      *logDir,
+		ownerPrefix: fmt.Sprintf("sraasup-%d", os.Getpid()),
+		seed:        *seed,
+		argv:        argv,
+		logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "sraasup: "+format+"\n", args...)
+		},
+	}
+
+	ctx, stop := driver.SignalContext()
+	defer stop()
+
+	outcomes := supervise(ctx, cfg)
+
+	counts := map[slotOutcome]int{}
+	for _, o := range outcomes {
+		counts[o]++
+	}
+	cfg.logf("fleet finished: %d done, %d quarantined, %d interrupted, %d failed",
+		counts[slotDone], counts[slotQuarantined], counts[slotInterrupted], counts[slotFailed])
+
+	if driver.AllShardsDone(cfg.state, cfg.shards) {
+		if counts[slotQuarantined] > 0 {
+			cfg.logf("sweep complete despite quarantined slot(s): survivors absorbed the work")
+		}
+		return 0
+	}
+	if ctx.Err() != nil {
+		driver.Resumable("sraasup", doneShards(cfg), cfg.shards, cfg.state)
+		return driver.ExitInterrupted
+	}
+	cfg.logf("sweep incomplete: %d/%d shard(s) done", doneShards(cfg), cfg.shards)
+	return 1
+}
+
+// doneShards counts completed shards for the epilogue.
+func doneShards(cfg supConfig) int {
+	n := 0
+	for s := 0; s < cfg.shards; s++ {
+		if driver.ShardDone(cfg.state, s) {
+			n++
+		}
+	}
+	return n
+}
+
+// supervise runs the fleet to completion: one goroutine per slot, no
+// shared mutable state beyond the context. It returns each slot's
+// terminal outcome.
+func supervise(ctx context.Context, cfg supConfig) []slotOutcome {
+	outcomes := make([]slotOutcome, cfg.workers)
+	var wg sync.WaitGroup
+	for slot := 0; slot < cfg.workers; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer func() {
+				if r := recover(); r != nil {
+					cfg.logf("slot %d: supervisor panic contained: %v", slot, r)
+					outcomes[slot] = slotFailed
+				}
+				wg.Done()
+			}()
+			outcomes[slot] = superviseSlot(ctx, cfg, slot)
+		}(slot)
+	}
+	wg.Wait()
+	return outcomes
+}
+
+// superviseSlot keeps one worker slot alive until it finishes, crash
+// loops into quarantine, or the fleet drains.
+func superviseSlot(ctx context.Context, cfg supConfig, slot int) slotOutcome {
+	owner := fmt.Sprintf("%s-w%d", cfg.ownerPrefix, slot)
+	rng := rand.New(rand.NewSource(cfg.seed + int64(slot)))
+	var crashes []time.Time
+	for try := 0; ; try++ {
+		if ctx.Err() != nil {
+			return slotInterrupted
+		}
+		code, err := runWorkerOnce(ctx, cfg, slot, owner, try)
+		if err != nil {
+			// The command could not even start (bad path, missing
+			// binary). Retrying cannot help; quarantine immediately so
+			// the operator sees one loud line per slot, not a loop.
+			cfg.logf("slot %d: cannot start worker: %v", slot, err)
+			return slotFailed
+		}
+		if code == 0 {
+			cfg.logf("slot %d (%s): worker finished cleanly", slot, owner)
+			return slotDone
+		}
+		if ctx.Err() != nil {
+			// Non-zero exit during a drain is the drain, not a crash:
+			// workers answer SIGTERM with ExitInterrupted by contract.
+			cfg.logf("slot %d (%s): drained (exit %d)", slot, owner, code)
+			return slotInterrupted
+		}
+
+		// A real crash. Slide the window, then decide: restart or
+		// quarantine.
+		now := time.Now()
+		kept := crashes[:0]
+		for _, t := range crashes {
+			if now.Sub(t) <= cfg.crashWindow {
+				kept = append(kept, t)
+			}
+		}
+		crashes = append(kept, now)
+		if len(crashes) >= cfg.maxCrashes {
+			released := driver.ReleaseShardLeases(cfg.state, cfg.shards, owner)
+			cfg.logf("slot %d (%s): QUARANTINED after %d crashes in %s (exit %d); released %d lease(s)",
+				slot, owner, len(crashes), cfg.crashWindow, code, released)
+			return slotQuarantined
+		}
+
+		delay := restartDelay(cfg, len(crashes), rng)
+		cfg.logf("slot %d (%s): worker crashed (exit %d), crash %d/%d in window; restarting in %s",
+			slot, owner, code, len(crashes), cfg.maxCrashes, delay.Round(time.Millisecond))
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return slotInterrupted
+		}
+	}
+}
+
+// restartDelay is the jittered exponential backoff: base doubled per
+// recent crash, capped, then jittered to [1/2, 1) of the cap-adjusted
+// value so restarting slots do not stampede a recovering store.
+func restartDelay(cfg supConfig, recentCrashes int, rng *rand.Rand) time.Duration {
+	d := cfg.backoff
+	for i := 1; i < recentCrashes && d < cfg.backoffMax; i++ {
+		d *= 2
+	}
+	if d > cfg.backoffMax {
+		d = cfg.backoffMax
+	}
+	if d <= 0 {
+		return 0
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// runWorkerOnce starts one worker attempt and waits for it to exit,
+// translating a fleet drain into SIGTERM + grace + SIGKILL. The
+// returned int is the child's exit code; err is non-nil only when the
+// process could not be started.
+func runWorkerOnce(ctx context.Context, cfg supConfig, slot int, owner string, try int) (int, error) {
+	args := append(append([]string{}, cfg.argv[1:]...),
+		"-state", cfg.state,
+		"-shards", fmt.Sprintf("%d", cfg.shards),
+		"-owner", owner,
+	)
+	cmd := exec.Command(cfg.argv[0], args...)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if cfg.logDir != "" {
+		if f, err := openAttemptLog(cfg.logDir, slot, try); err == nil {
+			defer f.Close()
+			cmd.Stdout, cmd.Stderr = f, f
+		} else {
+			cfg.logf("slot %d: cannot open attempt log (%v); inheriting stderr", slot, err)
+		}
+	}
+	if err := cmd.Start(); err != nil {
+		return 0, err
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- fmt.Errorf("wait panicked: %v", r)
+			}
+		}()
+		done <- cmd.Wait()
+	}()
+
+	var werr error
+	select {
+	case werr = <-done:
+	case <-ctx.Done():
+		// Fleet drain: ask nicely, then insist.
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case werr = <-done:
+		case <-time.After(cfg.drain):
+			cfg.logf("slot %d: worker ignored SIGTERM for %s; killing", slot, cfg.drain)
+			_ = cmd.Process.Kill()
+			werr = <-done
+		}
+	}
+	if werr == nil {
+		return 0, nil
+	}
+	if ee, ok := werr.(*exec.ExitError); ok {
+		code := ee.ExitCode()
+		if code < 0 {
+			// Killed by signal (SIGKILL chaos, OOM): report the signal
+			// as 128+n, the shell convention, so crash accounting and
+			// logs stay meaningful.
+			if ws, ok := ee.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
+				code = 128 + int(ws.Signal())
+			} else {
+				code = 1
+			}
+		}
+		return code, nil
+	}
+	// Wait itself failed — treat as a crash with a generic code rather
+	// than tearing the slot down.
+	cfg.logf("slot %d: wait error: %v", slot, werr)
+	return 1, nil
+}
+
+// openAttemptLog creates <log-dir>/w<slot>.try<try>.log, making the
+// directory on first use.
+func openAttemptLog(dir string, slot, try int) (*os.File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	//lint:ignore atomicwrite a live log stream cannot be written atomically, and a torn log is never trusted as data — it is read by humans and CI artifact uploads only
+	return os.Create(filepath.Join(dir, fmt.Sprintf("w%d.try%d.log", slot, try)))
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/persist/journal"
+)
+
+// shWorker builds a supConfig whose "worker" is a shell script. The
+// script sees the supervisor-appended flags as $1..$6
+// (-state S -shards N -owner O).
+func shWorker(t *testing.T, script string, workers int) supConfig {
+	t.Helper()
+	state := t.TempDir()
+	if err := os.MkdirAll(driver.ShardStateDir(state), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return supConfig{
+		workers:     workers,
+		state:       state,
+		shards:      4,
+		maxCrashes:  3,
+		crashWindow: time.Minute,
+		backoff:     5 * time.Millisecond,
+		backoffMax:  20 * time.Millisecond,
+		drain:       2 * time.Second,
+		ownerPrefix: "sup-test",
+		seed:        1,
+		argv:        []string{"sh", "-c", script, "worker"},
+		logf:        t.Logf,
+	}
+}
+
+// TestSupervisorRestartsCrashingWorker: a worker that crashes twice
+// and then succeeds is restarted (with backoff) until it finishes;
+// the slot reports done, not quarantined.
+func TestSupervisorRestartsCrashingWorker(t *testing.T) {
+	count := filepath.Join(t.TempDir(), "attempts")
+	script := fmt.Sprintf(`echo run >> %q
+if [ "$(wc -l < %q)" -lt 3 ]; then exit 7; fi
+exit 0`, count, count)
+	cfg := shWorker(t, script, 1)
+
+	outcomes := supervise(context.Background(), cfg)
+	if outcomes[0] != slotDone {
+		t.Fatalf("outcome = %v, want done", outcomes[0])
+	}
+	data, err := os.ReadFile(count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "run"); got != 3 {
+		t.Fatalf("worker ran %d time(s), want 3 (two crashes + one success)", got)
+	}
+}
+
+// TestSupervisorQuarantinesCrashLoop: a worker that always crashes is
+// quarantined after maxCrashes attempts, and the quarantine breaks
+// the leases held under the slot's owner name — but nobody else's.
+func TestSupervisorQuarantinesCrashLoop(t *testing.T) {
+	cfg := shWorker(t, "exit 9", 1)
+	owner := cfg.ownerPrefix + "-w0" // the name superviseSlot assigns slot 0
+
+	mine := driver.ShardLeasePath(cfg.state, 0)
+	if l, err := journal.AcquireLease(mine, 0, owner, time.Hour); err != nil || l == nil {
+		t.Fatalf("seed lease: %v %v", l, err)
+	}
+	theirs := driver.ShardLeasePath(cfg.state, 1)
+	if l, err := journal.AcquireLease(theirs, 1, "someone-else", time.Hour); err != nil || l == nil {
+		t.Fatalf("seed foreign lease: %v %v", l, err)
+	}
+
+	outcomes := supervise(context.Background(), cfg)
+	if outcomes[0] != slotQuarantined {
+		t.Fatalf("outcome = %v, want quarantined", outcomes[0])
+	}
+	if _, err := os.Stat(mine); !os.IsNotExist(err) {
+		t.Fatalf("quarantine did not break the slot's lease: stat err = %v", err)
+	}
+	if _, err := os.Stat(theirs); err != nil {
+		t.Fatalf("quarantine touched a foreign lease: %v", err)
+	}
+}
+
+// TestSupervisorDrainsFleetOnCancel: canceling the context SIGTERMs
+// every child; a worker that exits 130 on SIGTERM counts as drained
+// (interrupted), never as a crash.
+func TestSupervisorDrainsFleetOnCancel(t *testing.T) {
+	ready := filepath.Join(t.TempDir(), "ready")
+	script := fmt.Sprintf(`trap 'exit 130' TERM INT
+echo up >> %q
+while :; do sleep 0.05; done`, ready)
+	cfg := shWorker(t, script, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		defer func() { recover() }()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if data, err := os.ReadFile(ready); err == nil && strings.Count(string(data), "up") >= cfg.workers {
+				cancel()
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		cancel() // give up; the test will fail on outcomes
+	}()
+
+	start := time.Now()
+	outcomes := supervise(ctx, cfg)
+	for slot, o := range outcomes {
+		if o != slotInterrupted {
+			t.Fatalf("slot %d outcome = %v, want interrupted", slot, o)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Fatalf("drain took %s; SIGTERM handling looks broken", elapsed)
+	}
+}
+
+// TestSupervisorFailsUnstartableCommand: a worker binary that cannot
+// exec fails the slot immediately — one loud line, no restart loop.
+func TestSupervisorFailsUnstartableCommand(t *testing.T) {
+	cfg := shWorker(t, "exit 0", 1)
+	cfg.argv = []string{filepath.Join(t.TempDir(), "no-such-binary")}
+	outcomes := supervise(context.Background(), cfg)
+	if outcomes[0] != slotFailed {
+		t.Fatalf("outcome = %v, want failed", outcomes[0])
+	}
+}
+
+// TestRestartDelayJitterBounds: the jittered backoff stays within
+// [d/2, d] of the exponential value and respects the ceiling.
+func TestRestartDelayJitterBounds(t *testing.T) {
+	cfg := supConfig{backoff: 100 * time.Millisecond, backoffMax: 400 * time.Millisecond}
+	rng := rand.New(rand.NewSource(42))
+	for crashes := 1; crashes <= 6; crashes++ {
+		want := cfg.backoff << (crashes - 1)
+		if want > cfg.backoffMax {
+			want = cfg.backoffMax
+		}
+		for i := 0; i < 100; i++ {
+			d := restartDelay(cfg, crashes, rng)
+			if d < want/2 || d > want {
+				t.Fatalf("crashes=%d: delay %s outside [%s, %s]", crashes, d, want/2, want)
+			}
+		}
+	}
+}

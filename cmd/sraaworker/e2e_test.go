@@ -21,6 +21,7 @@ import (
 var (
 	workerBin string
 	storeBin  string
+	supBin    string
 )
 
 func TestMain(m *testing.M) {
@@ -31,15 +32,17 @@ func TestMain(m *testing.M) {
 	}
 	workerBin = filepath.Join(dir, "sraaworker")
 	storeBin = filepath.Join(dir, "sraastore")
-	if out, err := exec.Command("go", "build", "-o", workerBin, ".").CombinedOutput(); err != nil {
-		fmt.Fprintf(os.Stderr, "building sraaworker: %v\n%s", err, out)
-		os.RemoveAll(dir)
-		os.Exit(1)
-	}
-	if out, err := exec.Command("go", "build", "-o", storeBin, "../sraastore").CombinedOutput(); err != nil {
-		fmt.Fprintf(os.Stderr, "building sraastore: %v\n%s", err, out)
-		os.RemoveAll(dir)
-		os.Exit(1)
+	supBin = filepath.Join(dir, "sraasup")
+	for _, b := range []struct{ bin, pkg string }{
+		{workerBin, "."},
+		{storeBin, "../sraastore"},
+		{supBin, "../sraasup"},
+	} {
+		if out, err := exec.Command("go", "build", "-o", b.bin, b.pkg).CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "building %s: %v\n%s", b.pkg, err, out)
+			os.RemoveAll(dir)
+			os.Exit(1)
+		}
 	}
 	code := m.Run()
 	os.RemoveAll(dir)

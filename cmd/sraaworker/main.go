@@ -33,7 +33,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/csmith"
@@ -70,6 +73,7 @@ func run() int {
 	cacheDir := flag.String("persist-cache", "", "local durable memo store directory")
 	remoteStore := flag.String("remote-store", "", "base URL of a shared sraastore (e.g. http://127.0.0.1:8178); -persist-cache becomes its local tier")
 	chaos := flag.String("chaos", "", "testing only: client-side network chaos spec for the remote store connection")
+	injectCrash := flag.String("inject-crash", "", "testing only: after=N[,times=K] — hard-exit mid-sweep once N seeds are processed fleet-wide, at most K times across restarts (counters live in -state)")
 	flag.Parse()
 
 	if *stateDir == "" {
@@ -79,6 +83,14 @@ func run() int {
 	if *shards < 1 || *runs < 1 {
 		fmt.Fprintln(os.Stderr, "sraaworker: -shards and -runs must be positive")
 		return 1
+	}
+	crash, err := parseCrashPlan(*injectCrash, *stateDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sraaworker:", err)
+		return 1
+	}
+	if crash != nil {
+		fmt.Fprintf(os.Stderr, "sraaworker: CRASH INJECTION ACTIVE: %s\n", *injectCrash)
 	}
 
 	// The corpus is a pure function of (-seed, -runs, generator knobs):
@@ -159,6 +171,7 @@ func run() int {
 					// the pipeline is deterministic, so an error verdict
 					// is an outcome every run of this seed produces.
 					out.Err = nil
+					crash.tick()
 				}, nil)
 			if err != nil {
 				return err
@@ -184,6 +197,89 @@ func run() int {
 	}
 	fmt.Fprintf(os.Stderr, "sraaworker %s: all %d shard(s) done\n", who, *shards)
 	return 0
+}
+
+// crashPlan is the parsed -inject-crash spec: kill this process — no
+// drain, no lease release, deferred functions skipped — once the
+// fleet has processed `after` seeds, and again every further `after`
+// seeds up to `times` total kills. The counters live in the shared
+// state directory so the plan survives restarts and coordinates
+// across workers: a tick file grows one byte per processed seed, and
+// each kill is claimed by an O_EXCL marker so exactly `times` crashes
+// happen no matter how many workers race for them.
+type crashPlan struct {
+	after, times int
+	state        string
+}
+
+func parseCrashPlan(spec, stateDir string) (*crashPlan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	p := &crashPlan{times: 1, state: stateDir}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		n, err := strconv.Atoi(v)
+		if !ok || err != nil || n < 1 {
+			return nil, fmt.Errorf("inject-crash: bad field %q (want after=N or times=K, N,K >= 1)", part)
+		}
+		switch k {
+		case "after":
+			p.after = n
+		case "times":
+			p.times = n
+		default:
+			return nil, fmt.Errorf("inject-crash: unknown field %q", k)
+		}
+	}
+	if p.after < 1 {
+		return nil, fmt.Errorf("inject-crash: after=N is required")
+	}
+	return p, nil
+}
+
+// tick records one processed seed and dies if this process drew the
+// short straw. Nil-safe: production runs call it on a nil plan.
+func (p *crashPlan) tick() {
+	if p == nil {
+		return
+	}
+	tickPath := filepath.Join(p.state, "crash-ticks")
+	f, err := os.OpenFile(tickPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	_, werr := f.Write([]byte{'.'})
+	f.Close()
+	if werr != nil {
+		return
+	}
+	fi, err := os.Stat(tickPath)
+	if err != nil {
+		return
+	}
+	ticks := int(fi.Size())
+	crashed := 0
+	for crashed < p.times {
+		if _, err := os.Stat(p.marker(crashed)); err != nil {
+			break
+		}
+		crashed++
+	}
+	if crashed >= p.times || ticks < p.after*(crashed+1) {
+		return
+	}
+	m, err := os.OpenFile(p.marker(crashed), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return // another worker claimed this kill first
+	}
+	m.Close()
+	fmt.Fprintf(os.Stderr, "sraaworker: INJECTED CRASH %d/%d after %d seed(s) fleet-wide\n", crashed+1, p.times, ticks)
+	os.Exit(7)
+}
+
+func (p *crashPlan) marker(i int) string {
+	return filepath.Join(p.state, fmt.Sprintf("crash-%d.marker", i))
 }
 
 // distill compresses one outcome into its journaled verdict.

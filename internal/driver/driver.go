@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 
@@ -145,6 +146,9 @@ func OpenCache(inMemory bool, dir string) (*harness.Cache, error) {
 // artifact store served at baseURL (see cmd/sraastore), with localDir
 // (optional, "" to skip) as the local tier consulted first, promoted
 // into on remote hits, and fallen back to while the store is down.
+// baseURL may be a comma-separated list of endpoints — a replica set;
+// the client fails over down the list when the preferred endpoint's
+// breaker opens and follows 421 redirects to the current primary.
 // faultSpec, when non-empty, injects deterministic client-side
 // network chaos (see remote.ParseFaultSpec) — test plumbing only.
 // The returned client is also the cache's backend; drivers keep it to
@@ -162,8 +166,17 @@ func OpenCacheRemote(baseURL, localDir, faultSpec string) (*harness.Cache, *remo
 	if err != nil {
 		return nil, nil, err
 	}
+	var endpoints []string
+	for _, u := range strings.Split(baseURL, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			endpoints = append(endpoints, u)
+		}
+	}
+	if len(endpoints) == 0 {
+		return nil, nil, fmt.Errorf("driver: remote store URL list is empty")
+	}
 	client := remote.NewClient(remote.Options{
-		BaseURL:   baseURL,
+		Endpoints: endpoints,
 		Local:     local,
 		Transport: fault.Transport(nil),
 	})

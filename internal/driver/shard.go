@@ -293,3 +293,19 @@ func AllShardsDone(dir string, shards int) bool {
 	}
 	return true
 }
+
+// ReleaseShardLeases breaks every shard lease currently held by owner
+// and returns how many were freed. A supervisor calls this when it
+// quarantines a crash-looping worker: the worker will not be
+// restarted, so its claims should return to the pool now rather than
+// after a full TTL each. Leases held by other workers are untouched.
+func ReleaseShardLeases(dir string, shards int, owner string) int {
+	released := 0
+	for s := 0; s < shards; s++ {
+		ok, err := journal.BreakLease(ShardLeasePath(dir, s), owner)
+		if err == nil && ok {
+			released++
+		}
+	}
+	return released
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// exitcode — the exit decision belongs to the binary, not the library.
+//
+// Every layer of this codebase promises its caller a chance to react:
+// the harness contains panics, the servers drain before stopping, the
+// workers journal before returning, the supervisor translates child
+// exits into restart/quarantine decisions. A library that calls
+// os.Exit or log.Fatal* skips all of it — no deferred cleanup, no
+// journal flush, no lease release, no drain — and turns a local
+// failure into a silent process kill the supervisor can only classify
+// as a crash.
+//
+// Two homes are legal. Packages under cmd/ are the binaries: mapping
+// an error to an exit status is their whole job. internal/driver owns
+// the process-exit conventions the binaries share (ExitInterrupted,
+// the second-signal hard exit), so the primitive lives there behind
+// an injectable seam.
+var analyzerExitcode = &Analyzer{
+	Name: "exitcode",
+	Doc:  "os.Exit/log.Fatal outside cmd/ and internal/driver kills the process past every containment and drain layer",
+	Fix:  "return an error (or status) to the caller and let the binary entry layer decide; only cmd/ and internal/driver may exit",
+	Run:  runExitcode,
+}
+
+// fatalFuncs are the log package entry points that exit the process
+// after printing.
+var fatalFuncs = []string{"Fatal", "Fatalf", "Fatalln"}
+
+// isCmdPath reports whether an import path lives under a cmd/ tree.
+func isCmdPath(path string) bool {
+	return path == "cmd" || strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
+}
+
+func runExitcode(p *Package) []Finding {
+	if isCmdPath(p.Path) || pathHasSuffix(p.Path, "internal/driver") {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgCall(p.Info, call, "os", "Exit") {
+				findings = append(findings, p.finding(call.Pos(),
+					"os.Exit in a library kills the process past every containment layer: deferred cleanup, journals, and drains are all skipped"))
+			}
+			for _, name := range fatalFuncs {
+				if isPkgCall(p.Info, call, "log", name) {
+					findings = append(findings, p.finding(call.Pos(),
+						"log."+name+" exits the process from a library: the caller loses its chance to journal, drain, or degrade"))
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}

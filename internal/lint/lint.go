@@ -100,6 +100,7 @@ func Analyzers() []*Analyzer {
 		analyzerWallclock,
 		analyzerGoroutine,
 		analyzerPtrFormat,
+		analyzerExitcode,
 	}
 }
 

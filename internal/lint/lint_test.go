@@ -261,6 +261,18 @@ func TestSuppression(t *testing.T) {
 	checkFixture(t, "suppress.go", "fixturemod/store", nil)
 }
 
+func TestExitcode(t *testing.T) {
+	checkFixture(t, "exitcode.go", "fixturemod/worker", nil)
+}
+
+func TestExitcodeExemptInCmd(t *testing.T) {
+	checkFixture(t, "exitcode_cmd.go", "fixturemod/cmd/tool", nil)
+}
+
+func TestExitcodeExemptInDriver(t *testing.T) {
+	checkFixture(t, "exitcode_cmd.go", "fixturemod/internal/driver", nil)
+}
+
 func TestParseFormat(t *testing.T) {
 	cases := []struct {
 		format string

@@ -1,0 +1,38 @@
+// exitcode fixture: a library package. Direct process exits are
+// findings; passing os.Exit as a function value is not a call and is
+// the driver's sanctioned injection idiom, so it stays clean.
+package worker
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func fail(msg string) {
+	os.Exit(1) // want exitcode `os.Exit in a library`
+}
+
+func failLoudly(err error) {
+	log.Fatal(err) // want exitcode `log.Fatal exits the process`
+}
+
+func failFormatted(err error) {
+	log.Fatalf("boom: %v", err) // want exitcode `log.Fatalf exits the process`
+}
+
+func failLine(err error) {
+	log.Fatalln(err) // want exitcode `log.Fatalln exits the process`
+}
+
+// install passes the exit function along without calling it — the
+// injectable-seam idiom. No finding: the call site that invokes it
+// owns the decision.
+func install(register func(exit func(int))) {
+	register(os.Exit)
+}
+
+// report is the sanctioned shape: hand the error back.
+func report(err error) error {
+	return fmt.Errorf("worker: %w", err)
+}

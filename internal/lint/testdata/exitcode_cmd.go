@@ -1,0 +1,17 @@
+// exitcode fixture: checked under a cmd/ import path and again under
+// internal/driver — the two homes where deciding the process's exit
+// status is the package's actual job. No findings either way.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func fatal(err error) {
+	log.Fatal(err)
+}
+
+func exitWith(code int) {
+	os.Exit(code)
+}

@@ -1,0 +1,284 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The S3 accounting contract: every injected filesystem fault lands in
+// exactly the right StoreStats counter, disk-full faults (and only
+// those) flip the store read-only, and no fault ever leaves a torn
+// record on disk or evicts the in-memory entry.
+
+// faultFile wraps a real temp file and fails the chosen syscall.
+type faultFile struct {
+	real *os.File
+	// failWrite, if non-nil, replaces Write's behaviour.
+	failWrite func(p []byte) (int, error)
+	// failSync, if non-nil, replaces Sync's behaviour.
+	failSync func() error
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.failWrite != nil {
+		return f.failWrite(p)
+	}
+	return f.real.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if f.failSync != nil {
+		return f.failSync()
+	}
+	return f.real.Sync()
+}
+
+func (f *faultFile) Chmod(mode os.FileMode) error { return f.real.Chmod(mode) }
+func (f *faultFile) Close() error                 { return f.real.Close() }
+func (f *faultFile) Name() string                 { return f.real.Name() }
+
+// withFaultyTemp swaps the createTemp seam for one that wraps each
+// temp file with the given fault, restoring the real constructor when
+// the test ends. Tests that use it must not run in parallel.
+func withFaultyTemp(t *testing.T, wrap func(*os.File) osFile) {
+	t.Helper()
+	orig := createTemp
+	createTemp = func(dir, pattern string) (osFile, error) {
+		f, err := os.CreateTemp(dir, pattern)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(f), nil
+	}
+	t.Cleanup(func() { createTemp = orig })
+}
+
+func artifactForFaultTest(name string) *core.FuncArtifact {
+	return &core.FuncArtifact{Vars: []string{name}, Sets: [][]int32{{1}}}
+}
+
+// TestPutFaultAccounting drives Store.Put through a table of injected
+// filesystem faults and checks the stats ledger after each.
+func TestPutFaultAccounting(t *testing.T) {
+	cases := []struct {
+		name string
+		wrap func(*os.File) osFile
+		// wantReadOnly: the fault classifies as disk-full and must
+		// degrade the store.
+		wantReadOnly bool
+		// wantErrIs, if non-nil, must be in the returned error chain.
+		wantErrIs error
+	}{
+		{
+			name: "enospc-mid-write",
+			wrap: func(f *os.File) osFile {
+				return &faultFile{real: f, failWrite: func(p []byte) (int, error) {
+					// Half the bytes land, then the device fills: the
+					// classic short write + ENOSPC pair.
+					n, _ := f.Write(p[:len(p)/2])
+					return n, fmt.Errorf("write: %w", syscall.ENOSPC)
+				}}
+			},
+			wantReadOnly: true,
+			wantErrIs:    syscall.ENOSPC,
+		},
+		{
+			name: "edquot-on-sync",
+			wrap: func(f *os.File) osFile {
+				return &faultFile{real: f, failSync: func() error {
+					return fmt.Errorf("sync: %w", syscall.EDQUOT)
+				}}
+			},
+			wantReadOnly: true,
+			wantErrIs:    syscall.EDQUOT,
+		},
+		{
+			name: "short-write-eio",
+			wrap: func(f *os.File) osFile {
+				return &faultFile{real: f, failWrite: func(p []byte) (int, error) {
+					n, _ := f.Write(p[:1])
+					return n, fmt.Errorf("write: %w", syscall.EIO)
+				}}
+			},
+			// EIO is a write error but not exhaustion: the store keeps
+			// trying future puts.
+			wantReadOnly: false,
+			wantErrIs:    syscall.EIO,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := OpenStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A healthy put first, so the fault demonstrably flips state
+			// rather than the store having been born broken.
+			if err := s.Put("good", artifactForFaultTest("good")); err != nil {
+				t.Fatalf("healthy put: %v", err)
+			}
+
+			withFaultyTemp(t, tc.wrap)
+			err = s.Put("faulty", artifactForFaultTest("faulty"))
+			if err == nil {
+				t.Fatal("faulty put succeeded")
+			}
+			if tc.wantErrIs != nil && !errors.Is(err, tc.wantErrIs) {
+				t.Fatalf("error chain %v does not contain %v", err, tc.wantErrIs)
+			}
+
+			st := s.Stats()
+			if st.PutErrors != 1 {
+				t.Fatalf("PutErrors = %d, want 1", st.PutErrors)
+			}
+			if st.ReadOnly != tc.wantReadOnly {
+				t.Fatalf("ReadOnly = %v, want %v", st.ReadOnly, tc.wantReadOnly)
+			}
+			if s.ReadOnly() != tc.wantReadOnly {
+				t.Fatalf("ReadOnly() = %v, want %v", s.ReadOnly(), tc.wantReadOnly)
+			}
+
+			// The failed write must not leave a record (torn or whole)
+			// or a stray temp file behind.
+			if _, err := os.Stat(filepath.Join(dir, fileNameOf("faulty"))); !os.IsNotExist(err) {
+				t.Fatalf("faulty record file exists after failed put (stat err %v)", err)
+			}
+			ents, _ := os.ReadDir(dir)
+			for _, e := range ents {
+				if strings.Contains(e.Name(), ".tmp") {
+					t.Fatalf("stray temp file %s left behind", e.Name())
+				}
+			}
+
+			// The in-memory entry survives: a full disk degrades the
+			// store to a warm cache, it does not lose results.
+			if _, ok := s.Get("faulty"); !ok {
+				t.Fatal("in-memory entry evicted by failed put")
+			}
+
+			// Read-only stores refuse further puts without touching the
+			// disk; healthy-but-erroring stores try again.
+			err = s.Put("after", artifactForFaultTest("after"))
+			st = s.Stats()
+			if tc.wantReadOnly {
+				if !errors.Is(err, ErrReadOnly) {
+					t.Fatalf("put on read-only store: err = %v, want ErrReadOnly", err)
+				}
+				if st.PutsRefused != 1 {
+					t.Fatalf("PutsRefused = %d, want 1", st.PutsRefused)
+				}
+				if !strings.Contains(st.String(), "READ-ONLY") {
+					t.Fatalf("stats line %q does not shout READ-ONLY", st.String())
+				}
+			} else {
+				// The shim is still armed, so this put fails too — but
+				// as a fresh write error, not a refusal.
+				if errors.Is(err, ErrReadOnly) {
+					t.Fatal("non-exhaustion fault degraded store to read-only")
+				}
+				if st.PutsRefused != 0 {
+					t.Fatalf("PutsRefused = %d, want 0", st.PutsRefused)
+				}
+				if st.PutErrors != 2 {
+					t.Fatalf("PutErrors = %d, want 2", st.PutErrors)
+				}
+			}
+
+			// Reads never degrade.
+			if _, ok := s.Get("good"); !ok {
+				t.Fatal("healthy record unreadable after fault")
+			}
+		})
+	}
+}
+
+// TestReadOnlyStoreStillServesAndReopens: degradation is a process-
+// lifetime property. A reopened store with space available is healthy
+// and still holds every record that landed before the disk filled.
+func TestReadOnlyStoreStillServesAndReopens(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("durable", artifactForFaultTest("durable")); err != nil {
+		t.Fatal(err)
+	}
+	s.InjectDiskFullAfter(1)
+	if err := s.Put("lost", artifactForFaultTest("lost")); !IsDiskFull(err) {
+		t.Fatalf("injected put error = %v, want disk-full", err)
+	}
+	if !s.ReadOnly() {
+		t.Fatal("injected ENOSPC did not degrade store")
+	}
+	// GetRecord keeps serving the durable record while degraded.
+	if _, ok := s.GetRecord("durable"); !ok {
+		t.Fatal("read-only store refused a read")
+	}
+
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.ReadOnly() {
+		t.Fatal("reopened store inherited read-only flag")
+	}
+	if _, ok := s2.Get("durable"); !ok {
+		t.Fatal("durable record missing after reopen")
+	}
+	if _, ok := s2.Get("lost"); ok {
+		t.Fatal("record that never reached disk reappeared after reopen")
+	}
+	if st := s2.Stats(); st.Quarantined != 0 {
+		t.Fatalf("reopen quarantined %d records, want 0 (no torn files)", st.Quarantined)
+	}
+}
+
+// TestPutRecordPropagatesReadOnly: the wire-format entry point obeys
+// the same degradation — but an already-present key stays a cheap
+// idempotent no-op even while read-only.
+func TestPutRecordPropagatesReadOnly(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	existing, err := EncodeRecord("present", artifactForFaultTest("present"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutRecord(existing); err != nil {
+		t.Fatal(err)
+	}
+
+	s.InjectDiskFullAfter(1)
+	fresh, err := EncodeRecord("fresh", artifactForFaultTest("fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutRecord(fresh); !IsDiskFull(err) {
+		t.Fatalf("PutRecord under disk-full: err = %v, want disk-full", err)
+	}
+	if !s.ReadOnly() {
+		t.Fatal("PutRecord disk-full did not degrade store")
+	}
+	// Idempotent re-put of a key already on disk: no error, no refusal.
+	if _, err := s.PutRecord(existing); err != nil {
+		t.Fatalf("idempotent PutRecord on read-only store: %v", err)
+	}
+	another, err := EncodeRecord("another", artifactForFaultTest("another"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutRecord(another); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("PutRecord on read-only store: err = %v, want ErrReadOnly", err)
+	}
+}

@@ -1,0 +1,39 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// The filesystem seam. Every byte AtomicWriteFile pushes to disk goes
+// through an osFile obtained from createTemp, so tests can slide a
+// fault-injecting shim under the atomic-write protocol — short writes,
+// ENOSPC mid-stream, failing fsyncs — without touching the real
+// filesystem or the production code path. In production createTemp is
+// os.CreateTemp verbatim.
+
+// osFile is the slice of *os.File the atomic write protocol uses.
+type osFile interface {
+	Write(p []byte) (n int, err error)
+	Sync() error
+	Chmod(mode os.FileMode) error
+	Close() error
+	Name() string
+}
+
+// createTemp is the injection point. Tests swap it (serially — it is
+// package state) for a constructor returning faulty files.
+var createTemp = func(dir, pattern string) (osFile, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+// IsDiskFull reports whether err means the filesystem is out of
+// space: ENOSPC (device full) or EDQUOT (quota exhausted). These are
+// the errors that degrade a store to read-only — unlike a permission
+// problem or a bad path, they are global to the volume, so retrying
+// the next record cannot help and would just burn syscalls against a
+// full disk.
+func IsDiskFull(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT)
+}

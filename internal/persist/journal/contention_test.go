@@ -317,3 +317,93 @@ func TestLeaseCorruptFileIsClaimable(t *testing.T) {
 		t.Fatalf("epoch over corrupt lease = %d, want 1", l.Epoch)
 	}
 }
+
+// TestRenewDetectsStealImmediately pins the verify-by-reread on the
+// heartbeat path: a steal that lands between the renewal's write and
+// its verification is reported as ErrLeaseLost on THAT heartbeat —
+// the fenced worker must not walk away believing it extended a lease
+// another worker now holds.
+func TestRenewDetectsStealImmediately(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-0.lease")
+	a, err := AcquireLease(path, 0, "worker-a", time.Minute)
+	if err != nil || a == nil {
+		t.Fatalf("acquire: lease=%v err=%v", a, err)
+	}
+
+	// Interleave the steal in the window after Renew's write: another
+	// worker replaces the file with its own bumped-epoch claim.
+	renewRaceHook = func() {
+		renewRaceHook = nil // steal once
+		rec := leaseRecord{Shard: 0, Owner: "thief", Epoch: a.Epoch + 1,
+			Expires: time.Now().Add(time.Minute).UnixMilli()}
+		if err := linkLease(path+".thief", rec); err != nil {
+			t.Errorf("thief write: %v", err)
+		}
+		if err := os.Rename(path+".thief", path); err != nil {
+			t.Errorf("thief install: %v", err)
+		}
+	}
+	defer func() { renewRaceHook = nil }()
+
+	if err := a.Renew(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("Renew with mid-flight steal = %v, want ErrLeaseLost", err)
+	}
+	// The thief's claim survives the fenced worker's discovery.
+	got, err := readLease(path)
+	if err != nil || got.Owner != "thief" {
+		t.Fatalf("lease file after fencing: owner=%q err=%v, want thief", got.Owner, err)
+	}
+}
+
+// TestRenewVerifiesItsOwnWrite: a healthy renewal still passes the
+// verification (no false ErrLeaseLost from the re-read itself).
+func TestRenewVerifiesOwnWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-1.lease")
+	a, err := AcquireLease(path, 1, "worker-a", time.Minute)
+	if err != nil || a == nil {
+		t.Fatalf("acquire: lease=%v err=%v", a, err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Renew(); err != nil {
+			t.Fatalf("healthy renew %d: %v", i, err)
+		}
+	}
+}
+
+// TestBreakLease pins the supervisor's quarantine primitive: break
+// removes a lease only while it names the given owner, and treats
+// missing or foreign leases as a quiet no-op.
+func TestBreakLease(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-0000.lease")
+
+	// Missing file: nothing to break.
+	if ok, err := BreakLease(path, "w1"); ok || err != nil {
+		t.Fatalf("break of missing lease = (%v, %v), want (false, nil)", ok, err)
+	}
+
+	l, err := AcquireLease(path, 0, "w1", time.Hour)
+	if err != nil || l == nil {
+		t.Fatalf("acquire: %v %v", l, err)
+	}
+
+	// Wrong owner: the lease survives.
+	if ok, err := BreakLease(path, "w2"); ok || err != nil {
+		t.Fatalf("foreign break = (%v, %v), want (false, nil)", ok, err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("foreign break removed the lease: %v", err)
+	}
+
+	// Right owner: removed; the shard is immediately claimable again
+	// (as a fresh claim — the file is simply gone, no epoch to bump).
+	if ok, err := BreakLease(path, "w1"); !ok || err != nil {
+		t.Fatalf("owner break = (%v, %v), want (true, nil)", ok, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("lease file still present after break: %v", err)
+	}
+	l2, err := AcquireLease(path, 0, "w3", time.Hour)
+	if err != nil || l2 == nil {
+		t.Fatalf("reclaim after break: %v %v", l2, err)
+	}
+}

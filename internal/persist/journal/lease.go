@@ -110,9 +110,23 @@ func AcquireLease(path string, shard int, owner string, ttl time.Duration) (*Lea
 	return &Lease{path: path, ttl: ttl, Shard: shard, Owner: owner, Epoch: epoch}, nil
 }
 
+// renewRaceHook, when non-nil, runs between Renew's write and its
+// verifying re-read. Tests interleave a steal here to pin the
+// fencing contract; production never sets it.
+var renewRaceHook func()
+
 // Renew pushes the lease deadline out by its TTL. ErrLeaseLost means
-// another worker stole the claim after it expired; the holder must
-// abandon the shard immediately.
+// another worker stole the claim; the holder must abandon the shard
+// immediately.
+//
+// The write is verified by re-reading: the pre-write ownership check
+// races against a stealer's remove+link cycle (check passes, stealer
+// replaces the file, our rewrite clobbers its claim), and an
+// unverified rewrite would leave BOTH workers believing they hold the
+// shard. Re-reading after the write closes the window to the rename
+// itself: a heartbeat that lands over a stolen lease still comes back
+// ErrLeaseLost on the same call, so the fenced worker finds out now —
+// not one full TTL later.
 func (l *Lease) Renew() error {
 	cur, err := readLease(l.path)
 	if err != nil || cur.Owner != l.Owner || cur.Epoch != l.Epoch {
@@ -124,7 +138,17 @@ func (l *Lease) Renew() error {
 	if err != nil {
 		return err
 	}
-	return persist.AtomicWriteFile(l.path, data, 0o644)
+	if err := persist.AtomicWriteFile(l.path, data, 0o644); err != nil {
+		return err
+	}
+	if renewRaceHook != nil {
+		renewRaceHook()
+	}
+	got, err := readLease(l.path)
+	if err != nil || got.Owner != l.Owner || got.Epoch != l.Epoch || got.Expires != rec.Expires {
+		return ErrLeaseLost
+	}
+	return nil
 }
 
 // Release drops the claim by removing the lease file, but only while
@@ -136,6 +160,27 @@ func (l *Lease) Release() error {
 		return ErrLeaseLost
 	}
 	return os.Remove(l.path)
+}
+
+// BreakLease removes the lease at path if (and only if) it currently
+// names owner. It is the supervisor's quarantine tool: when a worker
+// is declared crash-looping and will not be restarted, its claims
+// should free immediately instead of dribbling out over one TTL each.
+// The epoch is deliberately not checked — the supervisor knows who it
+// spawned, not which epoch the worker's claims reached.
+//
+// Returns true when a lease was removed. A missing file, an
+// unreadable file, or a lease held by someone else all return false
+// with a nil error: none of them is a failure of the break itself.
+func BreakLease(path, owner string) (bool, error) {
+	cur, err := readLease(path)
+	if err != nil || cur.Owner != owner {
+		return false, nil
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return false, err
+	}
+	return true, nil
 }
 
 // readLease parses the lease file at path.

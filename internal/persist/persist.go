@@ -26,7 +26,7 @@ import (
 // (best effort) so the rename itself survives a power cut.
 func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	tmp, err := createTemp(dir, "."+filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("atomic write %s: %w", path, err)
 	}

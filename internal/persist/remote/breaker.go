@@ -18,8 +18,25 @@ const (
 // breaker is a consecutive-failure circuit breaker. Closed until
 // `threshold` consecutive operations fail; open for `cooldown`, during
 // which every operation short-circuits (the client degrades to its
-// local tier, or to miss-and-resolve); then half-open, letting one
-// probe through — success recloses, failure reopens.
+// local tier, another endpoint, or miss-and-resolve); then half-open,
+// letting one probe through — success recloses, failure reopens.
+//
+// Every admission carries a generation ticket, and only results
+// whose ticket matches the current generation move the state machine.
+// The generation bumps on every state transition, which closes two
+// races the ticketless design had:
+//
+//   - a slow operation admitted while the breaker was still closed
+//     could report success after the breaker opened and reclose it
+//     without any probe having run;
+//   - that premature reclose let a second "probe" through while the
+//     real half-open probe was still in flight (the double-fire),
+//     so one recovered response could be outvoted by a concurrent
+//     failure and the breaker flapped.
+//
+// With tickets, the half-open probe is serialized by construction:
+// exactly one caller is admitted with the probe generation, and only
+// that caller's result can reclose or reopen the breaker.
 type breaker struct {
 	mu        sync.Mutex
 	threshold int
@@ -29,6 +46,7 @@ type breaker struct {
 	consecutive int
 	openedAt    time.Time
 	opens       int64 // cumulative closed/half-open -> open transitions
+	gen         int64 // bumped on every state transition
 }
 
 func newBreaker(threshold int, cooldown time.Duration) *breaker {
@@ -41,46 +59,75 @@ func newBreaker(threshold int, cooldown time.Duration) *breaker {
 	return &breaker{threshold: threshold, cooldown: cooldown}
 }
 
-// allow reports whether an operation may reach the network now. In
-// the open state it flips to half-open once the cooldown elapses and
-// admits exactly that caller as the probe.
-func (b *breaker) allow() bool {
+// allow reports whether an operation may reach the network now, and
+// returns the generation ticket the caller must hand back to success
+// or failure. In the open state it flips to half-open once the
+// cooldown elapses and admits exactly that caller as the probe.
+func (b *breaker) allow() (bool, int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true
+		return true, b.gen
 	case breakerOpen:
 		if time.Since(b.openedAt) >= b.cooldown {
 			b.state = breakerHalfOpen
-			return true
+			b.gen++
+			return true, b.gen
 		}
-		return false
+		return false, 0
 	default: // half-open: the probe is already out
-		return false
+		return false, 0
 	}
 }
 
-// success records a completed operation and recloses the breaker.
-func (b *breaker) success() {
+// success records a completed operation. A stale ticket (admitted
+// before the last state transition) is ignored: only the half-open
+// probe, or an operation admitted in the current closed generation,
+// may move the state.
+func (b *breaker) success(gen int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.state = breakerClosed
+	if gen != b.gen {
+		return
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerClosed
+		b.gen++
+		b.consecutive = 0
+	case breakerClosed:
+		b.consecutive = 0
+	}
+}
+
+// failure records a failed operation under the same ticket rule. A
+// half-open probe failing, or the threshold-th consecutive failure
+// while closed, opens the breaker.
+func (b *breaker) failure(gen int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if gen != b.gen {
+		return
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		b.open()
+	case breakerClosed:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.open()
+		}
+	}
+}
+
+// open transitions to the open state; callers hold the lock.
+func (b *breaker) open() {
+	b.state = breakerOpen
+	b.openedAt = time.Now()
+	b.opens++
+	b.gen++
 	b.consecutive = 0
-}
-
-// failure records a failed operation. A half-open probe failing, or
-// the threshold-th consecutive failure while closed, opens the
-// breaker.
-func (b *breaker) failure() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.consecutive++
-	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.consecutive >= b.threshold) {
-		b.state = breakerOpen
-		b.openedAt = time.Now()
-		b.opens++
-	}
 }
 
 // snapshot returns the state name and cumulative open count.

@@ -1,0 +1,156 @@
+package remote
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBreakerTrips: the threshold-th consecutive failure opens the
+// breaker; a success in between resets the count.
+func TestBreakerTrips(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	fail := func() {
+		ok, gen := b.allow()
+		if !ok {
+			t.Fatal("closed breaker refused an operation")
+		}
+		b.failure(gen)
+	}
+	fail()
+	fail()
+	ok, gen := b.allow()
+	if !ok {
+		t.Fatal("closed breaker refused an operation")
+	}
+	b.success(gen) // resets the streak
+	fail()
+	fail()
+	if state, _ := b.snapshot(); state != "closed" {
+		t.Fatalf("state after 2/3 failures = %s, want closed", state)
+	}
+	fail()
+	if state, opens := b.snapshot(); state != "open" || opens != 1 {
+		t.Fatalf("state after threshold = %s/%d, want open/1", state, opens)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("open breaker admitted an operation before cooldown")
+	}
+}
+
+// TestBreakerStaleSuccessCannotReclose pins the first half of the
+// double-fire bug: an operation admitted while the breaker was still
+// closed completes (successfully) after the breaker has opened. Its
+// ticket is stale, so it must NOT reclose the breaker — recovery is
+// the probe's job alone.
+func TestBreakerStaleSuccessCannotReclose(t *testing.T) {
+	b := newBreaker(1, time.Hour)
+
+	ok, slowGen := b.allow() // the slow operation, admitted while closed
+	if !ok {
+		t.Fatal("closed breaker refused an operation")
+	}
+	ok, gen := b.allow()
+	if !ok {
+		t.Fatal("closed breaker refused an operation")
+	}
+	b.failure(gen) // trips: threshold 1
+	if state, _ := b.snapshot(); state != "open" {
+		t.Fatalf("state = %s, want open", state)
+	}
+
+	b.success(slowGen) // the slow op finally lands — stale, must be ignored
+	if state, _ := b.snapshot(); state != "open" {
+		t.Fatalf("stale success reclosed the breaker (state = %s, want open)", state)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("open breaker admitted an operation after a stale success")
+	}
+}
+
+// TestBreakerHalfOpenProbeSerialized is the -race pin of the probe
+// contract: once the cooldown elapses, many concurrent operations
+// race allow(), and EXACTLY ONE may be admitted as the half-open
+// probe — no matter how the goroutines interleave, and even when
+// stale results from the pre-open era land mid-race.
+func TestBreakerHalfOpenProbeSerialized(t *testing.T) {
+	b := newBreaker(1, 10*time.Millisecond)
+
+	ok, staleGen := b.allow() // an old operation from the closed era
+	if !ok {
+		t.Fatal("closed breaker refused an operation")
+	}
+	ok, gen := b.allow()
+	if !ok {
+		t.Fatal("closed breaker refused an operation")
+	}
+	b.failure(gen) // open
+	time.Sleep(20 * time.Millisecond)
+
+	const goroutines = 32
+	var admitted atomic.Int64
+	var probeGen atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			if i == 0 {
+				// A stale success landing mid-race must not mint a
+				// second probe slot by reclosing the breaker.
+				b.success(staleGen)
+				return
+			}
+			if ok, g := b.allow(); ok {
+				admitted.Add(1)
+				probeGen.Store(g)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if n := admitted.Load(); n != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", n)
+	}
+	if state, _ := b.snapshot(); state != "half-open" {
+		t.Fatalf("state while probe in flight = %s, want half-open", state)
+	}
+
+	// The probe's own result — and only it — settles the state.
+	b.success(probeGen.Load())
+	if state, _ := b.snapshot(); state != "closed" {
+		t.Fatalf("state after probe success = %s, want closed", state)
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed probe restarts the
+// cooldown; the next elapsed cooldown admits exactly one new probe.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := newBreaker(1, 10*time.Millisecond)
+	_, gen := b.allow()
+	b.failure(gen)
+	time.Sleep(20 * time.Millisecond)
+
+	ok, probe := b.allow()
+	if !ok {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("second probe admitted while first in flight")
+	}
+	b.failure(probe)
+	if state, opens := b.snapshot(); state != "open" || opens != 2 {
+		t.Fatalf("state after probe failure = %s/%d, want open/2", state, opens)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("probe admitted before the fresh cooldown elapsed")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("no probe admitted after the fresh cooldown")
+	}
+}

@@ -18,10 +18,14 @@
 //   - concurrent gets of the same key coalesce into one in-flight
 //     fetch (singleflight), and multi-key fetches batch into chunked
 //     concurrent POSTs;
-//   - a circuit breaker trips after consecutive failures and degrades
-//     the client to its local tier (or to miss-and-resolve) while the
-//     store stays down, then recloses on recovery — an outage costs
-//     one probe per cooldown, not a timeout per lookup.
+//   - the client holds an ORDERED list of endpoints, each behind its
+//     own circuit breaker. An endpoint that fails hard (transport
+//     error or 5xx) is penalized and the preference advances to the
+//     next in order; an endpoint whose breaker is open is skipped
+//     entirely. A replica refusing a write (421) redirects the put to
+//     the primary it names without any breaker penalty, and a store
+//     that has degraded to read-only (507) costs that put's remote
+//     durability — never the run.
 package remote
 
 import (
@@ -52,6 +56,16 @@ const (
 	pathStats  = "/stats"
 )
 
+// PathRole is the replication-role endpoint. The replica package
+// serves and polls it; it lives here so client, server, and replica
+// share one protocol constant.
+const PathRole = "/role"
+
+// HeaderPrimary is the response header a replica sets on a 421
+// (Misdirected Request) to name the primary endpoint that can accept
+// the write.
+const HeaderPrimary = "X-Sraa-Primary"
+
 // batchRequest and batchResponse are the wire forms of a multi-get.
 type batchRequest struct {
 	Keys []string `json:"keys"`
@@ -75,10 +89,17 @@ const maxRecordBytes = 16 << 20
 // Options configures a Client. Zero values take the defaults noted.
 type Options struct {
 	// BaseURL is the store server root, e.g. "http://127.0.0.1:8178".
+	// Single-endpoint shorthand for Endpoints; ignored when Endpoints
+	// is non-empty.
 	BaseURL string
+	// Endpoints is the ordered failover list of store server roots.
+	// The first entry is the preferred endpoint; when it fails hard
+	// the preference advances in order (wrapping), and endpoints whose
+	// breakers are open are skipped per attempt.
+	Endpoints []string
 	// Local, when non-nil, is the local artifact-store tier: consulted
 	// before the network, promoted into on remote hits, and the sole
-	// backend while the circuit breaker is open.
+	// backend while every endpoint's circuit breaker is open.
 	Local *persist.Store
 	// RequestTimeout bounds each HTTP attempt; default 5s.
 	RequestTimeout time.Duration
@@ -91,10 +112,10 @@ type Options struct {
 	BatchSize int
 	// BatchParallel caps concurrent batch chunks in flight; default 4.
 	BatchParallel int
-	// BreakerThreshold is the consecutive-failure count that opens the
-	// circuit; default 5.
+	// BreakerThreshold is the consecutive-failure count that opens an
+	// endpoint's circuit; default 5.
 	BreakerThreshold int
-	// BreakerCooldown is how long the breaker stays open before a
+	// BreakerCooldown is how long a breaker stays open before a
 	// half-open probe; default 5s.
 	BreakerCooldown time.Duration
 	// Seed seeds the backoff jitter PRNG; default 1.
@@ -105,6 +126,9 @@ type Options struct {
 }
 
 func (o Options) filled() Options {
+	if len(o.Endpoints) == 0 {
+		o.Endpoints = []string{o.BaseURL}
+	}
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 5 * time.Second
 	}
@@ -153,18 +177,31 @@ type Stats struct {
 	Sheds        int64 // 429 responses seen (before backoff)
 	Corrupt      int64 // responses quarantined by record revalidation
 	Errors       int64 // operations that exhausted their retries
-	ShortCircuit int64 // operations skipped by the open breaker
-	BreakerOpens int64
+	ShortCircuit int64 // operations skipped because every breaker refused
+	Failovers    int64 // preference moves to a different endpoint
+	Redirects    int64 // 421 replica-refused puts redirected to the primary
+	StoreFull    int64 // 507 responses: the store is read-only (disk full)
+	BreakerOpens int64 // total opens across all endpoint breakers
 	BreakerState string
+	Endpoint     string // currently preferred endpoint URL
 }
 
 // StatsLine renders the counters in the one-line key=value style the
 // cache stats epilogues use.
 func (s Stats) StatsLine() string {
-	return fmt.Sprintf("remote[gets=%d hits=%d local-hits=%d remote-hits=%d misses=%d coalesced=%d puts=%d put-errors=%d retries=%d sheds=%d corrupt=%d errors=%d short-circuit=%d breaker=%s opens=%d]",
+	return fmt.Sprintf("remote[gets=%d hits=%d local-hits=%d remote-hits=%d misses=%d coalesced=%d puts=%d put-errors=%d retries=%d sheds=%d corrupt=%d errors=%d short-circuit=%d failovers=%d redirects=%d store-full=%d breaker=%s opens=%d endpoint=%s]",
 		s.Gets, s.Hits, s.LocalHits, s.RemoteHits, s.Misses, s.Coalesced,
 		s.Puts, s.PutErrors, s.Retries, s.Sheds, s.Corrupt, s.Errors,
-		s.ShortCircuit, s.BreakerState, s.BreakerOpens)
+		s.ShortCircuit, s.Failovers, s.Redirects, s.StoreFull,
+		s.BreakerState, s.BreakerOpens, s.Endpoint)
+}
+
+// endpoint is one store server the client may talk to, behind its own
+// circuit breaker so one dead host cannot open the circuit for its
+// healthy siblings.
+type endpoint struct {
+	url string
+	brk *breaker
 }
 
 // Client is the fault-tolerant store client. It satisfies the harness
@@ -173,18 +210,20 @@ func (s Stats) StatsLine() string {
 type Client struct {
 	opt Options
 	hc  *http.Client
-	brk *breaker
+	eps []*endpoint
 
-	mu      sync.Mutex
-	rng     *rand.Rand
-	flights map[string]*flight
-	spilled int
+	mu        sync.Mutex
+	preferred int // index into eps the next attempt leads with
+	rng       *rand.Rand
+	flights   map[string]*flight
+	spilled   int
 
 	st struct {
 		gets, hits, localHits, remoteHits, misses int64
 		coalesced, batchCalls                     int64
 		puts, putErrors                           int64
 		retries, sheds, corrupt, errors, short    int64
+		failovers, redirects, storeFull           int64
 	}
 }
 
@@ -199,13 +238,81 @@ type flight struct {
 // NewClient builds a Client over the given options.
 func NewClient(opt Options) *Client {
 	opt = opt.filled()
+	eps := make([]*endpoint, len(opt.Endpoints))
+	for i, u := range opt.Endpoints {
+		eps[i] = &endpoint{url: u, brk: newBreaker(opt.BreakerThreshold, opt.BreakerCooldown)}
+	}
 	return &Client{
 		opt:     opt,
 		hc:      &http.Client{Transport: opt.Transport},
-		brk:     newBreaker(opt.BreakerThreshold, opt.BreakerCooldown),
+		eps:     eps,
 		rng:     rand.New(rand.NewSource(opt.Seed)),
 		flights: map[string]*flight{},
 	}
+}
+
+// acquire picks the endpoint for one attempt: the preferred endpoint
+// if its breaker admits, else the next admissible one in order.
+// Admitted means the ticket MUST be settled with exactly one
+// success/failure call — a discarded half-open probe ticket would
+// wedge that breaker half-open forever.
+func (c *Client) acquire() (*endpoint, int64, bool) {
+	c.mu.Lock()
+	start := c.preferred
+	c.mu.Unlock()
+	n := len(c.eps)
+	for i := 0; i < n; i++ {
+		ep := c.eps[(start+i)%n]
+		if ok, gen := ep.brk.allow(); ok {
+			return ep, gen, true
+		}
+	}
+	return nil, 0, false
+}
+
+// demote settles a hard failure (transport error or 5xx): the
+// endpoint's breaker is told, and if it was the preferred endpoint
+// the preference advances so the next attempt leads elsewhere.
+func (c *Client) demote(ep *endpoint, gen int64) {
+	ep.brk.failure(gen)
+	c.mu.Lock()
+	if len(c.eps) > 1 && c.eps[c.preferred] == ep {
+		c.preferred = (c.preferred + 1) % len(c.eps)
+		c.st.failovers++
+	}
+	c.mu.Unlock()
+}
+
+// preferTo moves the preference to the endpoint with the given URL
+// (a 421's primary hint). Reports whether the URL was one of ours.
+func (c *Client) preferTo(url string) bool {
+	if url == "" {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, ep := range c.eps {
+		if ep.url == url {
+			if c.preferred != i {
+				c.preferred = i
+				c.st.failovers++
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// advanceFrom moves the preference off ep without penalizing its
+// breaker — for an endpoint that is healthy but cannot serve the
+// operation (a replica refusing a write with no usable hint).
+func (c *Client) advanceFrom(ep *endpoint) {
+	c.mu.Lock()
+	if len(c.eps) > 1 && c.eps[c.preferred] == ep {
+		c.preferred = (c.preferred + 1) % len(c.eps)
+		c.st.failovers++
+	}
+	c.mu.Unlock()
 }
 
 // Get returns the artifact stored under key, consulting the local
@@ -222,11 +329,6 @@ func (c *Client) Get(key string) (*core.FuncArtifact, bool) {
 			c.count(&c.st.localHits)
 			return a, true
 		}
-	}
-	if !c.brk.allow() {
-		c.count(&c.st.short)
-		c.count(&c.st.misses)
-		return nil, false
 	}
 
 	// Coalesce: one fetch per key in flight, latecomers wait on it.
@@ -266,34 +368,43 @@ func (c *Client) Get(key string) (*core.FuncArtifact, bool) {
 }
 
 // fetchOne runs the retry loop for a single-key GET. ok is true only
-// for a fully validated record.
+// for a fully validated record. Each attempt picks the healthiest
+// endpoint in preference order and settles that endpoint's breaker
+// ticket per attempt, so a slow response landing after a failover can
+// never flip a breaker it no longer speaks for.
 func (c *Client) fetchOne(key string) (*core.FuncArtifact, bool) {
-	var failed bool
-	defer c.settle(&failed)
 	for attempt := 0; ; attempt++ {
-		status, body, retryAfter, err := c.do(http.MethodGet, pathArt+key, nil, "")
-		switch {
-		case err == nil && status == http.StatusOK:
-			gotKey, art, derr := persist.DecodeRecord(body)
-			if derr == nil && gotKey == key {
-				return art, true
-			}
-			// Corrupt response: quarantine the evidence and retry — a
-			// flipped bit in flight is transient; the store's copy may
-			// be fine.
-			c.quarantine(key, body, derr)
-		case err == nil && status == http.StatusNotFound:
-			return nil, false // clean miss; the store is healthy
-		case err == nil && status == http.StatusTooManyRequests:
-			c.count(&c.st.sheds)
-		case err == nil && status < 500:
-			// Unexpected client error: our request is wrong; retrying
-			// the same bytes cannot help.
-			failed = true
+		ep, gen, admitted := c.acquire()
+		if !admitted {
+			c.count(&c.st.short)
 			return nil, false
 		}
+		status, body, retryAfter, _, err := c.do(ep, http.MethodGet, pathArt+key, nil, "")
+		if err != nil || status >= 500 {
+			c.demote(ep, gen)
+		} else {
+			ep.brk.success(gen)
+			switch status {
+			case http.StatusOK:
+				gotKey, art, derr := persist.DecodeRecord(body)
+				if derr == nil && gotKey == key {
+					return art, true
+				}
+				// Corrupt response: quarantine the evidence and retry — a
+				// flipped bit in flight is transient; the store's copy may
+				// be fine.
+				c.quarantine(key, body, derr)
+			case http.StatusNotFound:
+				return nil, false // clean miss; the store is healthy
+			case http.StatusTooManyRequests:
+				c.count(&c.st.sheds)
+			default:
+				// Unexpected client error: our request is wrong; retrying
+				// the same bytes cannot help.
+				return nil, false
+			}
+		}
 		if attempt >= c.opt.Retries {
-			failed = true
 			c.count(&c.st.errors)
 			return nil, false
 		}
@@ -304,39 +415,57 @@ func (c *Client) fetchOne(key string) (*core.FuncArtifact, bool) {
 
 // Put installs the artifact under key: always into the local tier
 // when one exists, and through a conditional PUT to the store unless
-// the breaker is open. Remote refusal degrades durability, never the
-// run — the error is counted and reported but callers may ignore it.
+// every breaker is open. A replica answering 421 redirects the write
+// to the primary it names; a read-only store answering 507 ends the
+// attempt — the condition is sticky, so hammering it cannot help.
+// Remote refusal degrades durability, never the run — the error is
+// counted and reported but callers may ignore it.
 func (c *Client) Put(key string, a *core.FuncArtifact) error {
 	c.count(&c.st.puts)
 	var localErr error
 	if c.opt.Local != nil {
 		localErr = c.opt.Local.Put(key, a)
 	}
-	if !c.brk.allow() {
-		c.count(&c.st.short)
-		return localErr
-	}
 	data, err := persist.EncodeRecord(key, a)
 	if err != nil {
 		c.count(&c.st.putErrors)
 		return err
 	}
-	var failed bool
-	defer c.settle(&failed)
 	for attempt := 0; ; attempt++ {
-		status, _, retryAfter, err := c.do(http.MethodPut, pathArt+key, data, "application/octet-stream")
-		switch {
-		case err == nil && status == http.StatusOK:
+		ep, gen, admitted := c.acquire()
+		if !admitted {
+			c.count(&c.st.short)
 			return localErr
-		case err == nil && status == http.StatusTooManyRequests:
-			c.count(&c.st.sheds)
-		case err == nil && status < 500:
-			failed = true
-			c.count(&c.st.putErrors)
-			return fmt.Errorf("remote: put %s: store refused with %d", key, status)
+		}
+		status, _, retryAfter, primary, err := c.do(ep, http.MethodPut, pathArt+key, data, "application/octet-stream")
+		if err != nil || status >= 500 && status != http.StatusInsufficientStorage {
+			c.demote(ep, gen)
+		} else {
+			ep.brk.success(gen)
+			switch status {
+			case http.StatusOK:
+				return localErr
+			case http.StatusTooManyRequests:
+				c.count(&c.st.sheds)
+			case http.StatusMisdirectedRequest:
+				// A replica: healthy, readable, but not writable. Follow
+				// its primary hint (or just rotate) and retry there.
+				c.count(&c.st.redirects)
+				if !c.preferTo(primary) {
+					c.advanceFrom(ep)
+				}
+			case http.StatusInsufficientStorage:
+				// The store is read-only (disk full). Sticky for its
+				// lifetime: this put's remote durability is lost, loudly.
+				c.count(&c.st.storeFull)
+				c.count(&c.st.putErrors)
+				return fmt.Errorf("remote: put %s: %s is read-only (507 disk full)", key, ep.url)
+			default:
+				c.count(&c.st.putErrors)
+				return fmt.Errorf("remote: put %s: store refused with %d", key, status)
+			}
 		}
 		if attempt >= c.opt.Retries {
-			failed = true
 			c.count(&c.st.errors)
 			c.count(&c.st.putErrors)
 			return fmt.Errorf("remote: put %s: retries exhausted", key)
@@ -363,10 +492,6 @@ func (c *Client) GetBatch(keys []string) map[string]*core.FuncArtifact {
 		need = append(need, k)
 	}
 	if len(need) == 0 {
-		return out
-	}
-	if !c.brk.allow() {
-		c.count(&c.st.short)
 		return out
 	}
 
@@ -412,29 +537,73 @@ func (c *Client) fetchChunk(keys []string) map[string]*core.FuncArtifact {
 	if err != nil {
 		return nil
 	}
-	var failed bool
-	defer c.settle(&failed)
 	for attempt := 0; ; attempt++ {
-		c.count(&c.st.batchCalls)
-		status, body, retryAfter, derr := c.do(http.MethodPost, pathBatch, reqBody, "application/json")
-		if derr == nil && status == http.StatusOK {
-			var br batchResponse
-			if json.Unmarshal(body, &br) == nil {
-				return c.validateBatch(keys, br.Records)
-			}
-			// Mangled JSON envelope: retry like any damaged response.
-			c.quarantine("batch", body, fmt.Errorf("remote: batch envelope does not parse"))
-		}
-		if derr == nil && status == http.StatusTooManyRequests {
-			c.count(&c.st.sheds)
-		} else if derr == nil && status != http.StatusOK && status < 500 {
-			failed = true
+		ep, gen, admitted := c.acquire()
+		if !admitted {
+			c.count(&c.st.short)
 			return nil
+		}
+		c.count(&c.st.batchCalls)
+		status, body, retryAfter, _, derr := c.do(ep, http.MethodPost, pathBatch, reqBody, "application/json")
+		if derr != nil || status >= 500 {
+			c.demote(ep, gen)
+		} else {
+			ep.brk.success(gen)
+			switch {
+			case status == http.StatusOK:
+				var br batchResponse
+				if json.Unmarshal(body, &br) == nil {
+					return c.validateBatch(keys, br.Records)
+				}
+				// Mangled JSON envelope: retry like any damaged response.
+				c.quarantine("batch", body, fmt.Errorf("remote: batch envelope does not parse"))
+			case status == http.StatusTooManyRequests:
+				c.count(&c.st.sheds)
+			default:
+				return nil
+			}
 		}
 		if attempt >= c.opt.Retries {
-			failed = true
 			c.count(&c.st.errors)
 			return nil
+		}
+		c.count(&c.st.retries)
+		c.sleep(attempt, retryAfter)
+	}
+}
+
+// Keys fetches the server's full sorted key list. ok is false when
+// the endpoint could not be reached within the retry budget. The
+// replica package's pull-replication diffs against this.
+func (c *Client) Keys() ([]string, bool) {
+	for attempt := 0; ; attempt++ {
+		ep, gen, admitted := c.acquire()
+		if !admitted {
+			c.count(&c.st.short)
+			return nil, false
+		}
+		status, body, retryAfter, _, err := c.do(ep, http.MethodGet, pathKeys, nil, "")
+		if err != nil || status >= 500 {
+			c.demote(ep, gen)
+		} else {
+			ep.brk.success(gen)
+			switch status {
+			case http.StatusOK:
+				var resp struct {
+					Keys []string `json:"keys"`
+				}
+				if json.Unmarshal(body, &resp) == nil {
+					return resp.Keys, true
+				}
+			case http.StatusTooManyRequests:
+				c.count(&c.st.sheds)
+			default:
+				return nil, false
+			}
+		}
+		if attempt >= c.opt.Retries {
+			c.count(&c.st.errors)
+			return nil, false
 		}
 		c.count(&c.st.retries)
 		c.sleep(attempt, retryAfter)
@@ -465,42 +634,43 @@ func (c *Client) validateBatch(keys []string, records map[string]string) map[str
 	return out
 }
 
-// do performs one bounded HTTP attempt. A non-nil error means no
-// usable response arrived (transport failure, timeout, drop).
-func (c *Client) do(method, path string, body []byte, contentType string) (status int, respBody []byte, retryAfter time.Duration, err error) {
+// do performs one bounded HTTP attempt against ep. A non-nil error
+// means no usable response arrived (transport failure, timeout,
+// drop). primary carries the X-Sraa-Primary redirect hint, if any.
+func (c *Client) do(ep *endpoint, method, path string, body []byte, contentType string) (status int, respBody []byte, retryAfter time.Duration, primary string, err error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.opt.RequestTimeout)
 	defer cancel()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.opt.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, ep.url+path, rd)
 	if err != nil {
-		return 0, nil, 0, err
+		return 0, nil, 0, "", err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return 0, nil, 0, err
+		return 0, nil, 0, "", err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRecordBytes+1))
 	if err != nil {
 		// A body cut mid-stream (chaos truncation at the TCP level)
 		// surfaces here; the caller retries.
-		return 0, nil, 0, err
+		return 0, nil, 0, "", err
 	}
 	if len(data) > maxRecordBytes {
-		return 0, nil, 0, fmt.Errorf("remote: response exceeds %d bytes", maxRecordBytes)
+		return 0, nil, 0, "", fmt.Errorf("remote: response exceeds %d bytes", maxRecordBytes)
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if sec, aerr := strconv.Atoi(ra); aerr == nil && sec > 0 {
 			retryAfter = time.Duration(sec) * time.Second
 		}
 	}
-	return resp.StatusCode, data, retryAfter, nil
+	return resp.StatusCode, data, retryAfter, resp.Header.Get(HeaderPrimary), nil
 }
 
 // sleep applies jittered exponential backoff floored at the server's
@@ -514,16 +684,6 @@ func (c *Client) sleep(attempt int, retryAfter time.Duration) {
 		d = retryAfter
 	}
 	time.Sleep(d)
-}
-
-// settle reports the operation's outcome to the breaker on the way
-// out; deferred so every return path is covered.
-func (c *Client) settle(failed *bool) {
-	if *failed {
-		c.brk.failure()
-	} else {
-		c.brk.success()
-	}
 }
 
 // maxQuarantineSpills bounds the postmortem evidence files one client
@@ -581,9 +741,18 @@ func (c *Client) count(p *int64) {
 	c.mu.Unlock()
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters. BreakerState and Endpoint describe
+// the currently preferred endpoint; BreakerOpens sums across all.
 func (c *Client) Stats() Stats {
-	state, opens := c.brk.snapshot()
+	var opens int64
+	for _, ep := range c.eps {
+		_, n := ep.brk.snapshot()
+		opens += n
+	}
+	c.mu.Lock()
+	pref := c.eps[c.preferred]
+	c.mu.Unlock()
+	state, _ := pref.brk.snapshot()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
@@ -593,7 +762,9 @@ func (c *Client) Stats() Stats {
 		Puts: c.st.puts, PutErrors: c.st.putErrors,
 		Retries: c.st.retries, Sheds: c.st.sheds, Corrupt: c.st.corrupt,
 		Errors: c.st.errors, ShortCircuit: c.st.short,
-		BreakerOpens: opens, BreakerState: state,
+		Failovers: c.st.failovers, Redirects: c.st.redirects,
+		StoreFull:    c.st.storeFull,
+		BreakerOpens: opens, BreakerState: state, Endpoint: pref.url,
 	}
 }
 

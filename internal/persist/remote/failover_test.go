@@ -1,0 +1,191 @@
+package remote
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The failover proofs: an ordered endpoint list keeps a sweep fed
+// when the preferred store dies, a replica's 421 steers writes to the
+// primary it names, and a disk-full store's 507 costs one put's
+// remote durability without burning retries against a sticky
+// condition.
+
+// bootPair serves the same store from two httptest servers and
+// returns a client preferring the first.
+func bootPair(t *testing.T, opt Options) (a, b *httptest.Server, kill func(ts *httptest.Server), c *Client) {
+	t.Helper()
+	st := newStore(t, 4)
+	var mu sync.Mutex
+	dead := map[*httptest.Server]bool{}
+	mk := func() *httptest.Server {
+		srv := NewStoreServer(st, ServerConfig{})
+		var ts *httptest.Server
+		ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			d := dead[ts]
+			mu.Unlock()
+			if d {
+				panic(http.ErrAbortHandler) // connection dies, like a dead host
+			}
+			srv.Handler().ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	a, b = mk(), mk()
+	kill = func(ts *httptest.Server) {
+		mu.Lock()
+		dead[ts] = true
+		mu.Unlock()
+	}
+	opt.Endpoints = []string{a.URL, b.URL}
+	if opt.RequestTimeout == 0 {
+		opt.RequestTimeout = 500 * time.Millisecond
+	}
+	if opt.Backoff == 0 {
+		opt.Backoff = time.Millisecond
+	}
+	return a, b, kill, NewClient(opt)
+}
+
+// TestClientFailsOverOnDeadEndpoint: the preferred endpoint dies
+// mid-run; gets keep landing via the second endpoint, the preference
+// moves, and once the first endpoint's breaker opens it stops costing
+// attempts at all.
+func TestClientFailsOverOnDeadEndpoint(t *testing.T) {
+	// Threshold 1: the preference advances off a dead endpoint after
+	// its first hard failure, so that one failure must suffice to open
+	// its breaker — the endpoint is not retried once preference moves.
+	a, _, kill, c := bootPair(t, Options{
+		Retries:          2,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour, // no recovery inside this test
+	})
+
+	if _, ok := c.Get(key(0)); !ok {
+		t.Fatal("healthy get missed")
+	}
+	kill(a)
+	for i := 1; i < 4; i++ {
+		if _, ok := c.Get(key(i)); !ok {
+			t.Fatalf("get %d missed after primary death — no failover", i)
+		}
+	}
+	s := c.Stats()
+	if s.Failovers == 0 {
+		t.Fatalf("no failovers counted: %s", s.StatsLine())
+	}
+	if s.Endpoint == a.URL {
+		t.Fatalf("preference still on the dead endpoint: %s", s.StatsLine())
+	}
+	// Once a's breaker opens, further gets go straight to b: no
+	// retries burned, hits keep flowing.
+	if state, _ := c.eps[0].brk.snapshot(); state != "open" {
+		t.Fatalf("dead endpoint breaker = %s, want open", state)
+	}
+	if _, ok := c.Get(key(0)); !ok {
+		t.Fatal("get missed with dead endpoint's breaker open")
+	}
+}
+
+// TestClientBatchFailsOver: the batched path survives the preferred
+// endpoint dying too.
+func TestClientBatchFailsOver(t *testing.T) {
+	a, _, kill, c := bootPair(t, Options{
+		Retries:          3,
+		BatchSize:        2,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+	})
+	kill(a)
+	keys := []string{key(0), key(1), key(2), key(3)}
+	got := c.GetBatch(keys)
+	if len(got) != 4 {
+		t.Fatalf("batch after primary death returned %d/4 records: %s", len(got), c.Stats().StatsLine())
+	}
+}
+
+// TestClientPutFollows421: a replica refuses the write with 421 and
+// names the primary; the client redirects the put there without
+// penalizing the replica's breaker.
+func TestClientPutFollows421(t *testing.T) {
+	primarySt := newStore(t, 0)
+	primary := httptest.NewServer(NewStoreServer(primarySt, ServerConfig{}).Handler())
+	defer primary.Close()
+
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			w.Header().Set(HeaderPrimary, primary.URL)
+			http.Error(w, "replica: writes go to the primary", http.StatusMisdirectedRequest)
+			return
+		}
+		NewStoreServer(primarySt, ServerConfig{}).Handler().ServeHTTP(w, r)
+	}))
+	defer replica.Close()
+
+	c := NewClient(Options{
+		Endpoints: []string{replica.URL, primary.URL},
+		Backoff:   time.Millisecond,
+		Retries:   2,
+	})
+	if err := c.Put(key(5), testArtifact(5)); err != nil {
+		t.Fatalf("redirected put failed: %v", err)
+	}
+	if _, ok := primarySt.Get(key(5)); !ok {
+		t.Fatal("put did not land on the primary")
+	}
+	s := c.Stats()
+	if s.Redirects == 0 {
+		t.Fatalf("421 redirect not counted: %s", s.StatsLine())
+	}
+	if state, _ := c.eps[0].brk.snapshot(); state != "closed" {
+		t.Fatalf("replica breaker penalized for a 421: state = %s", state)
+	}
+	if s.Endpoint != primary.URL {
+		t.Fatalf("preference did not follow the primary hint: %s", s.StatsLine())
+	}
+}
+
+// TestClientPut507NotRetried: a read-only store's refusal is sticky,
+// so the client reports it once instead of burning its retry budget.
+func TestClientPut507NotRetried(t *testing.T) {
+	var mu sync.Mutex
+	puts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			mu.Lock()
+			puts++
+			mu.Unlock()
+			http.Error(w, "store is read-only (disk full)", http.StatusInsufficientStorage)
+			return
+		}
+		http.Error(w, "miss", http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	c := NewClient(Options{BaseURL: ts.URL, Backoff: time.Millisecond, Retries: 5})
+	err := c.Put(key(0), testArtifact(0))
+	if err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("507 put error = %v, want read-only refusal", err)
+	}
+	mu.Lock()
+	n := puts
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("507 put attempted %d times, want 1 (sticky condition)", n)
+	}
+	s := c.Stats()
+	if s.StoreFull != 1 || s.PutErrors != 1 {
+		t.Fatalf("507 accounting wrong: %s", s.StatsLine())
+	}
+	// The endpoint is alive (it answered), so its breaker stays closed
+	// and gets keep flowing.
+	if state, _ := c.eps[0].brk.snapshot(); state != "closed" {
+		t.Fatalf("breaker after 507 = %s, want closed", state)
+	}
+}

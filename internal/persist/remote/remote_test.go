@@ -324,7 +324,7 @@ func TestBreakerDegradesAndRecovers(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		c.Get(key(9)) // not in local: forces network attempts
 	}
-	if state, _ := c.brk.snapshot(); state != "open" {
+	if state, _ := c.eps[0].brk.snapshot(); state != "open" {
 		t.Fatalf("breaker state after failures = %s, want open", state)
 	}
 	// … after which local-tier hits still work and network lookups
@@ -358,7 +358,7 @@ func TestBreakerDegradesAndRecovers(t *testing.T) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if state, _ := c.brk.snapshot(); state != "closed" {
+	if state, _ := c.eps[0].brk.snapshot(); state != "closed" {
 		t.Fatalf("breaker state after recovery = %s, want closed", state)
 	}
 }

@@ -28,6 +28,7 @@ import (
 type StoreServer struct {
 	store *persist.Store
 	gate  *serve.Gate
+	mem   *serve.MemWatermark
 	fault *FaultSpec
 
 	retryAfter time.Duration
@@ -57,6 +58,9 @@ type ServerConfig struct {
 	// test harness behind `sraastore -inject-fault`. Never set it in
 	// production.
 	Fault *FaultSpec
+	// MemLimit is the heap high-watermark in bytes: past it, requests
+	// are shed with 429 until the heap drains. 0 disables (default).
+	MemLimit uint64
 }
 
 func (c ServerConfig) filled() ServerConfig {
@@ -81,6 +85,7 @@ func NewStoreServer(st *persist.Store, cfg ServerConfig) *StoreServer {
 	return &StoreServer{
 		store:      st,
 		gate:       serve.NewGate(cfg.InFlight, cfg.Queue, cfg.QueueWait),
+		mem:        serve.NewMemWatermark(cfg.MemLimit),
 		fault:      cfg.Fault,
 		retryAfter: cfg.RetryAfter,
 		start:      time.Now(),
@@ -117,15 +122,24 @@ func (s *StoreServer) Handler() http.Handler {
 func (s *StoreServer) gated(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		release, err := s.gate.Acquire(r.Context())
-		if err != nil {
+		shed := func(msg string) {
 			s.shed.Add(1)
 			secs := int(math.Ceil(s.retryAfter.Seconds()))
 			if secs < 1 {
 				secs = 1
 			}
 			w.Header().Set("Retry-After", fmt.Sprint(secs))
-			http.Error(w, "overloaded: request shed, retry later", http.StatusTooManyRequests)
+			http.Error(w, msg, http.StatusTooManyRequests)
+		}
+		// Memory backpressure before the slot check: past the heap
+		// high-watermark no new work is admitted at all.
+		if s.mem.Over() {
+			shed("overloaded: memory high-watermark reached, retry later")
+			return
+		}
+		release, err := s.gate.Acquire(r.Context())
+		if err != nil {
+			shed("overloaded: request shed, retry later")
 			return
 		}
 		defer release()
@@ -172,6 +186,13 @@ func (s *StoreServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *StoreServer) handlePut(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
+	if s.store.ReadOnly() {
+		// Disk full: the degradation is sticky for this process, so
+		// tell the client plainly (507, not a retryable 5xx) and let
+		// /stats shout about it.
+		http.Error(w, "store is read-only (disk full); put refused", http.StatusInsufficientStorage)
+		return
+	}
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRecordBytes))
 	if err != nil {
 		http.Error(w, "request body: "+err.Error(), http.StatusBadRequest)
@@ -216,19 +237,25 @@ type ServerSnapshot struct {
 	Installs  int64   `json:"installs"`
 	Rejects   int64   `json:"rejects"`
 	Shed      int64   `json:"shed"`
+	MemSheds  int64   `json:"mem_sheds"`
 	InFlight  int     `json:"in_flight"`
 	Queued    int     `json:"queued"`
 
 	// The underlying store's own health counters, quarantines and
 	// disk errors included — the satellite contract that store-side
 	// damage is observable from the outside.
-	StoreLoaded      int    `json:"store_loaded"`
-	StoreQuarantined int    `json:"store_quarantined"`
-	StorePuts        int    `json:"store_puts"`
-	StorePutErrors   int    `json:"store_put_errors"`
-	StoreBadRecords  int    `json:"store_bad_records"`
-	StoreDiskErrors  int    `json:"store_disk_errors"`
-	StoreKeys        int    `json:"store_keys"`
+	StoreLoaded      int `json:"store_loaded"`
+	StoreQuarantined int `json:"store_quarantined"`
+	StorePuts        int `json:"store_puts"`
+	StorePutErrors   int `json:"store_put_errors"`
+	StoreBadRecords  int `json:"store_bad_records"`
+	StoreDiskErrors  int `json:"store_disk_errors"`
+	StoreKeys        int `json:"store_keys"`
+	// StoreReadOnly is the loud resource-exhaustion flag: the disk
+	// filled, every further put is refused with 507, and the count of
+	// refusals is beside it.
+	StoreReadOnly    bool   `json:"store_read_only"`
+	StorePutsRefused int    `json:"store_puts_refused"`
 	Fault            string `json:"fault,omitempty"`
 }
 
@@ -244,6 +271,7 @@ func (s *StoreServer) Snapshot() ServerSnapshot {
 		Installs:         s.installs.Load(),
 		Rejects:          s.rejects.Load(),
 		Shed:             s.shed.Load(),
+		MemSheds:         s.mem.Sheds(),
 		InFlight:         s.gate.InFlight(),
 		Queued:           s.gate.Queued(),
 		StoreLoaded:      st.Loaded,
@@ -253,6 +281,8 @@ func (s *StoreServer) Snapshot() ServerSnapshot {
 		StoreBadRecords:  st.BadRecords,
 		StoreDiskErrors:  st.DiskErrors,
 		StoreKeys:        s.store.Len(),
+		StoreReadOnly:    st.ReadOnly,
+		StorePutsRefused: st.PutsRefused,
 	}
 	if s.fault != nil {
 		snap.Fault = s.fault.String()
@@ -282,11 +312,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // and the final snapshot is the caller's to print. Mirrors
 // serve.Server.Serve.
 func (s *StoreServer) Serve(ctx context.Context, ln net.Listener, drainTimeout time.Duration) error {
+	return s.ServeHandler(ctx, ln, drainTimeout, s.Handler())
+}
+
+// ServeHandler is Serve with the handler supplied by the caller —
+// the hook replication middleware (or any other wrapper around
+// Handler) uses to run under the same lifecycle and drain contract.
+func (s *StoreServer) ServeHandler(ctx context.Context, ln net.Listener, drainTimeout time.Duration, h http.Handler) error {
 	if drainTimeout <= 0 {
 		drainTimeout = 10 * time.Second
 	}
 	srv := &http.Server{
-		Handler:           s.Handler(),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)

@@ -1,0 +1,337 @@
+package replica
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/persist/remote"
+)
+
+// The failover-contract proofs, with the protocol stepped
+// deterministically via Sync(): pull replication converges, exactly
+// one replica promotes when the primary dies, a stale primary fences
+// itself on reconnect, and no acked put is lost across a promotion.
+
+func art(i int) *core.FuncArtifact {
+	return &core.FuncArtifact{Vars: []string{fmt.Sprintf("%%p%d", i)}, Sets: [][]int32{{1}}}
+}
+
+func key(i int) string { return fmt.Sprintf("%064x", i) }
+
+// testNode is one cluster member: a store, its replication node, and
+// an httptest server that can be "killed" (connections die) and
+// revived.
+type testNode struct {
+	st      *persist.Store
+	node    *Node
+	srv     *httptest.Server
+	alive   atomic.Bool
+	handler atomic.Value // http.Handler
+}
+
+func (tn *testNode) kill()   { tn.alive.Store(false) }
+func (tn *testNode) revive() { tn.alive.Store(true) }
+
+// newCluster boots size nodes serving each other; node 0 starts as
+// primary. Sync loops are NOT started — tests step them explicitly.
+func newCluster(t *testing.T, size int, failoverAfter time.Duration) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, size)
+	for i := range nodes {
+		tn := &testNode{}
+		tn.alive.Store(true)
+		st, err := persist.OpenStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.st = st
+		tn.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !tn.alive.Load() {
+				panic(http.ErrAbortHandler) // a dead host, not an HTTP error
+			}
+			h, _ := tn.handler.Load().(http.Handler)
+			if h == nil {
+				http.Error(w, "booting", http.StatusServiceUnavailable)
+				return
+			}
+			h.ServeHTTP(w, r)
+		}))
+		t.Cleanup(tn.srv.Close)
+		nodes[i] = tn
+	}
+	for i, tn := range nodes {
+		var peers []string
+		for j, other := range nodes {
+			if j != i {
+				peers = append(peers, other.srv.URL)
+			}
+		}
+		role := RoleReplica
+		if i == 0 {
+			role = RolePrimary
+		}
+		node, err := Open(Config{
+			Store:          tn.st,
+			Self:           tn.srv.URL,
+			Peers:          peers,
+			Role:           role,
+			FailoverAfter:  failoverAfter,
+			RequestTimeout: 500 * time.Millisecond,
+			Logf:           t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.node = node
+		tn.handler.Store(node.Middleware(remote.NewStoreServer(tn.st, remote.ServerConfig{}).Handler()))
+	}
+	return nodes
+}
+
+// syncLive steps every live node's protocol round times.
+func syncLive(nodes []*testNode, rounds int) {
+	for r := 0; r < rounds; r++ {
+		for _, tn := range nodes {
+			if tn.alive.Load() {
+				tn.node.Sync()
+			}
+		}
+	}
+}
+
+func TestReplicationConverges(t *testing.T) {
+	nodes := newCluster(t, 3, time.Hour)
+	for i := 0; i < 5; i++ {
+		if err := nodes[0].st.Put(key(i), art(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syncLive(nodes, 1)
+	for ni, tn := range nodes {
+		for i := 0; i < 5; i++ {
+			if _, ok := tn.st.Get(key(i)); !ok {
+				t.Fatalf("node %d missing record %d after sync", ni, i)
+			}
+		}
+	}
+	if st := nodes[1].node.Stats(); st.Pulled != 5 {
+		t.Fatalf("replica pulled %d records, want 5", st.Pulled)
+	}
+}
+
+func TestReplicaRejectsPutsWithRedirect(t *testing.T) {
+	nodes := newCluster(t, 2, time.Hour)
+	syncLive(nodes, 1) // replica learns who the primary is
+
+	data, err := persist.EncodeRecord(key(9), art(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, nodes[1].srv.URL+"/art/"+key(9), bytes.NewReader(data))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("put on replica = %d, want 421", resp.StatusCode)
+	}
+	if got := resp.Header.Get(remote.HeaderPrimary); got != nodes[0].srv.URL {
+		t.Fatalf("primary hint = %q, want %q", got, nodes[0].srv.URL)
+	}
+	if _, ok := nodes[1].st.Get(key(9)); ok {
+		t.Fatal("replica installed a refused put")
+	}
+
+	// The failover-aware client turns that 421 into a transparent
+	// redirect: a put addressed to the replica lands on the primary.
+	c := remote.NewClient(remote.Options{
+		Endpoints: []string{nodes[1].srv.URL, nodes[0].srv.URL},
+		Backoff:   time.Millisecond,
+	})
+	if err := c.Put(key(9), art(9)); err != nil {
+		t.Fatalf("redirected put: %v", err)
+	}
+	if _, ok := nodes[0].st.Get(key(9)); !ok {
+		t.Fatal("redirected put did not land on the primary")
+	}
+}
+
+func TestExactlyOneReplicaPromotes(t *testing.T) {
+	nodes := newCluster(t, 3, 30*time.Millisecond)
+	syncLive(nodes, 1) // everyone sees the healthy primary
+
+	nodes[0].kill()
+	time.Sleep(50 * time.Millisecond) // failover window elapses
+	syncLive(nodes, 3)                // observe absence, elect, adopt
+
+	primaries := 0
+	var crowned *testNode
+	for _, tn := range nodes[1:] {
+		if role, epoch := tn.node.Role(); role == RolePrimary {
+			primaries++
+			crowned = tn
+			if epoch != 2 {
+				t.Fatalf("promoted node at epoch %d, want 2", epoch)
+			}
+		}
+	}
+	if primaries != 1 {
+		t.Fatalf("%d replicas promoted, want exactly 1", primaries)
+	}
+	for _, tn := range nodes[1:] {
+		if tn == crowned {
+			continue
+		}
+		if role, epoch := tn.node.Role(); role != RoleReplica || epoch != 2 {
+			t.Fatalf("bystander replica = %s/%d, want replica/2", role, epoch)
+		}
+		if got := tn.node.Primary(); got != crowned.srv.URL {
+			t.Fatalf("bystander believes primary is %q, want %q", got, crowned.srv.URL)
+		}
+	}
+	if st := crowned.node.Stats(); st.Promotions != 1 {
+		t.Fatalf("promotion counter = %d, want 1", st.Promotions)
+	}
+}
+
+// TestStalePrimaryFencesAndNoAckedPutIsLost is the headline: the old
+// primary acks a put, dies, a replica promotes, the old primary
+// reconnects — it must fence itself immediately, and the acked record
+// must propagate to the new primary via pull.
+func TestStalePrimaryFencesAndNoAckedPutIsLost(t *testing.T) {
+	nodes := newCluster(t, 2, 30*time.Millisecond)
+	syncLive(nodes, 1)
+
+	// An acked put that only the doomed primary holds.
+	if err := nodes[0].st.Put(key(42), art(42)); err != nil {
+		t.Fatal(err)
+	}
+
+	nodes[0].kill()
+	time.Sleep(50 * time.Millisecond)
+	syncLive(nodes, 2)
+	if role, epoch := nodes[1].node.Role(); role != RolePrimary || epoch != 2 {
+		t.Fatalf("survivor = %s/%d, want primary/2", role, epoch)
+	}
+
+	// The stale primary reconnects. One protocol round fences it.
+	nodes[0].revive()
+	nodes[0].node.Sync()
+	if role, epoch := nodes[0].node.Role(); role != RoleReplica || epoch != 2 {
+		t.Fatalf("stale primary after reconnect = %s/%d, want replica/2", role, epoch)
+	}
+	if st := nodes[0].node.Stats(); st.Fenced != 1 {
+		t.Fatalf("fenced counter = %d, want 1", st.Fenced)
+	}
+	// It now redirects writes to the new primary.
+	data, _ := persist.EncodeRecord(key(7), art(7))
+	req, _ := http.NewRequest(http.MethodPut, nodes[0].srv.URL+"/art/"+key(7), bytes.NewReader(data))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("put on fenced primary = %d, want 421", resp.StatusCode)
+	}
+	if got := resp.Header.Get(remote.HeaderPrimary); got != nodes[1].srv.URL {
+		t.Fatalf("fenced primary hint = %q, want %q", got, nodes[1].srv.URL)
+	}
+
+	// And the acked record reaches the new primary on its next pull.
+	nodes[1].node.Sync()
+	if _, ok := nodes[1].st.Get(key(42)); !ok {
+		t.Fatal("acked put lost across promotion")
+	}
+
+	// Fencing survives a restart: reopening from the same directory
+	// resumes as replica at epoch 2, not as the epoch-1 primary.
+	reopened, err := Open(Config{
+		Store: nodes[0].st,
+		Self:  nodes[0].srv.URL,
+		Peers: []string{nodes[1].srv.URL},
+		Role:  RolePrimary, // config says primary; the persisted fence must win
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if role, epoch := reopened.Role(); role != RoleReplica || epoch != 2 {
+		t.Fatalf("reopened fenced node = %s/%d, want replica/2", role, epoch)
+	}
+}
+
+// TestEqualEpochSplitBrainResolvesByURLOrder: two equal-epoch
+// primaries (a healed symmetric partition) must both pick the same
+// winner, deterministically.
+func TestEqualEpochSplitBrainResolvesByURLOrder(t *testing.T) {
+	nodes := newCluster(t, 2, time.Hour)
+	// Force both to primary at epoch 1 (as if each won a partition).
+	for _, tn := range nodes {
+		tn.node.mu.Lock()
+		tn.node.role = RolePrimary
+		tn.node.primary = tn.node.cfg.Self
+		tn.node.mu.Unlock()
+	}
+	syncLive(nodes, 2)
+
+	smaller, larger := nodes[0], nodes[1]
+	if smaller.srv.URL > larger.srv.URL {
+		smaller, larger = larger, smaller
+	}
+	if role, _ := smaller.node.Role(); role != RolePrimary {
+		t.Fatalf("smaller-URL node = %s, want primary", role)
+	}
+	if role, _ := larger.node.Role(); role != RoleReplica {
+		t.Fatalf("larger-URL node = %s, want replica (fenced by tie-break)", role)
+	}
+	if got := larger.node.Primary(); got != smaller.srv.URL {
+		t.Fatalf("fenced node believes primary is %q, want %q", got, smaller.srv.URL)
+	}
+}
+
+// TestPullSkipsCorruptRecords: a peer serving records that fail
+// validation cannot poison a puller — the remote client drops them
+// before the store ever sees them.
+func TestPullSkipsCorruptRecords(t *testing.T) {
+	// A "peer" that lists one key but serves garbage for it.
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/keys":
+			fmt.Fprintf(w, `{"keys":[%q]}`, key(1))
+		case r.URL.Path == remote.PathRole:
+			fmt.Fprintf(w, `{"role":"replica","epoch":1,"self":%q,"primary":""}`, "http://x")
+		default:
+			w.Write([]byte(`{"records":{"` + key(1) + `":"Z2FyYmFnZQ=="}}`))
+		}
+	}))
+	defer peer.Close()
+
+	st, err := persist.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := httptest.NewServer(http.NotFoundHandler())
+	defer self.Close()
+	n, err := Open(Config{
+		Store: st, Self: self.URL, Peers: []string{peer.URL},
+		Role: RolePrimary, RequestTimeout: 500 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Sync()
+	if _, ok := st.Get(key(1)); ok {
+		t.Fatal("corrupt record promoted into the store")
+	}
+	if st.Len() != 0 {
+		t.Fatal("store grew from a corrupt-only peer")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 
 	"repro/internal/core"
 )
@@ -67,11 +68,25 @@ type StoreStats struct {
 	// path (PutErrors covers writes): quarantine moves that failed,
 	// records that could not be re-read.
 	DiskErrors int
+	// ReadOnly is the resource-exhaustion degradation flag: a write
+	// that failed with ENOSPC/EDQUOT flipped the store to read-only.
+	// Reads keep flowing (the loaded records and the in-memory tier
+	// are intact); every further put is refused without touching the
+	// disk, counted in PutsRefused, and surfaced loudly here and in
+	// the store server's /stats.
+	ReadOnly bool
+	// PutsRefused counts puts rejected because the store was
+	// read-only.
+	PutsRefused int
 }
 
 func (s StoreStats) String() string {
-	return fmt.Sprintf("loaded=%d quarantined=%d puts=%d put-errors=%d bad-records=%d disk-errors=%d",
+	line := fmt.Sprintf("loaded=%d quarantined=%d puts=%d put-errors=%d bad-records=%d disk-errors=%d",
 		s.Loaded, s.Quarantined, s.Puts, s.PutErrors, s.BadRecords, s.DiskErrors)
+	if s.ReadOnly {
+		line += fmt.Sprintf(" READ-ONLY puts-refused=%d", s.PutsRefused)
+	}
+	return line
 }
 
 // Store is the on-disk artifact store. All records are loaded into
@@ -86,7 +101,18 @@ type Store struct {
 	mu    sync.Mutex
 	mem   map[string]*core.FuncArtifact
 	stats StoreStats
+	// injectFullAfter, when > 0, makes every disk write past that many
+	// puts fail with a synthetic ENOSPC — the chaos hook behind
+	// `sraastore -inject-diskfull`. Test plumbing only.
+	injectFullAfter int
 }
+
+// ErrReadOnly is returned by Put while the store is degraded to
+// read-only after a disk-full error. The in-memory entry is still
+// installed — the caller keeps its warm-cache semantics — but nothing
+// reached the disk and nothing will until the process restarts with
+// space available.
+var ErrReadOnly = fmt.Errorf("persist: store is read-only (disk full)")
 
 // storePayload is the JSON body of one record.
 type storePayload struct {
@@ -146,19 +172,56 @@ func (s *Store) Put(key string, a *core.FuncArtifact) error {
 	s.mu.Lock()
 	s.mem[key] = a
 	s.stats.Puts++
+	readOnly := s.stats.ReadOnly
+	if readOnly {
+		s.stats.PutsRefused++
+	}
+	injectFull := s.injectFullAfter > 0 && s.stats.Puts > s.injectFullAfter
 	s.mu.Unlock()
+	if readOnly {
+		// Degraded: don't burn syscalls against a disk known to be
+		// full. The in-memory entry above keeps the warm cache whole.
+		return fmt.Errorf("persist: put %s: %w", key, ErrReadOnly)
+	}
 
-	data, err := EncodeRecord(key, a)
-	if err == nil {
-		err = AtomicWriteFile(filepath.Join(s.dir, fileNameOf(key)), data, 0o644)
+	var err error
+	if injectFull {
+		err = fmt.Errorf("persist: put %s: injected fault: %w", key, syscall.ENOSPC)
+	} else {
+		var data []byte
+		data, err = EncodeRecord(key, a)
+		if err == nil {
+			err = AtomicWriteFile(filepath.Join(s.dir, fileNameOf(key)), data, 0o644)
+		}
 	}
 	if err != nil {
 		s.mu.Lock()
 		s.stats.PutErrors++
+		if IsDiskFull(err) && !s.stats.ReadOnly {
+			s.stats.ReadOnly = true
+		}
 		s.mu.Unlock()
 		return err
 	}
 	return nil
+}
+
+// ReadOnly reports whether the store has degraded to read-only after
+// a disk-full error.
+func (s *Store) ReadOnly() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.ReadOnly
+}
+
+// InjectDiskFullAfter arms the disk-full chaos hook: every disk write
+// after the first n puts fails with a synthetic ENOSPC, flipping the
+// store read-only exactly as a genuinely full disk would. Testing
+// only — `sraastore -inject-diskfull` prints a loud warning when set.
+func (s *Store) InjectDiskFullAfter(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.injectFullAfter = n
 }
 
 // Keys returns every loaded key in sorted order. The store server's

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// MemWatermark sheds load before the OOM killer does it for us. When
+// the Go heap crosses the configured high watermark, new requests are
+// refused with the same 429 + Retry-After contract the admission gate
+// uses — in-flight work finishes, the heap drains, and admission
+// resumes. A limit of 0 disables the check entirely.
+//
+// runtime.ReadMemStats stops the world, so the reading is cached and
+// refreshed at most every memProbeInterval — the watermark is a
+// coarse tripwire, not an accounting system, and a ~100ms-stale heap
+// size is plenty for "stop admitting before we die".
+type MemWatermark struct {
+	limit uint64 // bytes; 0 = disabled
+
+	mu       sync.Mutex
+	lastRead time.Time
+	heap     uint64
+	sheds    int64
+}
+
+// memProbeInterval is the maximum staleness of the cached heap size.
+const memProbeInterval = 100 * time.Millisecond
+
+// NewMemWatermark builds a watermark tripping at limit bytes of live
+// heap; limit 0 never trips.
+func NewMemWatermark(limit uint64) *MemWatermark {
+	return &MemWatermark{limit: limit}
+}
+
+// Over reports whether the heap is past the watermark, refreshing the
+// cached reading when it is stale. The first call after a trip also
+// hints the runtime to give memory back (GC), so a transient spike
+// recovers without operator action.
+func (m *MemWatermark) Over() bool {
+	if m == nil || m.limit == 0 {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if time.Since(m.lastRead) >= memProbeInterval {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		m.heap = ms.HeapAlloc
+		m.lastRead = time.Now()
+	}
+	if m.heap <= m.limit {
+		return false
+	}
+	m.sheds++
+	if m.sheds == 1 || m.sheds%1000 == 0 {
+		// Nudge the collector: the watermark usually trips on garbage
+		// from completed requests, which a cycle reclaims.
+		//lint:ignore goroutine runtime.GC has no panic path, and blocking the admission check on a full collection would turn the shed into a stall
+		go runtime.GC()
+	}
+	return true
+}
+
+// Limit returns the configured watermark in bytes (0 = disabled).
+func (m *MemWatermark) Limit() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.limit
+}
+
+// Sheds returns how many admissions the watermark refused.
+func (m *MemWatermark) Sheds() int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sheds
+}
+
+// setHeapForTest pins the cached heap reading far enough in the
+// future that Over will not refresh it — tests drive the watermark
+// without allocating gigabytes.
+func (m *MemWatermark) setHeapForTest(heap uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.heap = heap
+	m.lastRead = time.Now().Add(time.Hour)
+}

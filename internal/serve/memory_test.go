@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMemWatermarkDisabledNeverTrips(t *testing.T) {
+	var m *MemWatermark
+	if m.Over() {
+		t.Fatal("nil watermark tripped")
+	}
+	m = NewMemWatermark(0)
+	m.setHeapForTest(1 << 40)
+	if m.Over() {
+		t.Fatal("disabled watermark tripped")
+	}
+}
+
+func TestMemWatermarkTripsAndRecovers(t *testing.T) {
+	m := NewMemWatermark(1 << 20)
+	m.setHeapForTest(2 << 20)
+	if !m.Over() {
+		t.Fatal("heap past watermark did not trip")
+	}
+	if !m.Over() {
+		t.Fatal("trip is not sticky while heap stays high")
+	}
+	if m.Sheds() != 2 {
+		t.Fatalf("sheds = %d, want 2", m.Sheds())
+	}
+	m.setHeapForTest(1 << 19)
+	if m.Over() {
+		t.Fatal("drained heap still trips")
+	}
+}
+
+// TestServerShedsOnMemoryWatermark: a server past its heap watermark
+// answers 429 + Retry-After — the same contract as slot exhaustion,
+// so clients back off identically — and /stats counts it.
+func TestServerShedsOnMemoryWatermark(t *testing.T) {
+	s := New(Config{MemLimit: 1 << 20})
+	s.mem.setHeapForTest(10 << 20)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/analyze", "application/json",
+		strings.NewReader(`{"name":"x","lang":"ir","source":"define f() { ret }"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("memory shed without Retry-After hint")
+	}
+	if snap := s.Snapshot(); snap.MemSheds != 1 || snap.Shed != 1 {
+		t.Fatalf("snapshot sheds = mem %d / total %d, want 1/1", snap.MemSheds, snap.Shed)
+	}
+
+	// Heap drains → admission resumes; the request is served (or
+	// rejected on its merits), never shed.
+	s.mem.setHeapForTest(1 << 10)
+	resp, err = http.Post(ts.URL+"/analyze", "application/json",
+		strings.NewReader(`{"name":"x","lang":"ir","source":"define f() { ret }"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		t.Fatal("request shed after heap drained")
+	}
+}

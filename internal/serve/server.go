@@ -50,6 +50,10 @@ type Config struct {
 	// pipeline — the containment proof for tests; never set it in
 	// production.
 	Fault *harness.FaultConfig
+	// MemLimit is the heap high-watermark in bytes: past it, new
+	// requests are shed with 429 until in-flight work drains the heap.
+	// 0 disables the check (the default).
+	MemLimit uint64
 }
 
 func (c Config) filled() Config {
@@ -85,6 +89,7 @@ func (c Config) filled() Config {
 type Server struct {
 	cfg  Config
 	gate *Gate
+	mem  *MemWatermark
 	st   stats
 	// preAnalyze, when non-nil, runs on every admitted request before
 	// its pipeline starts. Tests use it to hold slots occupied.
@@ -97,6 +102,7 @@ func New(cfg Config) *Server {
 	return &Server{
 		cfg:  cfg,
 		gate: NewGate(cfg.InFlight, cfg.Queue, cfg.QueueWait),
+		mem:  NewMemWatermark(cfg.MemLimit),
 		st:   stats{start: time.Now()},
 	}
 }
@@ -126,6 +132,8 @@ func (s *Server) Snapshot() Snapshot {
 		Quarantined: s.st.quarantined.Load(),
 		InFlight:    s.gate.InFlight(),
 		Queued:      s.gate.Queued(),
+		MemSheds:    s.mem.Sheds(),
+		MemLimit:    s.mem.Limit(),
 		Cache:       cacheSnapshot(s.cfg.Cache),
 	}
 }
@@ -160,6 +168,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Snapshot())
 }
 
+// shed429 writes the standard shed response: 429 with both the
+// Retry-After header and the machine-readable hint in the body.
+func (s *Server) shed429(w http.ResponseWriter, msg string) {
+	secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprint(secs))
+	writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+		Error:        msg,
+		RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+	})
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.st.requests.Add(1)
 
@@ -180,19 +202,20 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Memory backpressure first: past the heap high-watermark even an
+	// open slot must not admit more work — shedding here is what keeps
+	// the OOM killer from doing it less politely.
+	if s.mem.Over() {
+		s.st.shed.Add(1)
+		s.shed429(w, "overloaded: memory high-watermark reached, retry later")
+		return
+	}
+
 	release, err := s.gate.Acquire(r.Context())
 	switch {
 	case errors.Is(err, ErrShed):
 		s.st.shed.Add(1)
-		secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", fmt.Sprint(secs))
-		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
-			Error:        "overloaded: request shed, retry later",
-			RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
-		})
+		s.shed429(w, "overloaded: request shed, retry later")
 		return
 	case err != nil: // client gave up while queued; nobody is listening
 		s.st.canceled.Add(1)

@@ -38,6 +38,12 @@ type Snapshot struct {
 	InFlight int `json:"in_flight"`
 	Queued   int `json:"queued"`
 
+	// MemSheds counts admissions refused by the memory high-watermark
+	// (shed with 429 before the OOM killer gets a vote); MemLimit is
+	// the configured watermark in bytes, 0 when disabled.
+	MemSheds int64  `json:"mem_sheds"`
+	MemLimit uint64 `json:"mem_limit,omitempty"`
+
 	// Cache describes the shared memo cache; absent when the server
 	// runs uncached.
 	Cache *CacheSnapshot `json:"cache,omitempty"`
